@@ -1,0 +1,22 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one paper table/figure via its experiment
+runner, prints the resulting series/tables (captured with ``-s`` or in
+the bench log), and asserts the paper's qualitative claims hold.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Benchmark an experiment runner once and return its output."""
+
+    def runner(module, fast=True):
+        out = benchmark.pedantic(module.run, kwargs={"fast": fast},
+                                 iterations=1, rounds=1)
+        print()
+        print(out)
+        return out
+
+    return runner

@@ -1,0 +1,60 @@
+"""Ablation: the §6.1 collocation retrieval-stall rule.
+
+A collocated group that straddles retrieval pauses for it; DESIGN.md
+implements this by folding retrieval into the group's time-multiplex
+cycle. This bench isolates the rule: for a collocated-across-retrieval
+Case IV schedule, it compares the assembled throughput against the
+hypothetical no-stall composition (same stage performances, stall term
+removed) and quantifies the penalty across batch sizes.
+"""
+
+from repro.hardware import ClusterSpec
+from repro.pipeline import PlacementGroup, RAGPerfModel, Schedule, assemble
+from repro.reporting.tables import format_table
+from repro.schema import Stage, case_iv_rewriter_reranker
+
+GROUP_STAGES = (Stage.REWRITE_PREFIX, Stage.REWRITE_DECODE, Stage.RERANK,
+                Stage.PREFIX)
+
+
+def _penalties():
+    cluster = ClusterSpec(num_servers=32)
+    pm = RAGPerfModel(case_iv_rewriter_reranker("70B"), cluster)
+    rows = []
+    penalties = {}
+    for batch in (1, 4, 16, 64):
+        batches = {stage: batch for stage in GROUP_STAGES}
+        batches[Stage.RETRIEVAL] = batch
+        batches[Stage.DECODE] = 1024
+        schedule = Schedule(
+            groups=(PlacementGroup(GROUP_STAGES, 32),
+                    PlacementGroup((Stage.DECODE,), 32)),
+            batches=batches,
+        )
+        perf = assemble(pm, schedule)
+        # Hypothetical no-stall composition from the same stage perfs.
+        inverse = sum(1.0 / perf.stage_perfs[s].request_qps
+                      for s in GROUP_STAGES)
+        no_stall_group = 1.0 / inverse
+        retrieval = perf.stage_perfs[Stage.RETRIEVAL].request_qps
+        decode = perf.stage_perfs[Stage.DECODE].request_qps
+        no_stall = min(no_stall_group, retrieval, decode)
+        penalty = 1.0 - perf.qps / no_stall
+        penalties[batch] = penalty
+        rows.append((batch, perf.qps, no_stall, 100 * penalty))
+    return rows, penalties
+
+
+def test_bench_ablation_collocation_stall(benchmark):
+    rows, penalties = benchmark.pedantic(_penalties, iterations=1, rounds=1)
+    print()
+    print(format_table(
+        ("batch", "qps (with stall)", "qps (rule off)", "penalty (%)"),
+        rows,
+        title="Ablation: §6.1 retrieval stall in a collocated C-IV group"))
+    # The stall always costs throughput, and it costs proportionally
+    # more at small batches where the per-request retrieval wait is
+    # largest relative to the inference work.
+    for batch, penalty in penalties.items():
+        assert penalty > 0
+    assert penalties[1] >= penalties[64]

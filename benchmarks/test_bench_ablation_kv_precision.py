@@ -1,0 +1,47 @@
+"""Ablation: KV-cache precision (int8 vs fp16).
+
+The paper assumes 8-bit KV (§4). Doubling KV bytes halves the feasible
+decode batch at fixed HBM and inflates step latency at large batches --
+this bench quantifies both effects on the 70B model.
+"""
+
+from repro.hardware import XPU_C
+from repro.inference import DecodeModel, MemoryModel
+from repro.inference.parallelism import ShardingPlan
+from repro.models import LLAMA3_70B
+from repro.reporting.tables import format_table
+
+CHIPS = 8
+PREFIX = 512
+DECODE = 256
+
+
+def _compare():
+    rows = []
+    results = {}
+    for label, kv_bytes in (("int8", 1.0), ("fp16", 2.0)):
+        memory = MemoryModel(kv_bytes_per_element=kv_bytes)
+        model = DecodeModel(XPU_C, memory)
+        plan = ShardingPlan(CHIPS, 1)
+        probe = model.plan_perf(LLAMA3_70B, plan, 1, PREFIX, DECODE)
+        batch = min(256, probe.max_batch)
+        perf = model.plan_perf(LLAMA3_70B, plan, batch, PREFIX, DECODE)
+        rows.append((label, probe.max_batch, batch, perf.tpot,
+                     perf.throughput))
+        results[label] = (probe.max_batch, perf.throughput, perf.tpot)
+    return rows, results
+
+
+def test_bench_ablation_kv_precision(benchmark):
+    rows, results = benchmark.pedantic(_compare, iterations=1, rounds=1)
+    print()
+    print(format_table(
+        ("kv precision", "max batch", "batch used", "TPOT (s)", "seq/s"),
+        rows, title="Ablation: KV precision, 70B decode on 8 XPU-C"))
+    int8_max, _, int8_tpot = results["int8"]
+    fp16_max, _, fp16_tpot = results["fp16"]
+    # Double the KV bytes -> roughly half the feasible batch.
+    assert fp16_max < int8_max
+    assert fp16_max >= int8_max // 2 - 1
+    # And a slower step at the same batch (more KV traffic).
+    assert fp16_tpot >= int8_tpot

@@ -1,0 +1,49 @@
+"""Ablation: prefill sharding strategy (tensor- vs pipeline-parallel).
+
+DESIGN.md calls out modelling both plan families because they trade
+latency against throughput. This bench quantifies the gap the hybrid
+plan space buys on a 32-chip prefix tier: TP-only plans minimize batch
+latency; PP plans multiply steady-state throughput.
+"""
+
+from repro.hardware import XPU_C
+from repro.inference import PrefillModel
+from repro.inference.parallelism import ShardingPlan
+from repro.models import LLAMA3_8B, LLAMA3_70B
+from repro.reporting.tables import format_table
+
+CHIPS = 32
+SEQ_LEN = 512
+
+
+def _sweep():
+    model = PrefillModel(XPU_C)
+    rows = []
+    gains = {}
+    for llm in (LLAMA3_8B, LLAMA3_70B):
+        for batch in (1, 8, 32, 128):
+            tp_only = model.plan_perf(llm, ShardingPlan(CHIPS, 1), batch,
+                                      SEQ_LEN)
+            frontier = model.pareto_perfs(llm, CHIPS, batch, SEQ_LEN)
+            best = frontier[-1]
+            gain = best.throughput / tp_only.throughput
+            gains[(llm.name, batch)] = gain
+            rows.append((llm.name, batch, tp_only.latency,
+                         tp_only.throughput, best.throughput,
+                         f"tp={best.plan.tensor_parallel},"
+                         f"pp={best.plan.pipeline_parallel}", gain))
+    return rows, gains
+
+
+def test_bench_ablation_parallelism(benchmark):
+    rows, gains = benchmark.pedantic(_sweep, iterations=1, rounds=1)
+    print()
+    print(format_table(
+        ("model", "batch", "TP latency (s)", "TP qps", "best qps",
+         "best plan", "gain"),
+        rows, title="Ablation: prefill TP-only vs full plan space"))
+    # Large batches gain substantially from pipeline parallelism.
+    assert gains[("llama3-8b", 128)] > 1.5
+    # Batch-1 prefill cannot benefit from PP throughput-wise by more
+    # than the comm savings; the gain should be modest.
+    assert gains[("llama3-70b", 1)] < gains[("llama3-70b", 128)] + 1e-9

@@ -1,0 +1,46 @@
+"""Extension: cost efficiency across the Pareto frontier (§9 future
+work: "additional efficiency metrics, such as energy and cost
+efficiency").
+
+Prices every frontier point of Case I under a cloud-style price book
+and locates the cheapest operating point -- usually the throughput end,
+but not necessarily when the database hosts dominate the bill.
+"""
+
+from repro.hardware import ClusterSpec
+from repro.pipeline import RAGPerfModel
+from repro.rago import cheapest_point, estimate_cost, search_schedules
+from repro.reporting.tables import format_table
+from repro.schema import case_i_hyperscale
+
+
+def _price_frontier():
+    cluster = ClusterSpec(num_servers=32)
+    pm = RAGPerfModel(case_i_hyperscale("8B"), cluster)
+    result = search_schedules(pm)
+    rows = []
+    for perf in result.frontier:
+        estimate = estimate_cost(perf)
+        rows.append((perf.ttft, perf.qps_per_chip, perf.charged_chips,
+                     estimate.dollars_per_hour,
+                     estimate.dollars_per_million_requests))
+    best = cheapest_point(result)
+    return rows, best, result
+
+
+def test_bench_cost_model(benchmark):
+    rows, best, result = benchmark.pedantic(_price_frontier, iterations=1,
+                                            rounds=1)
+    print()
+    print(format_table(
+        ("ttft (s)", "qps/chip", "chips", "$/hour", "$/M requests"),
+        rows, title="Extension: pricing the Case I frontier"))
+    print(f"cheapest point: ${best.dollars_per_million_requests:.2f} per "
+          f"million requests at ttft={best.perf.ttft * 1e3:.1f} ms")
+    # The cheapest point coincides with the best QPS-per-charged-chip
+    # point under uniform pricing.
+    max_qps = result.max_qps_per_chip
+    assert best.perf.qps_per_chip == max_qps.qps_per_chip
+    # Sanity: every frontier point costs something.
+    for row in rows:
+        assert row[3] > 0 and row[4] > 0

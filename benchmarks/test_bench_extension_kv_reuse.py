@@ -1,0 +1,59 @@
+"""Extension: KV-cache reuse for retrieved documents (§8).
+
+CacheBlend/RAGCache pre-compute the KV cache of database passages so the
+prefix phase only processes uncached tokens. The paper predicts this
+"will increase the importance of retrieval and decoding performance".
+This bench sweeps the cache hit rate: the effective prefix shrinks from
+question+passages toward question-only, and the time-x-resource
+breakdown shifts exactly as predicted.
+"""
+
+from repro.hardware import ClusterSpec
+from repro.pipeline import RAGPerfModel, time_breakdown
+from repro.rago import search_schedules
+from repro.reporting.tables import format_table
+from repro.schema import Stage, case_i_hyperscale
+from repro.workloads import SequenceProfile
+
+QUESTION = 32
+RETRIEVED = 480  # five 100-token passages rounded into the 512 prompt
+
+
+def _sweep():
+    cluster = ClusterSpec(num_servers=32)
+    rows = []
+    shares = {}
+    for hit_rate in (0.0, 0.5, 0.9, 1.0):
+        prefix = QUESTION + round((1.0 - hit_rate) * RETRIEVED)
+        profile = SequenceProfile().with_lengths(prefix_len=max(prefix,
+                                                                QUESTION))
+        schema = case_i_hyperscale("70B", sequences=profile)
+        pm = RAGPerfModel(schema, cluster)
+        breakdown = time_breakdown(pm)
+        result = search_schedules(pm)
+        best = result.max_qps_per_chip
+        rows.append((hit_rate, prefix,
+                     100 * breakdown[Stage.RETRIEVAL],
+                     100 * breakdown[Stage.PREFIX],
+                     100 * breakdown[Stage.DECODE],
+                     best.qps_per_chip))
+        shares[hit_rate] = breakdown
+    return rows, shares
+
+
+def test_bench_extension_kv_reuse(benchmark):
+    rows, shares = benchmark.pedantic(_sweep, iterations=1, rounds=1)
+    print()
+    print(format_table(
+        ("KV hit rate", "prefix tokens", "retrieval %", "prefix %",
+         "decode %", "max QPS/chip"),
+        rows, title="Extension: KV-cache reuse of retrieved passages "
+                    "(C-I, 70B)"))
+    # As caching absorbs prefix work, retrieval and decode gain weight
+    # -- the paper's §8 prediction.
+    assert shares[1.0][Stage.RETRIEVAL] > shares[0.0][Stage.RETRIEVAL]
+    assert shares[1.0][Stage.DECODE] > shares[0.0][Stage.DECODE]
+    assert shares[1.0][Stage.PREFIX] < shares[0.0][Stage.PREFIX]
+    # And the end-to-end throughput improves with the hit rate.
+    qps = [row[5] for row in rows]
+    assert qps[-1] >= qps[0]

@@ -1,0 +1,17 @@
+"""Fig. 5: RAG with smaller models vs larger LLM-only systems."""
+
+from repro.experiments import fig05
+
+
+def test_bench_fig05(run_experiment):
+    out = run_experiment(fig05)
+    summary = out.data["summary"]
+    # RAG 8B outperforms LLM-only 70B in QPS/chip (paper: ~1.5x).
+    assert summary["rag8b_over_llm70b"] > 1.2
+    # RAG 1B ~ RAG 8B: retrieval is the shared bottleneck.
+    ratio = (summary["rag_1b_max_qps_per_chip"]
+             / summary["rag_8b_max_qps_per_chip"])
+    assert 0.8 < ratio < 1.3
+    # RAG 1B does not scale proportionally vs LLM-only 8B.
+    assert summary["llm_only_8b_max_qps_per_chip"] > \
+        summary["rag_1b_max_qps_per_chip"]

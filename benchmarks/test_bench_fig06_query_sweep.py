@@ -1,0 +1,20 @@
+"""Fig. 6: Case I sensitivity to model size and query count."""
+
+from repro.experiments import fig06
+
+
+def test_bench_fig06(run_experiment):
+    out = run_experiment(fig06)
+    max_qps = out.data["max_qps"]
+    breakdowns = out.data["breakdowns"]
+    # 8B: retrieval-bound -- QPS roughly quarters from 1 to 4 queries.
+    assert max_qps["8B/1q"] / max_qps["8B/4q"] > 3.0
+    # 8B: retrieval dominates the time x resource breakdown.
+    assert breakdowns["8B/1q"]["retrieval"] > 0.5
+    # 70B at one query: inference-bound (retrieval share modest).
+    assert breakdowns["70B/1q"]["retrieval"] < 0.35
+    # 70B loses less than proportionally when queries multiply.
+    assert max_qps["70B/1q"] / max_qps["70B/4q"] < \
+        max_qps["8B/1q"] / max_qps["8B/4q"]
+    # No-retrieval reference beats the retrieval configs for 8B.
+    assert max_qps["8B/no-retrieval"] > max_qps["8B/1q"]

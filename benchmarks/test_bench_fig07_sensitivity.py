@@ -1,0 +1,25 @@
+"""Fig. 7: retrieval share vs XPU generation, scan fraction, lengths."""
+
+from repro.experiments import fig07
+
+
+def test_bench_fig07(run_experiment):
+    out = run_experiment(fig07)
+    xpu = out.data["xpu"]
+    scan = out.data["scan"]
+    lengths = out.data["lengths"]
+    # (a) Better XPUs raise the retrieval share for every model.
+    for label in xpu["XPU-A"]:
+        assert xpu["XPU-C"][label] >= xpu["XPU-A"][label]
+    # (b) Scanning more of the database raises the retrieval share.
+    for label in scan[0.0001]:
+        assert scan[0.01][label] > scan[0.0001][label]
+    # (c) Longer sequences shrink the retrieval share; the short-sequence
+    # corner is retrieval-dominated (paper: 86.3% -> 30.9%).
+    decodes = sorted({key[0] for key in lengths})
+    prefixes = sorted({key[1] for key in lengths})
+    short = lengths[(decodes[0], prefixes[0])]
+    long = lengths[(decodes[-1], prefixes[-1])]
+    assert short > 70.0
+    assert long < 40.0
+    assert short > long

@@ -1,0 +1,20 @@
+"""Fig. 8 + §5.2: long-context processing via RAG."""
+
+from repro.experiments import fig08
+
+
+def test_bench_fig08(run_experiment):
+    out = run_experiment(fig08)
+    breakdowns = out.data["breakdowns"]
+    max_qps = out.data["max_qps"]
+    # Encoding dominates at 1M tokens; retrieval is negligible (<1%).
+    at_1m = breakdowns["ctx-1000000"]
+    assert at_1m["encode"] > 0.5
+    assert at_1m["retrieval"] < 0.01
+    # Longer contexts degrade QPS/chip.
+    assert max_qps["ctx-100000"] > max_qps["ctx-1000000"]
+    # The no-long-context reference is the fastest configuration.
+    assert max_qps["no-long-context"] > max_qps["ctx-100000"]
+    # RAG vs long-context LLM: orders of magnitude (paper: 2852x/6634x).
+    assert out.data["ttft_speedup_vs_long_context_llm"] > 500
+    assert out.data["qps_speedup_vs_long_context_llm"] > 500

@@ -1,0 +1,27 @@
+"""Fig. 9: TPOT under iterative retrievals."""
+
+from repro.experiments import fig09
+
+
+def test_bench_fig09(run_experiment):
+    out = run_experiment(fig09)
+    freq_sweep = out.data["frequency_sweep"]
+    iter_sweep = out.data["iterative_batch_sweep"]
+
+    # TPOT grows with retrieval frequency at every decode batch size.
+    labels = sorted(freq_sweep, key=lambda k: int(k.split()[0]))
+    low = dict(freq_sweep[labels[0]])
+    high = dict(freq_sweep[labels[-1]])
+    for batch in low:
+        assert high[batch] >= low[batch]
+
+    # TPOT grows with decode batch within each frequency.
+    for points in freq_sweep.values():
+        tpots = [tpot for _, tpot in points]
+        assert tpots[-1] >= tpots[0]
+
+    # Small decode batches suffer from larger iterative batches.
+    smallest = min(iter_sweep, key=lambda k: int(k.split("= ")[1]))
+    points = dict(iter_sweep[smallest])
+    batches = sorted(points)
+    assert points[batches[-1]] > points[batches[0]]

@@ -1,0 +1,26 @@
+"""Fig. 10: decode idleness from batched iterative queries."""
+
+from repro.experiments import fig10
+
+
+def test_bench_fig10(run_experiment):
+    out = run_experiment(fig10)
+    cells = out.data["cells"]
+    diagonal = out.data["diagonal"]
+    # Iterative batch 1 never stalls decoding.
+    for (iter_batch, decode_batch), value in cells.items():
+        if iter_batch == 1:
+            assert value < 1.1
+    # Equal batches stall substantially and the penalty grows with the
+    # batch size (paper diagonal: 1.71 at 4/4 up to 3.08 at 256/256).
+    assert diagonal[64] > 1.8
+    sizes = sorted(diagonal)
+    assert [diagonal[s] for s in sizes] == \
+        sorted(diagonal[s] for s in sizes)
+    assert out.data["worst"] < 4.5
+    # Monotone in iterative batch for a fixed decode batch.
+    decode = 256
+    column = sorted((ib, v) for (ib, db), v in cells.items()
+                    if db == decode)
+    values = [v for _, v in column]
+    assert values == sorted(values)

@@ -1,0 +1,19 @@
+"""Fig. 11: query rewriter and reranker impact."""
+
+from repro.experiments import fig11
+
+
+def test_bench_fig11(run_experiment):
+    out = run_experiment(fig11)
+    models = out.data["models"]
+    breakdown = out.data["breakdown"]
+    for stats in models.values():
+        # The rewriter's autoregressive decode inflates TTFT (paper 2.4x).
+        assert stats["ttft_ratio"] > 1.5
+        # QPS/chip barely moves (paper: largely unaffected).
+        assert 0.8 < stats["qps_ratio"] <= 1.05
+        # The reranker is negligible next to the rewrite decode.
+        assert stats["rerank_latency"] < stats["rewrite_decode_latency"] / 5
+    # Rewriter and reranker consume negligible time x resource.
+    assert breakdown["rewrite_prefix"] < 0.05
+    assert breakdown["rerank"] < 0.05

@@ -1,0 +1,19 @@
+"""Fig. 15: RAGO vs the LLM-system-extension baseline."""
+
+from repro.experiments import fig15
+
+
+def test_bench_fig15(run_experiment):
+    out = run_experiment(fig15)
+    speedups = out.data["speedups"]
+    # Paper: 1.7x for C-II, 1.5x for C-IV; we require clear wins in C-II
+    # and at-least-parity in C-IV (the tuned baseline is strong).
+    assert speedups["C-II"] > 1.3
+    assert speedups["C-IV"] >= 1.0
+    # RAGO's frontier dominates: for the baseline's best throughput
+    # point, RAGO offers at least that QPS/chip.
+    series = out.data["series"]
+    for case in ("C-II", "C-IV"):
+        best_baseline = max(q for _, q in series[f"{case} baseline"])
+        best_rago = max(q for _, q in series[f"{case} RAGO"])
+        assert best_rago >= best_baseline

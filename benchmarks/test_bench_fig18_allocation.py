@@ -1,0 +1,16 @@
+"""Fig. 18: resource-allocation sensitivity."""
+
+from repro.experiments import fig18
+
+
+def test_bench_fig18(run_experiment):
+    out = run_experiment(fig18)
+    collocated = out.data["collocated"]
+    disaggregated = out.data["disaggregated"]
+    # Allocation choice swings QPS/chip by orders of magnitude
+    # (paper: 52.5x collocated, 64.1x disaggregated).
+    assert collocated["spread"] > 10
+    assert disaggregated["spread"] > 10
+    # Multiple allocations were actually explored.
+    assert collocated["allocations"] > 5
+    assert disaggregated["allocations"] > 5

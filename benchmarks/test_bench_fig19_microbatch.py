@@ -1,0 +1,32 @@
+"""Fig. 19: micro-batching TTFT reduction."""
+
+from repro.experiments import fig19
+
+
+def test_bench_fig19(run_experiment):
+    out = run_experiment(fig19)
+    case_i = out.data["case_i"]
+    case_ii = out.data["case_ii"]
+    case_iv = out.data["case_iv"]
+
+    bursts = sorted({key[1] for key in case_i})
+    # C-I: small bursts gain nothing (vector search latency is flat
+    # below ~16 queries); large bursts gain.
+    queries = sorted({key[0] for key in case_i})
+    assert case_i[(queries[0], bursts[0])] < 10.0
+    assert case_i[(queries[-1], bursts[-1])] > 10.0
+
+    # C-II: encoding + prefix are compute-intensive, so micro-batching
+    # pays off strongly (paper: up to 55%).
+    best_c2 = max(case_ii.values())
+    assert best_c2 > 30.0
+
+    # C-II gains more than C-IV at the largest burst (paper: 55% vs 25%).
+    ctxs = sorted({key[0] for key in case_ii})
+    llms = sorted({key[0] for key in case_iv})
+    assert case_ii[(ctxs[-1], bursts[-1])] > \
+        case_iv[(llms[0], bursts[-1])]
+    # All reductions are valid percentages.
+    for cells in (case_i, case_ii, case_iv):
+        for value in cells.values():
+            assert 0.0 <= value < 100.0

@@ -1,0 +1,10 @@
+"""Table 2: XPU generation specifications."""
+
+from repro.experiments import table2
+
+
+def test_bench_table2(run_experiment):
+    out = run_experiment(table2)
+    assert out.data["XPU-C"]["tflops"] == 459
+    assert out.data["XPU-A"]["hbm_gb"] == 16
+    assert out.data["XPU-B"]["mem_bw_gbps"] == 1200

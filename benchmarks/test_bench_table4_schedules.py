@@ -1,0 +1,15 @@
+"""Table 4: RAGO vs baseline schedules in Case II."""
+
+from repro.experiments import table4
+
+
+def test_bench_table4(run_experiment):
+    out = run_experiment(table4)
+    # RAGO beats the collocated 1:1 baseline on max QPS/chip (paper 1.7x).
+    assert out.data["speedup"] > 1.2
+    # RAGO's throughput schedule dedicates most chips to the encoder
+    # (paper: 64 of 96).
+    assert out.data["rago_encode_chips"] >= \
+        out.data["rago_total_chips"] / 2
+    # Latency-optimal schedules coincide (both reach small TTFT).
+    assert out.data["rago_min_ttft"] <= out.data["baseline_min_ttft"] * 1.05

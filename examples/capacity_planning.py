@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Capacity planning: size, price and power a RAG deployment.
+
+Combines three extensions built on top of the paper's framework:
+provisioning (fewest chips for a target load under SLOs), the cost
+model ($/million requests, §9 future work) and the energy model
+(joules/request). Walks a product scenario: a hyperscale-QA service
+must sustain growing load under a 150 ms TTFT SLO.
+
+Run:
+    python examples/capacity_planning.py
+"""
+
+from repro import (
+    ClusterSpec,
+    PowerProfile,
+    PriceBook,
+    ServiceObjective,
+    case_i_hyperscale,
+    estimate_cost,
+    estimate_energy,
+    provision,
+)
+from repro.pipeline import RAGPerfModel
+from repro.rago.hetero import split_generation_search
+
+
+def plan_for_growth(perf_model: RAGPerfModel) -> None:
+    print("=== fleet size vs target load (TTFT <= 150 ms) ===")
+    objective = ServiceObjective(max_ttft=0.150)
+    print(f"{'target QPS':>11} {'replicas':>9} {'chips':>6} "
+          f"{'$/M req':>8} {'J/req':>7}")
+    for target in (200, 500, 1000, 1500):
+        result = provision(perf_model, target_qps=target,
+                           objective=objective)
+        cost = estimate_cost(result.perf, PriceBook())
+        energy = estimate_energy(result.perf, PowerProfile())
+        print(f"{target:>11} {result.replicas:>9} "
+              f"{result.budget_xpus:>6} "
+              f"{cost.dollars_per_million_requests:>8.2f} "
+              f"{energy.joules_per_request:>7.1f}")
+    print("  -> the 16-server database floor means the first replica is")
+    print("     the expensive one; growth amortizes it")
+    print()
+
+
+def consider_mixed_fleet(cluster: ClusterSpec) -> None:
+    print("=== would a mixed-generation fleet be cheaper? ===")
+    result = split_generation_search(case_i_hyperscale("8B"), cluster)
+    best = result.best
+    homog = result.best_homogeneous
+    print(f"  best homogeneous : {homog.prefill_xpu:6s} everywhere, "
+          f"{homog.qps_per_dollar:.2f} QPS/$")
+    print(f"  best split fleet : {best.prefill_xpu} prefill + "
+          f"{best.decode_xpu} decode, {best.qps_per_dollar:.2f} QPS/$")
+    print(f"  -> {100 * (result.hetero_gain - 1):.1f}% more throughput "
+          f"per dollar from matching chip type to stage intensity")
+
+
+def main() -> None:
+    cluster = ClusterSpec(num_servers=32)
+    perf_model = RAGPerfModel(case_i_hyperscale("8B"), cluster)
+    plan_for_growth(perf_model)
+    consider_mixed_fleet(cluster)
+
+
+if __name__ == "__main__":
+    main()

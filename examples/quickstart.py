@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: optimize a RAG serving pipeline with RAGO.
+
+Builds the paper's Case I workload (hyperscale retrieval + an 8B
+generative LLM), runs the schedule search on the default 32-server /
+128-XPU cluster, and prints the TTFT vs QPS/chip Pareto frontier with
+the schedules that achieve its endpoints.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import ClusterSpec, RAGO, case_i_hyperscale
+
+
+def main() -> None:
+    schema = case_i_hyperscale("8B")
+    cluster = ClusterSpec(num_servers=32)
+    print(f"workload : {schema.describe()}")
+    print(f"cluster  : {cluster.num_servers} servers x "
+          f"{cluster.xpus_per_server} {cluster.xpu.name} "
+          f"({cluster.total_xpus} chips)")
+    print()
+
+    rago = RAGO(schema, cluster)
+    result = rago.optimize()
+
+    print(f"searched {result.num_plans} placement x allocation plans "
+          f"({result.num_candidates} batching candidates)")
+    print()
+    print("Pareto frontier (TTFT vs QPS/chip):")
+    for perf in result.frontier:
+        print(f"  ttft={perf.ttft * 1e3:8.1f} ms   "
+              f"qps/chip={perf.qps_per_chip:7.2f}   "
+              f"xpus={perf.total_xpus:3d}   "
+              f"servers={perf.retrieval_servers}")
+    print()
+
+    best = result.max_qps_per_chip
+    fastest = result.min_ttft
+    print("throughput-optimal schedule:")
+    print(f"  {best.schedule.describe()}")
+    print(f"  -> {best.qps_per_chip:.2f} QPS/chip at "
+          f"{best.ttft * 1e3:.1f} ms TTFT, TPOT {best.tpot * 1e3:.2f} ms")
+    print()
+    print("latency-optimal schedule:")
+    print(f"  {fastest.schedule.describe()}")
+    print(f"  -> {fastest.ttft * 1e3:.1f} ms TTFT at "
+          f"{fastest.qps_per_chip:.2f} QPS/chip")
+
+
+if __name__ == "__main__":
+    main()

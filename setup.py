@@ -1,0 +1,6 @@
+"""Setup shim for environments whose pip/setuptools predate PEP 660
+editable installs (metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,159 @@
+"""repro: a reproduction of RAGO (ISCA 2025).
+
+RAGO -- Retrieval-Augmented Generation Optimizer -- is a systematic
+performance-optimization framework for RAG serving. This library
+implements the paper end to end:
+
+* :mod:`repro.schema` -- RAGSchema, the structured workload abstraction,
+  with presets for the paper's four case-study paradigms.
+* :mod:`repro.hardware`, :mod:`repro.models`, :mod:`repro.inference`,
+  :mod:`repro.retrieval` -- the calibrated analytical cost models
+  (operator-roofline XPU inference; ScaNN-style scan-roofline retrieval)
+  plus a functional numpy IVF-PQ engine.
+* :mod:`repro.pipeline` -- end-to-end TTFT/TPOT/QPS assembly, breakdowns,
+  the iterative-retrieval discrete-event model and micro-batching.
+* :mod:`repro.rago` -- the scheduling-policy search (placement x
+  allocation x batching -> Pareto frontier).
+* :mod:`repro.baselines`, :mod:`repro.experiments` -- the paper's
+  comparison systems and one runner per evaluation table/figure.
+
+Quickstart::
+
+    from repro import RAGO, ClusterSpec, case_iv_rewriter_reranker
+
+    rago = RAGO(case_iv_rewriter_reranker("70B"), ClusterSpec())
+    result = rago.optimize()
+    print(result.max_qps_per_chip.schedule.describe())
+"""
+
+from repro.errors import (
+    CalibrationError,
+    CapacityError,
+    ConfigError,
+    ReproError,
+    ScheduleError,
+)
+from repro.hardware import (
+    XPU_A,
+    XPU_B,
+    XPU_C,
+    ClusterSpec,
+    CPUServerSpec,
+    EPYC_MILAN,
+    XPUSpec,
+)
+from repro.models import (
+    ENCODER_120M,
+    LLAMA3_1B,
+    LLAMA3_8B,
+    LLAMA3_70B,
+    LLAMA3_405B,
+    TransformerConfig,
+    model_by_params,
+)
+from repro.retrieval import (
+    BruteForceIndex,
+    DatabaseConfig,
+    IVFPQIndex,
+    ProductQuantizer,
+    RetrievalSimulator,
+)
+from repro.inference import InferenceSimulator
+from repro.schema import (
+    RAGSchema,
+    Stage,
+    case_i_hyperscale,
+    case_ii_long_context,
+    case_iii_iterative,
+    case_iv_rewriter_reranker,
+    llm_only,
+)
+from repro.workloads import SequenceProfile
+from repro.pipeline import (
+    PipelinePerf,
+    PlacementGroup,
+    RAGPerfModel,
+    Schedule,
+    assemble,
+    simulate_iterative_decode,
+    time_breakdown,
+)
+from repro.rago import (
+    RAGO,
+    PriceBook,
+    SearchConfig,
+    SearchResult,
+    ServiceObjective,
+    estimate_cost,
+    pareto_front,
+)
+from repro.rago.provisioning import ProvisioningResult, provision
+from repro.hardware.power import PowerProfile, estimate_energy
+from repro.sim import ServingSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "CapacityError",
+    "ScheduleError",
+    "CalibrationError",
+    # hardware
+    "XPUSpec",
+    "XPU_A",
+    "XPU_B",
+    "XPU_C",
+    "CPUServerSpec",
+    "EPYC_MILAN",
+    "ClusterSpec",
+    # models
+    "TransformerConfig",
+    "LLAMA3_1B",
+    "LLAMA3_8B",
+    "LLAMA3_70B",
+    "LLAMA3_405B",
+    "ENCODER_120M",
+    "model_by_params",
+    # retrieval
+    "ProductQuantizer",
+    "IVFPQIndex",
+    "BruteForceIndex",
+    "DatabaseConfig",
+    "RetrievalSimulator",
+    # inference
+    "InferenceSimulator",
+    # schema
+    "RAGSchema",
+    "Stage",
+    "SequenceProfile",
+    "case_i_hyperscale",
+    "case_ii_long_context",
+    "case_iii_iterative",
+    "case_iv_rewriter_reranker",
+    "llm_only",
+    # pipeline
+    "RAGPerfModel",
+    "Schedule",
+    "PlacementGroup",
+    "PipelinePerf",
+    "assemble",
+    "time_breakdown",
+    "simulate_iterative_decode",
+    # rago
+    "RAGO",
+    "SearchConfig",
+    "SearchResult",
+    "pareto_front",
+    "ServiceObjective",
+    "PriceBook",
+    "estimate_cost",
+    "provision",
+    "ProvisioningResult",
+    # extensions
+    "PowerProfile",
+    "estimate_energy",
+    "ServingSimulator",
+]

@@ -1,0 +1,23 @@
+"""Baseline serving systems the paper compares against.
+
+* :mod:`repro.baselines.llm_only` -- LLM-only serving (no retrieval) and
+  the long-context LLM that feeds the whole document as a prompt (§5.2).
+* :mod:`repro.baselines.extension` -- "LLM-system extension": RAG
+  components bolted onto an LLM serving system by collocating everything
+  up to prefix with the prefix stage and splitting chips 1:1 between
+  prefix and decode (§7.1's tuned baseline).
+"""
+
+from repro.baselines.llm_only import (
+    LongContextPerf,
+    llm_only_search,
+    long_context_llm_perf,
+)
+from repro.baselines.extension import extension_baseline_search
+
+__all__ = [
+    "llm_only_search",
+    "long_context_llm_perf",
+    "LongContextPerf",
+    "extension_baseline_search",
+]

@@ -1,0 +1,48 @@
+"""The "LLM-system extension" baseline (§7.1).
+
+The paper's baseline extends an LLM-only serving system: every additional
+RAG component (encoder, rewriter, reranker) is collocated with the
+generative LLM's prefix stage, and -- as a *tuned* baseline -- the
+prefix-side and decode chips are split in a 1:1 ratio, reflecting their
+similar time shares. Batch sizes are still swept, so the baseline is as
+strong as an LLM-centric system can be without RAG-aware placement and
+allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.pipeline.stage_perf import RAGPerfModel
+from repro.rago.placement import fully_collocated
+from repro.rago.search import SearchConfig, SearchResult, search_schedules
+
+
+def extension_baseline_search(perf_model: RAGPerfModel,
+                              budget_xpus: Optional[int] = None,
+                              max_batch: int = 128,
+                              max_decode_batch: int = 1024) -> SearchResult:
+    """Pareto frontier of the LLM-extension baseline.
+
+    Placement is fixed to "everything up to prefix collocated, decode
+    separate"; allocation is fixed to an equal split; batching is swept.
+
+    Raises:
+        ConfigError: when the budget cannot be split in two.
+        ScheduleError: when no batch policy is feasible.
+    """
+    cluster = perf_model.cluster
+    budget = budget_xpus or cluster.total_xpus
+    if budget < 2:
+        raise ConfigError("the 1:1 split needs at least two XPUs")
+    half = budget // 2
+    placement = fully_collocated(perf_model.schema)
+    config = SearchConfig(
+        budget_xpus=budget,
+        max_batch=max_batch,
+        max_decode_batch=max_decode_batch,
+        placements=[placement],
+        allocations=[(half, half)],
+    )
+    return search_schedules(perf_model, config)

@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro list                      # registered experiments
+    python -m repro run fig5 [--full]         # regenerate an artifact
+    python -m repro optimize --case iv --llm 70B [--max-ttft 0.2]
+
+``optimize`` runs RAGO on one of the four paradigm presets and prints
+the Pareto frontier plus the schedules selected for each objective.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.hardware.accelerator import XPU_A, XPU_B, XPU_C
+from repro.hardware.cluster import ClusterSpec
+
+_XPU_BY_LETTER = {"A": XPU_A, "B": XPU_B, "C": XPU_C}
+from repro.rago.objectives import ServiceObjective, select_max_throughput
+from repro.rago.optimizer import RAGO
+from repro.reporting.experiments import EXPERIMENTS, get_experiment
+from repro.schema.paradigms import (
+    case_i_hyperscale,
+    case_ii_long_context,
+    case_iii_iterative,
+    case_iv_rewriter_reranker,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RAGO reproduction: experiments and schedule search",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list regenerable paper artifacts")
+
+    run = commands.add_parser("run", help="regenerate one table/figure")
+    run.add_argument("experiment", help="artifact id, e.g. fig5 or table4")
+    run.add_argument("--full", action="store_true",
+                     help="use the paper's full sweep densities")
+    run.add_argument("--json", dest="json_path", default=None,
+                     help="also dump the structured data to a JSON file")
+
+    optimize = commands.add_parser("optimize",
+                                   help="run RAGO on a paradigm preset")
+    optimize.add_argument("--case", choices=("i", "ii", "iii", "iv"),
+                          default="i", help="paradigm (Table 3)")
+    optimize.add_argument("--llm", default="8B",
+                          help="generative LLM size label (1B/8B/70B/405B)")
+    optimize.add_argument("--context", type=int, default=1_000_000,
+                          help="context length for case ii")
+    optimize.add_argument("--retrievals", type=int, default=4,
+                          help="retrieval frequency for case iii")
+    optimize.add_argument("--servers", type=int, default=32,
+                          help="cluster host servers (4 XPUs each)")
+    optimize.add_argument("--xpu", choices=("A", "B", "C"), default="C",
+                          help="accelerator generation (Table 2)")
+    optimize.add_argument("--max-ttft", type=float, default=None,
+                          help="TTFT SLO in seconds")
+
+    prov = commands.add_parser(
+        "provision", help="size a fleet for a target load")
+    prov.add_argument("--case", choices=("i", "ii", "iii", "iv"),
+                      default="i")
+    prov.add_argument("--llm", default="8B")
+    prov.add_argument("--context", type=int, default=1_000_000)
+    prov.add_argument("--retrievals", type=int, default=4)
+    prov.add_argument("--servers", type=int, default=32)
+    prov.add_argument("--qps", type=float, required=True,
+                      help="target requests per second")
+    prov.add_argument("--max-ttft", type=float, default=None)
+    return parser
+
+
+def _schema_for(args: argparse.Namespace):
+    if args.case == "i":
+        return case_i_hyperscale(args.llm)
+    if args.case == "ii":
+        return case_ii_long_context(args.context, args.llm)
+    if args.case == "iii":
+        return case_iii_iterative(args.llm,
+                                  retrieval_frequency=args.retrievals)
+    return case_iv_rewriter_reranker(args.llm)
+
+
+def _command_list() -> int:
+    width = max(len(exp_id) for exp_id in EXPERIMENTS)
+    for exp_id, exp in sorted(EXPERIMENTS.items()):
+        print(f"{exp_id.ljust(width)}  {exp.title}")
+        print(f"{' ' * width}  claim: {exp.paper_claim}")
+    return 0
+
+
+def _jsonable(value):
+    """Convert experiment data (tuple keys, dataclasses) to JSON types."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    experiment = get_experiment(args.experiment)
+    output = experiment.runner()(fast=not args.full)
+    print(output)
+    if args.json_path:
+        import json
+
+        payload = {
+            "exp_id": output.exp_id,
+            "title": output.title,
+            "notes": output.notes,
+            "data": _jsonable(output.data),
+        }
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+def _command_optimize(args: argparse.Namespace) -> int:
+    schema = _schema_for(args)
+    cluster = ClusterSpec(num_servers=args.servers,
+                          xpu=_XPU_BY_LETTER[getattr(args, "xpu", "C")])
+    print(f"workload: {schema.describe()}")
+    print(f"cluster : {cluster.num_servers} servers x "
+          f"{cluster.xpus_per_server} {cluster.xpu.name}")
+    result = RAGO(schema, cluster).optimize()
+    print(f"searched {result.num_plans} plans; frontier:")
+    for perf in result.frontier:
+        print(f"  ttft={perf.ttft * 1e3:9.1f} ms  "
+              f"qps/chip={perf.qps_per_chip:8.3f}  xpus={perf.total_xpus}")
+    if len(result.frontier) >= 2:
+        from repro.reporting.ascii_plot import ascii_scatter
+
+        points = [(perf.ttft, perf.qps_per_chip)
+                  for perf in result.frontier]
+        print()
+        print(ascii_scatter({"frontier": points}, width=60, height=12,
+                            x_label="TTFT (s)", y_label="QPS/chip",
+                            log_x=True))
+    if args.max_ttft is not None:
+        objective = ServiceObjective(max_ttft=args.max_ttft)
+        chosen = select_max_throughput(result, objective)
+        print(f"best schedule under TTFT <= {args.max_ttft} s:")
+    else:
+        chosen = result.max_qps_per_chip
+        print("throughput-optimal schedule:")
+    print(f"  {chosen.schedule.describe()}")
+    print(f"  ttft={chosen.ttft * 1e3:.1f} ms  "
+          f"qps/chip={chosen.qps_per_chip:.3f}  "
+          f"tpot={chosen.tpot * 1e3:.2f} ms")
+    return 0
+
+
+def _command_provision(args: argparse.Namespace) -> int:
+    from repro.pipeline.stage_perf import RAGPerfModel
+    from repro.rago.provisioning import provision
+
+    schema = _schema_for(args)
+    cluster = ClusterSpec(num_servers=args.servers)
+    objective = ServiceObjective(max_ttft=args.max_ttft) \
+        if args.max_ttft is not None else ServiceObjective()
+    perf_model = RAGPerfModel(schema, cluster)
+    result = provision(perf_model, target_qps=args.qps,
+                       objective=objective)
+    print(f"workload: {schema.describe()}")
+    print(f"target  : {args.qps:.1f} QPS"
+          + (f" with TTFT <= {args.max_ttft} s"
+             if args.max_ttft is not None else ""))
+    print(f"fleet   : {result.replicas} replica(s) x "
+          f"{result.perf.charged_chips} chips = "
+          f"{result.budget_xpus} XPUs total "
+          f"({result.total_qps:.1f} QPS sustained)")
+    print(f"per-replica schedule: {result.perf.schedule.describe()}")
+    print(f"  ttft={result.perf.ttft * 1e3:.1f} ms  "
+          f"tpot={result.perf.tpot * 1e3:.2f} ms")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "provision":
+            return _command_provision(args)
+        return _command_optimize(args)
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1

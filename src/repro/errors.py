@@ -1,0 +1,34 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration mistakes from infeasible
+schedules.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A user-supplied configuration value is invalid or inconsistent."""
+
+
+class CapacityError(ReproError):
+    """A placement/allocation does not fit in the available hardware.
+
+    Raised, for example, when a model's weights exceed the aggregate HBM of
+    the accelerators assigned to it, or when a database shard does not fit
+    in a CPU server's host memory.
+    """
+
+
+class ScheduleError(ReproError):
+    """No feasible schedule exists for the given constraints."""
+
+
+class CalibrationError(ReproError):
+    """A calibration run produced unusable measurements."""

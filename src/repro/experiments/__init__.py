@@ -1,0 +1,12 @@
+"""Experiment runners: one module per paper table/figure.
+
+Every module exposes ``run(fast=True, cluster=None) -> ExperimentOutput``.
+``fast`` trims sweep densities so tests and CI stay quick; the full sweep
+reproduces the paper's exact axes. The registry in
+:mod:`repro.reporting.experiments` maps paper artifact ids to these
+modules.
+"""
+
+from repro.experiments.base import ExperimentOutput, default_cluster
+
+__all__ = ["ExperimentOutput", "default_cluster"]

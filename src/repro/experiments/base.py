@@ -1,0 +1,40 @@
+"""Shared plumbing for experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.hardware.cluster import ClusterSpec
+
+
+@dataclass
+class ExperimentOutput:
+    """Result of regenerating one paper artifact.
+
+    Attributes:
+        exp_id: Paper identifier ("fig5", "table4", ...).
+        title: What the artifact shows.
+        text: Printable rendering (tables / series) for bench logs.
+        data: Structured results keyed by series/cell names, for tests
+            and EXPERIMENTS.md.
+        notes: Free-form remarks (e.g. measured-vs-paper ratios).
+    """
+
+    exp_id: str
+    title: str
+    text: str
+    data: Dict[str, object] = field(default_factory=dict)
+    notes: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        header = f"== {self.exp_id}: {self.title} =="
+        parts = [header, self.text]
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n".join(parts)
+
+
+def default_cluster(cluster: Optional[ClusterSpec] = None) -> ClusterSpec:
+    """The paper's serving environment: 32 servers x 4 XPU-C."""
+    return cluster or ClusterSpec(num_servers=32)

@@ -1,0 +1,58 @@
+"""Fig. 5: larger LLM-only systems versus RAG with smaller models.
+
+QPS/chip vs. TTFT Pareto for RAG 1B / RAG 8B (Case I, hyperscale
+retrieval) against LLM-only 8B / 70B (question-only prompts). Paper
+claims: RAG 8B outperforms LLM-only 70B by ~1.5x QPS/chip; RAG 1B and
+RAG 8B land close together because retrieval is the shared bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.llm_only import llm_only_search
+from repro.experiments.base import ExperimentOutput, default_cluster
+from repro.hardware.cluster import ClusterSpec
+from repro.pipeline.stage_perf import RAGPerfModel
+from repro.rago.search import SearchConfig, search_schedules
+from repro.reporting.figures import format_series
+from repro.schema.paradigms import case_i_hyperscale
+
+
+def _frontier_points(result) -> List[Tuple[float, float]]:
+    return [(perf.ttft, perf.qps_per_chip) for perf in result.frontier]
+
+
+def run(fast: bool = True,
+        cluster: Optional[ClusterSpec] = None) -> ExperimentOutput:
+    """Regenerate the RAG vs LLM-only Pareto comparison."""
+    cluster = default_cluster(cluster)
+    config = SearchConfig(max_batch=64 if fast else 128,
+                          max_decode_batch=512 if fast else 1024)
+
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    summary: Dict[str, float] = {}
+    for label in ("1B", "8B"):
+        pm = RAGPerfModel(case_i_hyperscale(label), cluster)
+        result = search_schedules(pm, config)
+        series[f"RAG {label}"] = _frontier_points(result)
+        summary[f"rag_{label.lower()}_max_qps_per_chip"] = \
+            result.max_qps_per_chip.qps_per_chip
+    for label in ("8B", "70B"):
+        result = llm_only_search(label, cluster, config)
+        series[f"LLM-only {label}"] = _frontier_points(result)
+        summary[f"llm_only_{label.lower()}_max_qps_per_chip"] = \
+            result.max_qps_per_chip.qps_per_chip
+
+    ratio = (summary["rag_8b_max_qps_per_chip"]
+             / summary["llm_only_70b_max_qps_per_chip"])
+    summary["rag8b_over_llm70b"] = ratio
+    text = format_series("Fig. 5: RAG vs LLM-only (Case I)",
+                         "TTFT (s)", "QPS/chip", series)
+    notes = (f"RAG 8B / LLM-only 70B max QPS-per-chip = {ratio:.2f}x "
+             f"(paper: ~1.5x)")
+    return ExperimentOutput(exp_id="fig5",
+                            title="RAG vs LLM-only QPS/chip-TTFT Pareto",
+                            text=text, data={"series": series,
+                                             "summary": summary},
+                            notes=notes)

@@ -1,0 +1,73 @@
+"""Fig. 6: Case I sensitivity to model size and queries per retrieval.
+
+(a)/(b): QPS/chip vs TTFT frontiers for the 8B and 70B models with 1-8
+query vectors per retrieval plus a no-retrieval reference with the same
+prefix length. (c)/(d): resource-normalized time breakdowns. Paper
+claims: the 8B model is retrieval-bound (QPS roughly halves per query
+doubling); the 70B model stays inference-bound until ~4 queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.llm_only import llm_only_search
+from repro.experiments.base import ExperimentOutput, default_cluster
+from repro.hardware.cluster import ClusterSpec
+from repro.pipeline.breakdown import time_breakdown
+from repro.pipeline.stage_perf import RAGPerfModel
+from repro.rago.search import SearchConfig, search_schedules
+from repro.reporting.figures import format_series
+from repro.reporting.tables import format_table
+from repro.schema.paradigms import case_i_hyperscale
+from repro.schema.stages import Stage
+
+
+def run(fast: bool = True,
+        cluster: Optional[ClusterSpec] = None) -> ExperimentOutput:
+    """Regenerate the query-count sweep and breakdowns."""
+    cluster = default_cluster(cluster)
+    config = SearchConfig(max_batch=64 if fast else 128,
+                          max_decode_batch=512 if fast else 1024)
+    query_counts = (1, 4) if fast else (1, 2, 4, 8)
+    models = ("8B", "70B")
+
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    max_qps: Dict[str, float] = {}
+    breakdowns: Dict[str, Dict[str, float]] = {}
+    for label in models:
+        for queries in query_counts:
+            schema = case_i_hyperscale(label,
+                                       queries_per_retrieval=queries)
+            pm = RAGPerfModel(schema, cluster)
+            result = search_schedules(pm, config)
+            key = f"{label}/{queries}q"
+            series[key] = [(p.ttft, p.qps_per_chip) for p in result.frontier]
+            max_qps[key] = result.max_qps_per_chip.qps_per_chip
+            breakdowns[key] = {str(stage): share for stage, share
+                               in time_breakdown(pm).items()}
+        # No-retrieval reference with the same 512-token prefix.
+        reference = llm_only_search(label, cluster, config, prefix_len=512)
+        key = f"{label}/no-retrieval"
+        series[key] = [(p.ttft, p.qps_per_chip) for p in reference.frontier]
+        max_qps[key] = reference.max_qps_per_chip.qps_per_chip
+
+    text = format_series("Fig. 6a/b: QPS/chip vs TTFT by query count",
+                         "TTFT (s)", "QPS/chip", series)
+    rows = [(key, shares.get(str(Stage.RETRIEVAL), 0.0),
+             shares.get(str(Stage.PREFIX), 0.0),
+             shares.get(str(Stage.DECODE), 0.0))
+            for key, shares in breakdowns.items()]
+    text += "\n\n" + format_table(
+        ("config", "retrieval", "prefix", "decode"), rows,
+        title="Fig. 6c/d: time x resource breakdown")
+    notes = (f"8B max QPS/chip 1q={max_qps['8B/1q']:.1f} vs "
+             f"{query_counts[-1]}q={max_qps[f'8B/{query_counts[-1]}q']:.1f} "
+             f"(retrieval-bound scaling)")
+    return ExperimentOutput(
+        exp_id="fig6",
+        title="Hyperscale retrieval: query-count sweep + breakdown",
+        text=text,
+        data={"series": series, "max_qps": max_qps,
+              "breakdowns": breakdowns},
+        notes=notes)

@@ -1,0 +1,63 @@
+"""Fig. 15: RAGO versus the LLM-system-extension baseline.
+
+Pareto frontiers for Case II (long-context, 1M tokens, 70B) and Case IV
+(rewriter + reranker, 70B). Paper claims: RAGO reaches 1.7x (C-II) and
+1.5x (C-IV) higher maximum QPS/chip than the tuned extension baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.extension import extension_baseline_search
+from repro.experiments.base import ExperimentOutput, default_cluster
+from repro.hardware.cluster import ClusterSpec
+from repro.pipeline.stage_perf import RAGPerfModel
+from repro.rago.search import SearchConfig, search_schedules
+from repro.reporting.figures import format_series
+from repro.schema.paradigms import case_ii_long_context, case_iv_rewriter_reranker
+
+
+def run(fast: bool = True,
+        cluster: Optional[ClusterSpec] = None) -> ExperimentOutput:
+    """Regenerate the RAGO-vs-baseline frontier comparison."""
+    cluster = default_cluster(cluster)
+    config = SearchConfig(max_batch=32 if fast else 128,
+                          max_decode_batch=256 if fast else 1024)
+    cases = {
+        "C-II": case_ii_long_context(1_000_000, "70B"),
+        "C-IV": case_iv_rewriter_reranker("70B"),
+    }
+
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    speedups: Dict[str, float] = {}
+    for name, schema in cases.items():
+        pm = RAGPerfModel(schema, cluster)
+        rago = search_schedules(pm, config)
+        baseline = extension_baseline_search(
+            pm, max_batch=config.max_batch,
+            max_decode_batch=config.max_decode_batch)
+        series[f"{name} RAGO"] = [(p.ttft, p.qps_per_chip)
+                                  for p in rago.frontier]
+        series[f"{name} baseline"] = [(p.ttft, p.qps_per_chip)
+                                      for p in baseline.frontier]
+        speedups[name] = (rago.max_qps_per_chip.qps_per_chip
+                          / baseline.max_qps_per_chip.qps_per_chip)
+
+    text = format_series("Fig. 15: RAGO vs LLM-extension baseline",
+                         "TTFT (s)", "QPS/chip", series)
+    from repro.reporting.ascii_plot import ascii_scatter
+
+    for name in cases:
+        pair = {label: series[label]
+                for label in (f"{name} RAGO", f"{name} baseline")}
+        text += f"\n\n{name}:\n" + ascii_scatter(
+            pair, width=56, height=12, x_label="TTFT (s)",
+            y_label="QPS/chip", log_x=True)
+    notes = (f"max QPS/chip speedups: C-II {speedups['C-II']:.2f}x "
+             f"(paper 1.7x), C-IV {speedups['C-IV']:.2f}x (paper 1.5x)")
+    return ExperimentOutput(exp_id="fig15",
+                            title="RAGO vs LLM-extension Pareto",
+                            text=text,
+                            data={"series": series, "speedups": speedups},
+                            notes=notes)

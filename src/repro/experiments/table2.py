@@ -1,0 +1,37 @@
+"""Table 2: performance specifications of the three XPU generations."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import ExperimentOutput
+from repro.hardware.accelerator import XPU_GENERATIONS
+from repro.hardware.cluster import ClusterSpec
+from repro.reporting.tables import format_table
+
+
+def run(fast: bool = True,
+        cluster: Optional[ClusterSpec] = None) -> ExperimentOutput:
+    """Render the XPU generation table."""
+    rows = []
+    data = {}
+    for xpu in XPU_GENERATIONS:
+        rows.append((
+            xpu.name,
+            xpu.peak_flops / 1e12,
+            xpu.hbm_bytes / 1e9,
+            xpu.mem_bandwidth / 1e9,
+            xpu.interconnect_bandwidth / 1e9,
+        ))
+        data[xpu.name] = {
+            "tflops": xpu.peak_flops / 1e12,
+            "hbm_gb": xpu.hbm_bytes / 1e9,
+            "mem_bw_gbps": xpu.mem_bandwidth / 1e9,
+            "ici_bw_gbps": xpu.interconnect_bandwidth / 1e9,
+        }
+    text = format_table(
+        ("XPU", "TFLOPS", "HBM (GB)", "Mem BW (GB/s)", "ICI BW (GB/s)"),
+        rows, title="Table 2: XPU generations")
+    return ExperimentOutput(exp_id="table2",
+                            title="XPU generation specifications",
+                            text=text, data=data)

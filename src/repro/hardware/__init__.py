@@ -1,0 +1,46 @@
+"""Hardware substrate: accelerator and CPU-server specifications plus
+roofline primitives.
+
+The paper models two resource types:
+
+* **XPU** -- a generic systolic-array ML accelerator (Table 2 gives three
+  generations, modelled after TPU v5e / v4 / v5p).
+* **CPU server** -- the XPU host, modelled after AMD EPYC Milan, which also
+  runs distributed vector-search retrieval.
+
+Everything downstream (inference model, retrieval model, RAGO's scheduler)
+consumes these spec objects; nothing else in the library hard-codes
+hardware numbers.
+"""
+
+from repro.hardware.accelerator import (
+    XPU_A,
+    XPU_B,
+    XPU_C,
+    XPU_GENERATIONS,
+    XPUSpec,
+)
+from repro.hardware.cpu import (
+    EPYC_7R13_CALIBRATION,
+    EPYC_MILAN,
+    CPUServerSpec,
+)
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.roofline import (
+    communication_time,
+    roofline_time,
+)
+
+__all__ = [
+    "XPUSpec",
+    "XPU_A",
+    "XPU_B",
+    "XPU_C",
+    "XPU_GENERATIONS",
+    "CPUServerSpec",
+    "EPYC_MILAN",
+    "EPYC_7R13_CALIBRATION",
+    "ClusterSpec",
+    "roofline_time",
+    "communication_time",
+]

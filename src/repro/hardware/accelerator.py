@@ -1,0 +1,111 @@
+"""Accelerator (XPU) specifications.
+
+The paper evaluates three XPU generations (Table 2), each a generic
+systolic-array accelerator resembling a TPU generation:
+
+============  ========  =========  ==============  ====================
+Spec          XPU-A     XPU-B      XPU-C (default)  Resembles
+============  ========  =========  ==============  ====================
+TFLOPS        197       275        459             v5e / v4 / v5p
+HBM (GB)      16        32         96
+Mem BW (GB/s) 819       1200       2765
+ICI BW (GB/s) 200       300        600
+============  ========  =========  ==============  ====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import gb, gb_per_s, tflops
+
+
+@dataclass(frozen=True)
+class XPUSpec:
+    """Performance specification of one ML accelerator chip.
+
+    Attributes:
+        name: Human-readable identifier (e.g. ``"XPU-C"``).
+        peak_flops: Peak compute throughput in FLOP/s (dense int8/bf16
+            systolic array rate; the paper quotes TFLOPS).
+        hbm_bytes: On-chip high-bandwidth-memory capacity in bytes.
+        mem_bandwidth: HBM bandwidth in bytes/s.
+        interconnect_bandwidth: Aggregate inter-chip link bandwidth in
+            bytes/s (six 100 GB/s links for XPU-C's 3D torus).
+        flops_efficiency: Fraction of peak FLOP/s achievable on dense
+            transformer matmuls (MFU-style derating).
+        mem_efficiency: Fraction of peak HBM bandwidth achievable on
+            streaming weight/KV reads.
+    """
+
+    name: str
+    peak_flops: float
+    hbm_bytes: float
+    mem_bandwidth: float
+    interconnect_bandwidth: float
+    flops_efficiency: float = 0.6
+    mem_efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0:
+            raise ConfigError(f"{self.name}: peak_flops must be positive")
+        if self.hbm_bytes <= 0:
+            raise ConfigError(f"{self.name}: hbm_bytes must be positive")
+        if self.mem_bandwidth <= 0:
+            raise ConfigError(f"{self.name}: mem_bandwidth must be positive")
+        if self.interconnect_bandwidth <= 0:
+            raise ConfigError(
+                f"{self.name}: interconnect_bandwidth must be positive"
+            )
+        if not 0 < self.flops_efficiency <= 1:
+            raise ConfigError(f"{self.name}: flops_efficiency must be in (0, 1]")
+        if not 0 < self.mem_efficiency <= 1:
+            raise ConfigError(f"{self.name}: mem_efficiency must be in (0, 1]")
+
+    @property
+    def effective_flops(self) -> float:
+        """Achievable FLOP/s after the matmul-efficiency derating."""
+        return self.peak_flops * self.flops_efficiency
+
+    @property
+    def effective_mem_bandwidth(self) -> float:
+        """Achievable bytes/s of HBM traffic after derating."""
+        return self.mem_bandwidth * self.mem_efficiency
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Arithmetic intensity (FLOPs/byte) at the roofline ridge point.
+
+        Operators below this intensity are memory-bound on this chip;
+        operators above it are compute-bound.
+        """
+        return self.effective_flops / self.effective_mem_bandwidth
+
+
+XPU_A = XPUSpec(
+    name="XPU-A",
+    peak_flops=tflops(197),
+    hbm_bytes=gb(16),
+    mem_bandwidth=gb_per_s(819),
+    interconnect_bandwidth=gb_per_s(200),
+)
+
+XPU_B = XPUSpec(
+    name="XPU-B",
+    peak_flops=tflops(275),
+    hbm_bytes=gb(32),
+    mem_bandwidth=gb_per_s(1200),
+    interconnect_bandwidth=gb_per_s(300),
+)
+
+XPU_C = XPUSpec(
+    name="XPU-C",
+    peak_flops=tflops(459),
+    hbm_bytes=gb(96),
+    mem_bandwidth=gb_per_s(2765),
+    interconnect_bandwidth=gb_per_s(600),
+)
+
+#: All generations in the order the paper presents them (Table 2).
+XPU_GENERATIONS = (XPU_A, XPU_B, XPU_C)

@@ -1,0 +1,76 @@
+"""Cluster-level resource description.
+
+The paper's serving environment (§4): 16-32 host servers, 4 XPUs per
+server, so 64-128 XPUs total; a minimum of 16 servers is required to hold
+the 5.6 TiB quantized database in host memory. RAGO's search operates
+within one :class:`ClusterSpec` budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import math
+
+from repro.errors import CapacityError, ConfigError
+from repro.hardware.accelerator import XPU_C, XPUSpec
+from repro.hardware.cpu import EPYC_MILAN, CPUServerSpec
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A pool of XPU-equipped host servers.
+
+    Attributes:
+        num_servers: Number of host servers in the pool.
+        xpus_per_server: Accelerators attached to each host (4 in §4).
+        xpu: Accelerator generation installed in every server.
+        cpu: Host server specification (also the retrieval substrate).
+        pcie_bandwidth: Host-to-accelerator transfer bandwidth in bytes/s,
+            used only for the (negligible) retrieved-document transfer.
+    """
+
+    num_servers: int = 32
+    xpus_per_server: int = 4
+    xpu: XPUSpec = field(default=XPU_C)
+    cpu: CPUServerSpec = field(default=EPYC_MILAN)
+    pcie_bandwidth: float = 32e9
+
+    def __post_init__(self) -> None:
+        if self.num_servers <= 0:
+            raise ConfigError("num_servers must be positive")
+        if self.xpus_per_server <= 0:
+            raise ConfigError("xpus_per_server must be positive")
+        if self.pcie_bandwidth <= 0:
+            raise ConfigError("pcie_bandwidth must be positive")
+
+    @property
+    def total_xpus(self) -> int:
+        """Total accelerator chips in the pool."""
+        return self.num_servers * self.xpus_per_server
+
+    @property
+    def total_host_memory(self) -> float:
+        """Aggregate host DRAM across all servers, in bytes."""
+        return self.num_servers * self.cpu.memory_bytes
+
+    def servers_for_database(self, database_bytes: float) -> int:
+        """Minimum number of servers whose DRAM can hold the database.
+
+        Raises:
+            CapacityError: if even the full pool cannot hold it.
+        """
+        if database_bytes <= 0:
+            return 1
+        needed = math.ceil(database_bytes / self.cpu.memory_bytes)
+        if needed > self.num_servers:
+            raise CapacityError(
+                f"database of {database_bytes / 1e12:.2f} TB needs {needed} "
+                f"servers but the cluster only has {self.num_servers}"
+            )
+        return needed
+
+    def servers_for_xpus(self, num_xpus: int) -> int:
+        """Host servers implied by an accelerator allocation."""
+        if num_xpus < 0:
+            raise ConfigError("num_xpus must be non-negative")
+        return math.ceil(num_xpus / self.xpus_per_server)

@@ -1,0 +1,75 @@
+"""Power and energy modelling (paper §9 future work).
+
+Attaches board-level power draws to the hardware specs and converts a
+schedule's steady-state resource occupancy into joules per request. The
+defaults approximate public figures for the TPU generations each XPU
+resembles and a dual-socket EPYC host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.pipeline.assembly import PipelinePerf
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Average active power draws in watts.
+
+    Attributes:
+        xpu_watts: Per-accelerator board power under load.
+        server_watts: Per-retrieval-host power under load (CPU + DRAM).
+        idle_fraction: Fraction of active power drawn by provisioned but
+            idle resources (datacenter hardware never drops to zero).
+    """
+
+    xpu_watts: float = 350.0
+    server_watts: float = 450.0
+    idle_fraction: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.xpu_watts <= 0 or self.server_watts <= 0:
+            raise ConfigError("power draws must be positive")
+        if not 0 <= self.idle_fraction <= 1:
+            raise ConfigError("idle_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy accounting for one schedule at steady state.
+
+    Attributes:
+        watts: Total fleet power.
+        joules_per_request: Energy per served request.
+        requests_per_kwh: Cost-efficiency view of the same number.
+    """
+
+    watts: float
+    joules_per_request: float
+    requests_per_kwh: float
+
+
+def estimate_energy(perf: PipelinePerf,
+                    profile: PowerProfile = PowerProfile()) -> EnergyEstimate:
+    """Energy per request for a schedule at its steady-state QPS.
+
+    Chips running models draw full power; charged-but-idle chip slots
+    (database hosts whose XPUs run nothing) draw the idle fraction;
+    retrieval hosts draw full server power.
+
+    Raises:
+        ConfigError: on zero throughput.
+    """
+    if perf.qps <= 0:
+        raise ConfigError("cannot estimate energy at zero throughput")
+    active_chips = perf.total_xpus
+    idle_chips = max(perf.charged_chips - perf.total_xpus, 0)
+    watts = (active_chips * profile.xpu_watts
+             + idle_chips * profile.xpu_watts * profile.idle_fraction
+             + perf.retrieval_servers * profile.server_watts)
+    joules = watts / perf.qps
+    requests_per_kwh = 3.6e6 / joules
+    return EnergyEstimate(watts=watts, joules_per_request=joules,
+                          requests_per_kwh=requests_per_kwh)

@@ -1,0 +1,62 @@
+"""Roofline primitives shared by the inference and retrieval cost models.
+
+The paper computes every operator's execution time as the maximum of its
+compute time and its memory time (§4a, §4b):
+
+    T_op = max(F_i / P_comp(F_i), D_i / B_mem(D_i))
+
+and inter-operator communication as data volume over network bandwidth:
+
+    T_comm = S_ij / B_net
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def roofline_time(flops: float, data_bytes: float, compute_rate: float,
+                  mem_bandwidth: float) -> float:
+    """Execution time of one operator under the roofline model.
+
+    Args:
+        flops: Floating-point operations the operator performs.
+        data_bytes: Bytes of memory traffic (weights, activations, KV).
+        compute_rate: Achievable FLOP/s of the executing resource.
+        mem_bandwidth: Achievable bytes/s of the executing resource.
+
+    Returns:
+        Seconds, the max of compute and memory time.
+
+    Raises:
+        ConfigError: if a rate is non-positive or a demand is negative.
+    """
+    if compute_rate <= 0 or mem_bandwidth <= 0:
+        raise ConfigError("compute_rate and mem_bandwidth must be positive")
+    if flops < 0 or data_bytes < 0:
+        raise ConfigError("flops and data_bytes must be non-negative")
+    return max(flops / compute_rate, data_bytes / mem_bandwidth)
+
+
+def communication_time(size_bytes: float, bandwidth: float) -> float:
+    """Time to move ``size_bytes`` over a link of ``bandwidth`` bytes/s."""
+    if bandwidth <= 0:
+        raise ConfigError("bandwidth must be positive")
+    if size_bytes < 0:
+        raise ConfigError("size_bytes must be non-negative")
+    return size_bytes / bandwidth
+
+
+def all_reduce_time(size_bytes: float, num_chips: int,
+                    link_bandwidth: float) -> float:
+    """Ring all-reduce time for ``size_bytes`` across ``num_chips`` chips.
+
+    A bandwidth-optimal ring all-reduce moves ``2 * (n - 1) / n`` of the
+    payload through each chip's links. For a single chip the cost is zero.
+    """
+    if num_chips <= 0:
+        raise ConfigError("num_chips must be positive")
+    if num_chips == 1:
+        return 0.0
+    volume = 2.0 * (num_chips - 1) / num_chips * size_bytes
+    return communication_time(volume, link_bandwidth)

@@ -1,0 +1,26 @@
+"""Analytical LLM inference cost model.
+
+Implements the paper's XPU inference simulator (§4a): operator-level
+rooflines, tensor/pipeline parallelism with explicit communication costs,
+KV-cache memory accounting, and prefill/decode phase models. No ML runs;
+latency and throughput are computed analytically from a
+:class:`~repro.models.TransformerConfig` and an
+:class:`~repro.hardware.XPUSpec`.
+"""
+
+from repro.inference.parallelism import ShardingPlan, enumerate_plans
+from repro.inference.memory import MemoryModel
+from repro.inference.prefill import PrefillModel, PrefillPerf
+from repro.inference.decode import DecodeModel, DecodePerf
+from repro.inference.simulator import InferenceSimulator
+
+__all__ = [
+    "ShardingPlan",
+    "enumerate_plans",
+    "MemoryModel",
+    "PrefillModel",
+    "PrefillPerf",
+    "DecodeModel",
+    "DecodePerf",
+    "InferenceSimulator",
+]

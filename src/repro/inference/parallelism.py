@@ -1,0 +1,121 @@
+"""Model sharding strategies across multiple accelerators.
+
+The paper's simulator "evaluates a range of model sharding strategies ...
+pipeline parallelism, tensor parallelism, and hybrid approaches" (§4a).
+A :class:`ShardingPlan` fixes the tensor-parallel (TP) and pipeline-
+parallel (PP) degrees; :func:`enumerate_plans` lists every power-of-two
+factorization of a chip budget, and the evaluation helpers compute the
+latency of an operator list under a plan.
+
+Modelling choices:
+
+* TP shards every operator's FLOPs, weights and activations across the TP
+  group and adds two ring all-reduces of the residual activation per layer.
+* PP splits layers across stages; a single batch still traverses every
+  layer sequentially, so PP does not reduce single-batch latency (it adds
+  stage-boundary transfers) but multiplies steady-state throughput by the
+  number of stages, which work on different batches concurrently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.errors import ConfigError
+from repro.hardware.accelerator import XPUSpec
+from repro.hardware.roofline import all_reduce_time, communication_time, roofline_time
+from repro.models.operators import Operator
+
+
+@dataclass(frozen=True)
+class ShardingPlan:
+    """A (tensor-parallel, pipeline-parallel) sharding of one model.
+
+    Attributes:
+        tensor_parallel: Chips cooperating on every operator.
+        pipeline_parallel: Pipeline stages (layer partitions).
+    """
+
+    tensor_parallel: int
+    pipeline_parallel: int
+
+    def __post_init__(self) -> None:
+        if self.tensor_parallel <= 0 or self.pipeline_parallel <= 0:
+            raise ConfigError("parallelism degrees must be positive")
+
+    @property
+    def num_chips(self) -> int:
+        """Total accelerators the plan occupies."""
+        return self.tensor_parallel * self.pipeline_parallel
+
+
+def _powers_of_two_up_to(limit: int) -> Iterable[int]:
+    value = 1
+    while value <= limit:
+        yield value
+        value *= 2
+
+
+def enumerate_plans(num_chips: int, max_pipeline: int = 16) -> List[ShardingPlan]:
+    """All power-of-two (TP, PP) factorizations of ``num_chips``.
+
+    Args:
+        num_chips: Chip budget; must be a power of two.
+        max_pipeline: Cap on pipeline depth (very deep pipelines are not
+            used in practice for serving).
+
+    Raises:
+        ConfigError: if ``num_chips`` is not a positive power of two.
+    """
+    if num_chips <= 0 or num_chips & (num_chips - 1):
+        raise ConfigError(f"num_chips must be a power of two, got {num_chips}")
+    plans = []
+    for pp in _powers_of_two_up_to(min(num_chips, max_pipeline)):
+        if num_chips % pp == 0:
+            plans.append(ShardingPlan(tensor_parallel=num_chips // pp,
+                                      pipeline_parallel=pp))
+    return plans
+
+
+def operators_latency(operators: Sequence[Operator], plan: ShardingPlan,
+                      xpu: XPUSpec, allreduce_bytes_per_layer: float,
+                      num_layers: int,
+                      stage_boundary_bytes: float = 0.0) -> float:
+    """Latency for one batch to traverse all operators under a plan.
+
+    Args:
+        operators: Operator list (with per-layer counts) from
+            :mod:`repro.models.operators`.
+        plan: Sharding plan; TP shards each operator, PP adds boundary
+            transfers.
+        xpu: Accelerator executing the plan.
+        allreduce_bytes_per_layer: Residual-activation payload all-reduced
+            across the TP group, per layer, per all-reduce (two per layer).
+        num_layers: Transformer depth (for communication counts).
+        stage_boundary_bytes: Activation payload crossing each PP stage
+            boundary.
+
+    Returns:
+        Seconds for a single batch to flow through the whole model.
+    """
+    tp = plan.tensor_parallel
+    compute = 0.0
+    for op in operators:
+        per_invocation = roofline_time(
+            flops=op.flops / tp,
+            data_bytes=op.total_bytes / tp,
+            compute_rate=xpu.effective_flops,
+            mem_bandwidth=xpu.effective_mem_bandwidth,
+        )
+        compute += per_invocation * op.count
+    comm = 0.0
+    if tp > 1:
+        per_allreduce = all_reduce_time(allreduce_bytes_per_layer, tp,
+                                        xpu.interconnect_bandwidth)
+        comm += 2.0 * num_layers * per_allreduce
+    if plan.pipeline_parallel > 1 and stage_boundary_bytes > 0:
+        boundaries = plan.pipeline_parallel - 1
+        comm += boundaries * communication_time(stage_boundary_bytes,
+                                                xpu.interconnect_bandwidth)
+    return compute + comm

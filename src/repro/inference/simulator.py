@@ -1,0 +1,93 @@
+"""Facade over the prefill and decode models.
+
+:class:`InferenceSimulator` is the single entry point the pipeline layer
+uses: give it a model, chip count, batch and sequence lengths, and it
+returns phase performance, caching repeated evaluations (RAGO's
+exhaustive search re-queries the same points many times, Algorithm 1
+step 1). Prefill exposes its Pareto frontier over sharding plans because
+tensor-parallel (latency-lean) and pipeline-parallel (throughput-lean)
+plans trade off; RAGO picks per schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.hardware.accelerator import XPUSpec
+from repro.inference.decode import DecodeModel, DecodePerf
+from repro.inference.memory import MemoryModel
+from repro.inference.parallelism import ShardingPlan
+from repro.inference.prefill import PrefillModel, PrefillPerf
+from repro.models.transformer import TransformerConfig
+
+
+class InferenceSimulator:
+    """Cached analytical inference simulator for one accelerator type."""
+
+    def __init__(self, xpu: XPUSpec,
+                 memory: Optional[MemoryModel] = None) -> None:
+        self._xpu = xpu
+        self._memory = memory or MemoryModel()
+        self._prefill = PrefillModel(xpu, self._memory)
+        self._decode = DecodeModel(xpu, self._memory)
+        self._prefill_cache: Dict[Tuple, List[PrefillPerf]] = {}
+        self._decode_cache: Dict[Tuple, DecodePerf] = {}
+
+    @property
+    def xpu(self) -> XPUSpec:
+        """Accelerator generation this simulator models."""
+        return self._xpu
+
+    @property
+    def memory(self) -> MemoryModel:
+        """Memory accounting shared by both phases."""
+        return self._memory
+
+    def min_chips(self, model: TransformerConfig, max_chips: int = 1024) -> int:
+        """Smallest power-of-two chip count whose HBM holds the weights."""
+        chips = 1
+        budget_per_chip = self._xpu.hbm_bytes * self._memory.usable_fraction
+        while chips <= max_chips:
+            if model.weight_bytes / chips <= budget_per_chip:
+                return chips
+            chips *= 2
+        return chips
+
+    def prefill_options(self, model: TransformerConfig, num_chips: int,
+                        batch: int, seq_len: int) -> List[PrefillPerf]:
+        """Pareto frontier over sharding plans (cached).
+
+        See :meth:`PrefillModel.pareto_perfs` for semantics and errors.
+        """
+        key = (model.name, num_chips, batch, seq_len)
+        if key not in self._prefill_cache:
+            self._prefill_cache[key] = self._prefill.pareto_perfs(
+                model, num_chips, batch, seq_len)
+        return self._prefill_cache[key]
+
+    def prefill(self, model: TransformerConfig, num_chips: int, batch: int,
+                seq_len: int, optimize_for: str = "latency",
+                plan: Optional[ShardingPlan] = None) -> PrefillPerf:
+        """One prefill performance point.
+
+        Args:
+            plan: Evaluate this exact sharding plan; otherwise the
+                frontier endpoint selected by ``optimize_for``.
+        """
+        if plan is not None:
+            return self._prefill.plan_perf(model, plan, batch, seq_len)
+        if optimize_for not in ("latency", "throughput"):
+            raise ConfigError(f"unknown objective {optimize_for!r}")
+        frontier = self.prefill_options(model, num_chips, batch, seq_len)
+        return frontier[0] if optimize_for == "latency" else frontier[-1]
+
+    def decode(self, model: TransformerConfig, num_chips: int, batch: int,
+               prefix_len: int, decode_len: int,
+               optimize_for: str = "throughput") -> DecodePerf:
+        """Decode performance (cached; TP-only plan, see DecodeModel)."""
+        key = (model.name, num_chips, batch, prefix_len, decode_len)
+        if key not in self._decode_cache:
+            self._decode_cache[key] = self._decode.best_perf(
+                model, num_chips, batch, prefix_len, decode_len, optimize_for)
+        return self._decode_cache[key]

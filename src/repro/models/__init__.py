@@ -1,0 +1,37 @@
+"""Transformer model configurations and the operator-level workload graph.
+
+The inference cost model does not run any ML; it expands a
+:class:`TransformerConfig` into a sequence of operators (QKV projection,
+attention, MLP, ...) whose FLOP and byte demands feed the roofline model,
+exactly as the paper's XPU simulator abstracts inference (§4a, Fig. 4).
+"""
+
+from repro.models.transformer import TransformerConfig
+from repro.models.catalog import (
+    ENCODER_120M,
+    LLAMA3_1B,
+    LLAMA3_8B,
+    LLAMA3_70B,
+    LLAMA3_405B,
+    MODEL_CATALOG,
+    RERANKER_120M,
+    REWRITER_8B,
+    model_by_params,
+)
+from repro.models.operators import Operator, decode_step_operators, prefill_operators
+
+__all__ = [
+    "TransformerConfig",
+    "LLAMA3_1B",
+    "LLAMA3_8B",
+    "LLAMA3_70B",
+    "LLAMA3_405B",
+    "ENCODER_120M",
+    "REWRITER_8B",
+    "RERANKER_120M",
+    "MODEL_CATALOG",
+    "model_by_params",
+    "Operator",
+    "prefill_operators",
+    "decode_step_operators",
+]

@@ -1,0 +1,187 @@
+"""Operator-level expansion of transformer inference.
+
+The paper's XPU simulator "abstracts inference as a sequence of operators"
+(§4a, Fig. 4): total latency is the sum of per-operator roofline times plus
+communication. This module produces that operator sequence for the two LLM
+phases:
+
+* :func:`prefill_operators` -- process a whole prompt at once
+  (compute-intensive).
+* :func:`decode_step_operators` -- generate one token for every sequence in
+  the batch (memory-intensive: full weight read plus KV-cache read).
+
+Each operator records FLOPs, weight bytes and activation/KV bytes
+separately so the parallelism layer can shard them correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigError
+from repro.models.transformer import TransformerConfig
+
+
+@dataclass(frozen=True)
+class Operator:
+    """One fused operator in the inference graph.
+
+    Attributes:
+        name: Operator kind (``"qkv_proj"``, ``"attention"``, ...).
+        flops: Floating-point operations performed.
+        weight_bytes: Bytes of model weights streamed from HBM. Weight
+            traffic is independent of batch size (read once per
+            invocation) and is sharded by tensor parallelism.
+        io_bytes: Bytes of activations and KV-cache traffic; scales with
+            batch size.
+        count: How many times the operator repeats (usually the layer
+            count); costs are per single invocation.
+    """
+
+    name: str
+    flops: float
+    weight_bytes: float
+    io_bytes: float
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.weight_bytes < 0 or self.io_bytes < 0:
+            raise ConfigError(f"{self.name}: demands must be non-negative")
+        if self.count <= 0:
+            raise ConfigError(f"{self.name}: count must be positive")
+
+    @property
+    def total_bytes(self) -> float:
+        """All HBM traffic for one invocation."""
+        return self.weight_bytes + self.io_bytes
+
+
+def _check_positive(**values: float) -> None:
+    for key, value in values.items():
+        if value <= 0:
+            raise ConfigError(f"{key} must be positive, got {value}")
+
+
+def prefill_operators(model: TransformerConfig, batch: int,
+                      seq_len: int) -> List[Operator]:
+    """Operator list for prefilling ``batch`` prompts of ``seq_len`` tokens.
+
+    Attention cost uses the average causal context ``seq_len / 2``.
+    Encoders (bidirectional) attend over the full sequence instead.
+    """
+    _check_positive(batch=batch, seq_len=seq_len)
+    tokens = float(batch * seq_len)
+    d = model.d_model
+    kv = model.kv_dim
+    wb = model.weight_bytes_per_param
+    ab = model.activation_bytes
+    # Causal attention sees seq_len/2 context on average; bidirectional
+    # encoders see the full sequence.
+    context = seq_len if not model.is_decoder else seq_len / 2.0
+
+    qkv = Operator(
+        name="qkv_proj",
+        flops=2.0 * tokens * d * (d + 2 * kv),
+        weight_bytes=(d * d + 2 * d * kv) * wb,
+        io_bytes=tokens * (2 * d + 2 * kv) * ab,
+        count=model.num_layers,
+    )
+    attention = Operator(
+        name="attention",
+        flops=4.0 * tokens * context * d,
+        weight_bytes=0.0,
+        io_bytes=tokens * (3 * d) * ab,
+        count=model.num_layers,
+    )
+    out_proj = Operator(
+        name="out_proj",
+        flops=2.0 * tokens * d * d,
+        weight_bytes=d * d * wb,
+        io_bytes=tokens * 2 * d * ab,
+        count=model.num_layers,
+    )
+    mlp_matrices = 3 if model.gated_mlp else 2
+    mlp = Operator(
+        name="mlp",
+        flops=2.0 * tokens * d * model.d_ff * mlp_matrices,
+        weight_bytes=mlp_matrices * d * model.d_ff * wb,
+        io_bytes=tokens * (2 * d + model.d_ff) * ab,
+        count=model.num_layers,
+    )
+    operators = [qkv, attention, out_proj, mlp]
+    if model.is_decoder:
+        # Project logits for the final position of each sequence only.
+        operators.append(Operator(
+            name="unembed",
+            flops=2.0 * batch * d * model.vocab_size,
+            weight_bytes=model.vocab_size * d * wb,
+            io_bytes=batch * (d + model.vocab_size) * ab,
+        ))
+    return operators
+
+
+def decode_step_operators(model: TransformerConfig, batch: int,
+                          context_len: float,
+                          kv_bytes_per_element: float = 1.0) -> List[Operator]:
+    """Operator list for one decode step over a batch of sequences.
+
+    Args:
+        model: The generative transformer.
+        batch: Sequences decoded concurrently (continuous batching batch).
+        context_len: Attention context per sequence at this step (prompt
+            plus tokens generated so far; callers typically pass the mean).
+        kv_bytes_per_element: KV-cache precision in bytes.
+
+    Raises:
+        ConfigError: for encoders (no decode phase) or bad sizes.
+    """
+    if not model.is_decoder:
+        raise ConfigError(f"{model.name} is an encoder; it has no decode phase")
+    _check_positive(batch=batch)
+    if context_len < 0:
+        raise ConfigError("context_len must be non-negative")
+    d = model.d_model
+    kv = model.kv_dim
+    wb = model.weight_bytes_per_param
+    ab = model.activation_bytes
+
+    qkv = Operator(
+        name="qkv_proj",
+        flops=2.0 * batch * d * (d + 2 * kv),
+        weight_bytes=(d * d + 2 * d * kv) * wb,
+        io_bytes=batch * (2 * d + 2 * kv) * ab,
+        count=model.num_layers,
+    )
+    # Each new token attends over the whole cached context: the dominant
+    # traffic is reading the KV cache for every sequence in the batch.
+    kv_cache_bytes = batch * context_len * 2 * kv * kv_bytes_per_element
+    attention = Operator(
+        name="attention",
+        flops=4.0 * batch * context_len * d,
+        weight_bytes=0.0,
+        io_bytes=kv_cache_bytes + batch * 3 * d * ab,
+        count=model.num_layers,
+    )
+    out_proj = Operator(
+        name="out_proj",
+        flops=2.0 * batch * d * d,
+        weight_bytes=d * d * wb,
+        io_bytes=batch * 2 * d * ab,
+        count=model.num_layers,
+    )
+    mlp_matrices = 3 if model.gated_mlp else 2
+    mlp = Operator(
+        name="mlp",
+        flops=2.0 * batch * d * model.d_ff * mlp_matrices,
+        weight_bytes=mlp_matrices * d * model.d_ff * wb,
+        io_bytes=batch * (2 * d + model.d_ff) * ab,
+        count=model.num_layers,
+    )
+    unembed = Operator(
+        name="unembed",
+        flops=2.0 * batch * d * model.vocab_size,
+        weight_bytes=model.vocab_size * d * wb,
+        io_bytes=batch * (d + model.vocab_size) * ab,
+    )
+    return [qkv, attention, out_proj, mlp, unembed]

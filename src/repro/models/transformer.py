@@ -1,0 +1,143 @@
+"""Dense transformer configuration and derived workload quantities.
+
+Only performance-relevant attributes are captured (the paper's RAGSchema
+philosophy): layer count, widths, head structure and weight precision.
+From these we derive parameter counts, FLOPs per token, KV-cache bytes and
+weight bytes -- the inputs to the roofline cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture of a dense decoder-only (or encoder) transformer.
+
+    Attributes:
+        name: Human-readable identifier (e.g. ``"llama3-8b"``).
+        num_layers: Number of transformer blocks.
+        d_model: Residual stream width.
+        num_heads: Query heads.
+        num_kv_heads: Key/value heads (grouped-query attention when fewer
+            than ``num_heads``).
+        d_ff: MLP hidden width (for gated MLPs this is the up/gate width).
+        vocab_size: Vocabulary size (embedding + unembedding matrices).
+        gated_mlp: Whether the MLP uses a gated (SwiGLU-style) structure
+            with three projection matrices instead of two.
+        weight_bytes_per_param: Bytes per stored weight (1 for the paper's
+            int8 quantization assumption).
+        activation_bytes: Bytes per activation element moved through HBM.
+        is_decoder: False for bidirectional encoders (no KV cache, no
+            autoregressive decode phase).
+    """
+
+    name: str
+    num_layers: int
+    d_model: int
+    num_heads: int
+    num_kv_heads: int
+    d_ff: int
+    vocab_size: int = 128_256
+    gated_mlp: bool = True
+    weight_bytes_per_param: float = 1.0
+    activation_bytes: float = 2.0
+    is_decoder: bool = True
+
+    def __post_init__(self) -> None:
+        if min(self.num_layers, self.d_model, self.num_heads,
+               self.num_kv_heads, self.d_ff, self.vocab_size) <= 0:
+            raise ConfigError(f"{self.name}: all dimensions must be positive")
+        if self.d_model % self.num_heads != 0:
+            raise ConfigError(
+                f"{self.name}: d_model ({self.d_model}) must be divisible by "
+                f"num_heads ({self.num_heads})"
+            )
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ConfigError(
+                f"{self.name}: num_heads must be a multiple of num_kv_heads"
+            )
+        if self.weight_bytes_per_param <= 0 or self.activation_bytes <= 0:
+            raise ConfigError(f"{self.name}: byte sizes must be positive")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head width."""
+        return self.d_model // self.num_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Total key (or value) width across KV heads."""
+        return self.num_kv_heads * self.head_dim
+
+    @property
+    def attention_params_per_layer(self) -> int:
+        """Weights in Q, K, V and output projections of one layer."""
+        q_and_out = 2 * self.d_model * self.d_model
+        k_and_v = 2 * self.d_model * self.kv_dim
+        return q_and_out + k_and_v
+
+    @property
+    def mlp_params_per_layer(self) -> int:
+        """Weights in the MLP projections of one layer."""
+        matrices = 3 if self.gated_mlp else 2
+        return matrices * self.d_model * self.d_ff
+
+    @property
+    def params_per_layer(self) -> int:
+        """All weights in one transformer block."""
+        return self.attention_params_per_layer + self.mlp_params_per_layer
+
+    @property
+    def embedding_params(self) -> int:
+        """Weights in the (tied) token embedding / unembedding."""
+        return self.vocab_size * self.d_model
+
+    @property
+    def num_params(self) -> int:
+        """Total parameter count."""
+        return self.num_layers * self.params_per_layer + self.embedding_params
+
+    @property
+    def weight_bytes(self) -> float:
+        """Bytes of storage for all weights at the configured precision."""
+        return self.num_params * self.weight_bytes_per_param
+
+    def kv_cache_bytes_per_token(self, kv_bytes_per_element: float = 1.0) -> float:
+        """KV-cache bytes added per token of context, across all layers.
+
+        The paper assumes 8-bit quantization; key and value each store
+        ``kv_dim`` elements per layer.
+        """
+        if not self.is_decoder:
+            return 0.0
+        return 2.0 * self.num_layers * self.kv_dim * kv_bytes_per_element
+
+    def flops_per_token(self, context_len: float) -> float:
+        """FLOPs to process one token at a given attention context length.
+
+        Dense matmul work is ``2 * params`` per token (multiply+add per
+        weight); attention score and value aggregation add
+        ``4 * context_len * d_model`` per layer using query heads (GQA
+        shares KV but every query head still attends over the context).
+        """
+        if context_len < 0:
+            raise ConfigError("context_len must be non-negative")
+        dense = 2.0 * self.num_params
+        attention = 4.0 * self.num_layers * context_len * self.d_model
+        return dense + attention
+
+    def prefill_flops(self, seq_len: int) -> float:
+        """Total FLOPs to prefill a sequence of ``seq_len`` tokens.
+
+        The attention term integrates the growing causal context, giving
+        an average context of ``seq_len / 2`` per token.
+        """
+        if seq_len <= 0:
+            raise ConfigError("seq_len must be positive")
+        dense = 2.0 * self.num_params * seq_len
+        attention = 4.0 * self.num_layers * self.d_model * (seq_len**2) / 2.0
+        return dense + attention

@@ -1,0 +1,38 @@
+"""RAG pipeline performance assembly.
+
+Connects a :class:`~repro.schema.RAGSchema` to the inference and retrieval
+cost models: per-stage performance (:mod:`repro.pipeline.stage_perf`),
+end-to-end TTFT/TPOT/QPS assembly for a schedule
+(:mod:`repro.pipeline.assembly`), resource-normalized time breakdowns
+(:mod:`repro.pipeline.breakdown`), the iterative-retrieval discrete-event
+model (:mod:`repro.pipeline.iterative`) and the micro-batching model
+(:mod:`repro.pipeline.microbatch`).
+"""
+
+from repro.pipeline.stage_perf import RAGPerfModel, StagePerf
+from repro.pipeline.assembly import (
+    PipelinePerf,
+    PlacementGroup,
+    Schedule,
+    assemble,
+)
+from repro.pipeline.breakdown import time_breakdown
+from repro.pipeline.iterative import IterativeDecodeResult, simulate_iterative_decode
+from repro.pipeline.microbatch import microbatch_ttft, ttft_reduction
+from repro.pipeline.execution_order import OrderResult, simulate_collocated_order
+
+__all__ = [
+    "RAGPerfModel",
+    "StagePerf",
+    "PlacementGroup",
+    "Schedule",
+    "PipelinePerf",
+    "assemble",
+    "time_breakdown",
+    "simulate_iterative_decode",
+    "IterativeDecodeResult",
+    "microbatch_ttft",
+    "ttft_reduction",
+    "simulate_collocated_order",
+    "OrderResult",
+]

@@ -1,0 +1,76 @@
+"""Resource-normalized time breakdowns (Figs. 6c/d, 7, 8b, 11).
+
+The paper's breakdown plots are "normalized by the resource usage of each
+component, reflecting time x resource consumption", assuming four XPUs
+per host server and every component running at its maximum QPS/chip (§5).
+Concretely: a component's share is proportional to the chip-seconds (or
+chip-equivalent server-seconds) it consumes per request when operating at
+its best per-chip efficiency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.errors import CapacityError
+from repro.pipeline.stage_perf import RAGPerfModel
+from repro.schema.stages import Stage, pipeline_stages
+
+#: Batch sizes scanned when looking for a stage's peak per-chip QPS.
+DEFAULT_BATCHES = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+def max_qps_per_chip(perf_model: RAGPerfModel, stage: Stage,
+                     batches: Sequence[int] = DEFAULT_BATCHES,
+                     resources: Optional[Iterable[int]] = None) -> float:
+    """Best request QPS per chip-equivalent a stage can reach.
+
+    Retrieval servers are charged at four chips each (the host-server
+    equivalence of §4/§5); inference stages are charged their XPUs.
+
+    Raises:
+        CapacityError: when the stage is infeasible at every scanned
+            point.
+    """
+    xpus_per_server = perf_model.cluster.xpus_per_server
+    if resources is None:
+        base = perf_model.min_resource(stage)
+        resources = (base, base * 2, base * 4)
+    best = 0.0
+    feasible = False
+    for resource in resources:
+        for batch in batches:
+            try:
+                perf = perf_model.perf(stage, batch, resource)
+            except CapacityError:
+                continue
+            feasible = True
+            if perf.resource_type == "cpu_server":
+                chips = perf.resource_amount * xpus_per_server
+            else:
+                chips = perf.resource_amount
+            best = max(best, perf.request_qps / chips)
+    if not feasible:
+        raise CapacityError(f"stage {stage} infeasible at all scanned points")
+    return best
+
+
+def time_breakdown(perf_model: RAGPerfModel,
+                   batches: Sequence[int] = DEFAULT_BATCHES) -> Dict[Stage, float]:
+    """Fractional time x resource share of each pipeline stage.
+
+    Each stage's cost is the chip-seconds per request at its peak
+    per-chip efficiency, ``1 / max_qps_per_chip``; shares sum to 1.
+    Iterative schemas charge the retrieval and prefix stages once per
+    retrieval (they run ``retrieval_frequency`` times per request).
+    """
+    schema = perf_model.schema
+    costs: Dict[Stage, float] = {}
+    freq = schema.retrieval_frequency
+    for stage in pipeline_stages(schema):
+        cost = 1.0 / max_qps_per_chip(perf_model, stage, batches)
+        if schema.is_iterative and stage in (Stage.RETRIEVAL, Stage.PREFIX):
+            cost *= freq
+        costs[stage] = cost
+    total = sum(costs.values())
+    return {stage: cost / total for stage, cost in costs.items()}

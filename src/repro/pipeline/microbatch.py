@@ -1,0 +1,121 @@
+"""Micro-batching of burst requests through the pre-decode stages.
+
+§6.1 [III] / §7.2 (Fig. 19): when a burst of user requests arrives, the
+stages before decoding can process it as one large batch or as pipelined
+micro-batches. Micro-batching reduces TTFT when every stage retains
+reasonable throughput at the smaller batch size; it is ineffective when a
+stage's latency stops improving below some batch size (e.g. vector search
+below ~16 queries).
+
+The execution model matches Fig. 14: micro-batch *j* starts at stage *k*
+as soon as both stage *k* is free and micro-batch *j* has cleared stage
+*k - 1*; the final-stage completion of a request's micro-batch is its
+TTFT.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Mapping, Sequence
+
+from repro.errors import ConfigError
+from repro.pipeline.stage_perf import RAGPerfModel
+from repro.schema.stages import Stage, ttft_stages
+
+#: A stage's batch latency as a function of batch size.
+StageLatencyFn = Callable[[int], float]
+
+
+def microbatch_ttft(stage_latencies: Sequence[StageLatencyFn],
+                    burst_size: int, microbatch_size: int) -> float:
+    """Mean TTFT for a burst pipelined through stages in micro-batches.
+
+    Args:
+        stage_latencies: One ``latency(batch)`` function per pre-decode
+            stage, in pipeline order.
+        burst_size: Requests arriving simultaneously.
+        microbatch_size: Requests per micro-batch; values >= burst_size
+            degenerate to single-batch execution.
+
+    Returns:
+        Mean seconds until a request's micro-batch clears the last stage,
+        weighted by micro-batch sizes.
+
+    Raises:
+        ConfigError: on empty stages or non-positive sizes.
+    """
+    if not stage_latencies:
+        raise ConfigError("need at least one stage")
+    if burst_size <= 0 or microbatch_size <= 0:
+        raise ConfigError("burst_size and microbatch_size must be positive")
+    microbatch_size = min(microbatch_size, burst_size)
+    num_batches = math.ceil(burst_size / microbatch_size)
+    sizes = [microbatch_size] * num_batches
+    sizes[-1] = burst_size - microbatch_size * (num_batches - 1)
+
+    num_stages = len(stage_latencies)
+    finish = [[0.0] * num_stages for _ in range(num_batches)]
+    for j, size in enumerate(sizes):
+        for k, latency_fn in enumerate(stage_latencies):
+            ready = finish[j][k - 1] if k else 0.0
+            free = finish[j - 1][k] if j else 0.0
+            finish[j][k] = max(ready, free) + latency_fn(size)
+
+    weighted = sum(finish[j][num_stages - 1] * sizes[j]
+                   for j in range(num_batches))
+    return weighted / burst_size
+
+
+def stage_latency_functions(perf_model: RAGPerfModel,
+                            resources: Mapping[Stage, int],
+                            stages: "Sequence[Stage] | None" = None) -> List[StageLatencyFn]:
+    """Latency functions for a schema's pre-decode stages at fixed
+    resources.
+
+    Args:
+        perf_model: Stage-level cost model.
+        resources: Resource amount per stage (XPUs, or CPU servers for
+            retrieval).
+        stages: Pipeline stages to include, in order. Defaults to the
+            TTFT stages; pass an explicit list to include the database
+            encoder when the burst carries fresh contexts to encode
+            (Fig. 19b treats encoding as part of the pre-decode burst
+            pipeline).
+
+    Raises:
+        ConfigError: when a listed stage has no resource entry.
+    """
+    if stages is None:
+        stages = ttft_stages(perf_model.schema)
+    functions: List[StageLatencyFn] = []
+    for stage in stages:
+        if stage not in resources:
+            raise ConfigError(f"no resource allocation for stage {stage}")
+        amount = resources[stage]
+
+        def latency(batch: int, _stage: Stage = stage,
+                    _amount: int = amount) -> float:
+            return perf_model.perf(_stage, batch, _amount).latency
+
+        functions.append(latency)
+    return functions
+
+
+def ttft_reduction(perf_model: RAGPerfModel, resources: Mapping[Stage, int],
+                   burst_size: int, microbatch_sizes: Sequence[int],
+                   stages: "Sequence[Stage] | None" = None) -> Dict[int, float]:
+    """Fractional TTFT reduction from micro-batching a burst (Fig. 19).
+
+    Returns:
+        ``{microbatch_size: reduction}`` where reduction is
+        ``1 - TTFT_micro / TTFT_full_batch`` (clamped at 0: micro-batching
+        never *helps* by construction when a stage has flat latency, and
+        the paper reports 0 in those cells).
+    """
+    stages = stage_latency_functions(perf_model, resources, stages)
+    full = microbatch_ttft(stages, burst_size, burst_size)
+    reductions: Dict[int, float] = {}
+    for size in microbatch_sizes:
+        micro = microbatch_ttft(stages, burst_size, size)
+        reductions[size] = max(0.0, 1.0 - micro / full)
+    return reductions

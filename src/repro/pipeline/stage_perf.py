@@ -1,0 +1,239 @@
+"""Per-stage performance evaluation.
+
+:class:`RAGPerfModel` answers, for every stage of a schema's pipeline:
+"at batch size B with R resources, what latency and sustained request
+throughput can this stage deliver?" -- the quantity Algorithm 1's step 1
+profiles. Prefill-flavoured stages return a small Pareto frontier over
+sharding plans (tensor-parallel plans minimize latency, pipeline-parallel
+plans maximize throughput); decode and retrieval return a single point.
+Results are cached; RAGO's exhaustive search hits the same points
+repeatedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.hardware.cluster import ClusterSpec
+from repro.inference.memory import MemoryModel
+from repro.inference.parallelism import ShardingPlan
+from repro.inference.simulator import InferenceSimulator
+from repro.models.transformer import TransformerConfig
+from repro.retrieval.simulator import RetrievalSimulator
+from repro.schema.ragschema import RAGSchema
+from repro.schema.stages import Stage
+
+#: Stages whose cost is a prefill pass of some model.
+_PREFILL_STAGES = (Stage.DATABASE_ENCODE, Stage.REWRITE_PREFIX,
+                   Stage.RERANK, Stage.PREFIX)
+
+
+@dataclass(frozen=True)
+class StagePerf:
+    """Performance of one stage at one (batch, resource, plan) point.
+
+    Attributes:
+        stage: Which pipeline stage.
+        latency: Seconds for one request batch to clear the stage.
+        request_qps: Requests per second the stage sustains.
+        batch: Request batch size evaluated.
+        resource_amount: XPUs (inference stages) or CPU servers
+            (retrieval).
+        resource_type: ``"xpu"`` or ``"cpu_server"``.
+        plan: Sharding plan used (None for retrieval).
+        tpot: Worst-case time-per-output-token; only set for decode-like
+            stages.
+    """
+
+    stage: Stage
+    latency: float
+    request_qps: float
+    batch: int
+    resource_amount: int
+    resource_type: str
+    plan: Optional[ShardingPlan] = None
+    tpot: Optional[float] = None
+
+
+class RAGPerfModel:
+    """Stage-level cost model for one schema on one cluster."""
+
+    def __init__(self, schema: RAGSchema, cluster: ClusterSpec,
+                 memory: Optional[MemoryModel] = None,
+                 retrieval_base_latency: float = 1e-4) -> None:
+        self._schema = schema
+        self._cluster = cluster
+        self._inference = InferenceSimulator(cluster.xpu, memory)
+        self._retrieval: Optional[RetrievalSimulator] = None
+        if schema.has_retrieval:
+            self._retrieval = RetrievalSimulator(
+                schema.database, cluster.cpu,
+                brute_force=schema.brute_force_retrieval,
+                base_latency=retrieval_base_latency,
+            )
+        self._cache: Dict[Tuple[Stage, int, int],
+                          Tuple[StagePerf, ...]] = {}
+
+    @property
+    def schema(self) -> RAGSchema:
+        """Workload being modelled."""
+        return self._schema
+
+    @property
+    def cluster(self) -> ClusterSpec:
+        """Hardware pool being modelled."""
+        return self._cluster
+
+    @property
+    def inference(self) -> InferenceSimulator:
+        """Underlying inference simulator (shared caches)."""
+        return self._inference
+
+    @property
+    def retrieval(self) -> Optional[RetrievalSimulator]:
+        """Underlying retrieval simulator, if the schema retrieves."""
+        return self._retrieval
+
+    def stage_model(self, stage: Stage) -> TransformerConfig:
+        """The transformer a given XPU stage runs.
+
+        Raises:
+            ConfigError: for retrieval (no model) or stages absent from
+                the schema.
+        """
+        schema = self._schema
+        if stage is Stage.DATABASE_ENCODE and schema.document_encoder:
+            return schema.document_encoder
+        if stage in (Stage.REWRITE_PREFIX, Stage.REWRITE_DECODE) \
+                and schema.query_rewriter:
+            return schema.query_rewriter
+        if stage is Stage.RERANK and schema.query_reranker:
+            return schema.query_reranker
+        if stage in (Stage.PREFIX, Stage.DECODE):
+            return schema.generative_llm
+        raise ConfigError(f"stage {stage} is not part of {schema.name}")
+
+    def min_resource(self, stage: Stage) -> int:
+        """Smallest resource count at which the stage is feasible."""
+        if stage is Stage.RETRIEVAL:
+            if self._retrieval is None:
+                raise ConfigError("schema has no retrieval stage")
+            return self._retrieval.min_servers()
+        return self._inference.min_chips(self.stage_model(stage))
+
+    def perf_options(self, stage: Stage, batch: int,
+                     resource: int) -> Tuple[StagePerf, ...]:
+        """Pareto performance points at a (batch, resource) pair (cached).
+
+        Sorted by ascending latency (and ascending QPS -- the frontier is
+        monotone), so the first entry is latency-optimal and the last is
+        throughput-optimal.
+
+        Raises:
+            CapacityError: infeasible resource count (weights/KV/database
+                do not fit).
+            ConfigError: invalid sizes or absent stage.
+        """
+        if batch <= 0:
+            raise ConfigError("batch must be positive")
+        if resource <= 0:
+            raise ConfigError("resource must be positive")
+        key = (stage, batch, resource)
+        if key not in self._cache:
+            self._cache[key] = self._evaluate(stage, batch, resource)
+        return self._cache[key]
+
+    def perf(self, stage: Stage, batch: int, resource: int,
+             plan: Optional[ShardingPlan] = None) -> StagePerf:
+        """One performance point.
+
+        Args:
+            plan: Evaluate this exact sharding plan; None picks the
+                throughput-optimal frontier point (serving systems run
+                prefill pipelined at steady state).
+        """
+        options = self.perf_options(stage, batch, resource)
+        if plan is None:
+            return options[-1]
+        for option in options:
+            if option.plan == plan:
+                return option
+        return self._evaluate_plan(stage, batch, resource, plan)
+
+    # ------------------------------------------------------------------
+
+    def _prefill_seq(self, stage: Stage) -> Tuple[int, int]:
+        """(sequences per request, tokens per sequence) for a prefill
+        stage."""
+        seq = self._schema.sequences
+        if stage is Stage.DATABASE_ENCODE:
+            chunks = seq.num_chunks
+            if chunks <= 0:
+                raise ConfigError("encode stage needs a context length")
+            return chunks, seq.chunk_len
+        if stage is Stage.REWRITE_PREFIX:
+            return 1, seq.question_len
+        if stage is Stage.RERANK:
+            return seq.rerank_candidates, seq.passage_len
+        if stage is Stage.PREFIX:
+            return 1, seq.prefix_len
+        raise ConfigError(f"{stage} is not a prefill stage")
+
+    def _evaluate(self, stage: Stage, batch: int,
+                  resource: int) -> Tuple[StagePerf, ...]:
+        seq = self._schema.sequences
+        if stage is Stage.RETRIEVAL:
+            if self._retrieval is None:
+                raise ConfigError("schema has no retrieval stage")
+            perf = self._retrieval.perf(
+                batch, resource,
+                queries_per_request=self._schema.queries_per_retrieval)
+            return (StagePerf(stage=stage, latency=perf.latency,
+                              request_qps=perf.request_qps, batch=batch,
+                              resource_amount=resource,
+                              resource_type="cpu_server"),)
+        model = self.stage_model(stage)
+        if stage in _PREFILL_STAGES:
+            per_request, tokens = self._prefill_seq(stage)
+            frontier = self._inference.prefill_options(
+                model, resource, batch * per_request, tokens)
+            return tuple(
+                StagePerf(stage=stage, latency=pf.latency,
+                          request_qps=pf.throughput / per_request,
+                          batch=batch, resource_amount=resource,
+                          resource_type="xpu", plan=pf.plan)
+                for pf in frontier)
+        if stage is Stage.REWRITE_DECODE:
+            decode = self._inference.decode(model, resource, batch,
+                                            seq.question_len,
+                                            seq.rewrite_output_len)
+            return (StagePerf(stage=stage, latency=decode.sequence_latency,
+                              request_qps=decode.throughput, batch=batch,
+                              resource_amount=resource, resource_type="xpu",
+                              plan=decode.plan, tpot=decode.tpot),)
+        if stage is Stage.DECODE:
+            decode = self._inference.decode(model, resource, batch,
+                                            seq.prefix_len, seq.decode_len)
+            return (StagePerf(stage=stage, latency=decode.sequence_latency,
+                              request_qps=decode.throughput, batch=batch,
+                              resource_amount=resource, resource_type="xpu",
+                              plan=decode.plan, tpot=decode.tpot),)
+        raise ConfigError(f"unhandled stage {stage}")
+
+    def _evaluate_plan(self, stage: Stage, batch: int, resource: int,
+                       plan: ShardingPlan) -> StagePerf:
+        """Evaluate a specific plan that is off the cached frontier."""
+        if stage not in _PREFILL_STAGES:
+            raise ConfigError(
+                f"stage {stage} does not accept explicit sharding plans"
+            )
+        model = self.stage_model(stage)
+        per_request, tokens = self._prefill_seq(stage)
+        pf = self._inference.prefill(model, resource, batch * per_request,
+                                     tokens, plan=plan)
+        return StagePerf(stage=stage, latency=pf.latency,
+                         request_qps=pf.throughput / per_request,
+                         batch=batch, resource_amount=resource,
+                         resource_type="xpu", plan=pf.plan)

@@ -1,0 +1,71 @@
+"""Resource-allocation enumeration (§6.1 [II]).
+
+XPU counts are assigned per placement group in powers-of-two scaling
+factors (§4); an allocation is feasible when every group gets at least
+the chips its largest model needs for weight capacity and the total stays
+within the budget.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+
+def power_of_two_options(minimum: int, maximum: int) -> List[int]:
+    """Powers of two in ``[minimum, maximum]`` (minimum rounded up)."""
+    if minimum <= 0 or maximum <= 0:
+        raise ConfigError("bounds must be positive")
+    options: List[int] = []
+    value = 1
+    while value < minimum:
+        value *= 2
+    while value <= maximum:
+        options.append(value)
+        value *= 2
+    return options
+
+
+def enumerate_allocations(group_minimums: Sequence[int],
+                          budget: int) -> Iterator[Tuple[int, ...]]:
+    """Yield power-of-two chip allocations per group within a budget.
+
+    Args:
+        group_minimums: Minimum chips each group needs (model capacity).
+        budget: Total XPUs available.
+
+    Yields:
+        Tuples of chips per group, same order as ``group_minimums``.
+
+    Raises:
+        ConfigError: when even the minimums exceed the budget (no yield
+            would ever happen -- surfacing it is friendlier).
+    """
+    if budget <= 0:
+        raise ConfigError("budget must be positive")
+    if not group_minimums:
+        yield ()
+        return
+    floors = [power_of_two_options(minimum, budget)[0]
+              if minimum <= budget else budget + 1
+              for minimum in group_minimums]
+    if sum(floors) > budget:
+        raise ConfigError(
+            f"group minimums {list(group_minimums)} cannot fit in a "
+            f"{budget}-XPU budget"
+        )
+
+    def recurse(index: int, remaining: int) -> Iterator[Tuple[int, ...]]:
+        floor_rest = sum(floors[index + 1:])
+        options = power_of_two_options(group_minimums[index],
+                                       remaining - floor_rest) \
+            if remaining - floor_rest >= floors[index] else []
+        for chips in options:
+            if index == len(group_minimums) - 1:
+                yield (chips,)
+            else:
+                for tail in recurse(index + 1, remaining - chips):
+                    yield (chips,) + tail
+
+    yield from recurse(0, budget)

@@ -1,0 +1,37 @@
+"""Batching-policy options (§6.1 [III]).
+
+Each stage may run its own batch size; RAGO sweeps powers of two (the
+paper's default search granularity). Decode uses continuous batching and
+therefore tolerates much larger batches than the latency-sensitive
+pre-prefix stages.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigError
+from repro.schema.stages import Stage
+
+
+def batch_options(stage: Stage, max_batch: int = 128,
+                  max_decode_batch: int = 1024) -> List[int]:
+    """Power-of-two batch sizes RAGO considers for a stage.
+
+    Args:
+        stage: Pipeline stage.
+        max_batch: Cap for pre-decode stages.
+        max_decode_batch: Cap for the decode stage (continuous batching).
+
+    Raises:
+        ConfigError: on non-positive caps.
+    """
+    if max_batch <= 0 or max_decode_batch <= 0:
+        raise ConfigError("batch caps must be positive")
+    cap = max_decode_batch if stage is Stage.DECODE else max_batch
+    options: List[int] = []
+    value = 1
+    while value <= cap:
+        options.append(value)
+        value *= 2
+    return options

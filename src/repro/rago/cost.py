@@ -1,0 +1,90 @@
+"""Cost-efficiency extension: dollars per million requests.
+
+The paper's conclusion names "additional efficiency metrics, such as
+energy and cost efficiency" as future work (§9). This module prices a
+schedule: XPU-hours and CPU-server-hours per request at the schedule's
+steady-state throughput, under a configurable price book. It composes
+with the schedule search -- sweep the frontier and pick the cheapest
+point meeting an SLO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.pipeline.assembly import PipelinePerf
+from repro.rago.search import SearchResult
+
+_SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """Hourly resource prices in dollars.
+
+    Defaults approximate public-cloud list prices for a TPU-v5p-class
+    accelerator and a large memory-optimized host.
+
+    Attributes:
+        xpu_hour: Price of one accelerator-hour.
+        server_hour: Price of one retrieval-host-hour (CPU + DRAM).
+    """
+
+    xpu_hour: float = 4.20
+    server_hour: float = 5.00
+
+    def __post_init__(self) -> None:
+        if self.xpu_hour <= 0 or self.server_hour <= 0:
+            raise ConfigError("prices must be positive")
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Priced performance of one schedule.
+
+    Attributes:
+        dollars_per_hour: Fleet cost of the deployment.
+        dollars_per_million_requests: Cost efficiency at steady state.
+        perf: The underlying performance point.
+    """
+
+    dollars_per_hour: float
+    dollars_per_million_requests: float
+    perf: PipelinePerf
+
+
+def estimate_cost(perf: PipelinePerf,
+                  prices: PriceBook = PriceBook()) -> CostEstimate:
+    """Price one schedule at its steady-state throughput.
+
+    XPUs are charged at the schedule's charged-chip count (database
+    hosts are paid for even when their XPU slots idle); retrieval
+    servers are charged on top only beyond the hosts already implied by
+    the chips.
+
+    Raises:
+        ConfigError: if the schedule has zero throughput.
+    """
+    if perf.qps <= 0:
+        raise ConfigError("cannot price a zero-throughput schedule")
+    xpu_cost = perf.charged_chips * prices.xpu_hour
+    implied_hosts = perf.charged_chips / 4.0
+    extra_servers = max(perf.retrieval_servers - implied_hosts, 0.0)
+    server_cost = (implied_hosts + extra_servers) * prices.server_hour
+    hourly = xpu_cost + server_cost
+    per_million = hourly / (perf.qps * _SECONDS_PER_HOUR) * 1e6
+    return CostEstimate(dollars_per_hour=hourly,
+                        dollars_per_million_requests=per_million,
+                        perf=perf)
+
+
+def cheapest_point(result: SearchResult,
+                   prices: PriceBook = PriceBook()) -> CostEstimate:
+    """The frontier point with the lowest cost per million requests."""
+    estimates = [estimate_cost(perf, prices) for perf in result.frontier
+                 if perf.qps > 0]
+    if not estimates:
+        raise ConfigError("no positive-throughput frontier point")
+    return min(estimates,
+               key=lambda est: est.dollars_per_million_requests)

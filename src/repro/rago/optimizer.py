@@ -1,0 +1,66 @@
+"""RAGO facade: optimize a RAGSchema on a cluster.
+
+Ties together the stage cost models and the schedule search (Fig. 2 of
+the paper: RAGSchema + resources in, performance Pareto + optimal system
+configuration out).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.cluster import ClusterSpec
+from repro.inference.memory import MemoryModel
+from repro.pipeline.assembly import PipelinePerf, Schedule, assemble
+from repro.pipeline.stage_perf import RAGPerfModel
+from repro.rago.search import SearchConfig, SearchResult, search_schedules
+from repro.schema.ragschema import RAGSchema
+
+
+class RAGO:
+    """Retrieval-Augmented Generation Optimizer.
+
+    Example:
+        >>> from repro.hardware import ClusterSpec
+        >>> from repro.schema import case_iv_rewriter_reranker
+        >>> rago = RAGO(case_iv_rewriter_reranker("70B"), ClusterSpec())
+        >>> result = rago.optimize()
+        >>> best = result.max_qps_per_chip
+    """
+
+    def __init__(self, schema: RAGSchema, cluster: Optional[ClusterSpec] = None,
+                 memory: Optional[MemoryModel] = None) -> None:
+        self._cluster = cluster or ClusterSpec()
+        self._perf_model = RAGPerfModel(schema, self._cluster, memory)
+
+    @property
+    def schema(self) -> RAGSchema:
+        """The workload being optimized."""
+        return self._perf_model.schema
+
+    @property
+    def cluster(self) -> ClusterSpec:
+        """The hardware budget."""
+        return self._cluster
+
+    @property
+    def perf_model(self) -> RAGPerfModel:
+        """Stage-level cost model (shared caches)."""
+        return self._perf_model
+
+    def optimize(self, config: Optional[SearchConfig] = None) -> SearchResult:
+        """Search the scheduling space and return the Pareto frontier."""
+        return search_schedules(self._perf_model, config)
+
+    def evaluate(self, schedule: Schedule) -> PipelinePerf:
+        """Evaluate one explicit schedule (no search)."""
+        return assemble(self._perf_model, schedule)
+
+    def max_qps_per_chip(self,
+                         config: Optional[SearchConfig] = None) -> PipelinePerf:
+        """The throughput-optimal schedule's performance."""
+        return self.optimize(config).max_qps_per_chip
+
+    def min_ttft(self, config: Optional[SearchConfig] = None) -> PipelinePerf:
+        """The latency-optimal schedule's performance."""
+        return self.optimize(config).min_ttft

@@ -1,0 +1,70 @@
+"""Task-placement enumeration (§6.1 [I], Fig. 13).
+
+RAGO considers hybrid collocation-disaggregation plans under three rules:
+
+1. The main LLM's prefix and decode phases stay disaggregated.
+2. Retrieval always runs disaggregated on CPU servers.
+3. Only *consecutive neighbour* stages up to (and including) prefix may
+   be collocated -- collocation groups are contiguous runs of the
+   pre-prefix stage chain.
+
+For a chain of n pre-prefix XPU stages there are 2^(n-1) contiguous
+partitions; each partition plus the mandatory decode group is one
+placement plan.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.schema.ragschema import RAGSchema
+from repro.schema.stages import Stage, pre_prefix_xpu_stages
+
+#: A placement: ordered groups of XPU stages (decode group included last).
+Placement = Tuple[Tuple[Stage, ...], ...]
+
+
+def contiguous_partitions(items: Tuple[Stage, ...]) -> List[Tuple[Tuple[Stage, ...], ...]]:
+    """All partitions of a sequence into contiguous non-empty groups."""
+    if not items:
+        return [()]
+    partitions: List[Tuple[Tuple[Stage, ...], ...]] = []
+    n = len(items)
+    # Each of the n-1 gaps is either a split point or not.
+    for mask in range(1 << (n - 1)):
+        groups: List[Tuple[Stage, ...]] = []
+        start = 0
+        for gap in range(n - 1):
+            if mask & (1 << gap):
+                groups.append(tuple(items[start:gap + 1]))
+                start = gap + 1
+        groups.append(tuple(items[start:]))
+        partitions.append(tuple(groups))
+    return partitions
+
+
+def enumerate_placements(schema: RAGSchema) -> List[Placement]:
+    """All legal placement plans for a schema.
+
+    Returns:
+        Placements, each a tuple of stage groups; the final group is
+        always ``(Stage.DECODE,)``.
+    """
+    chain = tuple(pre_prefix_xpu_stages(schema))
+    placements: List[Placement] = []
+    for partition in contiguous_partitions(chain):
+        placements.append(partition + ((Stage.DECODE,),))
+    return placements
+
+
+def fully_disaggregated(schema: RAGSchema) -> Placement:
+    """The placement where every stage owns its chips."""
+    chain = pre_prefix_xpu_stages(schema)
+    return tuple((stage,) for stage in chain) + ((Stage.DECODE,),)
+
+
+def fully_collocated(schema: RAGSchema) -> Placement:
+    """The placement collocating the whole pre-prefix chain (baseline
+    style); decode remains separate."""
+    chain = tuple(pre_prefix_xpu_stages(schema))
+    return (chain, (Stage.DECODE,))

@@ -1,0 +1,38 @@
+"""A functional (non-ML) RAG stack over the vector-search engine.
+
+The performance models in :mod:`repro.pipeline` answer "how fast"; this
+package answers "does the pipeline *work*": documents are chunked,
+embedded with a deterministic hashing embedder, indexed with the
+functional IVF-PQ engine, and served through the full RAG pipeline shape
+of Fig. 3 -- query rewriting, retrieval, reranking and (extractive)
+generation. Every component is deterministic and dependency-free, so
+end-to-end behaviour is testable down to exact answers.
+
+This is the reproduction's stand-in for the paper's model components:
+the *schema* (which stages exist, what they consume and produce) matches
+the paper; the models themselves are replaced by deterministic
+equivalents per the substitution policy in DESIGN.md.
+"""
+
+from repro.ragstack.documents import Chunk, Document, DocumentStore, chunk_text
+from repro.ragstack.embedding import HashingEmbedder
+from repro.ragstack.retriever import RetrievedChunk, VectorRetriever
+from repro.ragstack.reranker import ExactReranker
+from repro.ragstack.rewriter import RuleBasedRewriter
+from repro.ragstack.generator import Answer, ExtractiveGenerator
+from repro.ragstack.pipeline import RAGPipeline
+
+__all__ = [
+    "Document",
+    "Chunk",
+    "DocumentStore",
+    "chunk_text",
+    "HashingEmbedder",
+    "VectorRetriever",
+    "RetrievedChunk",
+    "ExactReranker",
+    "RuleBasedRewriter",
+    "ExtractiveGenerator",
+    "Answer",
+    "RAGPipeline",
+]

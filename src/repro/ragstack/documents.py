@@ -1,0 +1,163 @@
+"""Documents, chunking and the chunk store.
+
+The paper's databases hold passage chunks of ~100-128 tokens with small
+overlaps (§3.1, §5.2). Tokens here are whitespace words -- adequate for
+chunk-accounting and retrieval semantics without a tokenizer dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Document:
+    """A source document.
+
+    Attributes:
+        doc_id: Unique identifier.
+        text: Full document text.
+        metadata: Free-form attributes (title, source URL, ...).
+    """
+
+    doc_id: str
+    text: str
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.doc_id:
+            raise ConfigError("doc_id must be non-empty")
+        if not self.text.strip():
+            raise ConfigError(f"document {self.doc_id} has no text")
+
+    @property
+    def num_tokens(self) -> int:
+        """Whitespace-token count."""
+        return len(self.text.split())
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One passage chunk of a document.
+
+    Attributes:
+        chunk_id: Global index within the store.
+        doc_id: Owning document.
+        text: Chunk text.
+        start_token: Offset of the chunk's first token in the document.
+    """
+
+    chunk_id: int
+    doc_id: str
+    text: str
+    start_token: int
+
+    @property
+    def num_tokens(self) -> int:
+        """Whitespace-token count."""
+        return len(self.text.split())
+
+
+def chunk_text(text: str, chunk_tokens: int = 128,
+               overlap_tokens: int = 16) -> List[str]:
+    """Split text into overlapping token windows.
+
+    Args:
+        text: Source text.
+        chunk_tokens: Tokens per chunk (the paper uses 100-128).
+        overlap_tokens: Tokens shared between consecutive chunks.
+
+    Raises:
+        ConfigError: when the overlap is not smaller than the chunk.
+    """
+    if chunk_tokens <= 0:
+        raise ConfigError("chunk_tokens must be positive")
+    if not 0 <= overlap_tokens < chunk_tokens:
+        raise ConfigError("overlap must be in [0, chunk_tokens)")
+    tokens = text.split()
+    if not tokens:
+        return []
+    stride = chunk_tokens - overlap_tokens
+    chunks = []
+    for start in range(0, len(tokens), stride):
+        window = tokens[start:start + chunk_tokens]
+        chunks.append(" ".join(window))
+        if start + chunk_tokens >= len(tokens):
+            break
+    return chunks
+
+
+class DocumentStore:
+    """Chunked corpus with global chunk ids.
+
+    Args:
+        chunk_tokens: Tokens per chunk.
+        overlap_tokens: Tokens shared between consecutive chunks.
+    """
+
+    def __init__(self, chunk_tokens: int = 128,
+                 overlap_tokens: int = 16) -> None:
+        self._chunk_tokens = chunk_tokens
+        self._overlap = overlap_tokens
+        self._documents: Dict[str, Document] = {}
+        self._chunks: List[Chunk] = []
+        # Validate the chunking parameters eagerly.
+        chunk_text("probe", chunk_tokens, overlap_tokens)
+
+    @property
+    def num_documents(self) -> int:
+        """Documents added so far."""
+        return len(self._documents)
+
+    @property
+    def num_chunks(self) -> int:
+        """Chunks across all documents (the database vector count)."""
+        return len(self._chunks)
+
+    @property
+    def chunks(self) -> List[Chunk]:
+        """All chunks in insertion order."""
+        return list(self._chunks)
+
+    def add(self, document: Document) -> List[Chunk]:
+        """Chunk and store a document; returns the new chunks.
+
+        Raises:
+            ConfigError: on duplicate document ids.
+        """
+        if document.doc_id in self._documents:
+            raise ConfigError(f"duplicate document id {document.doc_id}")
+        self._documents[document.doc_id] = document
+        stride = self._chunk_tokens - self._overlap
+        new_chunks = []
+        for index, text in enumerate(chunk_text(document.text,
+                                                self._chunk_tokens,
+                                                self._overlap)):
+            chunk = Chunk(chunk_id=len(self._chunks), doc_id=document.doc_id,
+                          text=text, start_token=index * stride)
+            self._chunks.append(chunk)
+            new_chunks.append(chunk)
+        return new_chunks
+
+    def document(self, doc_id: str) -> Document:
+        """Look up a document.
+
+        Raises:
+            ConfigError: for unknown ids.
+        """
+        if doc_id not in self._documents:
+            raise ConfigError(f"unknown document {doc_id}")
+        return self._documents[doc_id]
+
+    def chunk(self, chunk_id: int) -> Chunk:
+        """Look up a chunk by global id.
+
+        Raises:
+            ConfigError: for out-of-range ids.
+        """
+        if not 0 <= chunk_id < len(self._chunks):
+            raise ConfigError(f"chunk id {chunk_id} out of range")
+        return self._chunks[chunk_id]

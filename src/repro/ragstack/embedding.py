@@ -1,0 +1,78 @@
+"""Deterministic hashing embedder.
+
+Replaces the paper's 120M sentence-transformer encoder with a
+dependency-free equivalent: each token hashes (with several independent
+seeds) into signed buckets of a fixed-dimensional vector, the vector is
+L2-normalized, and similar token bags land near each other. This is the
+classic feature-hashing trick -- real enough that retrieval quality is
+measurable and chunk/query semantics behave like embeddings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def _stable_hash(token: str, seed: int) -> int:
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8,
+                             salt=seed.to_bytes(8, "little")).digest()
+    return int.from_bytes(digest, "little")
+
+
+class HashingEmbedder:
+    """Feature-hashing text embedder.
+
+    Args:
+        dim: Embedding dimensionality (the paper uses 768).
+        num_hashes: Independent hash functions per token; more hashes
+            densify the vectors and improve similarity resolution.
+        lowercase: Case-fold tokens before hashing.
+    """
+
+    def __init__(self, dim: int = 256, num_hashes: int = 4,
+                 lowercase: bool = True) -> None:
+        if dim <= 0:
+            raise ConfigError("dim must be positive")
+        if num_hashes <= 0:
+            raise ConfigError("num_hashes must be positive")
+        self._dim = dim
+        self._num_hashes = num_hashes
+        self._lowercase = lowercase
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimensionality."""
+        return self._dim
+
+    def _tokens(self, text: str) -> List[str]:
+        if self._lowercase:
+            text = text.lower()
+        return [token.strip(".,;:!?()[]\"'") for token in text.split()]
+
+    def embed_one(self, text: str) -> np.ndarray:
+        """Embed a single text into a unit-norm vector."""
+        vector = np.zeros(self._dim, dtype=np.float32)
+        for token in self._tokens(text):
+            if not token:
+                continue
+            for seed in range(self._num_hashes):
+                value = _stable_hash(token, seed)
+                bucket = value % self._dim
+                sign = 1.0 if (value >> 32) & 1 else -1.0
+                vector[bucket] += sign
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector /= norm
+        return vector
+
+    def embed(self, texts: "Sequence[str] | Iterable[str]") -> np.ndarray:
+        """Embed many texts; returns an (n, dim) float32 matrix."""
+        rows = [self.embed_one(text) for text in texts]
+        if not rows:
+            return np.zeros((0, self._dim), dtype=np.float32)
+        return np.stack(rows)

@@ -1,0 +1,120 @@
+"""Extractive answer generator.
+
+Stands in for the paper's generative LLM: given the question and the
+retrieved passages (the augmented prompt), it produces an answer by
+selecting the passage sentences most relevant to the question. It is
+deterministic, grounded in the retrieved content by construction (no
+hallucination -- the property RAG exists to provide) and cites its
+sources.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigError
+from repro.ragstack.retriever import RetrievedChunk
+
+_SENTENCE_SPLIT = re.compile(r"(?<=[.!?])\s+")
+
+
+@dataclass(frozen=True)
+class Answer:
+    """A generated answer with provenance.
+
+    Attributes:
+        text: The answer sentences, in source order of selection.
+        sources: Document ids of the passages the sentences came from.
+        passages: The reranked passages that formed the context.
+    """
+
+    text: str
+    sources: Tuple[str, ...]
+    passages: Tuple[RetrievedChunk, ...]
+
+
+def _score_sentence(question_tokens: set, sentence: str) -> float:
+    tokens = set(token.strip(".,;:!?\"'()").lower()
+                 for token in sentence.split())
+    tokens.discard("")
+    if not tokens:
+        return 0.0
+    return len(question_tokens & tokens) / (len(tokens) ** 0.5)
+
+
+class ExtractiveGenerator:
+    """Select the most question-relevant sentences from the context.
+
+    Args:
+        max_sentences: Sentences in the generated answer.
+        min_sentence_tokens: Ignore fragments shorter than this --
+            chunk boundaries cut sentences mid-way, and a two-word
+            fragment that happens to echo the question is not an answer.
+    """
+
+    def __init__(self, max_sentences: int = 2,
+                 min_sentence_tokens: int = 4) -> None:
+        if max_sentences <= 0:
+            raise ConfigError("max_sentences must be positive")
+        if min_sentence_tokens <= 0:
+            raise ConfigError("min_sentence_tokens must be positive")
+        self._max_sentences = max_sentences
+        self._min_sentence_tokens = min_sentence_tokens
+
+    def generate(self, question: str,
+                 passages: List[RetrievedChunk]) -> Answer:
+        """Produce a grounded answer from retrieved passages.
+
+        Raises:
+            ConfigError: on an empty question.
+        """
+        if not question.strip():
+            raise ConfigError("question must be non-empty")
+        if not passages:
+            return Answer(text="No relevant information found.",
+                          sources=(), passages=())
+        question_tokens = set(
+            token.strip(".,;:!?\"'()").lower()
+            for token in question.split())
+        question_tokens.discard("")
+        candidates = []
+        for rank, hit in enumerate(passages):
+            for sentence in _SENTENCE_SPLIT.split(hit.chunk.text):
+                sentence = sentence.strip()
+                if not sentence:
+                    continue
+                if len(sentence.split()) < self._min_sentence_tokens:
+                    continue
+                if sentence[-1] not in ".!?":
+                    # Chunk boundaries truncate sentences; a cut-off
+                    # fragment is not a usable answer sentence.
+                    continue
+                score = _score_sentence(question_tokens, sentence)
+                # Earlier (better-reranked) passages break score ties.
+                candidates.append((-score, rank, hit.chunk.doc_id, sentence))
+        candidates.sort()
+        # Greedy selection with near-duplicate suppression: overlapping
+        # chunks repeat sentences (and truncate them at boundaries).
+        chosen = []
+        chosen_token_sets = []
+        for entry in candidates:
+            tokens = set(entry[3].lower().split())
+            duplicate = any(
+                len(tokens & seen) >= 0.7 * min(len(tokens), len(seen))
+                for seen in chosen_token_sets)
+            if duplicate:
+                continue
+            chosen.append(entry)
+            chosen_token_sets.append(tokens)
+            if len(chosen) >= self._max_sentences:
+                break
+        chosen_sentences = [entry[3] for entry in chosen]
+        sources = []
+        for entry in chosen:
+            if entry[2] not in sources:
+                sources.append(entry[2])
+        return Answer(text=" ".join(chosen_sentences),
+                      sources=tuple(sources),
+                      passages=tuple(passages))

@@ -1,0 +1,109 @@
+"""The end-to-end functional RAG pipeline (Fig. 3 shape).
+
+Composes rewriter -> retrieval -> reranker -> generator over a document
+store, mirroring the stage structure that RAGSchema describes and RAGO
+schedules. Optional stages can be disabled, matching the four paradigm
+presets (a Case-I pipeline has neither rewriter nor reranker; Case IV
+has both).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConfigError
+from repro.ragstack.documents import Document, DocumentStore
+from repro.ragstack.embedding import HashingEmbedder
+from repro.ragstack.generator import Answer, ExtractiveGenerator
+from repro.ragstack.reranker import ExactReranker
+from repro.ragstack.retriever import RetrievedChunk, VectorRetriever
+from repro.ragstack.rewriter import RuleBasedRewriter
+
+
+class RAGPipeline:
+    """A working retrieval-augmented answering pipeline.
+
+    Args:
+        chunk_tokens: Tokens per database chunk.
+        use_rewriter: Include the query-rewriting stage (Case IV).
+        use_reranker: Include the reranking stage (Case IV).
+        use_ann: Index with IVF-PQ instead of brute force.
+        retrieve_k: Candidates fetched per retrieval query (the paper's
+            16 nearest passages for reranking).
+        final_passages: Passages handed to the generator (the paper's
+            top five).
+    """
+
+    def __init__(self, chunk_tokens: int = 128, use_rewriter: bool = False,
+                 use_reranker: bool = False, use_ann: bool = True,
+                 retrieve_k: int = 16, final_passages: int = 5,
+                 embedder: Optional[HashingEmbedder] = None) -> None:
+        if retrieve_k <= 0 or final_passages <= 0:
+            raise ConfigError("retrieve_k and final_passages must be positive")
+        self._store = DocumentStore(chunk_tokens=chunk_tokens)
+        self._embedder = embedder or HashingEmbedder()
+        self._retriever = VectorRetriever(self._store, self._embedder,
+                                          use_ann=use_ann)
+        self._rewriter = RuleBasedRewriter() if use_rewriter else None
+        self._reranker = ExactReranker(self._embedder) if use_reranker \
+            else None
+        self._generator = ExtractiveGenerator()
+        self._retrieve_k = retrieve_k
+        self._final_passages = final_passages
+        self._built = False
+
+    @property
+    def store(self) -> DocumentStore:
+        """The underlying chunk store."""
+        return self._store
+
+    @property
+    def num_chunks(self) -> int:
+        """Database size in chunks (vectors)."""
+        return self._store.num_chunks
+
+    def add_documents(self, documents: List[Document]) -> None:
+        """Ingest documents; invalidates any previously built index."""
+        for document in documents:
+            self._store.add(document)
+        self._built = False
+
+    def build(self) -> "RAGPipeline":
+        """Embed and index the corpus."""
+        self._retriever.build()
+        self._built = True
+        return self
+
+    def retrieve(self, question: str) -> List[RetrievedChunk]:
+        """Run rewrite + retrieval (+ rerank) and return the passages.
+
+        Raises:
+            ConfigError: when the index has not been built.
+        """
+        if not self._built:
+            raise ConfigError("call build() after adding documents")
+        queries = [question]
+        if self._rewriter is not None:
+            queries = self._rewriter.rewrite(question)
+        candidates: List[RetrievedChunk] = []
+        for query in queries:
+            candidates.extend(self._retriever.retrieve(query,
+                                                       k=self._retrieve_k))
+        if self._reranker is not None:
+            return self._reranker.rerank(question, candidates,
+                                         top_n=self._final_passages)
+        # Without a reranker, keep the closest unique chunks.
+        candidates.sort(key=lambda hit: (hit.score, hit.chunk.chunk_id))
+        seen = set()
+        unique = []
+        for hit in candidates:
+            if hit.chunk.chunk_id in seen:
+                continue
+            seen.add(hit.chunk.chunk_id)
+            unique.append(hit)
+        return unique[:self._final_passages]
+
+    def answer(self, question: str) -> Answer:
+        """Full pipeline: question in, grounded answer out."""
+        passages = self.retrieve(question)
+        return self._generator.generate(question, passages)

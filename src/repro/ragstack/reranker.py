@@ -1,0 +1,76 @@
+"""Exact reranker.
+
+Stands in for the paper's 120M cross-encoder reranker (§3.1): retrieval
+candidates come back ranked by *quantized* vector distance; the reranker
+re-scores each candidate against the query with an exact, richer signal
+-- here, exact embedding distance blended with token overlap -- and
+returns the top-n. Same interface, deterministic scoring.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConfigError
+from repro.ragstack.embedding import HashingEmbedder
+from repro.ragstack.retriever import RetrievedChunk
+
+
+def _token_overlap(query: str, text: str) -> float:
+    query_tokens = set(query.lower().split())
+    text_tokens = set(text.lower().split())
+    if not query_tokens:
+        return 0.0
+    return len(query_tokens & text_tokens) / len(query_tokens)
+
+
+class ExactReranker:
+    """Re-score retrieval candidates with exact distances + overlap.
+
+    Args:
+        embedder: Shared embedder for exact distances.
+        overlap_weight: Blend factor for the token-overlap bonus.
+    """
+
+    def __init__(self, embedder: Optional[HashingEmbedder] = None,
+                 overlap_weight: float = 0.5) -> None:
+        if overlap_weight < 0:
+            raise ConfigError("overlap_weight must be non-negative")
+        self._embedder = embedder or HashingEmbedder()
+        self._overlap_weight = overlap_weight
+
+    def rerank(self, query: str, candidates: List[RetrievedChunk],
+               top_n: int = 5) -> List[RetrievedChunk]:
+        """Return the best ``top_n`` candidates by the exact score.
+
+        Scores are cosine *similarity* plus the overlap bonus, converted
+        back to a distance-like score (lower is better) for interface
+        consistency with the retriever.
+
+        Raises:
+            ConfigError: on non-positive ``top_n``.
+        """
+        if top_n <= 0:
+            raise ConfigError("top_n must be positive")
+        if not candidates:
+            return []
+        query_vec = self._embedder.embed_one(query)
+        texts = [candidate.chunk.text for candidate in candidates]
+        chunk_vecs = self._embedder.embed(texts)
+        similarity = chunk_vecs @ query_vec
+        scored = []
+        for candidate, sim in zip(candidates, similarity):
+            overlap = _token_overlap(query, candidate.chunk.text)
+            quality = float(sim) + self._overlap_weight * overlap
+            scored.append(RetrievedChunk(chunk=candidate.chunk,
+                                         score=-quality))
+        scored.sort(key=lambda hit: (hit.score, hit.chunk.chunk_id))
+        # Deduplicate chunks that arrived via multiple queries.
+        seen = set()
+        unique = []
+        for hit in scored:
+            if hit.chunk.chunk_id in seen:
+                continue
+            seen.add(hit.chunk.chunk_id)
+            unique.append(hit)
+        return unique[:top_n]

@@ -1,0 +1,118 @@
+"""Vector retriever over a chunked corpus.
+
+Embeds chunks with the hashing embedder and indexes them with either
+the functional IVF-PQ engine (hyperscale-style ANN) or brute-force kNN
+(Case II's freshly-encoded small databases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.ragstack.documents import Chunk, DocumentStore
+from repro.ragstack.embedding import HashingEmbedder
+from repro.retrieval.bruteforce import BruteForceIndex
+from repro.retrieval.ivf import IVFPQIndex
+from repro.retrieval.pq import ProductQuantizer
+
+
+@dataclass(frozen=True)
+class RetrievedChunk:
+    """One retrieval hit.
+
+    Attributes:
+        chunk: The retrieved passage.
+        score: Squared L2 distance in embedding space (lower is closer).
+    """
+
+    chunk: Chunk
+    score: float
+
+
+class VectorRetriever:
+    """Nearest-neighbor retrieval over a document store.
+
+    Args:
+        store: Chunked corpus.
+        embedder: Text embedder (shared by indexing and queries).
+        use_ann: Index with IVF-PQ (True) or brute force (False). Small
+            corpora fall back to brute force automatically.
+        nlist: IVF cluster count for the ANN index.
+        nprobe: Clusters scanned per query (the p_scan knob).
+    """
+
+    _MIN_ANN_CHUNKS = 256
+
+    def __init__(self, store: DocumentStore,
+                 embedder: Optional[HashingEmbedder] = None,
+                 use_ann: bool = True, nlist: int = 64,
+                 nprobe: int = 8) -> None:
+        self._store = store
+        self._embedder = embedder or HashingEmbedder()
+        self._use_ann = use_ann
+        self._nlist = nlist
+        self._nprobe = nprobe
+        self._index: "IVFPQIndex | BruteForceIndex | None" = None
+        self._is_ann = False
+
+    @property
+    def embedder(self) -> HashingEmbedder:
+        """The shared embedder."""
+        return self._embedder
+
+    @property
+    def is_ann(self) -> bool:
+        """Whether the built index is approximate."""
+        return self._is_ann
+
+    def build(self) -> "VectorRetriever":
+        """Embed and index every chunk in the store.
+
+        Raises:
+            ConfigError: on an empty store.
+        """
+        chunks = self._store.chunks
+        if not chunks:
+            raise ConfigError("cannot build a retriever over an empty store")
+        vectors = self._embedder.embed([chunk.text for chunk in chunks])
+        if self._use_ann and len(chunks) >= self._MIN_ANN_CHUNKS:
+            dim = self._embedder.dim
+            subspaces = 16 if dim % 16 == 0 else 8
+            quantizer = ProductQuantizer(num_subspaces=subspaces, seed=0)
+            nlist = min(self._nlist, max(len(chunks) // 8, 1))
+            index = IVFPQIndex(nlist=nlist, quantizer=quantizer, seed=0)
+            index.build(vectors)
+            self._index = index
+            self._is_ann = True
+        else:
+            self._index = BruteForceIndex(vectors)
+            self._is_ann = False
+        return self
+
+    def retrieve(self, query: str, k: int = 5) -> List[RetrievedChunk]:
+        """Top-k chunks for a query string.
+
+        Raises:
+            ConfigError: when :meth:`build` has not run.
+        """
+        if self._index is None:
+            raise ConfigError("retriever is not built yet")
+        if k <= 0:
+            raise ConfigError("k must be positive")
+        vector = self._embedder.embed_one(query)
+        if self._is_ann:
+            distances, ids = self._index.search(vector, k=k,
+                                                nprobe=self._nprobe)
+        else:
+            distances, ids = self._index.search(vector, k=k)
+        hits = []
+        for distance, chunk_id in zip(distances[0], ids[0]):
+            if chunk_id < 0 or not np.isfinite(distance):
+                continue
+            hits.append(RetrievedChunk(chunk=self._store.chunk(int(chunk_id)),
+                                       score=float(distance)))
+        return hits

@@ -1,0 +1,68 @@
+"""Rule-based query rewriter.
+
+Stands in for the paper's 8B generative rewriter (§3.1, Paradigm IV):
+it normalizes the query and can decompose compound questions into
+multiple simpler queries -- the same *interface* (one query in, one or
+several rewritten queries out) with deterministic behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigError
+
+#: Filler words removed during normalization.
+STOPWORDS = frozenset((
+    "a", "an", "the", "of", "in", "on", "at", "to", "for", "is", "are",
+    "was", "were", "be", "been", "do", "does", "did", "what", "which",
+    "who", "whom", "whose", "when", "where", "how", "why", "please",
+    "tell", "me", "about",
+))
+
+#: Conjunctions that split a compound question into sub-queries.
+_SPLIT_MARKERS = (" and also ", " and ", "; ", ", and ")
+
+
+class RuleBasedRewriter:
+    """Deterministic query normalization and decomposition.
+
+    Args:
+        decompose: Split compound questions into multiple queries
+            (multi-query retrieval, §5.1).
+        max_queries: Cap on generated sub-queries.
+    """
+
+    def __init__(self, decompose: bool = True, max_queries: int = 4) -> None:
+        if max_queries <= 0:
+            raise ConfigError("max_queries must be positive")
+        self._decompose = decompose
+        self._max_queries = max_queries
+
+    def normalize(self, query: str) -> str:
+        """Lower-case, strip punctuation and filler words."""
+        tokens = [token.strip(".,;:!?\"'()") for token in query.lower().split()]
+        kept = [token for token in tokens if token and token not in STOPWORDS]
+        return " ".join(kept) if kept else query.strip().lower()
+
+    def rewrite(self, query: str) -> List[str]:
+        """Rewrite a user query into one or more retrieval queries.
+
+        Raises:
+            ConfigError: on an empty query.
+        """
+        if not query.strip():
+            raise ConfigError("query must be non-empty")
+        parts = [query]
+        if self._decompose:
+            for marker in _SPLIT_MARKERS:
+                if marker in query:
+                    parts = [part for part in query.split(marker)
+                             if part.strip()]
+                    break
+        rewritten = []
+        for part in parts[:self._max_queries]:
+            normalized = self.normalize(part)
+            if normalized and normalized not in rewritten:
+                rewritten.append(normalized)
+        return rewritten or [self.normalize(query)]

@@ -1,0 +1,75 @@
+"""ASCII scatter plots for Pareto frontiers.
+
+Benchmark logs and the CLI are text-only; a coarse scatter still shows a
+frontier's shape (where the knee sits, how steep the latency/throughput
+trade is) far better than a table alone.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+#: Glyphs assigned to successive series.
+_GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int,
+           log: bool) -> int:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(int(position * cells), cells - 1)
+
+
+def ascii_scatter(series: Mapping[str, Sequence[Tuple[float, float]]],
+                  width: int = 60, height: int = 16,
+                  x_label: str = "x", y_label: str = "y",
+                  log_x: bool = False, log_y: bool = False) -> str:
+    """Render named (x, y) point series as an ASCII scatter plot.
+
+    Args:
+        series: Mapping from series label to points; each series gets
+            its own glyph (cycled beyond eight series).
+        width / height: Plot area in character cells.
+        x_label / y_label: Axis captions.
+        log_x / log_y: Logarithmic axes (all values must be positive).
+
+    Raises:
+        ConfigError: on empty input, non-positive dimensions, or
+            non-positive values on a log axis.
+    """
+    if width < 10 or height < 4:
+        raise ConfigError("plot area must be at least 10x4")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ConfigError("need at least one point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if (log_x and min(xs) <= 0) or (log_y and min(ys) <= 0):
+        raise ConfigError("log axes require positive values")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, pts) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in pts:
+            col = _scale(x, x_lo, x_hi, width, log_x)
+            row = height - 1 - _scale(y, y_lo, y_hi, height, log_y)
+            grid[row][col] = glyph
+
+    lines: List[str] = []
+    lines.append(f"{y_label} [{y_lo:.3g} .. {y_hi:.3g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} [{x_lo:.3g} .. {x_hi:.3g}]")
+    legend = "  ".join(f"{_GLYPHS[i % len(_GLYPHS)]}={label}"
+                       for i, label in enumerate(series))
+    lines.append(f" {legend}")
+    return "\n".join(lines)

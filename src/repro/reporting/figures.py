@@ -1,0 +1,61 @@
+"""Printable figure series: line series and heatmaps as text.
+
+Each paper figure is reproduced as its underlying data series; these
+helpers render them in a compact, reviewable form for the bench logs and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigError
+from repro.reporting.tables import format_table
+
+
+def format_series(name: str, x_label: str, y_label: str,
+                  series: Mapping[str, Sequence[tuple]]) -> str:
+    """Render named (x, y) series as a table.
+
+    Args:
+        name: Figure title.
+        x_label / y_label: Axis names.
+        series: Mapping from series label to a sequence of (x, y) pairs.
+    """
+    if not series:
+        raise ConfigError("need at least one series")
+    rows = []
+    for label, points in series.items():
+        for x, y in points:
+            rows.append((label, x, y))
+    return format_table(("series", x_label, y_label), rows, title=name)
+
+
+def format_heatmap(name: str, row_label: str, col_label: str,
+                   row_keys: Sequence[object], col_keys: Sequence[object],
+                   values: Mapping[tuple, float], fmt: str = "{:.2f}",
+                   missing: str = "-") -> str:
+    """Render a 2-D grid of values as a table.
+
+    Args:
+        name: Figure title.
+        row_label / col_label: Axis names.
+        row_keys / col_keys: Axis tick values, in display order.
+        values: ``{(row_key, col_key): value}``; absent cells render as
+            ``missing`` (the paper's Fig. 10 grid is triangular).
+        fmt: Format string for each cell.
+        missing: Placeholder for absent cells.
+    """
+    if not row_keys or not col_keys:
+        raise ConfigError("need at least one row and one column")
+    headers = [f"{row_label}\\{col_label}"] + [str(c) for c in col_keys]
+    rows = []
+    for row_key in row_keys:
+        cells: list = [str(row_key)]
+        for col_key in col_keys:
+            if (row_key, col_key) in values:
+                cells.append(fmt.format(values[(row_key, col_key)]))
+            else:
+                cells.append(missing)
+        rows.append(cells)
+    return format_table(headers, rows, title=name)

@@ -1,0 +1,58 @@
+"""Plain-text table formatting for benchmark output.
+
+The benches regenerate the paper's tables and figures as printed rows;
+this keeps the harness dependency-free and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ConfigError
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render rows as an aligned monospace table.
+
+    Args:
+        headers: Column names.
+        rows: Row values; each must match the header count. Floats are
+            rendered with four significant digits.
+        title: Optional title line.
+
+    Raises:
+        ConfigError: on ragged rows.
+    """
+    if not headers:
+        raise ConfigError("need at least one column")
+    rendered: List[List[str]] = [[_cell(value) for value in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigError(
+                f"row {row!r} has {len(row)} cells; expected {len(headers)}"
+            )
+        rendered.append([_cell(value) for value in row])
+    widths = [max(len(line[col]) for line in rendered)
+              for col in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    for index, line in enumerate(rendered):
+        lines.append(" | ".join(cell.ljust(width)
+                                for cell, width in zip(line, widths)))
+        if index == 0:
+            lines.append(separator)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

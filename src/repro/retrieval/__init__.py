@@ -1,0 +1,45 @@
+"""Vector-search substrate.
+
+Two complementary pieces, mirroring the paper's methodology (§4b):
+
+1. A **functional** IVF-PQ engine (:mod:`repro.retrieval.pq`,
+   :mod:`repro.retrieval.ivf`, :mod:`repro.retrieval.bruteforce`) -- a real,
+   numpy-based approximate-nearest-neighbor implementation used by the
+   examples, the recall tests and the calibration harness.
+2. An **analytical** ScaNN-style performance model
+   (:mod:`repro.retrieval.scann_model`, :mod:`repro.retrieval.distributed`)
+   that predicts retrieval latency/throughput from bytes scanned through a
+   per-core-throughput + memory-bandwidth roofline, for databases far too
+   large to instantiate (64 billion vectors).
+
+:mod:`repro.retrieval.calibration` connects them: it measures the
+functional engine's PQ scan rate to populate the analytical model's
+parameters, replicating the paper's two-step calibration.
+"""
+
+from repro.retrieval.pq import ProductQuantizer
+from repro.retrieval.ivf import IVFPQIndex
+from repro.retrieval.tree import TreePQIndex
+from repro.retrieval.bruteforce import BruteForceIndex
+from repro.retrieval.scann_model import DatabaseConfig, ScaNNPerfModel
+from repro.retrieval.distributed import DistributedRetrievalModel
+from repro.retrieval.simulator import RetrievalPerf, RetrievalSimulator
+from repro.retrieval.calibration import CalibrationResult, calibrate_scan_rate
+from repro.retrieval.tuning import TuningPoint, TuningResult, tune_scan_fraction
+
+__all__ = [
+    "TuningPoint",
+    "TuningResult",
+    "tune_scan_fraction",
+    "ProductQuantizer",
+    "IVFPQIndex",
+    "TreePQIndex",
+    "BruteForceIndex",
+    "DatabaseConfig",
+    "ScaNNPerfModel",
+    "DistributedRetrievalModel",
+    "RetrievalPerf",
+    "RetrievalSimulator",
+    "CalibrationResult",
+    "calibrate_scan_rate",
+]

@@ -1,0 +1,67 @@
+"""Exact k-nearest-neighbor search.
+
+Used for (a) ground truth in recall tests and (b) the long-context
+paradigm (Case II), where the paper performs brute-force kNN because the
+database is tiny (1K-100K vectors) and index construction would dominate.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class BruteForceIndex:
+    """Exact kNN over an in-memory matrix using L2 distance."""
+
+    def __init__(self, vectors: np.ndarray) -> None:
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2 or vectors.shape[0] == 0:
+            raise ConfigError("vectors must be a non-empty 2-D array")
+        self._vectors = vectors
+        self._norms = (vectors**2).sum(axis=1)
+
+    @property
+    def size(self) -> int:
+        """Number of indexed vectors."""
+        return self._vectors.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return self._vectors.shape[1]
+
+    def search(self, queries: np.ndarray,
+               k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact top-k neighbors for each query.
+
+        Args:
+            queries: Array of shape (q, dim) or (dim,).
+            k: Neighbors to return; capped at the index size.
+
+        Returns:
+            ``(distances, indices)``, each of shape (q, k), distances in
+            ascending order (squared L2).
+        """
+        if k <= 0:
+            raise ConfigError("k must be positive")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        if queries.shape[1] != self.dim:
+            raise ConfigError(
+                f"queries have dim {queries.shape[1]}, index has {self.dim}"
+            )
+        k = min(k, self.size)
+        # ||x - q||^2 = ||x||^2 - 2 q.x + ||q||^2; the last term does not
+        # change the ranking but is added to return true distances.
+        dots = queries @ self._vectors.T
+        sq = self._norms[None, :] - 2.0 * dots
+        sq += (queries**2).sum(axis=1, keepdims=True)
+        idx = np.argpartition(sq, k - 1, axis=1)[:, :k]
+        part = np.take_along_axis(sq, idx, axis=1)
+        order = np.argsort(part, axis=1)
+        indices = np.take_along_axis(idx, order, axis=1)
+        distances = np.take_along_axis(part, order, axis=1)
+        return np.maximum(distances, 0.0), indices

@@ -1,0 +1,94 @@
+"""Distributed sharded retrieval across CPU servers.
+
+"For large databases requiring distributed search across multiple servers,
+we assume each server holds a shard of the dataset with independent
+indexes. Queries are routed to all servers, and results are aggregated.
+The workload is balanced across servers, with negligible overhead for
+broadcast and gather operations." (§4b)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CapacityError, ConfigError
+from repro.hardware.cpu import CPUServerSpec
+from repro.retrieval.scann_model import DatabaseConfig, ScaNNPerfModel
+
+
+@dataclass(frozen=True)
+class ShardedSearchPerf:
+    """Performance of a distributed retrieval configuration.
+
+    Attributes:
+        latency: Seconds for a batch of queries (all shards in parallel).
+        qps: Query vectors per second the shard ensemble sustains.
+        num_servers: Servers the configuration occupies.
+        batch: Query batch size evaluated.
+    """
+
+    latency: float
+    qps: float
+    num_servers: int
+    batch: int
+
+
+class DistributedRetrievalModel:
+    """Retrieval cost model over a sharded database."""
+
+    def __init__(self, database: DatabaseConfig, server: CPUServerSpec,
+                 base_latency: float = 1e-4) -> None:
+        self._database = database
+        self._server = server
+        self._perf = ScaNNPerfModel(server, base_latency)
+
+    @property
+    def database(self) -> DatabaseConfig:
+        """The sharded database."""
+        return self._database
+
+    @property
+    def server(self) -> CPUServerSpec:
+        """Per-shard host spec."""
+        return self._server
+
+    def min_servers(self) -> int:
+        """Fewest servers whose DRAM holds the quantized database.
+
+        Case I's 5.6 TiB database needs 16 x 384 GB servers (§4).
+        """
+        return max(1, math.ceil(self._database.total_bytes
+                                / self._server.memory_bytes))
+
+    def validate_servers(self, num_servers: int) -> None:
+        """Raise unless ``num_servers`` can hold the database."""
+        if num_servers <= 0:
+            raise ConfigError("num_servers must be positive")
+        needed = self.min_servers()
+        if num_servers < needed:
+            raise CapacityError(
+                f"database of {self._database.total_bytes / 1e12:.2f} TB "
+                f"needs >= {needed} servers, got {num_servers}"
+            )
+
+    def bytes_per_query_per_server(self, num_servers: int) -> float:
+        """Scanned bytes each shard contributes to one query."""
+        self.validate_servers(num_servers)
+        return self._database.bytes_per_query / num_servers
+
+    def search_perf(self, batch: int, num_servers: int) -> ShardedSearchPerf:
+        """Latency/QPS for a query batch over ``num_servers`` shards.
+
+        Every query is broadcast to all shards; each shard scans its slice
+        of the probed lists, so per-server bytes shrink linearly with the
+        server count while every server sees the full query batch.
+        """
+        per_server_bytes = self.bytes_per_query_per_server(num_servers)
+        latency = self._perf.batch_latency(per_server_bytes, batch)
+        return ShardedSearchPerf(
+            latency=latency,
+            qps=batch / latency,
+            num_servers=num_servers,
+            batch=batch,
+        )

@@ -1,0 +1,171 @@
+"""Product quantization (PQ) for approximate nearest-neighbor search.
+
+PQ (Jegou et al.) splits each D-dimensional vector into M subvectors and
+quantizes each against a 2^bits-entry codebook, so one byte can represent
+several dimensions -- the memory efficiency that makes hyperscale RAG
+databases feasible (§2: 64B vectors, 96 bytes each). Search uses
+asymmetric distance computation (ADC): per-query lookup tables turn each
+code byte into a partial distance.
+
+This is a real, working implementation (train / encode / decode / scan)
+used by the examples, recall tests and the calibration harness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def _kmeans(data: np.ndarray, num_clusters: int, iterations: int,
+            rng: np.random.Generator) -> np.ndarray:
+    """Lightweight Lloyd's k-means returning the centroid matrix."""
+    num_points = data.shape[0]
+    if num_points < num_clusters:
+        raise ConfigError(
+            f"k-means needs at least {num_clusters} points, got {num_points}"
+        )
+    choice = rng.choice(num_points, size=num_clusters, replace=False)
+    centroids = data[choice].astype(np.float32).copy()
+    for _ in range(iterations):
+        # Squared distances via the expansion ||x - c||^2 = ||x||^2 +
+        # ||c||^2 - 2 x.c; the ||x||^2 term is constant per row for argmin.
+        dots = data @ centroids.T
+        norms = (centroids**2).sum(axis=1)
+        assignment = np.argmin(norms[None, :] - 2.0 * dots, axis=1)
+        for cluster in range(num_clusters):
+            members = data[assignment == cluster]
+            if len(members):
+                centroids[cluster] = members.mean(axis=0)
+    return centroids
+
+
+class ProductQuantizer:
+    """Trainable product quantizer with ADC scanning.
+
+    Args:
+        num_subspaces: Number of code bytes per vector (M).
+        bits: Bits per code (8 -> 256 centroids per subspace).
+        train_iterations: k-means iterations per subspace.
+        seed: RNG seed for reproducible codebooks.
+    """
+
+    def __init__(self, num_subspaces: int = 8, bits: int = 8,
+                 train_iterations: int = 8, seed: int = 0) -> None:
+        if num_subspaces <= 0:
+            raise ConfigError("num_subspaces must be positive")
+        if not 1 <= bits <= 8:
+            raise ConfigError("bits must be in [1, 8]")
+        if train_iterations <= 0:
+            raise ConfigError("train_iterations must be positive")
+        self._m = num_subspaces
+        self._ksub = 1 << bits
+        self._iterations = train_iterations
+        self._seed = seed
+        self._codebooks: Optional[np.ndarray] = None  # (M, ksub, dsub)
+        self._dim = 0
+
+    @property
+    def num_subspaces(self) -> int:
+        """Code bytes per vector."""
+        return self._m
+
+    @property
+    def codes_per_subspace(self) -> int:
+        """Centroids per subspace codebook."""
+        return self._ksub
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`train` has been called."""
+        return self._codebooks is not None
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality the quantizer was trained on."""
+        return self._dim
+
+    def _require_trained(self) -> np.ndarray:
+        if self._codebooks is None:
+            raise ConfigError("ProductQuantizer is not trained yet")
+        return self._codebooks
+
+    def _split(self, vectors: np.ndarray) -> np.ndarray:
+        if vectors.ndim != 2 or vectors.shape[1] != self._dim:
+            raise ConfigError(
+                f"expected (n, {self._dim}) vectors, got {vectors.shape}"
+            )
+        n = vectors.shape[0]
+        return vectors.reshape(n, self._m, self._dim // self._m)
+
+    def train(self, vectors: np.ndarray) -> "ProductQuantizer":
+        """Learn per-subspace codebooks from training vectors."""
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2:
+            raise ConfigError("training vectors must be 2-D")
+        dim = vectors.shape[1]
+        if dim % self._m != 0:
+            raise ConfigError(
+                f"dimensionality {dim} not divisible by {self._m} subspaces"
+            )
+        self._dim = dim
+        dsub = dim // self._m
+        rng = np.random.default_rng(self._seed)
+        codebooks = np.empty((self._m, self._ksub, dsub), dtype=np.float32)
+        for sub in range(self._m):
+            block = vectors[:, sub * dsub:(sub + 1) * dsub]
+            codebooks[sub] = _kmeans(block, self._ksub, self._iterations, rng)
+        self._codebooks = codebooks
+        return self
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """Quantize vectors to uint8 codes of shape (n, M)."""
+        codebooks = self._require_trained()
+        blocks = self._split(np.asarray(vectors, dtype=np.float32))
+        n = blocks.shape[0]
+        codes = np.empty((n, self._m), dtype=np.uint8)
+        for sub in range(self._m):
+            book = codebooks[sub]
+            dots = blocks[:, sub, :] @ book.T
+            norms = (book**2).sum(axis=1)
+            codes[:, sub] = np.argmin(norms[None, :] - 2.0 * dots, axis=1)
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct approximate vectors from codes."""
+        codebooks = self._require_trained()
+        codes = np.asarray(codes)
+        if codes.ndim != 2 or codes.shape[1] != self._m:
+            raise ConfigError(f"expected (n, {self._m}) codes")
+        parts = [codebooks[sub][codes[:, sub]] for sub in range(self._m)]
+        return np.concatenate(parts, axis=1)
+
+    def lookup_table(self, query: np.ndarray) -> np.ndarray:
+        """ADC lookup table of squared distances, shape (M, ksub)."""
+        codebooks = self._require_trained()
+        query = np.asarray(query, dtype=np.float32).reshape(-1)
+        if query.shape[0] != self._dim:
+            raise ConfigError(f"query must have {self._dim} dimensions")
+        dsub = self._dim // self._m
+        table = np.empty((self._m, self._ksub), dtype=np.float32)
+        for sub in range(self._m):
+            diff = codebooks[sub] - query[sub * dsub:(sub + 1) * dsub]
+            table[sub] = (diff**2).sum(axis=1)
+        return table
+
+    def adc_scan(self, codes: np.ndarray, query: np.ndarray) -> np.ndarray:
+        """Approximate squared distances from query to every coded vector.
+
+        This is the PQ-code scan whose throughput the paper calibrates
+        (18 GB/s per core on ScaNN); the calibration harness times this
+        exact routine.
+        """
+        table = self.lookup_table(query)
+        codes = np.asarray(codes)
+        total = np.zeros(codes.shape[0], dtype=np.float32)
+        for sub in range(self._m):
+            total += table[sub][codes[:, sub]]
+        return total

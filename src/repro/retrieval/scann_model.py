@@ -1,0 +1,144 @@
+"""Analytical ScaNN retrieval performance model (§3.3, §4b).
+
+The retrieval workload is characterized by the bytes of database vectors
+scanned per query:
+
+    B_retrieval ~= N_dbvec * B_vec * P_scan / 100
+
+The search is a sequence of scan operators over a multi-level tree (the
+paper uses a three-level tree with 4K fanout for 64B vectors). Each scan
+operator's time follows the CPU roofline
+
+    T_op = max(D / P_comp(Q), D / B_mem(D))
+
+with one thread per query and batches parallelized across cores: a single
+query is bound by one core's scan rate (18 GB/s calibrated), while large
+batches saturate server memory bandwidth -- reproducing the paper's
+observations that (a) batch-1 retrieval over 32 servers costs ~10 ms and
+(b) shrinking the batch below ~16 stops improving latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hardware.cpu import CPUServerSpec
+
+
+@dataclass(frozen=True)
+class DatabaseConfig:
+    """A quantized vector database.
+
+    Attributes:
+        num_vectors: Database size N_dbvec (64e9 in Case I).
+        dim: Raw vector dimensionality (768 in the paper).
+        bytes_per_vector: PQ-compressed size B_vec (96 bytes: 1 byte per
+            8 dimensions).
+        scan_fraction: P_scan, fraction of database vectors compared per
+            query (0.001 default, i.e. 0.1%).
+        tree_fanout: Children per node of the balanced search tree
+            (4K in the paper: (64e9)^(1/3) ~= 4e3).
+        tree_levels: Depth of the tree index (3 in the paper).
+    """
+
+    num_vectors: float
+    dim: int = 768
+    bytes_per_vector: float = 96.0
+    scan_fraction: float = 0.001
+    tree_fanout: int = 4096
+    tree_levels: int = 3
+
+    def __post_init__(self) -> None:
+        if self.num_vectors <= 0:
+            raise ConfigError("num_vectors must be positive")
+        if self.dim <= 0:
+            raise ConfigError("dim must be positive")
+        if self.bytes_per_vector <= 0:
+            raise ConfigError("bytes_per_vector must be positive")
+        if not 0 < self.scan_fraction <= 1:
+            raise ConfigError("scan_fraction must be in (0, 1]")
+        if self.tree_fanout <= 1:
+            raise ConfigError("tree_fanout must exceed 1")
+        if self.tree_levels <= 0:
+            raise ConfigError("tree_levels must be positive")
+
+    @property
+    def total_bytes(self) -> float:
+        """Quantized database size in bytes (5.6 TiB for Case I)."""
+        return self.num_vectors * self.bytes_per_vector
+
+    @property
+    def leaf_bytes_per_query(self) -> float:
+        """Leaf-level bytes scanned per query (the dominant term)."""
+        return self.num_vectors * self.bytes_per_vector * self.scan_fraction
+
+    @property
+    def upper_level_bytes_per_query(self) -> float:
+        """Bytes scanned in the non-leaf tree levels per query.
+
+        Each traversed level scans one node's fanout of centroid codes;
+        negligible next to the leaf scan but modelled for completeness.
+        """
+        levels_above_leaf = max(self.tree_levels - 1, 0)
+        return levels_above_leaf * self.tree_fanout * self.bytes_per_vector
+
+    @property
+    def bytes_per_query(self) -> float:
+        """Total bytes one query scans across all tree levels."""
+        return self.leaf_bytes_per_query + self.upper_level_bytes_per_query
+
+    def with_scan_fraction(self, scan_fraction: float) -> "DatabaseConfig":
+        """Copy with a different P_scan (Fig. 7b sweeps this)."""
+        return DatabaseConfig(
+            num_vectors=self.num_vectors,
+            dim=self.dim,
+            bytes_per_vector=self.bytes_per_vector,
+            scan_fraction=scan_fraction,
+            tree_fanout=self.tree_fanout,
+            tree_levels=self.tree_levels,
+        )
+
+
+class ScaNNPerfModel:
+    """Single-server retrieval roofline.
+
+    Args:
+        server: CPU host whose cores/bandwidth execute the scan.
+        base_latency: Fixed per-batch overhead in seconds (queue hops,
+            top-k merge); small relative to scan time.
+    """
+
+    def __init__(self, server: CPUServerSpec,
+                 base_latency: float = 1e-4) -> None:
+        if base_latency < 0:
+            raise ConfigError("base_latency must be non-negative")
+        self._server = server
+        self._base_latency = base_latency
+
+    @property
+    def server(self) -> CPUServerSpec:
+        """Host server spec."""
+        return self._server
+
+    def batch_latency(self, bytes_per_query: float, batch: int) -> float:
+        """Latency to finish a batch of queries on one server.
+
+        One thread per query: with Q <= cores every query scans at the
+        per-core rate concurrently; beyond that, queries run in waves.
+        Aggregate traffic is capped by effective memory bandwidth.
+        """
+        if bytes_per_query < 0:
+            raise ConfigError("bytes_per_query must be non-negative")
+        if batch <= 0:
+            raise ConfigError("batch must be positive")
+        waves = math.ceil(batch / self._server.cores)
+        compute = waves * bytes_per_query / self._server.pq_scan_rate_per_core
+        memory = (batch * bytes_per_query
+                  / self._server.effective_mem_bandwidth)
+        return self._base_latency + max(compute, memory)
+
+    def batch_throughput(self, bytes_per_query: float, batch: int) -> float:
+        """Queries per second one server sustains at a batch size."""
+        return batch / self.batch_latency(bytes_per_query, batch)

@@ -1,0 +1,114 @@
+"""Facade over the retrieval cost models.
+
+:class:`RetrievalSimulator` answers the pipeline layer's question: "a
+request performs a retrieval of ``queries_per_retrieval`` query vectors
+against this database on ``num_servers`` shards at batch size B -- what
+latency and request throughput does that cost?" It also models Case II's
+brute-force kNN over tiny in-memory databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+from repro.hardware.cpu import CPUServerSpec
+from repro.retrieval.distributed import DistributedRetrievalModel
+from repro.retrieval.scann_model import DatabaseConfig
+
+
+@dataclass(frozen=True)
+class RetrievalPerf:
+    """Performance of one retrieval stage configuration.
+
+    Attributes:
+        latency: Seconds to answer a batch of retrieval requests.
+        request_qps: Retrieval *requests* per second (a request may carry
+            several query vectors).
+        query_qps: Query vectors per second.
+        num_servers: CPU servers used.
+        batch: Request batch size evaluated.
+        queries_per_request: Query vectors each request fans out to.
+    """
+
+    latency: float
+    request_qps: float
+    query_qps: float
+    num_servers: int
+    batch: int
+    queries_per_request: int
+
+
+class RetrievalSimulator:
+    """Cached retrieval cost model for one database + server type."""
+
+    def __init__(self, database: DatabaseConfig, server: CPUServerSpec,
+                 brute_force: bool = False,
+                 base_latency: float = 1e-4) -> None:
+        self._database = database
+        self._server = server
+        self._brute_force = brute_force
+        self._base_latency = base_latency
+        self._model = DistributedRetrievalModel(
+            self._effective_database(), server, base_latency)
+        self._cache: Dict[Tuple[int, int, int], RetrievalPerf] = {}
+
+    @property
+    def database(self) -> DatabaseConfig:
+        """Database configuration being searched."""
+        return self._database
+
+    @property
+    def brute_force(self) -> bool:
+        """Whether searches scan the full database (Case II kNN)."""
+        return self._brute_force
+
+    def min_servers(self) -> int:
+        """Fewest servers that hold the (sharded) database."""
+        return self._model.min_servers()
+
+    def _effective_database(self) -> DatabaseConfig:
+        if not self._brute_force:
+            return self._database
+        # Brute-force kNN scans every vector: p_scan = 1, no tree levels.
+        return DatabaseConfig(
+            num_vectors=self._database.num_vectors,
+            dim=self._database.dim,
+            bytes_per_vector=self._database.bytes_per_vector,
+            scan_fraction=1.0,
+            tree_fanout=self._database.tree_fanout,
+            tree_levels=1,
+        )
+
+    def perf(self, batch: int, num_servers: int,
+             queries_per_request: int = 1) -> RetrievalPerf:
+        """Retrieval performance for a request batch (cached).
+
+        Args:
+            batch: Retrieval requests batched together.
+            num_servers: CPU servers allocated to retrieval.
+            queries_per_request: Query vectors per request (multi-query
+                retrieval, Case I sweeps 1-8).
+
+        Raises:
+            ConfigError / CapacityError: on invalid sizes or too few
+                servers for the database.
+        """
+        if queries_per_request <= 0:
+            raise ConfigError("queries_per_request must be positive")
+        key = (batch, num_servers, queries_per_request)
+        if key in self._cache:
+            return self._cache[key]
+        query_batch = batch * queries_per_request
+        shard_perf = self._model.search_perf(query_batch, num_servers)
+        perf = RetrievalPerf(
+            latency=shard_perf.latency,
+            request_qps=batch / shard_perf.latency,
+            query_qps=shard_perf.qps,
+            num_servers=num_servers,
+            batch=batch,
+            queries_per_request=queries_per_request,
+        )
+        self._cache[key] = perf
+        return perf

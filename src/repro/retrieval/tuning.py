@@ -1,0 +1,94 @@
+"""Retrieval-configuration tuning: minimum scan fraction for a recall
+target.
+
+§3.3: "P_scan is determined by evaluating a set of sample queries and
+analyzing the relationship between P_scan and retrieval quality measured
+by recall ... The minimum value of P_scan that satisfies the required
+retrieval quality is then selected." This module implements that tuning
+loop against the functional IVF-PQ engine and reports the resulting
+``p_scan`` for the analytical model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.retrieval.bruteforce import BruteForceIndex
+from repro.retrieval.ivf import IVFPQIndex
+
+
+@dataclass(frozen=True)
+class TuningPoint:
+    """One (nprobe, scan fraction, recall) measurement."""
+
+    nprobe: int
+    scan_fraction: float
+    recall: float
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a scan-fraction tuning sweep.
+
+    Attributes:
+        points: Measurements in ascending nprobe order.
+        selected: The cheapest point meeting the recall target, or None
+            when even a full scan misses it (PQ quantization floor).
+        target_recall: The requested recall.
+    """
+
+    points: List[TuningPoint]
+    selected: "TuningPoint | None"
+    target_recall: float
+
+
+def tune_scan_fraction(index: IVFPQIndex, corpus: np.ndarray,
+                       queries: np.ndarray, k: int = 10,
+                       target_recall: float = 0.8,
+                       nprobe_candidates: Sequence[int] = (1, 2, 4, 8, 16,
+                                                           32, 64)) -> TuningResult:
+    """Find the smallest scan fraction meeting a recall target.
+
+    Args:
+        index: A built IVF-PQ index over ``corpus``.
+        corpus: The indexed vectors (for brute-force ground truth).
+        queries: Sample query vectors (the paper's tuning queries).
+        k: Neighbors per query for recall@k.
+        target_recall: Required recall in (0, 1].
+        nprobe_candidates: Probe counts to sweep (ascending).
+
+    Raises:
+        ConfigError: on invalid arguments or an unbuilt index.
+    """
+    if not 0 < target_recall <= 1:
+        raise ConfigError("target_recall must be in (0, 1]")
+    if not index.is_trained:
+        raise ConfigError("index must be built before tuning")
+    if len(nprobe_candidates) == 0:
+        raise ConfigError("need at least one nprobe candidate")
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+
+    exact = BruteForceIndex(corpus)
+    _, truth = exact.search(queries, k=k)
+
+    points: List[TuningPoint] = []
+    selected = None
+    for nprobe in sorted(set(int(n) for n in nprobe_candidates)):
+        if nprobe <= 0:
+            raise ConfigError("nprobe candidates must be positive")
+        _, approx = index.search(queries, k=k, nprobe=nprobe)
+        hits = sum(len(set(a_row) & set(t_row))
+                   for a_row, t_row in zip(approx, truth))
+        recall = hits / float(truth.size)
+        point = TuningPoint(nprobe=nprobe,
+                            scan_fraction=index.scanned_fraction(nprobe),
+                            recall=recall)
+        points.append(point)
+        if selected is None and recall >= target_recall:
+            selected = point
+    return TuningResult(points=points, selected=selected,
+                        target_recall=target_recall)

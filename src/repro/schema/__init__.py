@@ -1,0 +1,41 @@
+"""RAGSchema: the paper's structured abstraction of RAG serving workloads.
+
+A :class:`RAGSchema` captures (1) which pipeline components exist
+(document encoder, query rewriter, reranker, generative LLM) and (2) the
+performance-relevant configuration of each (model sizes, database size and
+dimensionality, queries per retrieval, iterative retrieval frequency) --
+Table 1 and Fig. 3 of the paper.
+"""
+
+from repro.schema.ragschema import RAGSchema
+from repro.schema.stages import Stage, pipeline_stages, ttft_stages, xpu_stages
+from repro.schema.paradigms import (
+    case_i_hyperscale,
+    case_ii_long_context,
+    case_iii_iterative,
+    case_iv_rewriter_reranker,
+    llm_only,
+)
+from repro.schema.serialization import (
+    schedule_from_dict,
+    schedule_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+)
+
+__all__ = [
+    "schema_to_dict",
+    "schema_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "RAGSchema",
+    "Stage",
+    "pipeline_stages",
+    "ttft_stages",
+    "xpu_stages",
+    "case_i_hyperscale",
+    "case_ii_long_context",
+    "case_iii_iterative",
+    "case_iv_rewriter_reranker",
+    "llm_only",
+]

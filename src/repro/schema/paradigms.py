@@ -1,0 +1,156 @@
+"""Preset RAGSchema instantiations for the paper's four case studies
+(Table 3) plus the LLM-only reference pipeline.
+
+=================  =======================================================
+Case I             Hyperscale retrieval: 64B-vector database, one
+                   retrieval, 1-8 query vectors, LLM 1B-405B.
+Case II            Long-context: 120M document encoder, 100K-10M token
+                   context (1K-100K vectors), brute-force kNN.
+Case III           Iterative retrievals: Case I plus 2-8 retrievals per
+                   sequence during decoding.
+Case IV            Query rewriter (8B) + reranker (120M) around Case I.
+=================  =======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.models.catalog import (
+    ENCODER_120M,
+    RERANKER_120M,
+    REWRITER_8B,
+    model_by_params,
+)
+from repro.models.transformer import TransformerConfig
+from repro.retrieval.scann_model import DatabaseConfig
+from repro.schema.ragschema import RAGSchema
+from repro.workloads.profile import SequenceProfile
+
+#: Case I/III/IV database: 64 billion passages, 768-d, PQ to 96 bytes.
+HYPERSCALE_DATABASE = DatabaseConfig(
+    num_vectors=64e9,
+    dim=768,
+    bytes_per_vector=96.0,
+    scan_fraction=0.001,
+    tree_fanout=4096,
+    tree_levels=3,
+)
+
+#: Case II stores fresh FP16 embeddings (768 dims x 2 bytes).
+LONG_CONTEXT_BYTES_PER_VECTOR = 768 * 2.0
+
+
+def _llm(model: "str | TransformerConfig") -> TransformerConfig:
+    if isinstance(model, TransformerConfig):
+        return model
+    return model_by_params(model)
+
+
+def case_i_hyperscale(llm: "str | TransformerConfig" = "8B",
+                      queries_per_retrieval: int = 1,
+                      scan_fraction: float = 0.001,
+                      sequences: Optional[SequenceProfile] = None) -> RAGSchema:
+    """Case I: hyperscale retrieval + generative LLM (RETRO-style)."""
+    model = _llm(llm)
+    database = HYPERSCALE_DATABASE.with_scan_fraction(scan_fraction)
+    return RAGSchema(
+        name=f"case-i-{model.name}",
+        generative_llm=model,
+        database=database,
+        retrieval_frequency=1,
+        queries_per_retrieval=queries_per_retrieval,
+        sequences=sequences or SequenceProfile(),
+    )
+
+
+def case_ii_long_context(context_len: int = 1_000_000,
+                         llm: "str | TransformerConfig" = "70B",
+                         sequences: Optional[SequenceProfile] = None) -> RAGSchema:
+    """Case II: long-context processing via RAG.
+
+    The uploaded document becomes a tiny database (one vector per
+    128-token chunk) searched with brute-force kNN; a 120M encoder builds
+    the vectors in real time.
+    """
+    if context_len <= 0:
+        raise ConfigError("context_len must be positive")
+    base = sequences or SequenceProfile()
+    profile = base.with_lengths(context_len=context_len)
+    num_vectors = max(profile.num_chunks, 1)
+    database = DatabaseConfig(
+        num_vectors=float(num_vectors),
+        dim=768,
+        bytes_per_vector=LONG_CONTEXT_BYTES_PER_VECTOR,
+        scan_fraction=1.0,
+        tree_fanout=max(num_vectors, 2),
+        tree_levels=1,
+    )
+    model = _llm(llm)
+    return RAGSchema(
+        name=f"case-ii-{model.name}-ctx{context_len}",
+        generative_llm=model,
+        database=database,
+        document_encoder=ENCODER_120M,
+        retrieval_frequency=1,
+        queries_per_retrieval=1,
+        brute_force_retrieval=True,
+        sequences=profile,
+    )
+
+
+def case_iii_iterative(llm: "str | TransformerConfig" = "70B",
+                       retrieval_frequency: int = 4,
+                       sequences: Optional[SequenceProfile] = None) -> RAGSchema:
+    """Case III: hyperscale retrieval with iterative retrievals during
+    decoding (2-8 per sequence)."""
+    if retrieval_frequency < 1:
+        raise ConfigError("retrieval_frequency must be at least 1")
+    model = _llm(llm)
+    return RAGSchema(
+        name=f"case-iii-{model.name}-x{retrieval_frequency}",
+        generative_llm=model,
+        database=HYPERSCALE_DATABASE,
+        retrieval_frequency=retrieval_frequency,
+        queries_per_retrieval=1,
+        sequences=sequences or SequenceProfile(),
+    )
+
+
+def case_iv_rewriter_reranker(llm: "str | TransformerConfig" = "70B",
+                              sequences: Optional[SequenceProfile] = None) -> RAGSchema:
+    """Case IV: Case I plus an 8B query rewriter and a 120M reranker."""
+    model = _llm(llm)
+    return RAGSchema(
+        name=f"case-iv-{model.name}",
+        generative_llm=model,
+        database=HYPERSCALE_DATABASE,
+        query_rewriter=REWRITER_8B,
+        query_reranker=RERANKER_120M,
+        retrieval_frequency=1,
+        queries_per_retrieval=1,
+        sequences=sequences or SequenceProfile(),
+    )
+
+
+def llm_only(llm: "str | TransformerConfig" = "70B",
+             prefix_len: Optional[int] = None,
+             sequences: Optional[SequenceProfile] = None) -> RAGSchema:
+    """LLM-only serving pipeline (no retrieval).
+
+    By default the prompt is just the question (32 tokens), matching the
+    paper's RAG-vs-LLM-only comparison (512-token RAG prompts vs 32-token
+    questions, §5.1).
+    """
+    model = _llm(llm)
+    base = sequences or SequenceProfile()
+    prompt = prefix_len if prefix_len is not None else base.question_len
+    profile = base.with_lengths(prefix_len=max(prompt, base.question_len))
+    return RAGSchema(
+        name=f"llm-only-{model.name}",
+        generative_llm=model,
+        database=None,
+        retrieval_frequency=0,
+        sequences=profile,
+    )

@@ -1,0 +1,25 @@
+"""Request-level discrete-event serving simulation.
+
+The analytical assembly (:mod:`repro.pipeline.assembly`) predicts
+steady-state TTFT and QPS in closed form. This package simulates the
+same deployment at request granularity -- arrivals, per-stage batching
+queues, busy servers, continuous-batching decode -- so the closed-form
+predictions can be validated and transient effects (bursts, queueing
+delay, tail latency) can be studied.
+
+The simulator consumes the same :class:`~repro.pipeline.Schedule` and
+:class:`~repro.pipeline.RAGPerfModel` as the analytical path: stage
+*service times* come from the calibrated cost models; the DES adds only
+queueing and batching dynamics on top.
+"""
+
+from repro.sim.engine import EventQueue, Simulation
+from repro.sim.serving import RequestRecord, ServingMetrics, ServingSimulator
+
+__all__ = [
+    "EventQueue",
+    "Simulation",
+    "ServingSimulator",
+    "ServingMetrics",
+    "RequestRecord",
+]

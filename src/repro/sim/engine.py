@@ -1,0 +1,102 @@
+"""Minimal discrete-event simulation core.
+
+A :class:`Simulation` owns a time-ordered event queue; callbacks are
+scheduled at absolute times and executed in order. Ties break by
+insertion order, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: An event callback receives the simulation so it can schedule more.
+EventFn = Callable[["Simulation"], None]
+
+
+class EventQueue:
+    """Priority queue of (time, sequence, callback) events."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, EventFn]] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: EventFn) -> None:
+        """Schedule a callback at an absolute time."""
+        if time < 0:
+            raise ConfigError("event time must be non-negative")
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def pop(self) -> Tuple[float, EventFn]:
+        """Remove and return the earliest (time, callback)."""
+        time, _, callback = heapq.heappop(self._heap)
+        return time, callback
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class Simulation:
+    """Event loop with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed so far."""
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: EventFn) -> None:
+        """Schedule a callback ``delay`` seconds from now."""
+        if delay < 0:
+            raise ConfigError("delay must be non-negative")
+        self._queue.push(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: EventFn) -> None:
+        """Schedule a callback at an absolute time (>= now)."""
+        if time < self._now:
+            raise ConfigError("cannot schedule in the past")
+        self._queue.push(time, callback)
+
+    def run(self, until: Optional[float] = None,
+            max_events: int = 10_000_000) -> None:
+        """Process events until the queue drains or limits are reached.
+
+        Args:
+            until: Stop once the clock would pass this time (remaining
+                events stay queued).
+            max_events: Safety valve against runaway simulations.
+
+        Raises:
+            ConfigError: when ``max_events`` is exhausted (almost always
+                a modelling bug such as a self-rescheduling zero-delay
+                event).
+        """
+        while self._queue:
+            if self._events_processed >= max_events:
+                raise ConfigError(
+                    f"simulation exceeded {max_events} events; likely a "
+                    f"zero-delay event loop"
+                )
+            time, callback = self._queue.pop()
+            if until is not None and time > until:
+                self._queue.push(time, callback)
+                self._now = until
+                return
+            self._now = time
+            self._events_processed += 1
+            callback(self)

@@ -1,0 +1,470 @@
+"""Request-level RAG serving simulator.
+
+Builds a queueing network from a :class:`~repro.pipeline.Schedule`:
+
+* every placement group becomes one *resource*; the group's stages are
+  batch stations that serialize on it (time multiplexing, §6.1),
+* retrieval is a station on its own CPU-server resource -- so a
+  collocated group spanning retrieval naturally idles while requests
+  are out at the retrieval tier, reproducing the paper's stall rule,
+* decode is a continuous-batching executor: sequences join the running
+  batch at step boundaries and leave after ``decode_len`` steps.
+
+Stage *service times* come from the analytical cost models; the DES adds
+queueing, batching and admission dynamics. Batches dispatch when full,
+or when a station has waited ``max_wait`` with a partial batch (so tails
+cannot deadlock).
+
+Iterative-retrieval schemas are handled by the dedicated cohort model in
+:mod:`repro.pipeline.iterative`; this simulator rejects them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.pipeline.assembly import Schedule, derive_retrieval_servers
+from repro.pipeline.stage_perf import RAGPerfModel
+from repro.schema.stages import Stage, pipeline_stages
+from repro.sim.engine import Simulation
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle of one request through the simulated deployment.
+
+    Attributes:
+        request_id: Arrival index.
+        arrival: Arrival time in seconds.
+        decode_len: Tokens this request generates (the workload profile's
+            decode length unless per-request lengths were supplied).
+        stage_completions: Completion time per pipeline stage.
+        first_token_time: When the prefix stage finished (first token).
+        completion_time: When the last decode step finished.
+    """
+
+    request_id: int
+    arrival: float
+    decode_len: int = 0
+    stage_completions: Dict[Stage, float] = field(default_factory=dict)
+    first_token_time: Optional[float] = None
+    completion_time: Optional[float] = None
+
+    @property
+    def ttft(self) -> Optional[float]:
+        """Seconds from arrival to first token (None if unfinished)."""
+        if self.first_token_time is None:
+            return None
+        return self.first_token_time - self.arrival
+
+
+@dataclass
+class ServingMetrics:
+    """Aggregate results of one simulation run.
+
+    Attributes:
+        completed: Requests that finished decoding.
+        offered: Requests injected.
+        duration: Seconds from first arrival to last completion.
+        throughput: Completed requests per second over ``duration``.
+        mean_ttft / p99_ttft: TTFT statistics over completed requests.
+        mean_tpot: Mean (completion - first token) / decode_len.
+        utilization: Busy-time fraction per pre-decode resource over the
+            run (group name -> [0, 1]); shows which tier the schedule
+            actually saturates.
+        records: Per-request lifecycles.
+    """
+
+    completed: int
+    offered: int
+    duration: float
+    throughput: float
+    mean_ttft: float
+    p99_ttft: float
+    mean_tpot: float
+    utilization: Dict[str, float] = field(default_factory=dict)
+    records: List[RequestRecord] = field(repr=False, default_factory=list)
+
+
+class _Resource:
+    """A set of chips (or servers) that one batch occupies at a time."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.busy = False
+        self.stations: List["_BatchStation"] = []
+        self.busy_time = 0.0
+
+    def release(self, sim: Simulation) -> None:
+        self.busy = False
+        for station in self.stations:
+            station.try_dispatch(sim)
+            if self.busy:
+                break
+
+
+class _BatchStation:
+    """One pipeline stage batching requests on a shared resource.
+
+    A batch occupies the resource for its *initiation interval*
+    (``batch / throughput``): pipeline-parallel prefill overlaps
+    consecutive batches, so the resource frees before the batch's full
+    latency has elapsed; results are delivered at the latency.
+    """
+
+    def __init__(self, stage: Stage, batch_size: int,
+                 perf_fn: Callable[[int], "object"], resource: _Resource,
+                 deliver: Callable[[Simulation, RequestRecord], None],
+                 max_wait: float) -> None:
+        self.stage = stage
+        self.batch_size = batch_size
+        self.perf_fn = perf_fn
+        self.resource = resource
+        self.deliver = deliver
+        self.max_wait = max_wait
+        self.queue: List[RequestRecord] = []
+        self._oldest_enqueue: Optional[float] = None
+        self._flush_scheduled = False
+        resource.stations.append(self)
+
+    def accept(self, sim: Simulation, record: RequestRecord) -> None:
+        self.queue.append(record)
+        if self._oldest_enqueue is None:
+            self._oldest_enqueue = sim.now
+        self.try_dispatch(sim)
+
+    def try_dispatch(self, sim: Simulation) -> None:
+        if self.resource.busy or not self.queue:
+            return
+        full = len(self.queue) >= self.batch_size
+        stale = (self._oldest_enqueue is not None
+                 and sim.now - self._oldest_enqueue >= self.max_wait)
+        if full or stale:
+            self._dispatch(sim)
+        elif not self._flush_scheduled:
+            self._flush_scheduled = True
+            wait = self.max_wait - (sim.now - self._oldest_enqueue)
+            sim.schedule(max(wait, 0.0), self._flush)
+
+    def _flush(self, sim: Simulation) -> None:
+        # Force-dispatch the partial batch (float rounding must not turn
+        # the staleness check into a zero-delay reschedule loop).
+        self._flush_scheduled = False
+        if not self.resource.busy and self.queue:
+            self._dispatch(sim)
+
+    def _dispatch(self, sim: Simulation) -> None:
+        take = min(self.batch_size, len(self.queue))
+        batch = self.queue[:take]
+        del self.queue[:take]
+        self._oldest_enqueue = sim.now if self.queue else None
+        self.resource.busy = True
+        perf = self.perf_fn(take)
+        latency = perf.latency
+        occupancy = min(take / perf.request_qps, latency)
+        self.resource.busy_time += occupancy
+
+        def free(sim_: Simulation) -> None:
+            self.resource.release(sim_)
+
+        def complete(sim_: Simulation, batch_=batch) -> None:
+            for record in batch_:
+                record.stage_completions[self.stage] = sim_.now
+            for record in batch_:
+                self.deliver(sim_, record)
+
+        sim.schedule(occupancy, free)
+        sim.schedule(latency, complete)
+
+
+class _DecodeExecutor:
+    """Continuous-batching decode: sequences join at step boundaries and
+    leave after their own decode length (variable-length requests mix in
+    the batch, which is why the paper reports worst-case TPOT).
+
+    For iterative schemas (Case III), a sequence that hits one of its
+    retrieval positions leaves the batch through ``retrieval_hook`` (to
+    the retrieval + re-prefix stations) and re-joins via :meth:`accept`
+    when the new context has been integrated.
+    """
+
+    def __init__(self, capacity: int, step_latency: float, decode_len: int,
+                 on_complete: Callable[[Simulation, RequestRecord], None],
+                 retrieval_hook: Optional[
+                     Callable[[Simulation, RequestRecord], None]] = None,
+                 positions_fn: Optional[
+                     Callable[[RequestRecord], List[int]]] = None) -> None:
+        self.capacity = capacity
+        self.step_latency = step_latency
+        self.decode_len = decode_len
+        self.on_complete = on_complete
+        self.retrieval_hook = retrieval_hook
+        self.positions_fn = positions_fn
+        self.waiting: List[RequestRecord] = []
+        self.remaining: List[List] = []  # [record, tokens_done, target]
+        self.running = False
+        self._progress: Dict[int, int] = {}
+        self._positions: Dict[int, List[int]] = {}
+
+    def accept(self, sim: Simulation, record: RequestRecord) -> None:
+        self.waiting.append(record)
+        if not self.running:
+            self.running = True
+            sim.schedule(0.0, self._step)
+
+    def _admit(self, record: RequestRecord) -> None:
+        if record.request_id not in self._progress:
+            self._progress[record.request_id] = 0
+            if self.positions_fn is not None:
+                self._positions[record.request_id] = list(
+                    self.positions_fn(record))
+            else:
+                self._positions[record.request_id] = []
+        target = record.decode_len or self.decode_len
+        self.remaining.append([record, target])
+
+    def _step(self, sim: Simulation) -> None:
+        # Admit new sequences up to capacity.
+        while self.waiting and len(self.remaining) < self.capacity:
+            self._admit(self.waiting.pop(0))
+        if not self.remaining:
+            self.running = False
+            return
+
+        def advance(sim_: Simulation) -> None:
+            finished = []
+            departing = []
+            for entry in self.remaining:
+                record = entry[0]
+                self._progress[record.request_id] += 1
+                done = self._progress[record.request_id]
+                if done >= entry[1]:
+                    finished.append(entry)
+                    continue
+                positions = self._positions[record.request_id]
+                if positions and done >= positions[0]:
+                    positions.pop(0)
+                    departing.append(entry)
+            for entry in finished:
+                self.remaining.remove(entry)
+                entry[0].completion_time = sim_.now
+                self.on_complete(sim_, entry[0])
+            for entry in departing:
+                self.remaining.remove(entry)
+                self.retrieval_hook(sim_, entry[0])
+            self._step(sim_)
+
+        sim.schedule(self.step_latency, advance)
+
+
+class ServingSimulator:
+    """Simulate one schedule serving a stream of requests."""
+
+    def __init__(self, perf_model: RAGPerfModel, schedule: Schedule,
+                 max_wait: Optional[float] = None, seed: int = 0) -> None:
+        self._perf_model = perf_model
+        self._schedule = schedule
+        self._schema = perf_model.schema
+        self._servers = schedule.retrieval_servers
+        if self._servers is None:
+            self._servers = derive_retrieval_servers(perf_model, schedule)
+        self._max_wait = max_wait
+        self._seed = seed
+        self._records: List[RequestRecord] = []
+        self._stations: Dict[Stage, _BatchStation] = {}
+        self._decode: Optional[_DecodeExecutor] = None
+        self._build()
+
+    # ------------------------------------------------------------------
+
+    def _stage_perf_fn(self, stage: Stage, resource_amount: int):
+        plan = self._schedule.shard_plans.get(stage)
+
+        def perf(batch: int):
+            return self._perf_model.perf(stage, batch, resource_amount,
+                                         plan=plan)
+
+        return perf
+
+    def _build(self) -> None:
+        schema = self._schema
+        stages = [stage for stage in pipeline_stages(schema)
+                  if stage is not Stage.DECODE]
+        resources: Dict[int, _Resource] = {}
+        for index, group in enumerate(self._schedule.groups):
+            resources[index] = _Resource(
+                name="+".join(str(s) for s in group.stages))
+        retrieval_resource = _Resource("retrieval-servers")
+        self._resources = [res for res in resources.values()
+                           if "decode" not in res.name]
+        if schema.has_retrieval:
+            self._resources.append(retrieval_resource)
+
+        # Build stations back to front so each knows its successor.
+        deliver_next = self._enter_decode
+        for stage in reversed(stages):
+            if stage is Stage.RETRIEVAL:
+                resource = retrieval_resource
+                amount = self._servers
+            else:
+                group_index = next(
+                    i for i, group in enumerate(self._schedule.groups)
+                    if stage in group.stages)
+                resource = resources[group_index]
+                amount = self._schedule.groups[group_index].num_xpus
+            batch = self._schedule.batches[stage]
+            perf_fn = self._stage_perf_fn(stage, amount)
+            max_wait = self._max_wait
+            if max_wait is None:
+                max_wait = perf_fn(batch).latency
+            station = _BatchStation(
+                stage=stage, batch_size=batch, perf_fn=perf_fn,
+                resource=resource,
+                deliver=self._make_deliver(stage, deliver_next),
+                max_wait=max_wait)
+            self._stations[stage] = station
+            deliver_next = station.accept
+        self._entry = deliver_next
+
+        decode_group = next(group for group in self._schedule.groups
+                            if Stage.DECODE in group.stages)
+        decode_batch = self._schedule.batches[Stage.DECODE]
+        decode_perf = self._perf_model.perf(Stage.DECODE, decode_batch,
+                                            decode_group.num_xpus)
+        step_latency = decode_perf.latency / schema.sequences.decode_len
+
+        retrieval_hook = None
+        positions_fn = None
+        if schema.is_iterative:
+            # Iterative retrieval + re-prefix stations: retrieval shares
+            # the CPU servers with the initial retrieval; the re-prefix
+            # time-multiplexes the prefix group's chips (§6.1 [III]).
+            iter_batch = (self._schedule.iterative_batch
+                          or self._schedule.batches[Stage.RETRIEVAL])
+            prefix_index = next(
+                i for i, group in enumerate(self._schedule.groups)
+                if Stage.PREFIX in group.stages)
+            retrieval_perf_fn = self._stage_perf_fn(Stage.RETRIEVAL,
+                                                    self._servers)
+            prefix_perf_fn = self._stage_perf_fn(
+                Stage.PREFIX, self._schedule.groups[prefix_index].num_xpus)
+            iter_prefix = _BatchStation(
+                stage=Stage.PREFIX, batch_size=iter_batch,
+                perf_fn=prefix_perf_fn, resource=resources[prefix_index],
+                deliver=lambda sim, record: self._decode.accept(sim, record),
+                max_wait=self._max_wait
+                or prefix_perf_fn(iter_batch).latency)
+            iter_retrieval = _BatchStation(
+                stage=Stage.RETRIEVAL, batch_size=iter_batch,
+                perf_fn=retrieval_perf_fn, resource=retrieval_resource,
+                deliver=iter_prefix.accept,
+                max_wait=self._max_wait
+                or retrieval_perf_fn(iter_batch).latency)
+            retrieval_hook = iter_retrieval.accept
+            retrievals = schema.retrieval_frequency - 1
+            base_seed = self._seed
+
+            def positions_fn(record: RequestRecord):
+                from repro.workloads.sequences import (
+                    sample_retrieval_positions,
+                )
+                length = record.decode_len or schema.sequences.decode_len
+                count = min(retrievals, max(length - 1, 0))
+                return sample_retrieval_positions(
+                    length, count, seed=base_seed + record.request_id)
+
+        self._decode = _DecodeExecutor(
+            capacity=decode_batch, step_latency=step_latency,
+            decode_len=schema.sequences.decode_len,
+            on_complete=lambda sim, record: None,
+            retrieval_hook=retrieval_hook,
+            positions_fn=positions_fn)
+
+    def _make_deliver(self, stage: Stage, downstream):
+        def deliver(sim: Simulation, record: RequestRecord) -> None:
+            if stage is Stage.PREFIX and record.first_token_time is None:
+                record.first_token_time = sim.now
+            downstream(sim, record)
+
+        return deliver
+
+    def _enter_decode(self, sim: Simulation, record: RequestRecord) -> None:
+        self._decode.accept(sim, record)
+
+    # ------------------------------------------------------------------
+
+    def run(self, arrivals: Sequence[float],
+            horizon: Optional[float] = None,
+            decode_lengths: Optional[Sequence[int]] = None) -> ServingMetrics:
+        """Inject requests at the given times and simulate to completion.
+
+        Args:
+            arrivals: Sorted arrival timestamps in seconds.
+            horizon: Optional hard stop; unfinished requests are dropped
+                from the completed statistics.
+            decode_lengths: Optional per-request generation lengths (same
+                order as ``arrivals``); None uses the workload profile's
+                decode length for every request.
+
+        Raises:
+            ConfigError: on empty/unsorted arrivals or mismatched
+                decode-length counts.
+        """
+        if not arrivals:
+            raise ConfigError("need at least one arrival")
+        if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+            raise ConfigError("arrivals must be sorted")
+        if decode_lengths is not None:
+            if len(decode_lengths) != len(arrivals):
+                raise ConfigError(
+                    "decode_lengths must match arrivals in length")
+            if any(length <= 0 for length in decode_lengths):
+                raise ConfigError("decode lengths must be positive")
+        sim = Simulation()
+        self._records = []
+        for resource in self._resources:
+            resource.busy_time = 0.0
+        default_len = self._schema.sequences.decode_len
+        for index, time in enumerate(arrivals):
+            length = decode_lengths[index] if decode_lengths is not None \
+                else default_len
+            record = RequestRecord(request_id=index, arrival=time,
+                                   decode_len=int(length))
+            self._records.append(record)
+            sim.schedule_at(time, lambda s, r=record: self._entry(s, r))
+        sim.run(until=horizon)
+        return self._metrics(arrivals)
+
+    def _metrics(self, arrivals: Sequence[float]) -> ServingMetrics:
+        done = [r for r in self._records if r.completion_time is not None]
+        ttfts = sorted(r.ttft for r in done if r.ttft is not None)
+        if done:
+            last = max(r.completion_time for r in done)
+            duration = max(last - arrivals[0], 1e-12)
+            throughput = len(done) / duration
+            mean_ttft = sum(ttfts) / len(ttfts)
+            p99 = ttfts[min(int(0.99 * len(ttfts)), len(ttfts) - 1)]
+            tpots = [(r.completion_time - r.first_token_time)
+                     / max(r.decode_len, 1)
+                     for r in done if r.first_token_time is not None]
+            mean_tpot = sum(tpots) / len(tpots)
+        else:
+            duration = throughput = mean_ttft = p99 = mean_tpot = 0.0
+        utilization = {}
+        if duration > 0:
+            utilization = {resource.name:
+                           min(resource.busy_time / duration, 1.0)
+                           for resource in self._resources}
+        return ServingMetrics(
+            completed=len(done),
+            offered=len(self._records),
+            duration=duration,
+            throughput=throughput,
+            mean_ttft=mean_ttft,
+            p99_ttft=p99,
+            mean_tpot=mean_tpot,
+            utilization=utilization,
+            records=self._records,
+        )

@@ -1,0 +1,70 @@
+"""Unit helpers used throughout the cost models.
+
+The analytical models work internally in SI base units: bytes, seconds,
+FLOPs (floating-point operations) and FLOP/s. These constants and helpers
+make call sites read like the paper's prose ("459 TFLOPS", "96 GB of HBM",
+"2765 GB/s") without sprinkling powers of ten everywhere.
+"""
+
+from __future__ import annotations
+
+# Decimal (SI) multipliers -- bandwidths and FLOP rates are quoted decimal.
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+# Binary multipliers -- memory capacities are quoted binary in the paper
+# (e.g. the 5.6 TiB quantized database).
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+TIB = 1024**4
+
+MS_PER_S = 1e3
+US_PER_S = 1e6
+
+
+def tflops(value: float) -> float:
+    """Convert teraFLOP/s to FLOP/s."""
+    return value * TERA
+
+
+def gb_per_s(value: float) -> float:
+    """Convert GB/s (decimal) to bytes/s."""
+    return value * GIGA
+
+
+def gib(value: float) -> float:
+    """Convert GiB (binary) to bytes."""
+    return value * GIB
+
+
+def gb(value: float) -> float:
+    """Convert GB (decimal) to bytes."""
+    return value * GIGA
+
+
+def tib(value: float) -> float:
+    """Convert TiB (binary) to bytes."""
+    return value * TIB
+
+
+def seconds_to_ms(value: float) -> float:
+    """Convert seconds to milliseconds."""
+    return value * MS_PER_S
+
+
+def ms_to_seconds(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value / MS_PER_S
+
+
+def billions(value: float) -> float:
+    """Convert a count quoted in billions (e.g. parameters) to a raw count."""
+    return value * 1e9
+
+
+def millions(value: float) -> float:
+    """Convert a count quoted in millions to a raw count."""
+    return value * 1e6

@@ -1,0 +1,23 @@
+"""Workload generation: sequence-length profiles, request arrival
+processes, and synthetic vector datasets for the functional retrieval
+engine."""
+
+from repro.workloads.profile import SequenceProfile
+from repro.workloads.arrivals import burst_arrivals, poisson_arrivals
+from repro.workloads.sequences import (
+    sample_decode_lengths,
+    sample_question_lengths,
+    sample_retrieval_positions,
+)
+from repro.workloads.vectors import clustered_vectors, gaussian_vectors
+
+__all__ = [
+    "SequenceProfile",
+    "poisson_arrivals",
+    "burst_arrivals",
+    "sample_question_lengths",
+    "sample_decode_lengths",
+    "sample_retrieval_positions",
+    "gaussian_vectors",
+    "clustered_vectors",
+]

@@ -1,0 +1,93 @@
+"""Token-length profile of a RAG request (§4, "LLM sequence lengths").
+
+Defaults follow the paper: 32-token questions (QA datasets), five
+100-token retrieved passages giving a 512-token prompt, 256-token
+generations (long-form QA / chatbot data), 16 rerank candidates, and
+128-token database chunks for long-context processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SequenceProfile:
+    """Token lengths that drive the cost models.
+
+    Attributes:
+        question_len: User question tokens (rewriter input).
+        prefix_len: Generative-LLM prompt tokens (question + retrieved
+            content).
+        decode_len: Generated tokens per sequence.
+        rewrite_output_len: Tokens the query rewriter generates.
+        passage_len: Tokens per retrieved passage.
+        retrieved_passages: Passages appended to the prompt (top-k).
+        rerank_candidates: Nearest passages the reranker scores.
+        context_len: Long-context document length in tokens (Case II);
+            None when the workload has no real-time encoded context.
+        chunk_len: Tokens per database chunk for context encoding.
+    """
+
+    question_len: int = 32
+    prefix_len: int = 512
+    decode_len: int = 256
+    rewrite_output_len: int = 32
+    passage_len: int = 100
+    retrieved_passages: int = 5
+    rerank_candidates: int = 16
+    context_len: Optional[int] = None
+    chunk_len: int = 128
+
+    def __post_init__(self) -> None:
+        positives = {
+            "question_len": self.question_len,
+            "prefix_len": self.prefix_len,
+            "decode_len": self.decode_len,
+            "rewrite_output_len": self.rewrite_output_len,
+            "passage_len": self.passage_len,
+            "retrieved_passages": self.retrieved_passages,
+            "rerank_candidates": self.rerank_candidates,
+            "chunk_len": self.chunk_len,
+        }
+        for key, value in positives.items():
+            if value <= 0:
+                raise ConfigError(f"{key} must be positive, got {value}")
+        if self.context_len is not None and self.context_len <= 0:
+            raise ConfigError("context_len must be positive when set")
+        if self.prefix_len < self.question_len:
+            raise ConfigError("prefix_len cannot be shorter than the question")
+
+    @property
+    def num_chunks(self) -> int:
+        """Database chunks produced by encoding the long context."""
+        if self.context_len is None:
+            return 0
+        return -(-self.context_len // self.chunk_len)  # ceil division
+
+    @property
+    def rerank_tokens(self) -> int:
+        """Tokens the reranker encodes per request."""
+        return self.rerank_candidates * self.passage_len
+
+    def with_lengths(self, **overrides: int) -> "SequenceProfile":
+        """Copy with some lengths replaced (sweep helper)."""
+        values = {
+            "question_len": self.question_len,
+            "prefix_len": self.prefix_len,
+            "decode_len": self.decode_len,
+            "rewrite_output_len": self.rewrite_output_len,
+            "passage_len": self.passage_len,
+            "retrieved_passages": self.retrieved_passages,
+            "rerank_candidates": self.rerank_candidates,
+            "context_len": self.context_len,
+            "chunk_len": self.chunk_len,
+        }
+        unknown = set(overrides) - set(values)
+        if unknown:
+            raise ConfigError(f"unknown sequence fields: {sorted(unknown)}")
+        values.update(overrides)
+        return SequenceProfile(**values)

@@ -1,0 +1,92 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_shows_all_artifacts(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in ("fig5", "fig10", "table2", "table4"):
+        assert exp_id in out
+
+
+def test_run_table2(capsys):
+    assert main(["run", "table2"]) == 0
+    out = capsys.readouterr().out
+    assert "XPU-C" in out
+    assert "459" in out
+
+
+def test_run_unknown_experiment_fails_cleanly(capsys):
+    assert main(["run", "fig99"]) == 1
+    assert "error:" in capsys.readouterr().out
+
+
+def test_optimize_case_i(capsys):
+    assert main(["optimize", "--case", "i", "--llm", "8B"]) == 0
+    out = capsys.readouterr().out
+    assert "frontier" in out
+    assert "throughput-optimal schedule" in out
+
+
+def test_optimize_with_ttft_slo(capsys):
+    assert main(["optimize", "--case", "i", "--llm", "8B",
+                 "--max-ttft", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "TTFT <= 0.1" in out
+
+
+def test_optimize_case_ii(capsys):
+    assert main(["optimize", "--case", "ii", "--llm", "70B",
+                 "--context", "100000"]) == 0
+    out = capsys.readouterr().out
+    assert "case-ii" in out
+
+
+def test_optimize_impossible_slo_reports_error(capsys):
+    assert main(["optimize", "--case", "i", "--llm", "8B",
+                 "--max-ttft", "0.000001"]) == 1
+    assert "error:" in capsys.readouterr().out
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["bogus"])
+
+
+def test_provision_command(capsys):
+    assert main(["provision", "--case", "i", "--llm", "8B",
+                 "--qps", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "fleet" in out
+    assert "replica" in out
+
+
+def test_provision_with_slo(capsys):
+    assert main(["provision", "--case", "i", "--llm", "8B",
+                 "--qps", "100", "--max-ttft", "0.2"]) == 0
+    assert "TTFT <= 0.2" in capsys.readouterr().out
+
+
+def test_provision_impossible_target(capsys):
+    assert main(["provision", "--case", "i", "--llm", "8B",
+                 "--qps", "1000000000"]) == 1
+    assert "error:" in capsys.readouterr().out
+
+
+def test_run_with_json_export(tmp_path, capsys):
+    path = tmp_path / "fig10.json"
+    assert main(["run", "fig10", "--json", str(path)]) == 0
+    import json
+    payload = json.loads(path.read_text())
+    assert payload["exp_id"] == "fig10"
+    assert "data" in payload and payload["data"]["diagonal"]
+
+
+def test_optimize_xpu_generation(capsys):
+    assert main(["optimize", "--case", "i", "--llm", "8B",
+                 "--xpu", "A"]) == 0
+    out = capsys.readouterr().out
+    assert "XPU-A" in out

@@ -1,0 +1,27 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    CalibrationError,
+    CapacityError,
+    ConfigError,
+    ReproError,
+    ScheduleError,
+)
+
+
+@pytest.mark.parametrize("exc", [ConfigError, CapacityError, ScheduleError,
+                                 CalibrationError])
+def test_all_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_catching_base_catches_subclass():
+    with pytest.raises(ReproError):
+        raise CapacityError("does not fit")
+
+
+def test_errors_are_distinct():
+    assert not issubclass(ConfigError, CapacityError)
+    assert not issubclass(CapacityError, ConfigError)

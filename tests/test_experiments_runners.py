@@ -1,0 +1,82 @@
+"""Smoke tests: every experiment runner produces a well-formed output.
+
+The integration tests check the paper's claims in depth; these verify
+the remaining runners' output contracts (ids, printable text, data keys)
+so the registry, CLI and benches can rely on them.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig06,
+    fig09,
+    fig16,
+    fig17,
+    fig18,
+    table2,
+)
+from repro.experiments.base import ExperimentOutput
+from repro.reporting.experiments import EXPERIMENTS
+
+
+def test_table2_output():
+    out = table2.run(fast=True)
+    assert isinstance(out, ExperimentOutput)
+    assert out.exp_id == "table2"
+    assert set(out.data) == {"XPU-A", "XPU-B", "XPU-C"}
+    assert "459" in out.text
+
+
+def test_fig06_output_structure():
+    out = fig06.run(fast=True)
+    assert out.exp_id == "fig6"
+    assert "series" in out.data and "breakdowns" in out.data
+    for key, points in out.data["series"].items():
+        assert points, f"empty series {key}"
+        for ttft, qps in points:
+            assert ttft > 0 and qps > 0
+
+
+def test_fig09_output_structure():
+    out = fig09.run(fast=True)
+    assert out.data["frequency_sweep"]
+    assert out.data["iterative_batch_sweep"]
+    for points in out.data["frequency_sweep"].values():
+        batches = [b for b, _ in points]
+        assert batches == sorted(batches)
+
+
+def test_fig16_counts_consistent():
+    out = fig16.run(fast=True)
+    for case in ("C-II", "C-IV"):
+        stats = out.data[case]
+        assert 1 <= stats["plans_on_frontier"] <= stats["plans_evaluated"]
+
+
+def test_fig17_contains_three_policies():
+    out = fig17.run(fast=True)
+    for case in ("C-II", "C-IV"):
+        assert set(out.data[case]) == {"collocated", "disaggregated",
+                                       "hybrid (all)"}
+        for qps in out.data[case].values():
+            assert qps > 0
+
+
+def test_fig18_spreads_positive():
+    out = fig18.run(fast=True)
+    for placement in ("collocated", "disaggregated"):
+        assert out.data[placement]["spread"] >= 1.0
+
+
+def test_every_registered_runner_has_matching_id():
+    # Cheap structural check without running the heavy ones again.
+    for exp_id, exp in EXPERIMENTS.items():
+        runner = exp.runner()
+        assert runner.__module__ == exp.module
+
+
+def test_output_str_includes_title():
+    out = table2.run(fast=True)
+    rendered = str(out)
+    assert "table2" in rendered
+    assert out.title in rendered

@@ -1,0 +1,65 @@
+"""XPU specification tests (paper Table 2)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import XPU_A, XPU_B, XPU_C, XPU_GENERATIONS, XPUSpec
+
+
+def test_table2_tflops():
+    assert XPU_A.peak_flops == pytest.approx(197e12)
+    assert XPU_B.peak_flops == pytest.approx(275e12)
+    assert XPU_C.peak_flops == pytest.approx(459e12)
+
+
+def test_table2_hbm():
+    assert XPU_A.hbm_bytes == pytest.approx(16e9)
+    assert XPU_B.hbm_bytes == pytest.approx(32e9)
+    assert XPU_C.hbm_bytes == pytest.approx(96e9)
+
+
+def test_table2_memory_bandwidth():
+    assert XPU_A.mem_bandwidth == pytest.approx(819e9)
+    assert XPU_B.mem_bandwidth == pytest.approx(1200e9)
+    assert XPU_C.mem_bandwidth == pytest.approx(2765e9)
+
+
+def test_table2_interconnect():
+    assert XPU_A.interconnect_bandwidth == pytest.approx(200e9)
+    assert XPU_B.interconnect_bandwidth == pytest.approx(300e9)
+    assert XPU_C.interconnect_bandwidth == pytest.approx(600e9)
+
+
+def test_generations_are_monotonically_more_capable():
+    for older, newer in zip(XPU_GENERATIONS, XPU_GENERATIONS[1:]):
+        assert newer.peak_flops > older.peak_flops
+        assert newer.hbm_bytes > older.hbm_bytes
+        assert newer.mem_bandwidth > older.mem_bandwidth
+
+
+def test_effective_rates_are_derated():
+    assert XPU_C.effective_flops < XPU_C.peak_flops
+    assert XPU_C.effective_mem_bandwidth < XPU_C.mem_bandwidth
+
+
+def test_ridge_intensity_positive():
+    assert XPU_C.ridge_intensity > 0
+
+
+@pytest.mark.parametrize("field,value", [
+    ("peak_flops", 0), ("hbm_bytes", -1), ("mem_bandwidth", 0),
+    ("interconnect_bandwidth", 0),
+])
+def test_invalid_specs_rejected(field, value):
+    kwargs = dict(name="bad", peak_flops=1e12, hbm_bytes=1e9,
+                  mem_bandwidth=1e9, interconnect_bandwidth=1e9)
+    kwargs[field] = value
+    with pytest.raises(ConfigError):
+        XPUSpec(**kwargs)
+
+
+def test_invalid_efficiency_rejected():
+    with pytest.raises(ConfigError):
+        XPUSpec(name="bad", peak_flops=1e12, hbm_bytes=1e9,
+                mem_bandwidth=1e9, interconnect_bandwidth=1e9,
+                flops_efficiency=1.5)

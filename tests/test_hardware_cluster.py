@@ -1,0 +1,53 @@
+"""Cluster specification tests (paper §4 system setup)."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigError
+from repro.hardware import ClusterSpec
+from repro.units import tib
+
+
+def test_default_cluster_matches_paper_maximum():
+    cluster = ClusterSpec()
+    assert cluster.num_servers == 32
+    assert cluster.xpus_per_server == 4
+    assert cluster.total_xpus == 128
+
+
+def test_case_i_database_is_about_5_6_tib():
+    assert 64e9 * 96 == pytest.approx(tib(5.59), rel=0.01)
+
+
+def test_case_i_database_needs_16_servers():
+    cluster = ClusterSpec(num_servers=32)
+    assert cluster.servers_for_database(64e9 * 96) == 16
+
+
+def test_database_too_large_raises():
+    cluster = ClusterSpec(num_servers=2)
+    with pytest.raises(CapacityError):
+        cluster.servers_for_database(64e9 * 96)
+
+
+def test_servers_for_xpus_rounds_up():
+    cluster = ClusterSpec()
+    assert cluster.servers_for_xpus(1) == 1
+    assert cluster.servers_for_xpus(4) == 1
+    assert cluster.servers_for_xpus(5) == 2
+    assert cluster.servers_for_xpus(128) == 32
+
+
+def test_servers_for_xpus_rejects_negative():
+    cluster = ClusterSpec()
+    with pytest.raises(ConfigError):
+        cluster.servers_for_xpus(-1)
+
+
+def test_total_host_memory():
+    cluster = ClusterSpec(num_servers=16)
+    assert cluster.total_host_memory == pytest.approx(16 * 384e9)
+
+
+def test_invalid_cluster_rejected():
+    with pytest.raises(ConfigError):
+        ClusterSpec(num_servers=0)

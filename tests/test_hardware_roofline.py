@@ -1,0 +1,63 @@
+"""Roofline primitive tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.roofline import (
+    all_reduce_time,
+    communication_time,
+    roofline_time,
+)
+
+
+def test_compute_bound_operator():
+    # 1e12 FLOPs at 1e12 FLOP/s = 1 s; memory side is faster.
+    assert roofline_time(1e12, 1e6, 1e12, 1e12) == pytest.approx(1.0)
+
+
+def test_memory_bound_operator():
+    assert roofline_time(1e6, 1e12, 1e12, 1e12) == pytest.approx(1.0)
+
+
+def test_roofline_takes_the_max():
+    t = roofline_time(2e12, 3e12, 1e12, 1e12)
+    assert t == pytest.approx(3.0)
+
+
+def test_zero_work_is_free():
+    assert roofline_time(0, 0, 1e12, 1e12) == 0.0
+
+
+def test_negative_demand_rejected():
+    with pytest.raises(ConfigError):
+        roofline_time(-1, 0, 1e12, 1e12)
+
+
+def test_zero_rate_rejected():
+    with pytest.raises(ConfigError):
+        roofline_time(1, 1, 0, 1e12)
+
+
+def test_communication_time():
+    assert communication_time(600e9, 600e9) == pytest.approx(1.0)
+
+
+def test_communication_rejects_zero_bandwidth():
+    with pytest.raises(ConfigError):
+        communication_time(1, 0)
+
+
+def test_all_reduce_single_chip_is_free():
+    assert all_reduce_time(1e9, 1, 1e9) == 0.0
+
+
+def test_all_reduce_ring_volume_factor():
+    # 2 chips: 2 * (1/2) = 1x the payload.
+    assert all_reduce_time(1e9, 2, 1e9) == pytest.approx(1.0)
+    # Many chips: approaches 2x the payload.
+    assert all_reduce_time(1e9, 64, 1e9) == pytest.approx(2 * 63 / 64)
+
+
+def test_all_reduce_rejects_nonpositive_chips():
+    with pytest.raises(ConfigError):
+        all_reduce_time(1e9, 0, 1e9)

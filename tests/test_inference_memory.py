@@ -1,0 +1,72 @@
+"""Memory-model tests (weights + KV cache feasibility)."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigError
+from repro.hardware import XPU_C
+from repro.inference import MemoryModel
+from repro.inference.parallelism import ShardingPlan
+from repro.models import ENCODER_120M, LLAMA3_8B, LLAMA3_70B, LLAMA3_405B
+
+
+def test_8b_fits_on_one_xpu_c():
+    memory = MemoryModel()
+    assert memory.weights_fit(LLAMA3_8B, ShardingPlan(1, 1), XPU_C)
+
+
+def test_70b_fits_on_one_xpu_c():
+    # 70 GB int8 weights within 96 GB * 0.9 usable.
+    memory = MemoryModel()
+    assert memory.weights_fit(LLAMA3_70B, ShardingPlan(1, 1), XPU_C)
+
+
+def test_405b_needs_multiple_chips():
+    memory = MemoryModel()
+    assert not memory.weights_fit(LLAMA3_405B, ShardingPlan(1, 1), XPU_C)
+    assert memory.weights_fit(LLAMA3_405B, ShardingPlan(8, 1), XPU_C)
+
+
+def test_require_weights_fit_raises():
+    memory = MemoryModel()
+    with pytest.raises(CapacityError):
+        memory.require_weights_fit(LLAMA3_405B, ShardingPlan(1, 1), XPU_C)
+
+
+def test_max_decode_batch_shrinks_with_context():
+    memory = MemoryModel()
+    plan = ShardingPlan(1, 1)
+    short = memory.max_decode_batch(LLAMA3_8B, plan, XPU_C, 512)
+    long = memory.max_decode_batch(LLAMA3_8B, plan, XPU_C, 8192)
+    assert short > long > 0
+
+
+def test_max_decode_batch_zero_when_weights_overflow():
+    memory = MemoryModel()
+    assert memory.max_decode_batch(LLAMA3_405B, ShardingPlan(1, 1),
+                                   XPU_C, 512) == 0
+
+
+def test_encoder_batch_unbounded_by_kv():
+    memory = MemoryModel()
+    assert memory.max_decode_batch(ENCODER_120M, ShardingPlan(1, 1),
+                                   XPU_C, 512) > 1e6
+
+
+def test_kv_bytes_per_sequence():
+    memory = MemoryModel()
+    per_seq = memory.kv_bytes_per_sequence(LLAMA3_8B, 768)
+    assert per_seq == pytest.approx(
+        768 * LLAMA3_8B.kv_cache_bytes_per_token())
+
+
+def test_invalid_fraction_rejected():
+    with pytest.raises(ConfigError):
+        MemoryModel(usable_fraction=0.0)
+    with pytest.raises(ConfigError):
+        MemoryModel(kv_bytes_per_element=0)
+
+
+def test_negative_context_rejected():
+    memory = MemoryModel()
+    with pytest.raises(ConfigError):
+        memory.kv_bytes_per_sequence(LLAMA3_8B, -1)

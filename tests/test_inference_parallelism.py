@@ -1,0 +1,87 @@
+"""Sharding-plan enumeration and operator latency tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import XPU_C
+from repro.inference.parallelism import (
+    ShardingPlan,
+    enumerate_plans,
+    operators_latency,
+)
+from repro.models import LLAMA3_8B
+from repro.models.operators import prefill_operators
+
+
+def test_enumerate_plans_covers_factorizations():
+    plans = enumerate_plans(8)
+    pairs = {(p.tensor_parallel, p.pipeline_parallel) for p in plans}
+    assert pairs == {(8, 1), (4, 2), (2, 4), (1, 8)}
+
+
+def test_enumerate_plans_respects_pipeline_cap():
+    plans = enumerate_plans(64, max_pipeline=4)
+    assert max(p.pipeline_parallel for p in plans) == 4
+
+
+def test_enumerate_plans_rejects_non_power_of_two():
+    with pytest.raises(ConfigError):
+        enumerate_plans(6)
+    with pytest.raises(ConfigError):
+        enumerate_plans(0)
+
+
+def test_plan_chip_count():
+    plan = ShardingPlan(tensor_parallel=4, pipeline_parallel=2)
+    assert plan.num_chips == 8
+
+
+def test_plan_validation():
+    with pytest.raises(ConfigError):
+        ShardingPlan(tensor_parallel=0, pipeline_parallel=1)
+
+
+def test_tensor_parallel_speeds_up_compute():
+    ops = prefill_operators(LLAMA3_8B, 1, 512)
+    single = operators_latency(ops, ShardingPlan(1, 1), XPU_C,
+                               allreduce_bytes_per_layer=0,
+                               num_layers=LLAMA3_8B.num_layers)
+    quad = operators_latency(ops, ShardingPlan(4, 1), XPU_C,
+                             allreduce_bytes_per_layer=0,
+                             num_layers=LLAMA3_8B.num_layers)
+    assert quad == pytest.approx(single / 4, rel=0.01)
+
+
+def test_allreduce_overhead_added_for_tp():
+    ops = prefill_operators(LLAMA3_8B, 1, 512)
+    no_comm = operators_latency(ops, ShardingPlan(4, 1), XPU_C,
+                                allreduce_bytes_per_layer=0,
+                                num_layers=LLAMA3_8B.num_layers)
+    with_comm = operators_latency(ops, ShardingPlan(4, 1), XPU_C,
+                                  allreduce_bytes_per_layer=1e6,
+                                  num_layers=LLAMA3_8B.num_layers)
+    assert with_comm > no_comm
+
+
+def test_no_allreduce_for_single_chip():
+    ops = prefill_operators(LLAMA3_8B, 1, 512)
+    a = operators_latency(ops, ShardingPlan(1, 1), XPU_C,
+                          allreduce_bytes_per_layer=0,
+                          num_layers=LLAMA3_8B.num_layers)
+    b = operators_latency(ops, ShardingPlan(1, 1), XPU_C,
+                          allreduce_bytes_per_layer=1e9,
+                          num_layers=LLAMA3_8B.num_layers)
+    assert a == b
+
+
+def test_pipeline_boundary_transfers_added():
+    ops = prefill_operators(LLAMA3_8B, 1, 512)
+    base = operators_latency(ops, ShardingPlan(1, 1), XPU_C,
+                             allreduce_bytes_per_layer=0,
+                             num_layers=LLAMA3_8B.num_layers,
+                             stage_boundary_bytes=1e9)
+    piped = operators_latency(ops, ShardingPlan(1, 4), XPU_C,
+                              allreduce_bytes_per_layer=0,
+                              num_layers=LLAMA3_8B.num_layers,
+                              stage_boundary_bytes=1e9)
+    assert piped > base

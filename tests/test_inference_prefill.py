@@ -1,0 +1,88 @@
+"""Prefill-phase model tests."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigError
+from repro.hardware import XPU_A, XPU_C
+from repro.inference import MemoryModel, PrefillModel
+from repro.inference.parallelism import ShardingPlan
+from repro.models import LLAMA3_8B, LLAMA3_70B, LLAMA3_405B
+
+
+@pytest.fixture
+def model():
+    return PrefillModel(XPU_C)
+
+
+def test_single_chip_latency_magnitude(model):
+    # 2 * 8e9 * 512 FLOPs at ~60% of 459 TFLOPS -> tens of ms.
+    perf = model.plan_perf(LLAMA3_8B, ShardingPlan(1, 1), batch=1,
+                           seq_len=512)
+    assert 0.01 < perf.latency < 0.1
+
+
+def test_latency_grows_with_batch(model):
+    small = model.plan_perf(LLAMA3_8B, ShardingPlan(1, 1), 1, 512)
+    large = model.plan_perf(LLAMA3_8B, ShardingPlan(1, 1), 16, 512)
+    assert large.latency > small.latency
+
+
+def test_tensor_parallel_cuts_latency(model):
+    single = model.plan_perf(LLAMA3_8B, ShardingPlan(1, 1), 1, 512)
+    quad = model.plan_perf(LLAMA3_8B, ShardingPlan(4, 1), 1, 512)
+    assert quad.latency < single.latency
+
+
+def test_pipeline_parallel_scales_throughput(model):
+    single = model.plan_perf(LLAMA3_8B, ShardingPlan(1, 1), 32, 512)
+    piped = model.plan_perf(LLAMA3_8B, ShardingPlan(1, 4), 32, 512)
+    assert piped.throughput > 2 * single.throughput
+
+
+def test_pipeline_latency_stays_near_one_traverse(model):
+    # Micro-batched pipelining: batch latency < 2x the traverse time.
+    piped = model.plan_perf(LLAMA3_8B, ShardingPlan(1, 8), 8, 512)
+    single_seq = model.plan_perf(LLAMA3_8B, ShardingPlan(1, 1), 1, 512)
+    assert piped.latency < 2.5 * single_seq.latency
+
+
+def test_pareto_has_latency_and_throughput_ends():
+    model = PrefillModel(XPU_C)
+    frontier = model.pareto_perfs(LLAMA3_8B, 32, batch=32, seq_len=512)
+    assert len(frontier) >= 1
+    latencies = [p.latency for p in frontier]
+    throughputs = [p.throughput for p in frontier]
+    assert latencies == sorted(latencies)
+    assert throughputs == sorted(throughputs)
+
+
+def test_best_perf_objectives():
+    model = PrefillModel(XPU_C)
+    lat = model.best_perf(LLAMA3_8B, 32, 32, 512, optimize_for="latency")
+    thr = model.best_perf(LLAMA3_8B, 32, 32, 512, optimize_for="throughput")
+    assert lat.latency <= thr.latency
+    assert thr.throughput >= lat.throughput
+
+
+def test_best_perf_rejects_unknown_objective():
+    model = PrefillModel(XPU_C)
+    with pytest.raises(ConfigError):
+        model.best_perf(LLAMA3_8B, 1, 1, 512, optimize_for="power")
+
+
+def test_oversized_model_raises():
+    model = PrefillModel(XPU_A)  # 16 GB HBM
+    with pytest.raises(CapacityError):
+        model.plan_perf(LLAMA3_70B, ShardingPlan(1, 1), 1, 512)
+
+
+def test_405b_feasible_on_enough_chips():
+    model = PrefillModel(XPU_C)
+    perf = model.best_perf(LLAMA3_405B, 16, 1, 512)
+    assert perf.latency > 0
+
+
+def test_memory_model_override():
+    strict = PrefillModel(XPU_C, MemoryModel(usable_fraction=0.5))
+    with pytest.raises(CapacityError):
+        strict.plan_perf(LLAMA3_70B, ShardingPlan(1, 1), 1, 512)

@@ -1,0 +1,61 @@
+"""InferenceSimulator facade tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import XPU_C
+from repro.inference import InferenceSimulator
+from repro.models import LLAMA3_8B, LLAMA3_70B, LLAMA3_405B
+
+
+@pytest.fixture
+def sim():
+    return InferenceSimulator(XPU_C)
+
+
+def test_min_chips(sim):
+    assert sim.min_chips(LLAMA3_8B) == 1
+    assert sim.min_chips(LLAMA3_70B) == 1
+    assert sim.min_chips(LLAMA3_405B) == 8
+
+
+def test_prefill_cache_returns_same_object(sim):
+    a = sim.prefill(LLAMA3_8B, 4, 8, 512)
+    b = sim.prefill(LLAMA3_8B, 4, 8, 512)
+    assert a is b
+
+
+def test_prefill_options_sorted(sim):
+    options = sim.prefill_options(LLAMA3_8B, 16, 16, 512)
+    latencies = [o.latency for o in options]
+    assert latencies == sorted(latencies)
+
+
+def test_prefill_objective_endpoints(sim):
+    lat = sim.prefill(LLAMA3_8B, 16, 16, 512, optimize_for="latency")
+    thr = sim.prefill(LLAMA3_8B, 16, 16, 512, optimize_for="throughput")
+    assert lat.latency <= thr.latency
+    assert thr.throughput >= lat.throughput
+
+
+def test_prefill_explicit_plan(sim):
+    from repro.inference.parallelism import ShardingPlan
+    perf = sim.prefill(LLAMA3_8B, 4, 8, 512, plan=ShardingPlan(2, 2))
+    assert perf.plan == ShardingPlan(2, 2)
+
+
+def test_prefill_unknown_objective(sim):
+    with pytest.raises(ConfigError):
+        sim.prefill(LLAMA3_8B, 4, 8, 512, optimize_for="magic")
+
+
+def test_decode_cached(sim):
+    a = sim.decode(LLAMA3_8B, 4, 16, 512, 256)
+    b = sim.decode(LLAMA3_8B, 4, 16, 512, 256)
+    assert a is b
+
+
+def test_decode_throughput_positive(sim):
+    perf = sim.decode(LLAMA3_70B, 8, 32, 512, 256)
+    assert perf.throughput > 0
+    assert perf.tpot > 0

@@ -1,0 +1,55 @@
+"""Model catalog tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import (
+    ENCODER_120M,
+    LLAMA3_1B,
+    LLAMA3_8B,
+    LLAMA3_70B,
+    LLAMA3_405B,
+    MODEL_CATALOG,
+    RERANKER_120M,
+    REWRITER_8B,
+    model_by_params,
+)
+
+
+def test_catalog_sizes_ordered():
+    sizes = [LLAMA3_1B.num_params, LLAMA3_8B.num_params,
+             LLAMA3_70B.num_params, LLAMA3_405B.num_params]
+    assert sizes == sorted(sizes)
+
+
+def test_llama_sizes_roughly_match_names():
+    assert LLAMA3_1B.num_params == pytest.approx(1e9, rel=0.4)
+    assert LLAMA3_405B.num_params == pytest.approx(405e9, rel=0.1)
+
+
+def test_lookup_by_label():
+    assert model_by_params("8B") is LLAMA3_8B
+    assert model_by_params("70b") is LLAMA3_70B
+    assert model_by_params(" 120m ") is ENCODER_120M
+
+
+def test_lookup_unknown_label():
+    with pytest.raises(ConfigError):
+        model_by_params("13B")
+
+
+def test_rewriter_is_the_8b_model():
+    assert REWRITER_8B is LLAMA3_8B
+
+
+def test_reranker_is_the_encoder():
+    assert RERANKER_120M is ENCODER_120M
+
+
+def test_encoder_is_bidirectional():
+    assert not ENCODER_120M.is_decoder
+    assert LLAMA3_8B.is_decoder
+
+
+def test_catalog_is_complete():
+    assert set(MODEL_CATALOG) == {"120M", "1B", "8B", "70B", "405B"}

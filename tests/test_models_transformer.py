@@ -1,0 +1,81 @@
+"""TransformerConfig derived-quantity tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import LLAMA3_8B, LLAMA3_70B, ENCODER_120M, TransformerConfig
+
+
+def test_head_dim():
+    assert LLAMA3_8B.head_dim == 128
+    assert LLAMA3_70B.head_dim == 128
+
+
+def test_gqa_kv_dim_smaller_than_model_dim():
+    assert LLAMA3_8B.kv_dim == 8 * 128
+    assert LLAMA3_8B.kv_dim < LLAMA3_8B.d_model
+
+
+def test_param_counts_match_labels():
+    # Within 10% of the nominal sizes.
+    assert LLAMA3_8B.num_params == pytest.approx(8e9, rel=0.10)
+    assert LLAMA3_70B.num_params == pytest.approx(70e9, rel=0.10)
+    assert ENCODER_120M.num_params == pytest.approx(120e6, rel=0.25)
+
+
+def test_weight_bytes_int8_equals_params():
+    assert LLAMA3_8B.weight_bytes == LLAMA3_8B.num_params
+
+
+def test_kv_cache_bytes_per_token():
+    per_token = LLAMA3_8B.kv_cache_bytes_per_token()
+    # 2 (K and V) * 32 layers * 1024 kv dim * 1 byte.
+    assert per_token == 2 * 32 * 1024
+
+
+def test_encoder_has_no_kv_cache():
+    assert ENCODER_120M.kv_cache_bytes_per_token() == 0.0
+
+
+def test_flops_per_token_dense_term():
+    flops = LLAMA3_8B.flops_per_token(context_len=0)
+    assert flops == pytest.approx(2 * LLAMA3_8B.num_params)
+
+
+def test_flops_per_token_grows_with_context():
+    assert LLAMA3_8B.flops_per_token(4096) > LLAMA3_8B.flops_per_token(512)
+
+
+def test_prefill_flops_superlinear_in_length():
+    short = LLAMA3_8B.prefill_flops(512)
+    long = LLAMA3_8B.prefill_flops(1024)
+    assert long > 2 * short  # quadratic attention term
+
+
+def test_prefill_flops_matches_paper_approximation():
+    # For short sequences FLOPs ~ 2 * M * L (paper §3.3).
+    seq = 512
+    flops = LLAMA3_8B.prefill_flops(seq)
+    assert flops == pytest.approx(2 * LLAMA3_8B.num_params * seq, rel=0.05)
+
+
+def test_dimension_validation():
+    with pytest.raises(ConfigError):
+        TransformerConfig(name="bad", num_layers=2, d_model=100,
+                          num_heads=3, num_kv_heads=1, d_ff=256)
+
+
+def test_kv_heads_must_divide_heads():
+    with pytest.raises(ConfigError):
+        TransformerConfig(name="bad", num_layers=2, d_model=128,
+                          num_heads=8, num_kv_heads=3, d_ff=256)
+
+
+def test_negative_context_rejected():
+    with pytest.raises(ConfigError):
+        LLAMA3_8B.flops_per_token(-1)
+
+
+def test_nonpositive_seq_rejected():
+    with pytest.raises(ConfigError):
+        LLAMA3_8B.prefill_flops(0)

@@ -1,0 +1,76 @@
+"""Resource-normalized time-breakdown tests (§5 characterization)."""
+
+import pytest
+
+from repro.hardware import ClusterSpec, XPU_A, XPU_C
+from repro.pipeline import RAGPerfModel, time_breakdown
+from repro.schema import (
+    Stage,
+    case_i_hyperscale,
+    case_ii_long_context,
+    case_iii_iterative,
+    case_iv_rewriter_reranker,
+)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return ClusterSpec(num_servers=32)
+
+
+def test_shares_sum_to_one(cluster):
+    shares = time_breakdown(RAGPerfModel(case_i_hyperscale("8B"), cluster))
+    assert sum(shares.values()) == pytest.approx(1.0)
+    assert all(v >= 0 for v in shares.values())
+
+
+def test_case_i_small_model_is_retrieval_bound(cluster):
+    shares = time_breakdown(RAGPerfModel(case_i_hyperscale("8B"), cluster))
+    assert shares[Stage.RETRIEVAL] > 0.5
+
+
+def test_case_i_large_model_is_inference_bound(cluster):
+    shares = time_breakdown(RAGPerfModel(case_i_hyperscale("70B"), cluster))
+    assert shares[Stage.RETRIEVAL] < 0.3
+    assert shares[Stage.PREFIX] + shares[Stage.DECODE] > 0.7
+
+
+def test_retrieval_share_grows_with_better_xpus():
+    # Fig. 7a: faster accelerators shift the bottleneck toward retrieval.
+    schema = case_i_hyperscale("8B")
+    share_a = time_breakdown(RAGPerfModel(
+        schema, ClusterSpec(num_servers=32, xpu=XPU_A)))[Stage.RETRIEVAL]
+    share_c = time_breakdown(RAGPerfModel(
+        schema, ClusterSpec(num_servers=32, xpu=XPU_C)))[Stage.RETRIEVAL]
+    assert share_c > share_a
+
+
+def test_retrieval_share_grows_with_scan_fraction(cluster):
+    low = time_breakdown(RAGPerfModel(
+        case_i_hyperscale("8B", scan_fraction=0.0001),
+        cluster))[Stage.RETRIEVAL]
+    high = time_breakdown(RAGPerfModel(
+        case_i_hyperscale("8B", scan_fraction=0.01),
+        cluster))[Stage.RETRIEVAL]
+    assert high > low
+
+
+def test_case_ii_encode_dominates_at_1m(cluster):
+    shares = time_breakdown(RAGPerfModel(case_ii_long_context(1_000_000),
+                                         cluster))
+    assert shares[Stage.DATABASE_ENCODE] > 0.5
+    assert shares[Stage.RETRIEVAL] < 0.01
+
+
+def test_case_iv_rewriter_reranker_are_negligible_for_throughput(cluster):
+    shares = time_breakdown(RAGPerfModel(case_iv_rewriter_reranker("70B"),
+                                         cluster))
+    assert shares[Stage.REWRITE_PREFIX] < 0.05
+    assert shares[Stage.RERANK] < 0.05
+
+
+def test_iterative_charges_retrieval_per_visit(cluster):
+    once = time_breakdown(RAGPerfModel(case_i_hyperscale("70B"), cluster))
+    often = time_breakdown(RAGPerfModel(
+        case_iii_iterative("70B", retrieval_frequency=8), cluster))
+    assert often[Stage.RETRIEVAL] > once[Stage.RETRIEVAL]

@@ -1,0 +1,156 @@
+"""Iterative-retrieval discrete-event simulation tests (Figs. 9, 10)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pipeline import simulate_iterative_decode
+
+
+def test_no_retrievals_is_baseline():
+    result = simulate_iterative_decode(decode_batch=16, iterative_batch=4,
+                                       decode_len=128, retrievals_per_seq=0)
+    assert result.normalized_latency == pytest.approx(1.0)
+    assert result.dispatches == 0
+    assert result.idle_sequence_steps == 0
+
+
+def test_zero_latency_retrieval_still_slows_decoding():
+    # Fig. 10: batching-induced idleness alone inflates latency.
+    result = simulate_iterative_decode(decode_batch=64, iterative_batch=64,
+                                       decode_len=256, retrievals_per_seq=1,
+                                       iteration_latency=0.0, seed=0)
+    assert result.normalized_latency > 1.5
+
+
+def test_equal_batches_worst_case_matches_paper_scale():
+    # Paper reports ~2.77x at decode batch 64 = iterative batch 64 with
+    # 3 retrievals (4 total); we assert the right regime.
+    result = simulate_iterative_decode(decode_batch=64, iterative_batch=64,
+                                       decode_len=256, retrievals_per_seq=3,
+                                       iteration_latency=0.0, seed=1)
+    assert 1.8 < result.normalized_latency < 4.0
+
+
+def test_iterative_batch_one_has_no_batching_idleness():
+    result = simulate_iterative_decode(decode_batch=64, iterative_batch=1,
+                                       decode_len=256, retrievals_per_seq=3,
+                                       iteration_latency=0.0, seed=2)
+    assert result.normalized_latency == pytest.approx(1.0, abs=0.05)
+
+
+def test_idleness_grows_with_iterative_batch():
+    results = [simulate_iterative_decode(64, ib, 256, 3,
+                                         iteration_latency=0.0, seed=3)
+               for ib in (1, 16, 64)]
+    latencies = [r.normalized_latency for r in results]
+    assert latencies == sorted(latencies)
+
+
+def test_iteration_latency_adds_time():
+    fast = simulate_iterative_decode(32, 8, 128, 2, step_latency=0.01,
+                                     iteration_latency=0.0, seed=4)
+    slow = simulate_iterative_decode(32, 8, 128, 2, step_latency=0.01,
+                                     iteration_latency=0.5, seed=4)
+    assert slow.total_time > fast.total_time + 0.5
+
+
+def test_all_sequences_complete():
+    result = simulate_iterative_decode(8, 4, 64, 2, seed=5)
+    # worst tpot >= mean tpot and both positive.
+    assert result.worst_tpot >= result.mean_tpot > 0
+
+
+def test_deterministic_given_seed():
+    a = simulate_iterative_decode(16, 8, 128, 2, seed=6)
+    b = simulate_iterative_decode(16, 8, 128, 2, seed=6)
+    assert a == b
+
+
+def test_tpot_grows_with_retrieval_frequency():
+    results = [simulate_iterative_decode(64, 16, 256, n,
+                                         step_latency=0.005,
+                                         iteration_latency=0.05, seed=7)
+               for n in (1, 3, 7)]
+    tpots = [r.worst_tpot for r in results]
+    assert tpots == sorted(tpots)
+
+
+def test_partial_batch_flush_prevents_deadlock():
+    # decode batch smaller than iterative batch: the batch can never fill,
+    # so flushing must still let everything finish.
+    result = simulate_iterative_decode(decode_batch=4, iterative_batch=64,
+                                       decode_len=64, retrievals_per_seq=2,
+                                       seed=8)
+    assert result.total_time > 0
+    assert result.dispatches >= 1
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        simulate_iterative_decode(0, 1, 64, 1)
+    with pytest.raises(ConfigError):
+        simulate_iterative_decode(1, 1, 1, 0)
+    with pytest.raises(ConfigError):
+        simulate_iterative_decode(1, 1, 64, 64)
+    with pytest.raises(ConfigError):
+        simulate_iterative_decode(1, 1, 64, 1, step_latency=0)
+
+
+class TestPrefetching:
+    """PipeRAG-style prefetching (§8 extension)."""
+
+    def test_prefetch_zero_matches_blocking_behaviour(self):
+        blocking = simulate_iterative_decode(32, 8, 128, 2,
+                                             iteration_latency=0.5, seed=9)
+        explicit = simulate_iterative_decode(32, 8, 128, 2,
+                                             iteration_latency=0.5,
+                                             prefetch_tokens=0, seed=9)
+        assert blocking == explicit
+
+    def test_prefetch_reduces_idleness(self):
+        blocking = simulate_iterative_decode(64, 16, 256, 3,
+                                             step_latency=0.01,
+                                             iteration_latency=0.2, seed=10)
+        prefetched = simulate_iterative_decode(64, 16, 256, 3,
+                                               step_latency=0.01,
+                                               iteration_latency=0.2,
+                                               prefetch_tokens=64, seed=10)
+        assert prefetched.idle_sequence_steps < \
+            blocking.idle_sequence_steps
+
+    def test_some_prefetch_window_improves_total_time(self):
+        blocking = simulate_iterative_decode(64, 16, 256, 3,
+                                             step_latency=0.01,
+                                             iteration_latency=0.2, seed=10)
+        windows = [simulate_iterative_decode(64, 16, 256, 3,
+                                             step_latency=0.01,
+                                             iteration_latency=0.2,
+                                             prefetch_tokens=p, seed=10)
+                   for p in (8, 16, 32)]
+        assert min(w.total_time for w in windows) < blocking.total_time
+
+    def test_deep_prefetch_hides_latency_entirely(self):
+        # If the retrieval returns well before the integration point,
+        # decoding never blocks on latency (only on batch formation).
+        result = simulate_iterative_decode(32, 1, 256, 2,
+                                           step_latency=0.01,
+                                           iteration_latency=0.05,
+                                           prefetch_tokens=128, seed=11)
+        assert result.normalized_latency == pytest.approx(1.0, abs=0.1)
+
+    def test_prefetch_monotonically_cuts_blocked_steps(self):
+        # Deeper prefetch always reduces time spent blocked on
+        # retrieval; *total* time is not monotone because early issue
+        # reshapes batch formation (a real scheduling interaction worth
+        # modelling -- PipeRAG assumes unbatched retrievals).
+        results = [simulate_iterative_decode(64, 16, 256, 3,
+                                             step_latency=0.01,
+                                             iteration_latency=0.3,
+                                             prefetch_tokens=p, seed=12)
+                   for p in (0, 16, 64)]
+        idle = [r.idle_sequence_steps for r in results]
+        assert idle == sorted(idle, reverse=True)
+
+    def test_negative_prefetch_rejected(self):
+        with pytest.raises(ConfigError):
+            simulate_iterative_decode(8, 4, 64, 1, prefetch_tokens=-1)

@@ -1,0 +1,94 @@
+"""Micro-batching model tests (Figs. 14, 19)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import ClusterSpec
+from repro.pipeline import RAGPerfModel, microbatch_ttft, ttft_reduction
+from repro.pipeline.microbatch import stage_latency_functions
+from repro.schema import Stage, case_i_hyperscale
+
+
+def linear_stage(per_item, fixed=0.0):
+    return lambda batch: fixed + per_item * batch
+
+
+def test_full_batch_equals_sum_of_stage_latencies():
+    stages = [linear_stage(0.01), linear_stage(0.02)]
+    ttft = microbatch_ttft(stages, burst_size=8, microbatch_size=8)
+    assert ttft == pytest.approx(0.01 * 8 + 0.02 * 8)
+
+
+def test_microbatching_reduces_mean_ttft_for_linear_stages():
+    stages = [linear_stage(0.01), linear_stage(0.01)]
+    full = microbatch_ttft(stages, 32, 32)
+    micro = microbatch_ttft(stages, 32, 4)
+    assert micro < full
+
+
+def test_flat_stage_defeats_microbatching():
+    # A stage whose latency ignores batch size makes micro-batching pay
+    # the fixed cost once per micro-batch (the C-I vector-search effect).
+    stages = [lambda batch: 0.1, lambda batch: 0.1]
+    full = microbatch_ttft(stages, 16, 16)
+    micro = microbatch_ttft(stages, 16, 1)
+    assert micro > full
+
+
+def test_single_microbatch_pipeline_order():
+    # Two micro-batches, two stages: the second micro-batch waits for the
+    # stage to free up (Fig. 14 execution order).
+    stages = [linear_stage(0.01), linear_stage(0.01)]
+    mean = microbatch_ttft(stages, 2, 1)
+    # mb0 finishes s2 at 0.02; mb1 enters s1 at 0.01, s2 at max(0.02,
+    # 0.02)+0.01 = 0.03; mean = 0.025.
+    assert mean == pytest.approx(0.025)
+
+
+def test_microbatch_larger_than_burst_degenerates():
+    stages = [linear_stage(0.01)]
+    assert microbatch_ttft(stages, 4, 100) == microbatch_ttft(stages, 4, 4)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        microbatch_ttft([], 4, 2)
+    with pytest.raises(ConfigError):
+        microbatch_ttft([linear_stage(0.01)], 0, 1)
+
+
+def test_stage_latency_functions_from_perf_model():
+    cluster = ClusterSpec(num_servers=32)
+    pm = RAGPerfModel(case_i_hyperscale("8B"), cluster)
+    resources = {Stage.RETRIEVAL: 32, Stage.PREFIX: 16}
+    functions = stage_latency_functions(pm, resources)
+    assert len(functions) == 2
+    assert functions[0](1) > 0
+
+
+def test_stage_latency_functions_require_resources():
+    cluster = ClusterSpec(num_servers=32)
+    pm = RAGPerfModel(case_i_hyperscale("8B"), cluster)
+    with pytest.raises(ConfigError):
+        stage_latency_functions(pm, {Stage.PREFIX: 16})
+
+
+def test_ttft_reduction_case_i_shape():
+    # Paper Fig. 19a: tiny micro-batches don't help Case I because
+    # retrieval latency is flat below ~16 queries.
+    cluster = ClusterSpec(num_servers=32)
+    pm = RAGPerfModel(case_i_hyperscale("70B"), cluster)
+    resources = {Stage.RETRIEVAL: 32, Stage.PREFIX: 16}
+    reductions = ttft_reduction(pm, resources, burst_size=32,
+                                microbatch_sizes=[2, 16])
+    assert reductions[2] < 0.1
+    assert reductions[16] >= reductions[2]
+
+
+def test_reductions_are_fractions():
+    cluster = ClusterSpec(num_servers=32)
+    pm = RAGPerfModel(case_i_hyperscale("8B"), cluster)
+    resources = {Stage.RETRIEVAL: 32, Stage.PREFIX: 16}
+    reductions = ttft_reduction(pm, resources, 32, [1, 2, 4, 8, 16, 32])
+    for value in reductions.values():
+        assert 0.0 <= value < 1.0

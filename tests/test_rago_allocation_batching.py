@@ -1,0 +1,67 @@
+"""Allocation and batching enumeration tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.rago import batch_options, enumerate_allocations, power_of_two_options
+from repro.schema import Stage
+
+
+def test_power_of_two_options_rounds_minimum_up():
+    assert power_of_two_options(3, 32) == [4, 8, 16, 32]
+
+
+def test_power_of_two_options_exact_bounds():
+    assert power_of_two_options(1, 8) == [1, 2, 4, 8]
+
+
+def test_power_of_two_options_empty_when_min_exceeds_max():
+    assert power_of_two_options(9, 8) == []
+
+
+def test_power_of_two_validation():
+    with pytest.raises(ConfigError):
+        power_of_two_options(0, 8)
+
+
+def test_allocations_respect_budget():
+    allocations = list(enumerate_allocations([1, 1], budget=8))
+    assert all(sum(a) <= 8 for a in allocations)
+    assert (4, 4) in allocations
+    assert (1, 1) in allocations
+
+
+def test_allocations_respect_minimums():
+    allocations = list(enumerate_allocations([4, 1], budget=16))
+    assert all(a[0] >= 4 for a in allocations)
+
+
+def test_allocations_are_powers_of_two():
+    for allocation in enumerate_allocations([1, 1, 1], budget=16):
+        for chips in allocation:
+            assert chips & (chips - 1) == 0
+
+
+def test_allocations_empty_groups():
+    assert list(enumerate_allocations([], budget=8)) == [()]
+
+
+def test_infeasible_minimums_raise():
+    with pytest.raises(ConfigError):
+        list(enumerate_allocations([8, 8], budget=8))
+
+
+def test_batch_options_pre_decode_capped():
+    options = batch_options(Stage.PREFIX, max_batch=128)
+    assert options == [1, 2, 4, 8, 16, 32, 64, 128]
+
+
+def test_batch_options_decode_larger():
+    options = batch_options(Stage.DECODE, max_batch=128,
+                            max_decode_batch=1024)
+    assert options[-1] == 1024
+
+
+def test_batch_options_validation():
+    with pytest.raises(ConfigError):
+        batch_options(Stage.PREFIX, max_batch=0)

@@ -1,0 +1,44 @@
+"""RAGO facade tests."""
+
+import pytest
+
+from repro import RAGO, ClusterSpec
+from repro.pipeline import PlacementGroup, Schedule
+from repro.schema import Stage, case_i_hyperscale
+
+
+@pytest.fixture(scope="module")
+def rago():
+    return RAGO(case_i_hyperscale("8B"), ClusterSpec(num_servers=32))
+
+
+def test_optimize_returns_frontier(rago):
+    result = rago.optimize()
+    assert result.frontier
+
+
+def test_convenience_endpoints_match_optimize(rago):
+    result = rago.optimize()
+    assert rago.max_qps_per_chip().qps_per_chip == pytest.approx(
+        result.max_qps_per_chip.qps_per_chip)
+    assert rago.min_ttft().ttft == pytest.approx(result.min_ttft.ttft)
+
+
+def test_evaluate_explicit_schedule(rago):
+    schedule = Schedule(
+        groups=(PlacementGroup((Stage.PREFIX,), 8),
+                PlacementGroup((Stage.DECODE,), 8)),
+        batches={Stage.PREFIX: 8, Stage.DECODE: 64, Stage.RETRIEVAL: 16},
+    )
+    perf = rago.evaluate(schedule)
+    assert perf.qps > 0
+    assert perf.ttft > 0
+
+
+def test_default_cluster_created():
+    rago = RAGO(case_i_hyperscale("8B"))
+    assert rago.cluster.total_xpus == 128
+
+
+def test_schema_accessible(rago):
+    assert rago.schema.name.startswith("case-i")

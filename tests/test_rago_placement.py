@@ -1,0 +1,75 @@
+"""Task-placement enumeration tests (Fig. 13 rules)."""
+
+from repro.rago import enumerate_placements
+from repro.rago.placement import (
+    contiguous_partitions,
+    fully_collocated,
+    fully_disaggregated,
+)
+from repro.schema import (
+    Stage,
+    case_i_hyperscale,
+    case_ii_long_context,
+    case_iv_rewriter_reranker,
+    llm_only,
+)
+
+
+def test_case_i_has_one_placement():
+    # Only prefix before decode: a single group, plus the decode group.
+    placements = enumerate_placements(case_i_hyperscale("8B"))
+    assert placements == [((Stage.PREFIX,), (Stage.DECODE,))]
+
+
+def test_case_iv_has_eight_placements():
+    # Four pre-prefix stages -> 2^3 contiguous partitions.
+    placements = enumerate_placements(case_iv_rewriter_reranker("70B"))
+    assert len(placements) == 8
+
+
+def test_decode_always_its_own_group():
+    for placement in enumerate_placements(case_iv_rewriter_reranker("70B")):
+        assert placement[-1] == (Stage.DECODE,)
+        for group in placement[:-1]:
+            assert Stage.DECODE not in group
+
+
+def test_retrieval_never_placed():
+    for placement in enumerate_placements(case_ii_long_context(1_000_000)):
+        for group in placement:
+            assert Stage.RETRIEVAL not in group
+
+
+def test_groups_are_contiguous_in_pipeline_order():
+    chain = [Stage.REWRITE_PREFIX, Stage.REWRITE_DECODE, Stage.RERANK,
+             Stage.PREFIX]
+    for placement in enumerate_placements(case_iv_rewriter_reranker("70B")):
+        flattened = [s for group in placement[:-1] for s in group]
+        assert flattened == chain
+
+
+def test_contiguous_partitions_count():
+    items = tuple(range(4))
+    assert len(contiguous_partitions(items)) == 8
+
+
+def test_contiguous_partitions_empty():
+    assert contiguous_partitions(()) == [()]
+
+
+def test_fully_disaggregated():
+    placement = fully_disaggregated(case_iv_rewriter_reranker("70B"))
+    assert all(len(group) == 1 for group in placement)
+    assert len(placement) == 5
+
+
+def test_fully_collocated():
+    placement = fully_collocated(case_iv_rewriter_reranker("70B"))
+    assert len(placement) == 2
+    assert len(placement[0]) == 4
+    assert placement[1] == (Stage.DECODE,)
+
+
+def test_llm_only_placements():
+    placements = enumerate_placements(llm_only("8B"))
+    assert placements == [((Stage.PREFIX,), (Stage.DECODE,))]

@@ -1,0 +1,97 @@
+"""Unit tests for the search engine's internal composition operators.
+
+The exhaustive search relies on three algebraic facts: Pareto pruning
+after a merge loses no optimal point, serial merges compose TTFT by sum
+and QPS by min, and harmonic merges model time multiplexing. These tests
+pin the operators directly.
+"""
+
+import itertools
+
+import pytest
+
+from repro.rago.search import _harmonic_merge, _prune, _serial_merge
+from repro.schema import Stage
+
+
+def opt(ttft, qps, tag="x"):
+    return (ttft, qps, ((Stage.PREFIX, 1, tag),))
+
+
+class TestPrune:
+    def test_keeps_incomparable(self):
+        options = [opt(1.0, 10.0), opt(2.0, 20.0)]
+        assert len(_prune(list(options))) == 2
+
+    def test_drops_dominated(self):
+        options = [opt(1.0, 10.0), opt(2.0, 5.0)]
+        pruned = _prune(list(options))
+        assert len(pruned) == 1
+        assert pruned[0][1] == 10.0
+
+    def test_sorted_output(self):
+        options = [opt(3.0, 30.0), opt(1.0, 10.0), opt(2.0, 20.0)]
+        pruned = _prune(list(options))
+        assert [p[0] for p in pruned] == [1.0, 2.0, 3.0]
+
+    def test_empty(self):
+        assert _prune([]) == []
+
+
+class TestSerialMerge:
+    def test_sum_and_min(self):
+        left = [opt(1.0, 10.0, "l")]
+        right = [opt(2.0, 5.0, "r")]
+        merged = _serial_merge(left, right)
+        assert len(merged) == 1
+        ttft, qps, choices = merged[0]
+        assert ttft == pytest.approx(3.0)
+        assert qps == pytest.approx(5.0)
+        assert len(choices) == 2
+
+    def test_merge_prunes_cross_products(self):
+        left = [opt(1.0, 10.0), opt(2.0, 20.0)]
+        right = [opt(1.0, 10.0), opt(2.0, 20.0)]
+        merged = _serial_merge(left, right)
+        # (1+1, min 10), (1+2, min 10) dominated, (2+1, 10) dominated,
+        # (2+2, 20) -> two survivors.
+        assert len(merged) == 2
+        assert merged[0][:2] == (2.0, 10.0)
+        assert merged[1][:2] == (4.0, 20.0)
+
+    def test_no_optimal_point_lost(self):
+        # Brute-force cross product agrees with merge+prune on the
+        # Pareto set.
+        left = [opt(t, q) for t, q in ((1, 5), (2, 9), (4, 12))]
+        right = [opt(t, q) for t, q in ((1, 4), (3, 11))]
+        merged = _serial_merge(list(left), list(right))
+        brute = [(a[0] + b[0], min(a[1], b[1]))
+                 for a, b in itertools.product(left, right)]
+        brute_front = []
+        for point in sorted(brute, key=lambda p: (p[0], -p[1])):
+            if not brute_front or point[1] > brute_front[-1][1]:
+                brute_front.append(point)
+        assert [m[:2] for m in merged] == brute_front
+
+
+class TestHarmonicMerge:
+    def test_harmonic_composition(self):
+        left = [opt(1.0, 10.0, "l")]
+        right = [opt(2.0, 40.0, "r")]
+        merged = _harmonic_merge(left, right)
+        ttft, qps, _ = merged[0]
+        assert ttft == pytest.approx(3.0)
+        assert qps == pytest.approx(1.0 / (1 / 10 + 1 / 40))
+
+    def test_harmonic_below_min(self):
+        left = [opt(0.0, 10.0)]
+        right = [opt(0.0, 10.0)]
+        merged = _harmonic_merge(left, right)
+        assert merged[0][1] == pytest.approx(5.0)
+        assert merged[0][1] < 10.0
+
+    def test_fast_partner_barely_hurts(self):
+        slow = [opt(0.0, 10.0)]
+        fast = [opt(0.0, 1e6)]
+        merged = _harmonic_merge(slow, fast)
+        assert merged[0][1] == pytest.approx(10.0, rel=1e-4)

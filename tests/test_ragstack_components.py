@@ -1,0 +1,142 @@
+"""Embedder, rewriter, reranker and generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ragstack import (
+    Chunk,
+    ExactReranker,
+    ExtractiveGenerator,
+    HashingEmbedder,
+    RuleBasedRewriter,
+)
+from repro.ragstack.retriever import RetrievedChunk
+
+
+def chunk(chunk_id, text, doc_id="d"):
+    return Chunk(chunk_id=chunk_id, doc_id=doc_id, text=text, start_token=0)
+
+
+class TestHashingEmbedder:
+    def test_deterministic(self):
+        emb = HashingEmbedder(dim=64)
+        a = emb.embed_one("the quick brown fox")
+        b = emb.embed_one("the quick brown fox")
+        assert np.allclose(a, b)
+
+    def test_unit_norm(self):
+        emb = HashingEmbedder(dim=64)
+        vec = emb.embed_one("hello world again")
+        assert np.linalg.norm(vec) == pytest.approx(1.0, abs=1e-5)
+
+    def test_similar_texts_closer_than_dissimilar(self):
+        emb = HashingEmbedder(dim=256)
+        base = emb.embed_one("solar panels convert sunlight to power")
+        near = emb.embed_one("solar panels convert light into power")
+        far = emb.embed_one("medieval castles had stone walls and moats")
+        assert base @ near > base @ far
+
+    def test_case_folding(self):
+        emb = HashingEmbedder(dim=64)
+        assert np.allclose(emb.embed_one("Hello"), emb.embed_one("hello"))
+
+    def test_batch_shape(self):
+        emb = HashingEmbedder(dim=32)
+        matrix = emb.embed(["a b", "c d", "e"])
+        assert matrix.shape == (3, 32)
+        assert emb.embed([]).shape == (0, 32)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HashingEmbedder(dim=0)
+
+
+class TestRuleBasedRewriter:
+    def test_normalizes_stopwords(self):
+        rw = RuleBasedRewriter()
+        assert rw.rewrite("What is the capital of France?") == \
+            ["capital france"]
+
+    def test_decomposes_compound_questions(self):
+        rw = RuleBasedRewriter()
+        queries = rw.rewrite("solar panel efficiency and wind turbine cost")
+        assert len(queries) == 2
+        assert "solar panel efficiency" in queries[0]
+        assert "wind turbine cost" in queries[1]
+
+    def test_decomposition_disabled(self):
+        rw = RuleBasedRewriter(decompose=False)
+        queries = rw.rewrite("cats and dogs")
+        assert len(queries) == 1
+
+    def test_max_queries_cap(self):
+        rw = RuleBasedRewriter(max_queries=2)
+        queries = rw.rewrite("a1 x and b2 y and c3 z and d4 w")
+        assert len(queries) <= 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            RuleBasedRewriter().rewrite("   ")
+
+
+class TestExactReranker:
+    def test_relevant_chunk_promoted(self):
+        embedder = HashingEmbedder(dim=256)
+        candidates = [
+            RetrievedChunk(chunk(0, "volcanic eruptions spew ash and lava"),
+                           score=0.1),
+            RetrievedChunk(chunk(1, "the solar panel produces clean power"),
+                           score=0.2),
+        ]
+        reranker = ExactReranker(embedder)
+        top = reranker.rerank("how do solar panels produce power",
+                              candidates, top_n=1)
+        assert top[0].chunk.chunk_id == 1
+
+    def test_deduplicates(self):
+        embedder = HashingEmbedder(dim=64)
+        same = chunk(0, "alpha beta gamma")
+        candidates = [RetrievedChunk(same, 0.1), RetrievedChunk(same, 0.2)]
+        top = ExactReranker(embedder).rerank("alpha", candidates, top_n=5)
+        assert len(top) == 1
+
+    def test_empty_candidates(self):
+        assert ExactReranker().rerank("q", [], top_n=3) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ExactReranker().rerank("q", [], top_n=0)
+        with pytest.raises(ConfigError):
+            ExactReranker(overlap_weight=-1)
+
+
+class TestExtractiveGenerator:
+    def test_selects_relevant_sentence(self):
+        passages = [RetrievedChunk(chunk(
+            0, "Edison invented the phonograph. He was born in Ohio."),
+            score=0.0)]
+        answer = ExtractiveGenerator(max_sentences=1).generate(
+            "what did Edison invent", passages)
+        assert "phonograph" in answer.text
+        assert answer.sources == ("d",)
+
+    def test_empty_passages(self):
+        answer = ExtractiveGenerator().generate("q", [])
+        assert "No relevant information" in answer.text
+        assert answer.sources == ()
+
+    def test_sources_deduplicated(self):
+        passages = [
+            RetrievedChunk(chunk(0, "solar power is clean.", "doc-a"), 0.0),
+            RetrievedChunk(chunk(1, "solar power is cheap.", "doc-a"), 0.1),
+        ]
+        answer = ExtractiveGenerator(max_sentences=2).generate(
+            "solar power", passages)
+        assert answer.sources == ("doc-a",)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ExtractiveGenerator(max_sentences=0)
+        with pytest.raises(ConfigError):
+            ExtractiveGenerator().generate("  ", [])

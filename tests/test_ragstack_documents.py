@@ -1,0 +1,91 @@
+"""Document store and chunking tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ragstack import Document, DocumentStore, chunk_text
+
+
+def words(count, prefix="w"):
+    return " ".join(f"{prefix}{i}" for i in range(count))
+
+
+class TestChunkText:
+    def test_exact_multiple(self):
+        chunks = chunk_text(words(256), chunk_tokens=128, overlap_tokens=0)
+        assert len(chunks) == 2
+        assert all(len(c.split()) == 128 for c in chunks)
+
+    def test_overlap_shares_tokens(self):
+        chunks = chunk_text(words(200), chunk_tokens=128, overlap_tokens=16)
+        first_tail = chunks[0].split()[-16:]
+        second_head = chunks[1].split()[:16]
+        assert first_tail == second_head
+
+    def test_short_text_single_chunk(self):
+        chunks = chunk_text(words(10), chunk_tokens=128)
+        assert len(chunks) == 1
+
+    def test_empty_text(self):
+        assert chunk_text("   ") == []
+
+    def test_every_token_covered(self):
+        text = words(500)
+        chunks = chunk_text(text, chunk_tokens=100, overlap_tokens=10)
+        seen = set()
+        for chunk in chunks:
+            seen.update(chunk.split())
+        assert seen == set(text.split())
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            chunk_text("x", chunk_tokens=0)
+        with pytest.raises(ConfigError):
+            chunk_text("x", chunk_tokens=10, overlap_tokens=10)
+
+
+class TestDocumentStore:
+    def test_add_and_lookup(self):
+        store = DocumentStore(chunk_tokens=50, overlap_tokens=5)
+        chunks = store.add(Document(doc_id="d1", text=words(120)))
+        assert store.num_documents == 1
+        assert store.num_chunks == len(chunks) >= 3
+        assert store.chunk(0).doc_id == "d1"
+        assert store.document("d1").num_tokens == 120
+
+    def test_chunk_ids_are_global(self):
+        store = DocumentStore(chunk_tokens=50, overlap_tokens=0)
+        store.add(Document(doc_id="a", text=words(100)))
+        store.add(Document(doc_id="b", text=words(100, prefix="x")))
+        assert [c.chunk_id for c in store.chunks] == list(range(4))
+        assert store.chunk(3).doc_id == "b"
+
+    def test_duplicate_id_rejected(self):
+        store = DocumentStore()
+        store.add(Document(doc_id="d", text="hello world"))
+        with pytest.raises(ConfigError):
+            store.add(Document(doc_id="d", text="again"))
+
+    def test_unknown_lookups_rejected(self):
+        store = DocumentStore()
+        with pytest.raises(ConfigError):
+            store.document("nope")
+        with pytest.raises(ConfigError):
+            store.chunk(0)
+
+    def test_start_token_offsets(self):
+        store = DocumentStore(chunk_tokens=50, overlap_tokens=10)
+        store.add(Document(doc_id="d", text=words(120)))
+        starts = [c.start_token for c in store.chunks]
+        assert starts == [0, 40, 80]
+
+
+class TestDocument:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Document(doc_id="", text="x")
+        with pytest.raises(ConfigError):
+            Document(doc_id="d", text="  ")
+
+    def test_token_count(self):
+        assert Document(doc_id="d", text="a b c").num_tokens == 3

@@ -1,0 +1,97 @@
+"""End-to-end functional RAG pipeline tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ragstack import Document, RAGPipeline
+
+FACTS = {
+    "edison": ("Thomas Edison invented the phonograph in 1877. "
+               "The phonograph recorded and reproduced sound. "
+               "Edison also developed the motion picture camera."),
+    "solar": ("Solar panels convert sunlight into electricity using "
+              "photovoltaic cells. Modern panels reach about twenty two "
+              "percent efficiency. Panel costs have fallen sharply."),
+    "volcano": ("Volcanic eruptions release ash plumes and molten lava. "
+                "Eruptions are measured with the volcanic explosivity "
+                "index. Large eruptions can cool the global climate."),
+}
+
+
+def filler(topic, count=300):
+    return " ".join(f"{topic}token{i}" for i in range(count))
+
+
+def build_pipeline(**kwargs):
+    pipeline = RAGPipeline(chunk_tokens=32, use_ann=False, **kwargs)
+    documents = [Document(doc_id=name, text=text + " " + filler(name))
+                 for name, text in FACTS.items()]
+    pipeline.add_documents(documents)
+    return pipeline.build()
+
+
+def test_answers_are_grounded_in_right_document():
+    pipeline = build_pipeline()
+    answer = pipeline.answer("What did Thomas Edison invent?")
+    assert "phonograph" in answer.text.lower()
+    assert "edison" in answer.sources
+
+
+def test_different_questions_hit_different_documents():
+    pipeline = build_pipeline()
+    solar = pipeline.answer("How do solar panels make electricity?")
+    volcano = pipeline.answer("What do volcanic eruptions release?")
+    assert "solar" in solar.sources
+    assert "volcano" in volcano.sources
+
+
+def test_rewriter_and_reranker_pipeline():
+    pipeline = build_pipeline(use_rewriter=True, use_reranker=True)
+    answer = pipeline.answer(
+        "Please tell me what the solar panels convert?")
+    assert "solar" in answer.sources
+
+
+def test_retrieve_returns_bounded_passages():
+    pipeline = build_pipeline()
+    passages = pipeline.retrieve("volcanic explosivity index")
+    assert 0 < len(passages) <= 5
+    assert passages[0].chunk.doc_id == "volcano"
+
+
+def test_ann_and_bruteforce_agree_on_clear_queries():
+    documents = [Document(doc_id=name, text=text + " " + filler(name, 2000))
+                 for name, text in FACTS.items()]
+    ann = RAGPipeline(chunk_tokens=32, use_ann=True)
+    ann.add_documents(documents)
+    ann.build()
+    exact = RAGPipeline(chunk_tokens=32, use_ann=False)
+    exact.add_documents(documents)
+    exact.build()
+    question = "What did Thomas Edison invent?"
+    assert exact.retrieve(question)[0].chunk.doc_id == "edison"
+    assert ann.retrieve(question)[0].chunk.doc_id == "edison"
+
+
+def test_unbuilt_pipeline_rejected():
+    pipeline = RAGPipeline()
+    pipeline.add_documents([Document(doc_id="d", text="hello world")])
+    with pytest.raises(ConfigError):
+        pipeline.answer("hi")
+
+
+def test_adding_documents_invalidates_index():
+    pipeline = build_pipeline()
+    pipeline.add_documents([Document(doc_id="new", text="fresh content")])
+    with pytest.raises(ConfigError):
+        pipeline.answer("fresh")
+
+
+def test_chunk_count_matches_store():
+    pipeline = build_pipeline()
+    assert pipeline.num_chunks == pipeline.store.num_chunks > 3
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        RAGPipeline(retrieve_k=0)

@@ -1,0 +1,64 @@
+"""ASCII scatter-plot tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.reporting.ascii_plot import ascii_scatter
+
+
+def grid_glyphs(text, glyph):
+    rows = [line for line in text.splitlines() if line.startswith("|")]
+    return sum(row.count(glyph) for row in rows)
+
+
+def test_single_series_renders():
+    text = ascii_scatter({"front": [(0.01, 1.0), (0.1, 5.0), (1.0, 10.0)]},
+                         width=30, height=8, x_label="ttft",
+                         y_label="qps")
+    assert "ttft" in text and "qps" in text
+    assert grid_glyphs(text, "o") == 3
+
+
+def test_two_series_get_distinct_glyphs():
+    text = ascii_scatter({"a": [(1, 1)], "b": [(2, 2)]}, width=20,
+                         height=6)
+    assert "o=a" in text and "x=b" in text
+    assert "o" in text and "x" in text
+
+
+def test_points_placed_monotonically():
+    text = ascii_scatter({"s": [(0.0, 0.0), (1.0, 1.0)]}, width=20,
+                         height=6)
+    rows = [line for line in text.splitlines() if line.startswith("|")]
+    low = next(i for i, row in enumerate(rows) if "o" in row)
+    high = next(i for i, row in enumerate(reversed(rows)) if "o" in row)
+    # The y=1 point sits above (earlier row) than the y=0 point.
+    first_cols = rows[low].index("o")
+    last_cols = rows[len(rows) - 1 - high].index("o")
+    assert first_cols > last_cols
+
+
+def test_log_axis_requires_positive():
+    with pytest.raises(ConfigError):
+        ascii_scatter({"s": [(0.0, 1.0)]}, log_x=True)
+
+
+def test_log_axis_renders():
+    text = ascii_scatter({"s": [(0.001, 1), (0.01, 2), (1.0, 3)]},
+                         width=30, height=8, log_x=True)
+    assert grid_glyphs(text, "o") == 3
+
+
+def test_empty_rejected():
+    with pytest.raises(ConfigError):
+        ascii_scatter({"s": []})
+
+
+def test_tiny_plot_rejected():
+    with pytest.raises(ConfigError):
+        ascii_scatter({"s": [(1, 1)]}, width=2, height=2)
+
+
+def test_degenerate_single_point():
+    text = ascii_scatter({"s": [(1.0, 1.0)]}, width=20, height=6)
+    assert "o" in text

@@ -1,0 +1,68 @@
+"""Brute-force exact kNN tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.retrieval import BruteForceIndex
+from repro.workloads import gaussian_vectors
+
+
+def test_self_query_returns_self():
+    data = gaussian_vectors(500, 16, seed=2)
+    index = BruteForceIndex(data)
+    dist, idx = index.search(data[42], k=1)
+    assert idx[0, 0] == 42
+    assert dist[0, 0] == pytest.approx(0.0, abs=1e-3)
+
+
+def test_distances_sorted_ascending():
+    data = gaussian_vectors(300, 8, seed=3)
+    index = BruteForceIndex(data)
+    dist, _ = index.search(data[:5], k=10)
+    for row in dist:
+        assert list(row) == sorted(row)
+
+
+def test_matches_naive_computation():
+    data = gaussian_vectors(200, 8, seed=4)
+    index = BruteForceIndex(data)
+    query = gaussian_vectors(1, 8, seed=5)[0]
+    dist, idx = index.search(query, k=5)
+    naive = ((data - query) ** 2).sum(axis=1)
+    expected = np.argsort(naive)[:5]
+    assert list(idx[0]) == list(expected)
+    assert np.allclose(dist[0], naive[expected], rtol=1e-4, atol=1e-3)
+
+
+def test_k_capped_at_index_size():
+    data = gaussian_vectors(10, 4, seed=6)
+    index = BruteForceIndex(data)
+    dist, idx = index.search(data[0], k=50)
+    assert idx.shape == (1, 10)
+
+
+def test_batch_queries():
+    data = gaussian_vectors(100, 4, seed=7)
+    index = BruteForceIndex(data)
+    dist, idx = index.search(data[:8], k=3)
+    assert idx.shape == (8, 3)
+    assert (idx[:, 0] == np.arange(8)).all()
+
+
+def test_invalid_inputs():
+    data = gaussian_vectors(10, 4, seed=8)
+    index = BruteForceIndex(data)
+    with pytest.raises(ConfigError):
+        index.search(data[0], k=0)
+    with pytest.raises(ConfigError):
+        index.search(np.zeros((1, 5), dtype=np.float32), k=1)
+    with pytest.raises(ConfigError):
+        BruteForceIndex(np.zeros((0, 4), dtype=np.float32))
+
+
+def test_distances_non_negative():
+    data = gaussian_vectors(50, 4, seed=9)
+    index = BruteForceIndex(data)
+    dist, _ = index.search(data, k=5)
+    assert (dist >= 0).all()

@@ -1,0 +1,43 @@
+"""Calibration-harness tests (functional engine -> analytical model)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import EPYC_MILAN
+from repro.retrieval import calibrate_scan_rate
+from repro.retrieval.scann_model import ScaNNPerfModel
+
+
+def test_calibration_produces_positive_rate():
+    result = calibrate_scan_rate(num_vectors=5000, dim=32, num_queries=3,
+                                 repeats=2)
+    assert result.bytes_per_second > 0
+    assert result.elapsed > 0
+    assert result.scanned_bytes == 5000 * 8 * 3 * 2
+
+
+def test_calibrated_spec_installs_rate():
+    result = calibrate_scan_rate(num_vectors=2000, dim=32, num_queries=2,
+                                 repeats=1)
+    spec = result.as_server_spec(EPYC_MILAN)
+    assert spec.pq_scan_rate_per_core == pytest.approx(
+        result.bytes_per_second)
+    assert spec.cores == EPYC_MILAN.cores
+
+
+def test_calibrated_spec_feeds_perf_model():
+    result = calibrate_scan_rate(num_vectors=2000, dim=32, num_queries=2,
+                                 repeats=1)
+    spec = result.as_server_spec(EPYC_MILAN)
+    model = ScaNNPerfModel(spec, base_latency=0.0)
+    latency = model.batch_latency(bytes_per_query=result.bytes_per_second,
+                                  batch=1)
+    # One query scanning one second's worth of bytes takes ~1 second.
+    assert latency == pytest.approx(1.0, rel=0.01)
+
+
+def test_invalid_calibration_args():
+    with pytest.raises(ConfigError):
+        calibrate_scan_rate(num_vectors=0)
+    with pytest.raises(ConfigError):
+        calibrate_scan_rate(num_queries=0)

@@ -1,0 +1,49 @@
+"""Distributed sharded retrieval tests."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigError
+from repro.hardware import EPYC_MILAN
+from repro.retrieval import DistributedRetrievalModel
+from repro.schema.paradigms import HYPERSCALE_DATABASE
+
+
+@pytest.fixture
+def model():
+    return DistributedRetrievalModel(HYPERSCALE_DATABASE, EPYC_MILAN,
+                                     base_latency=0.0)
+
+
+def test_min_servers_is_16(model):
+    # 5.6 TiB over 384 GB/server -> the paper's minimum of 16 servers.
+    assert model.min_servers() == 16
+
+
+def test_too_few_servers_rejected(model):
+    with pytest.raises(CapacityError):
+        model.search_perf(batch=1, num_servers=8)
+
+
+def test_latency_halves_with_double_servers(model):
+    # Single query is compute-bound on one thread per server; sharding
+    # splits the scanned bytes.
+    one = model.search_perf(batch=1, num_servers=16).latency
+    two = model.search_perf(batch=1, num_servers=32).latency
+    assert two == pytest.approx(one / 2, rel=0.05)
+
+
+def test_saturated_qps_scales_with_servers(model):
+    sixteen = model.search_perf(batch=512, num_servers=16).qps
+    thirty_two = model.search_perf(batch=512, num_servers=32).qps
+    assert thirty_two == pytest.approx(2 * sixteen, rel=0.05)
+
+
+def test_bytes_split_evenly(model):
+    per_server = model.bytes_per_query_per_server(16)
+    assert per_server == pytest.approx(
+        HYPERSCALE_DATABASE.bytes_per_query / 16)
+
+
+def test_invalid_server_count(model):
+    with pytest.raises(ConfigError):
+        model.search_perf(batch=1, num_servers=0)

@@ -1,0 +1,99 @@
+"""IVF-PQ approximate index tests, including recall properties."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.retrieval import BruteForceIndex, IVFPQIndex
+from repro.workloads import clustered_vectors
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    vectors, _ = clustered_vectors(4000, 32, num_clusters=24, seed=11)
+    return vectors
+
+
+@pytest.fixture(scope="module")
+def built(corpus):
+    # 16 subspaces over 32 dims = 2 dims per codebook: high-precision PQ,
+    # so recall is limited by nprobe rather than quantization noise.
+    from repro.retrieval import ProductQuantizer
+    quantizer = ProductQuantizer(num_subspaces=16, seed=11)
+    return IVFPQIndex(nlist=32, quantizer=quantizer, seed=11).build(corpus)
+
+
+def recall_at_k(approx_idx, exact_idx):
+    hits = 0
+    total = 0
+    for a_row, e_row in zip(approx_idx, exact_idx):
+        hits += len(set(a_row) & set(e_row))
+        total += len(e_row)
+    return hits / total
+
+
+def test_search_shapes(built, corpus):
+    dist, idx = built.search(corpus[:4], k=5, nprobe=4)
+    assert dist.shape == (4, 5)
+    assert idx.shape == (4, 5)
+
+
+def test_recall_reasonable_with_moderate_nprobe(built, corpus):
+    queries = corpus[:50]
+    exact = BruteForceIndex(corpus)
+    _, exact_idx = exact.search(queries, k=10)
+    _, approx_idx = built.search(queries, k=10, nprobe=8)
+    assert recall_at_k(approx_idx, exact_idx) > 0.6
+
+
+def test_recall_improves_with_nprobe(built, corpus):
+    queries = corpus[:50]
+    exact = BruteForceIndex(corpus)
+    _, exact_idx = exact.search(queries, k=10)
+    _, low_idx = built.search(queries, k=10, nprobe=1)
+    _, high_idx = built.search(queries, k=10, nprobe=32)
+    assert recall_at_k(high_idx, exact_idx) >= recall_at_k(low_idx, exact_idx)
+
+
+def test_scanned_fraction_grows_with_nprobe(built):
+    low = built.scanned_fraction(1)
+    high = built.scanned_fraction(16)
+    assert 0 < low < high <= 1.0
+
+
+def test_scanned_fraction_full_at_nlist(built):
+    assert built.scanned_fraction(32) == pytest.approx(1.0)
+
+
+def test_full_probe_matches_pq_quality(built, corpus):
+    # With nprobe = nlist the only loss left is PQ quantization.
+    queries = corpus[:30]
+    exact = BruteForceIndex(corpus)
+    _, exact_idx = exact.search(queries, k=5)
+    _, approx_idx = built.search(queries, k=5, nprobe=32)
+    # At full probe the only loss is PQ quantization on the dense
+    # within-cluster neighborhoods.
+    assert recall_at_k(approx_idx, exact_idx) > 0.55
+
+
+def test_unbuilt_index_rejected():
+    index = IVFPQIndex(nlist=4)
+    with pytest.raises(ConfigError):
+        index.search(np.zeros((1, 32), dtype=np.float32), k=1)
+
+
+def test_too_few_training_vectors_rejected():
+    index = IVFPQIndex(nlist=64)
+    with pytest.raises(ConfigError):
+        index.build(np.zeros((10, 32), dtype=np.float32))
+
+
+def test_invalid_search_args(built, corpus):
+    with pytest.raises(ConfigError):
+        built.search(corpus[:1], k=0)
+    with pytest.raises(ConfigError):
+        built.search(corpus[:1], k=1, nprobe=0)
+
+
+def test_size_reported(built, corpus):
+    assert built.size == len(corpus)

@@ -1,0 +1,106 @@
+"""Product-quantizer functional tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.retrieval import ProductQuantizer
+from repro.workloads import gaussian_vectors
+
+
+@pytest.fixture(scope="module")
+def trained():
+    data = gaussian_vectors(2000, 32, seed=1)
+    pq = ProductQuantizer(num_subspaces=8, train_iterations=5, seed=1)
+    pq.train(data)
+    return pq, data
+
+
+def test_codes_shape_and_dtype(trained):
+    pq, data = trained
+    codes = pq.encode(data[:100])
+    assert codes.shape == (100, 8)
+    assert codes.dtype == np.uint8
+
+
+def test_decode_reconstructs_approximately(trained):
+    pq, data = trained
+    sample = data[:200]
+    recon = pq.decode(pq.encode(sample))
+    err = np.linalg.norm(recon - sample, axis=1).mean()
+    scale = np.linalg.norm(sample, axis=1).mean()
+    assert err < scale  # quantization error below signal magnitude
+
+
+def test_decode_better_than_random_codes(trained):
+    pq, data = trained
+    sample = data[:200]
+    good = pq.decode(pq.encode(sample))
+    rng = np.random.default_rng(0)
+    random_codes = rng.integers(0, 256, size=(200, 8), dtype=np.uint8)
+    bad = pq.decode(random_codes)
+    good_err = ((good - sample) ** 2).sum()
+    bad_err = ((bad - sample) ** 2).sum()
+    assert good_err < bad_err
+
+
+def test_adc_scan_matches_decoded_distances(trained):
+    pq, data = trained
+    codes = pq.encode(data[:300])
+    query = data[0]
+    adc = pq.adc_scan(codes, query)
+    recon = pq.decode(codes)
+    exact = ((recon - query) ** 2).sum(axis=1)
+    assert np.allclose(adc, exact, rtol=1e-3, atol=1e-2)
+
+
+def test_adc_scan_nearest_is_self(trained):
+    pq, data = trained
+    codes = pq.encode(data[:500])
+    # The closest coded vector to query 7 should usually be vector 7.
+    hits = 0
+    for qi in range(20):
+        adc = pq.adc_scan(codes, data[qi])
+        if np.argmin(adc) == qi:
+            hits += 1
+    assert hits >= 15
+
+
+def test_lookup_table_shape(trained):
+    pq, data = trained
+    table = pq.lookup_table(data[0])
+    assert table.shape == (8, 256)
+    assert (table >= 0).all()
+
+
+def test_untrained_usage_rejected():
+    pq = ProductQuantizer()
+    with pytest.raises(ConfigError):
+        pq.encode(np.zeros((4, 32), dtype=np.float32))
+
+
+def test_dimension_mismatch_rejected(trained):
+    pq, _ = trained
+    with pytest.raises(ConfigError):
+        pq.encode(np.zeros((4, 33), dtype=np.float32))
+
+
+def test_dim_not_divisible_rejected():
+    pq = ProductQuantizer(num_subspaces=8)
+    with pytest.raises(ConfigError):
+        pq.train(np.zeros((600, 30), dtype=np.float32))
+
+
+def test_invalid_construction():
+    with pytest.raises(ConfigError):
+        ProductQuantizer(num_subspaces=0)
+    with pytest.raises(ConfigError):
+        ProductQuantizer(bits=9)
+
+
+def test_compression_ratio_is_one_byte_per_subspace(trained):
+    pq, data = trained
+    codes = pq.encode(data[:10])
+    raw_bytes = data[:10].nbytes
+    assert codes.nbytes == 10 * 8
+    assert raw_bytes / codes.nbytes == pytest.approx(16.0)

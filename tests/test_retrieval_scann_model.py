@@ -1,0 +1,86 @@
+"""Analytical ScaNN retrieval model tests (calibrated against the paper's
+published operating points)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import EPYC_MILAN
+from repro.retrieval import DatabaseConfig, ScaNNPerfModel
+from repro.schema.paradigms import HYPERSCALE_DATABASE
+
+
+def test_case_i_database_bytes():
+    db = HYPERSCALE_DATABASE
+    assert db.total_bytes == pytest.approx(64e9 * 96)
+    # 0.1% scan of 5.6 TiB ~ 6.1 GB per query.
+    assert db.leaf_bytes_per_query == pytest.approx(6.144e9)
+
+
+def test_upper_levels_are_negligible():
+    db = HYPERSCALE_DATABASE
+    assert db.upper_level_bytes_per_query < 1e-3 * db.leaf_bytes_per_query
+
+
+def test_with_scan_fraction():
+    db = HYPERSCALE_DATABASE.with_scan_fraction(0.01)
+    assert db.scan_fraction == pytest.approx(0.01)
+    assert db.bytes_per_query > HYPERSCALE_DATABASE.bytes_per_query
+
+
+def test_database_validation():
+    with pytest.raises(ConfigError):
+        DatabaseConfig(num_vectors=0)
+    with pytest.raises(ConfigError):
+        DatabaseConfig(num_vectors=100, scan_fraction=0.0)
+    with pytest.raises(ConfigError):
+        DatabaseConfig(num_vectors=100, tree_levels=0)
+
+
+def test_single_query_is_compute_bound():
+    # One query = one thread at 18 GB/s; 192 MB shard -> ~10.7 ms,
+    # matching the paper's "10 ms with a batch size of one given 32 host
+    # servers" (§5.4 / §7.1).
+    model = ScaNNPerfModel(EPYC_MILAN, base_latency=0.0)
+    per_server = HYPERSCALE_DATABASE.bytes_per_query / 32
+    latency = model.batch_latency(per_server, batch=1)
+    assert latency == pytest.approx(0.0107, rel=0.05)
+
+
+def test_small_batches_do_not_improve_latency():
+    # Below ~16 queries, latency is flat (each query has its own core),
+    # the paper's Fig. 19a observation.
+    model = ScaNNPerfModel(EPYC_MILAN, base_latency=0.0)
+    per_server = HYPERSCALE_DATABASE.bytes_per_query / 32
+    lat1 = model.batch_latency(per_server, 1)
+    lat8 = model.batch_latency(per_server, 8)
+    assert lat8 == pytest.approx(lat1, rel=0.01)
+
+
+def test_large_batches_become_memory_bound():
+    model = ScaNNPerfModel(EPYC_MILAN, base_latency=0.0)
+    per_server = HYPERSCALE_DATABASE.bytes_per_query / 16
+    lat_small = model.batch_latency(per_server, 8)
+    lat_big = model.batch_latency(per_server, 512)
+    # Memory-bound regime: latency scales with batch.
+    assert lat_big > 10 * lat_small
+
+
+def test_throughput_saturates():
+    model = ScaNNPerfModel(EPYC_MILAN, base_latency=0.0)
+    per_server = HYPERSCALE_DATABASE.bytes_per_query / 16
+    qps_64 = model.batch_throughput(per_server, 64)
+    qps_512 = model.batch_throughput(per_server, 512)
+    assert qps_512 == pytest.approx(qps_64, rel=0.10)
+    # Saturated rate = effective bandwidth / bytes per query.
+    expected = EPYC_MILAN.effective_mem_bandwidth / per_server
+    assert qps_512 == pytest.approx(expected, rel=0.05)
+
+
+def test_invalid_batch_rejected():
+    model = ScaNNPerfModel(EPYC_MILAN)
+    with pytest.raises(ConfigError):
+        model.batch_latency(1e6, 0)
+    with pytest.raises(ConfigError):
+        model.batch_latency(-1.0, 1)
+    with pytest.raises(ConfigError):
+        ScaNNPerfModel(EPYC_MILAN, base_latency=-1.0)

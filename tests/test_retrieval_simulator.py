@@ -1,0 +1,63 @@
+"""RetrievalSimulator facade tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import EPYC_MILAN
+from repro.retrieval import DatabaseConfig, RetrievalSimulator
+from repro.schema.paradigms import HYPERSCALE_DATABASE
+
+
+@pytest.fixture
+def sim():
+    return RetrievalSimulator(HYPERSCALE_DATABASE, EPYC_MILAN)
+
+
+def test_perf_is_cached(sim):
+    a = sim.perf(4, 16)
+    b = sim.perf(4, 16)
+    assert a is b
+
+
+def test_multi_query_divides_request_qps(sim):
+    single = sim.perf(16, 16, queries_per_request=1)
+    multi = sim.perf(16, 16, queries_per_request=4)
+    # Query-level throughput can only improve with the bigger physical
+    # batch, but request throughput drops by roughly the query fan-out.
+    assert multi.query_qps >= single.query_qps
+    assert multi.request_qps < single.request_qps / 2
+
+
+def test_query_qps_equals_request_qps_times_queries(sim):
+    perf = sim.perf(8, 16, queries_per_request=4)
+    assert perf.query_qps == pytest.approx(4 * perf.request_qps)
+
+
+def test_brute_force_scans_everything():
+    tiny = DatabaseConfig(num_vectors=10_000, dim=768,
+                          bytes_per_vector=1536.0, scan_fraction=1.0,
+                          tree_fanout=128, tree_levels=1)
+    ann = RetrievalSimulator(
+        DatabaseConfig(num_vectors=10_000, dim=768, bytes_per_vector=1536.0,
+                       scan_fraction=0.01, tree_fanout=128, tree_levels=1),
+        EPYC_MILAN)
+    bf = RetrievalSimulator(
+        DatabaseConfig(num_vectors=10_000, dim=768, bytes_per_vector=1536.0,
+                       scan_fraction=0.01, tree_fanout=128, tree_levels=1),
+        EPYC_MILAN, brute_force=True)
+    assert bf.perf(1, 1).latency >= ann.perf(1, 1).latency
+    assert tiny.total_bytes < EPYC_MILAN.memory_bytes  # fits one server
+
+
+def test_case_ii_retrieval_is_fast():
+    # 10K vectors x 1536 B = 15 MB: brute-force kNN in well under 10 ms.
+    db = DatabaseConfig(num_vectors=10_000, dim=768, bytes_per_vector=1536.0,
+                        scan_fraction=1.0, tree_fanout=128, tree_levels=1)
+    sim = RetrievalSimulator(db, EPYC_MILAN, brute_force=True)
+    assert sim.perf(1, 1).latency < 0.01
+    assert sim.min_servers() == 1
+
+
+def test_invalid_queries_per_request(sim):
+    with pytest.raises(ConfigError):
+        sim.perf(1, 16, queries_per_request=0)

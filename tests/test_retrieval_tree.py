@@ -1,0 +1,104 @@
+"""Two-level tree index tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.retrieval import BruteForceIndex, ProductQuantizer
+from repro.retrieval.tree import TreePQIndex
+from repro.workloads import clustered_vectors
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    vectors, _ = clustered_vectors(4000, 32, num_clusters=20, seed=31)
+    return vectors
+
+
+@pytest.fixture(scope="module")
+def built(corpus):
+    quantizer = ProductQuantizer(num_subspaces=16, seed=31)
+    return TreePQIndex(quantizer=quantizer, seed=31).build(corpus)
+
+
+def recall(approx, exact):
+    hits = sum(len(set(a) & set(e)) for a, e in zip(approx, exact))
+    return hits / exact.size
+
+
+def test_default_fanout_is_cube_root(built, corpus):
+    # ceil(4000^(1/3)) = 16 (the paper's balanced sizing rule).
+    assert built.fanout == 16
+    assert built.num_leaves == 256
+
+
+def test_every_vector_in_exactly_one_leaf(built, corpus):
+    all_ids = np.concatenate([ids for ids in built._leaf_ids if len(ids)])
+    assert len(all_ids) == len(corpus)
+    assert len(set(all_ids.tolist())) == len(corpus)
+
+
+def test_search_shapes(built, corpus):
+    dist, idx = built.search(corpus[:5], k=7)
+    assert dist.shape == (5, 7)
+    assert idx.shape == (5, 7)
+
+
+def test_recall_reasonable(built, corpus):
+    queries = corpus[:50]
+    exact = BruteForceIndex(corpus)
+    _, truth = exact.search(queries, k=10)
+    _, approx = built.search(queries, k=10, branches=4,
+                             leaves_per_branch=8)
+    assert recall(approx, truth) > 0.5
+
+
+def test_recall_improves_with_probing(built, corpus):
+    queries = corpus[:50]
+    exact = BruteForceIndex(corpus)
+    _, truth = exact.search(queries, k=10)
+    _, narrow = built.search(queries, k=10, branches=1,
+                             leaves_per_branch=1)
+    _, wide = built.search(queries, k=10, branches=8,
+                           leaves_per_branch=16)
+    assert recall(wide, truth) >= recall(narrow, truth)
+
+
+def test_scanned_fraction_scales_with_probing(built):
+    low = built.scanned_fraction(1, 1)
+    high = built.scanned_fraction(4, 8)
+    assert 0 < low < high <= 1.0
+
+
+def test_upper_level_scan_is_small(built, corpus):
+    # Descending the tree compares against fanout + b*fanout centroids,
+    # a tiny fraction of the corpus -- the analytical model's rationale
+    # for neglecting upper levels.
+    centroids_compared = built.fanout + 2 * built.fanout
+    assert centroids_compared < 0.02 * len(corpus)
+
+
+def test_unbuilt_rejected():
+    index = TreePQIndex(fanout=4)
+    with pytest.raises(ConfigError):
+        index.search(np.zeros((1, 32), dtype=np.float32), k=1)
+    with pytest.raises(ConfigError):
+        index.scanned_fraction(1, 1)
+
+
+def test_too_small_corpus_rejected():
+    index = TreePQIndex(fanout=8)
+    with pytest.raises(ConfigError):
+        index.build(np.zeros((10, 16), dtype=np.float32))
+
+
+def test_invalid_fanout():
+    with pytest.raises(ConfigError):
+        TreePQIndex(fanout=1)
+
+
+def test_invalid_search_args(built, corpus):
+    with pytest.raises(ConfigError):
+        built.search(corpus[:1], k=0)
+    with pytest.raises(ConfigError):
+        built.search(corpus[:1], k=1, branches=0)

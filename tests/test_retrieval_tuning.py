@@ -1,0 +1,63 @@
+"""Scan-fraction tuning tests (§3.3's recall-driven P_scan selection)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.retrieval import IVFPQIndex, ProductQuantizer, tune_scan_fraction
+from repro.workloads import clustered_vectors
+
+
+@pytest.fixture(scope="module")
+def setup():
+    corpus, _ = clustered_vectors(3000, 32, num_clusters=24, seed=21)
+    quantizer = ProductQuantizer(num_subspaces=16, seed=21)
+    index = IVFPQIndex(nlist=32, quantizer=quantizer, seed=21).build(corpus)
+    queries = corpus[:40]
+    return index, corpus, queries
+
+
+def test_recall_monotone_in_nprobe(setup):
+    index, corpus, queries = setup
+    result = tune_scan_fraction(index, corpus, queries, k=10,
+                                target_recall=0.99)
+    recalls = [point.recall for point in result.points]
+    # Allow small non-monotonic jitter but require an overall rise.
+    assert recalls[-1] >= recalls[0]
+    fractions = [point.scan_fraction for point in result.points]
+    assert fractions == sorted(fractions)
+
+
+def test_selects_minimum_fraction_meeting_target(setup):
+    index, corpus, queries = setup
+    result = tune_scan_fraction(index, corpus, queries, k=10,
+                                target_recall=0.5)
+    assert result.selected is not None
+    assert result.selected.recall >= 0.5
+    # Nothing cheaper meets the target.
+    for point in result.points:
+        if point.nprobe < result.selected.nprobe:
+            assert point.recall < 0.5
+
+
+def test_unreachable_target_returns_none(setup):
+    index, corpus, queries = setup
+    result = tune_scan_fraction(index, corpus, queries, k=10,
+                                target_recall=1.0)
+    # PQ quantization keeps exact 100% recall out of reach here.
+    assert result.selected is None
+
+
+def test_validation(setup):
+    index, corpus, queries = setup
+    with pytest.raises(ConfigError):
+        tune_scan_fraction(index, corpus, queries, target_recall=0.0)
+    with pytest.raises(ConfigError):
+        tune_scan_fraction(index, corpus, queries, nprobe_candidates=[])
+    with pytest.raises(ConfigError):
+        tune_scan_fraction(index, corpus, queries, nprobe_candidates=[0])
+
+
+def test_unbuilt_index_rejected(setup):
+    _, corpus, queries = setup
+    with pytest.raises(ConfigError):
+        tune_scan_fraction(IVFPQIndex(nlist=8), corpus, queries)

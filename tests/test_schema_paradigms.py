@@ -1,0 +1,92 @@
+"""Paradigm preset tests (Table 3)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.schema import (
+    case_i_hyperscale,
+    case_ii_long_context,
+    case_iii_iterative,
+    case_iv_rewriter_reranker,
+    llm_only,
+)
+from repro.schema.paradigms import HYPERSCALE_DATABASE
+
+
+def test_hyperscale_database_matches_paper():
+    assert HYPERSCALE_DATABASE.num_vectors == pytest.approx(64e9)
+    assert HYPERSCALE_DATABASE.dim == 768
+    assert HYPERSCALE_DATABASE.bytes_per_vector == 96.0
+    assert HYPERSCALE_DATABASE.scan_fraction == pytest.approx(0.001)
+    assert HYPERSCALE_DATABASE.tree_fanout == 4096
+    assert HYPERSCALE_DATABASE.tree_levels == 3
+
+
+def test_case_i_defaults():
+    schema = case_i_hyperscale("8B", queries_per_retrieval=4)
+    assert schema.queries_per_retrieval == 4
+    assert schema.retrieval_frequency == 1
+    assert schema.document_encoder is None
+
+
+def test_case_i_scan_fraction_override():
+    schema = case_i_hyperscale("8B", scan_fraction=0.01)
+    assert schema.database.scan_fraction == pytest.approx(0.01)
+
+
+def test_case_ii_database_size_tracks_context():
+    for context, expected in ((100_000, 782), (1_000_000, 7813),
+                              (10_000_000, 78125)):
+        schema = case_ii_long_context(context)
+        assert schema.database.num_vectors == pytest.approx(expected, rel=0.01)
+
+
+def test_case_ii_uses_brute_force_and_encoder():
+    schema = case_ii_long_context(1_000_000)
+    assert schema.brute_force_retrieval
+    assert schema.document_encoder is not None
+    assert schema.sequences.context_len == 1_000_000
+
+
+def test_case_ii_vectors_are_fp16():
+    schema = case_ii_long_context(1_000_000)
+    assert schema.database.bytes_per_vector == 768 * 2
+
+
+def test_case_iii_iterative_frequency():
+    schema = case_iii_iterative("70B", retrieval_frequency=4)
+    assert schema.is_iterative
+    assert schema.retrieval_frequency == 4
+
+
+def test_case_iii_rejects_zero_frequency():
+    with pytest.raises(ConfigError):
+        case_iii_iterative("70B", retrieval_frequency=0)
+
+
+def test_case_iv_has_rewriter_and_reranker():
+    schema = case_iv_rewriter_reranker("70B")
+    assert schema.query_rewriter is not None
+    assert schema.query_reranker is not None
+    assert schema.query_rewriter.num_params == pytest.approx(8e9, rel=0.1)
+
+
+def test_llm_only_prompt_is_question():
+    schema = llm_only("8B")
+    assert schema.sequences.prefix_len == schema.sequences.question_len
+
+
+def test_llm_only_custom_prefix():
+    schema = llm_only("8B", prefix_len=512)
+    assert schema.sequences.prefix_len == 512
+
+
+def test_case_ii_rejects_bad_context():
+    with pytest.raises(ConfigError):
+        case_ii_long_context(0)
+
+
+def test_models_accepted_by_object():
+    from repro.models import LLAMA3_70B
+    schema = case_i_hyperscale(LLAMA3_70B)
+    assert schema.generative_llm is LLAMA3_70B

@@ -1,0 +1,83 @@
+"""RAGSchema validation and derived-property tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import ENCODER_120M, LLAMA3_8B, LLAMA3_70B
+from repro.retrieval import DatabaseConfig
+from repro.schema import RAGSchema
+from repro.workloads import SequenceProfile
+
+
+def small_db():
+    return DatabaseConfig(num_vectors=1e6)
+
+
+def test_minimal_schema():
+    schema = RAGSchema(name="basic", generative_llm=LLAMA3_8B,
+                       database=small_db())
+    assert schema.has_retrieval
+    assert not schema.is_iterative
+
+
+def test_llm_only_schema_has_no_retrieval():
+    schema = RAGSchema(name="llm", generative_llm=LLAMA3_8B,
+                       retrieval_frequency=0)
+    assert not schema.has_retrieval
+
+
+def test_iterative_flag():
+    schema = RAGSchema(name="iter", generative_llm=LLAMA3_70B,
+                       database=small_db(), retrieval_frequency=4)
+    assert schema.is_iterative
+
+
+def test_database_requires_retrieval():
+    with pytest.raises(ConfigError):
+        RAGSchema(name="bad", generative_llm=LLAMA3_8B,
+                  database=small_db(), retrieval_frequency=0)
+
+
+def test_encoder_requires_database():
+    with pytest.raises(ConfigError):
+        RAGSchema(name="bad", generative_llm=LLAMA3_8B,
+                  document_encoder=ENCODER_120M)
+
+
+def test_encoder_requires_context_length():
+    with pytest.raises(ConfigError):
+        RAGSchema(name="bad", generative_llm=LLAMA3_8B,
+                  database=small_db(), document_encoder=ENCODER_120M)
+
+
+def test_encoder_with_context_ok():
+    schema = RAGSchema(
+        name="ok", generative_llm=LLAMA3_70B, database=small_db(),
+        document_encoder=ENCODER_120M,
+        sequences=SequenceProfile(context_len=100_000))
+    assert "document_encoder" in schema.model_components
+
+
+def test_model_components_always_includes_llm():
+    schema = RAGSchema(name="x", generative_llm=LLAMA3_8B,
+                       retrieval_frequency=0)
+    assert schema.model_components == {"generative_llm": LLAMA3_8B}
+
+
+def test_describe_mentions_parts():
+    schema = RAGSchema(name="case", generative_llm=LLAMA3_8B,
+                       database=small_db(), queries_per_retrieval=4)
+    text = schema.describe()
+    assert "llama3-8b" in text
+    assert "qpr=4" in text
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ConfigError):
+        RAGSchema(name="", generative_llm=LLAMA3_8B, retrieval_frequency=0)
+
+
+def test_invalid_queries_per_retrieval():
+    with pytest.raises(ConfigError):
+        RAGSchema(name="bad", generative_llm=LLAMA3_8B,
+                  database=small_db(), queries_per_retrieval=0)

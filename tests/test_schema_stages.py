@@ -1,0 +1,69 @@
+"""Pipeline stage ordering tests (Fig. 3)."""
+
+from repro.schema import (
+    Stage,
+    case_i_hyperscale,
+    case_ii_long_context,
+    case_iv_rewriter_reranker,
+    llm_only,
+    pipeline_stages,
+    ttft_stages,
+    xpu_stages,
+)
+from repro.schema.stages import STAGE_ORDER, pre_prefix_xpu_stages
+
+
+def test_case_i_pipeline():
+    stages = pipeline_stages(case_i_hyperscale("8B"))
+    assert stages == [Stage.RETRIEVAL, Stage.PREFIX, Stage.DECODE]
+
+
+def test_case_ii_pipeline_includes_encoder():
+    stages = pipeline_stages(case_ii_long_context(1_000_000))
+    assert stages[0] == Stage.DATABASE_ENCODE
+    assert Stage.RETRIEVAL in stages
+
+
+def test_case_iv_full_pipeline():
+    stages = pipeline_stages(case_iv_rewriter_reranker("70B"))
+    assert stages == [Stage.REWRITE_PREFIX, Stage.REWRITE_DECODE,
+                      Stage.RETRIEVAL, Stage.RERANK, Stage.PREFIX,
+                      Stage.DECODE]
+
+
+def test_llm_only_pipeline():
+    stages = pipeline_stages(llm_only("8B"))
+    assert stages == [Stage.PREFIX, Stage.DECODE]
+
+
+def test_pipeline_respects_canonical_order():
+    stages = pipeline_stages(case_iv_rewriter_reranker("70B"))
+    order = [list(STAGE_ORDER).index(s) for s in stages]
+    assert order == sorted(order)
+
+
+def test_ttft_excludes_decode_and_encode():
+    schema = case_ii_long_context(1_000_000)
+    stages = ttft_stages(schema)
+    assert Stage.DECODE not in stages
+    assert Stage.DATABASE_ENCODE not in stages
+    assert Stage.PREFIX in stages
+
+
+def test_ttft_includes_rewriter_and_rerank():
+    stages = ttft_stages(case_iv_rewriter_reranker("70B"))
+    assert Stage.REWRITE_DECODE in stages
+    assert Stage.RERANK in stages
+    assert Stage.RETRIEVAL in stages
+
+
+def test_xpu_stages_exclude_retrieval():
+    stages = xpu_stages(case_i_hyperscale("8B"))
+    assert Stage.RETRIEVAL not in stages
+    assert Stage.PREFIX in stages and Stage.DECODE in stages
+
+
+def test_pre_prefix_excludes_decode():
+    stages = pre_prefix_xpu_stages(case_iv_rewriter_reranker("70B"))
+    assert Stage.DECODE not in stages
+    assert stages[-1] == Stage.PREFIX

@@ -1,0 +1,84 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import EventQueue, Simulation
+
+
+def test_events_run_in_time_order():
+    sim = Simulation()
+    order = []
+    sim.schedule(2.0, lambda s: order.append("b"))
+    sim.schedule(1.0, lambda s: order.append("a"))
+    sim.schedule(3.0, lambda s: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulation()
+    order = []
+    for name in "abc":
+        sim.schedule(1.0, lambda s, n=name: order.append(n))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_events_can_schedule_more_events():
+    sim = Simulation()
+    seen = []
+
+    def chain(s, depth=0):
+        seen.append(s.now)
+        if depth < 3:
+            s.schedule(1.0, lambda s2: chain(s2, depth + 1))
+
+    sim.schedule(0.0, chain)
+    sim.run()
+    assert seen == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_run_until_leaves_future_events():
+    sim = Simulation()
+    fired = []
+    sim.schedule(1.0, lambda s: fired.append(1))
+    sim.schedule(5.0, lambda s: fired.append(5))
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == pytest.approx(2.0)
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_negative_delay_rejected():
+    sim = Simulation()
+    with pytest.raises(ConfigError):
+        sim.schedule(-1.0, lambda s: None)
+
+
+def test_past_scheduling_rejected():
+    sim = Simulation()
+    sim.schedule(1.0, lambda s: None)
+    sim.run()
+    with pytest.raises(ConfigError):
+        sim.schedule_at(0.5, lambda s: None)
+
+
+def test_runaway_loop_detected():
+    sim = Simulation()
+
+    def forever(s):
+        s.schedule(0.0, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(ConfigError):
+        sim.run(max_events=100)
+
+
+def test_event_queue_len():
+    queue = EventQueue()
+    assert not queue
+    queue.push(1.0, lambda s: None)
+    assert len(queue) == 1

@@ -1,0 +1,235 @@
+"""Request-level serving-simulator tests, including validation against
+the analytical assembly."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import ClusterSpec
+from repro.pipeline import PlacementGroup, RAGPerfModel, Schedule, assemble
+from repro.schema import (
+    Stage,
+    case_i_hyperscale,
+    case_iii_iterative,
+    case_iv_rewriter_reranker,
+)
+from repro.sim import ServingSimulator
+from repro.workloads import burst_arrivals, poisson_arrivals
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cluster = ClusterSpec(num_servers=32)
+    pm = RAGPerfModel(case_i_hyperscale("8B"), cluster)
+    schedule = Schedule(
+        groups=(PlacementGroup((Stage.PREFIX,), 32),
+                PlacementGroup((Stage.DECODE,), 32)),
+        batches={Stage.PREFIX: 32, Stage.DECODE: 512, Stage.RETRIEVAL: 64},
+    )
+    return pm, schedule, assemble(pm, schedule)
+
+
+def test_all_requests_complete(setup):
+    pm, schedule, _ = setup
+    sim = ServingSimulator(pm, schedule)
+    arrivals = poisson_arrivals(100, duration=2.0, seed=1)
+    metrics = sim.run(arrivals)
+    assert metrics.completed == metrics.offered == len(arrivals)
+
+
+def test_throughput_validates_analytical_model(setup):
+    # Overload the system: measured saturation throughput should land
+    # within ~15% of the analytical bottleneck QPS.
+    pm, schedule, analytical = setup
+    sim = ServingSimulator(pm, schedule)
+    arrivals = poisson_arrivals(1.5 * analytical.qps, duration=15.0, seed=2)
+    metrics = sim.run(arrivals)
+    assert metrics.throughput == pytest.approx(analytical.qps, rel=0.15)
+
+
+def test_underload_ttft_near_analytical(setup):
+    # At light load, mean TTFT is the analytical TTFT plus bounded
+    # batching wait (at most one batch per stage).
+    pm, schedule, analytical = setup
+    sim = ServingSimulator(pm, schedule)
+    arrivals = poisson_arrivals(0.3 * analytical.qps, duration=10.0, seed=3)
+    metrics = sim.run(arrivals)
+    assert metrics.mean_ttft >= analytical.ttft * 0.5
+    assert metrics.mean_ttft <= analytical.ttft * 3.0
+
+
+def test_overload_inflates_latency(setup):
+    pm, schedule, analytical = setup
+    sim = ServingSimulator(pm, schedule)
+    light = sim.run(poisson_arrivals(0.5 * analytical.qps, 10.0, seed=4))
+    sim2 = ServingSimulator(pm, schedule)
+    heavy = sim2.run(poisson_arrivals(1.5 * analytical.qps, 10.0, seed=4))
+    assert heavy.mean_ttft > 3 * light.mean_ttft
+
+
+def test_tpot_matches_decode_model(setup):
+    pm, schedule, analytical = setup
+    sim = ServingSimulator(pm, schedule)
+    metrics = sim.run(poisson_arrivals(100, 2.0, seed=5))
+    assert metrics.mean_tpot == pytest.approx(analytical.tpot, rel=0.25)
+
+
+def test_burst_arrival_handling(setup):
+    pm, schedule, _ = setup
+    sim = ServingSimulator(pm, schedule)
+    metrics = sim.run(burst_arrivals(burst_size=64, period=5.0,
+                                     num_bursts=3))
+    assert metrics.completed == 192
+    # Requests inside a burst complete at staggered times (batching).
+    ttfts = [r.ttft for r in metrics.records[:64]]
+    assert max(ttfts) > min(ttfts)
+
+
+def test_case_iv_pipeline_runs():
+    cluster = ClusterSpec(num_servers=32)
+    pm = RAGPerfModel(case_iv_rewriter_reranker("8B"), cluster)
+    schedule = Schedule(
+        groups=(PlacementGroup((Stage.REWRITE_PREFIX,
+                                Stage.REWRITE_DECODE), 8),
+                PlacementGroup((Stage.RERANK, Stage.PREFIX), 16),
+                PlacementGroup((Stage.DECODE,), 16)),
+        batches={Stage.REWRITE_PREFIX: 8, Stage.REWRITE_DECODE: 8,
+                 Stage.RERANK: 8, Stage.PREFIX: 8, Stage.RETRIEVAL: 16,
+                 Stage.DECODE: 256},
+    )
+    sim = ServingSimulator(pm, schedule)
+    metrics = sim.run(poisson_arrivals(50, 2.0, seed=6))
+    assert metrics.completed == metrics.offered
+    # Every completed request passed through all five pre-decode stages.
+    record = metrics.records[0]
+    for stage in (Stage.REWRITE_PREFIX, Stage.REWRITE_DECODE,
+                  Stage.RETRIEVAL, Stage.RERANK, Stage.PREFIX):
+        assert stage in record.stage_completions
+    # Stage completions respect pipeline order.
+    times = [record.stage_completions[s]
+             for s in (Stage.REWRITE_PREFIX, Stage.REWRITE_DECODE,
+                       Stage.RETRIEVAL, Stage.RERANK, Stage.PREFIX)]
+    assert times == sorted(times)
+
+
+def _iterative_setup(retrieval_frequency=4, iterative_batch=8):
+    cluster = ClusterSpec(num_servers=32)
+    pm = RAGPerfModel(
+        case_iii_iterative("8B", retrieval_frequency=retrieval_frequency),
+        cluster)
+    schedule = Schedule(
+        groups=(PlacementGroup((Stage.PREFIX,), 16),
+                PlacementGroup((Stage.DECODE,), 16)),
+        batches={Stage.PREFIX: 8, Stage.DECODE: 64, Stage.RETRIEVAL: 16},
+        iterative_batch=iterative_batch,
+    )
+    return pm, schedule
+
+
+def test_iterative_serving_completes():
+    pm, schedule = _iterative_setup()
+    sim = ServingSimulator(pm, schedule)
+    metrics = sim.run(poisson_arrivals(20, 2.0, seed=8))
+    assert metrics.completed == metrics.offered
+    assert metrics.mean_tpot > 0
+
+
+def test_iterative_serving_slower_than_single_retrieval():
+    # The same schedule serving the same arrivals takes longer per token
+    # when sequences pause for mid-generation retrievals.
+    arrivals = poisson_arrivals(20, 2.0, seed=8)
+    pm_iter, schedule = _iterative_setup(retrieval_frequency=4)
+    iterative = ServingSimulator(pm_iter, schedule).run(arrivals)
+    cluster = ClusterSpec(num_servers=32)
+    pm_plain = RAGPerfModel(case_i_hyperscale("8B"), cluster)
+    plain_schedule = Schedule(
+        groups=schedule.groups,
+        batches=schedule.batches,
+    )
+    plain = ServingSimulator(pm_plain, plain_schedule).run(arrivals)
+    assert iterative.mean_tpot > plain.mean_tpot
+
+
+def test_iterative_frequency_increases_tpot():
+    arrivals = poisson_arrivals(20, 2.0, seed=8)
+    low_pm, low_schedule = _iterative_setup(retrieval_frequency=2)
+    high_pm, high_schedule = _iterative_setup(retrieval_frequency=8)
+    low = ServingSimulator(low_pm, low_schedule).run(arrivals)
+    high = ServingSimulator(high_pm, high_schedule).run(arrivals)
+    assert high.mean_tpot > low.mean_tpot
+
+
+def test_unsorted_arrivals_rejected(setup):
+    pm, schedule, _ = setup
+    sim = ServingSimulator(pm, schedule)
+    with pytest.raises(ConfigError):
+        sim.run([1.0, 0.5])
+    with pytest.raises(ConfigError):
+        sim.run([])
+
+
+def test_horizon_cuts_off(setup):
+    pm, schedule, _ = setup
+    sim = ServingSimulator(pm, schedule)
+    arrivals = poisson_arrivals(200, duration=10.0, seed=7)
+    metrics = sim.run(arrivals, horizon=1.0)
+    assert metrics.completed < metrics.offered
+
+
+def test_variable_decode_lengths(setup):
+    pm, schedule, _ = setup
+    sim = ServingSimulator(pm, schedule)
+    arrivals = [0.0, 0.0, 0.0, 0.0]
+    lengths = [32, 64, 128, 256]
+    metrics = sim.run(arrivals, decode_lengths=lengths)
+    assert metrics.completed == 4
+    # Shorter generations finish earlier.
+    completions = [r.completion_time for r in metrics.records]
+    assert completions == sorted(completions)
+    assert metrics.records[0].decode_len == 32
+
+
+def test_decode_lengths_validation(setup):
+    pm, schedule, _ = setup
+    sim = ServingSimulator(pm, schedule)
+    with pytest.raises(ConfigError):
+        sim.run([0.0, 1.0], decode_lengths=[32])
+    with pytest.raises(ConfigError):
+        sim.run([0.0], decode_lengths=[0])
+
+
+def test_sampled_decode_lengths_with_workload():
+    from repro.workloads import sample_decode_lengths
+    cluster = ClusterSpec(num_servers=32)
+    pm = RAGPerfModel(case_i_hyperscale("8B"), cluster)
+    schedule = Schedule(
+        groups=(PlacementGroup((Stage.PREFIX,), 16),
+                PlacementGroup((Stage.DECODE,), 16)),
+        batches={Stage.PREFIX: 16, Stage.DECODE: 256, Stage.RETRIEVAL: 32},
+    )
+    sim = ServingSimulator(pm, schedule)
+    arrivals = poisson_arrivals(50, 2.0, seed=9)
+    lengths = sample_decode_lengths(len(arrivals), mean=256, seed=9)
+    metrics = sim.run(arrivals, decode_lengths=[int(x) for x in lengths])
+    assert metrics.completed == metrics.offered
+    assert metrics.mean_tpot > 0
+
+
+def test_utilization_reported(setup):
+    pm, schedule, analytical = setup
+    sim = ServingSimulator(pm, schedule)
+    metrics = sim.run(poisson_arrivals(0.9 * analytical.qps, 10.0, seed=14))
+    assert metrics.utilization
+    for name, value in metrics.utilization.items():
+        assert 0.0 <= value <= 1.0
+    # Near saturation, the bottleneck tier runs hot.
+    assert max(metrics.utilization.values()) > 0.5
+
+
+def test_utilization_grows_with_load(setup):
+    pm, schedule, analytical = setup
+    light = ServingSimulator(pm, schedule).run(
+        poisson_arrivals(0.2 * analytical.qps, 10.0, seed=15))
+    heavy = ServingSimulator(pm, schedule).run(
+        poisson_arrivals(0.9 * analytical.qps, 10.0, seed=15))
+    for name in light.utilization:
+        assert heavy.utilization[name] >= light.utilization[name] - 0.05

@@ -1,0 +1,40 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_tflops_converts_to_flops():
+    assert units.tflops(1) == 1e12
+    assert units.tflops(459) == 459e12
+
+
+def test_gb_per_s_is_decimal():
+    assert units.gb_per_s(1) == 1e9
+
+
+def test_gib_is_binary():
+    assert units.gib(1) == 1024**3
+
+
+def test_gb_is_decimal():
+    assert units.gb(96) == 96e9
+
+
+def test_tib_is_binary():
+    assert units.tib(1) == 1024**4
+
+
+def test_seconds_ms_roundtrip():
+    assert units.ms_to_seconds(units.seconds_to_ms(0.25)) == pytest.approx(0.25)
+
+
+def test_billions_and_millions():
+    assert units.billions(8) == 8e9
+    assert units.millions(120) == 120e6
+
+
+def test_database_case_i_size_is_5_6_tib():
+    total = 64e9 * 96
+    assert total / units.TIB == pytest.approx(5.59, abs=0.01)
