@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""A pipeline beyond the paper's four case studies.
+
+RAGSchema is a general abstraction; the builder composes stage
+combinations the paper never evaluates. This example declares a
+"research assistant" pipeline that chains *everything*: a freshly
+encoded long-context document base (Case II's encoder), a query
+rewriter and a reranker (Case IV's helpers), and iterative retrieval
+during decoding (Case III's loop) -- all around a 70B generator.
+
+It also registers a custom stage kind, ``summarize``, showing how new
+stage types plug into the builder without touching library code: the
+applier reshapes the sequence profile to model a summarization pass
+that compresses retrieved passages before the main prefill.
+
+Run:
+    python examples/custom_pipeline.py
+"""
+
+from repro import ClusterSpec, OptimizerSession, register_stage_type
+from repro.schema import pipeline
+
+
+def apply_summarize(spec, ratio: float = 0.5) -> None:
+    """Model a prompt-compression stage by shrinking the prefix the
+    generator must prefill (passages summarized to ``ratio`` length)."""
+    sequences = spec.sequences
+    passages = sequences.retrieved_passages * sequences.passage_len
+    question = sequences.question_len
+    compressed = question + max(int(passages * ratio), 1)
+    spec.sequences = sequences.with_lengths(
+        prefix_len=max(compressed, question))
+
+
+register_stage_type("summarize", apply_summarize, replace_existing=True)
+
+
+def build_research_assistant():
+    """Rewriter + fresh 200K-token context + rerank + iterative 70B."""
+    return (pipeline("research-assistant-70b")
+            .sequences(context_len=200_000)
+            .encode("120M")                    # embed the uploaded corpus
+            .rewrite("8B")                     # clean up the user query
+            .retrieve_from_context()           # see below: derived database
+            .rerank("120M", candidates=32)     # score 32 nearest chunks
+            .summarize(ratio=0.5)              # custom registered stage
+            .generate("70B", iterative=2)      # retrieve again mid-decode
+            .build())
+
+
+def retrieve_from_context():
+    """Derive the brute-force database from the declared context length
+    (the Case II construction, reusable for any context size)."""
+    from repro.retrieval.scann_model import DatabaseConfig
+    from repro.schema.builder import register_stage_type
+
+    def apply(spec) -> None:
+        num_vectors = max(spec.sequences.num_chunks, 1)
+        database = DatabaseConfig(
+            num_vectors=float(num_vectors),
+            dim=768,
+            bytes_per_vector=768 * 2.0,
+            scan_fraction=1.0,
+            tree_fanout=max(num_vectors, 2),
+            tree_levels=1,
+        )
+        spec.declare("retrieve")
+        spec.database = database
+        spec.retrieval_frequency = max(spec.retrieval_frequency, 1)
+        spec.brute_force_retrieval = True
+
+    register_stage_type("retrieve_from_context", apply,
+                        replace_existing=True)
+
+
+retrieve_from_context()
+
+
+def main() -> None:
+    schema = build_research_assistant()
+    cluster = ClusterSpec(num_servers=16)
+    print(f"workload : {schema.describe()}")
+    print(f"stages   : encode -> rewrite -> retrieve -> rerank -> "
+          f"prefill -> decode (x{schema.retrieval_frequency} retrievals)")
+    print(f"cluster  : {cluster.num_servers} servers x "
+          f"{cluster.xpus_per_server} {cluster.xpu.name}")
+    print()
+
+    session = (OptimizerSession(schema, cluster)
+               .with_constraint(max_ttft=2.0))
+    result = session.optimize()
+    print(f"searched {result.num_plans} plans; frontier:")
+    for perf in result.frontier:
+        print(f"  ttft={perf.ttft * 1e3:8.1f} ms   "
+              f"qps/chip={perf.qps_per_chip:7.3f}   "
+              f"xpus={perf.total_xpus:3d}")
+    print()
+    best = session.best()
+    print("best schedule under TTFT <= 2 s:")
+    print(f"  {best.schedule.describe()}")
+    print(f"  -> {best.qps_per_chip:.3f} QPS/chip at "
+          f"{best.ttft * 1e3:.1f} ms TTFT")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,20 +1,28 @@
 #!/usr/bin/env python3
-"""Quickstart: optimize a RAG serving pipeline with RAGO.
+"""Quickstart: declare a RAG pipeline, open an optimizer session.
 
-Builds the paper's Case I workload (hyperscale retrieval + an 8B
-generative LLM), runs the schedule search on the default 32-server /
-128-XPU cluster, and prints the TTFT vs QPS/chip Pareto frontier with
-the schedules that achieve its endpoints.
+Declares the paper's Case I workload (hyperscale retrieval + an 8B
+generative LLM) through the builder API, runs the memoized schedule
+search on the default 32-server / 128-XPU cluster, and prints the TTFT
+vs QPS/chip Pareto frontier with the schedules picked for each
+objective. Finally the workload is serialized to JSON -- the same file
+``python -m repro optimize --config quickstart_workload.json`` accepts.
 
 Run:
     python examples/quickstart.py
 """
 
-from repro import ClusterSpec, RAGO, case_i_hyperscale
+from repro import ClusterSpec, OptimizerSession, config
+from repro.schema import pipeline
+from repro.schema.paradigms import HYPERSCALE_DATABASE
 
 
 def main() -> None:
-    schema = case_i_hyperscale("8B")
+    # Any stage composition works; this one matches case_i_hyperscale("8B").
+    schema = (pipeline("quickstart-rag")
+              .retrieve(HYPERSCALE_DATABASE, neighbors=5)
+              .generate("8B")
+              .build())
     cluster = ClusterSpec(num_servers=32)
     print(f"workload : {schema.describe()}")
     print(f"cluster  : {cluster.num_servers} servers x "
@@ -22,8 +30,8 @@ def main() -> None:
           f"({cluster.total_xpus} chips)")
     print()
 
-    rago = RAGO(schema, cluster)
-    result = rago.optimize()
+    session = OptimizerSession(schema, cluster)
+    result = session.optimize()  # repeated calls hit the session memo
 
     print(f"searched {result.num_plans} placement x allocation plans "
           f"({result.num_candidates} batching candidates)")
@@ -36,8 +44,8 @@ def main() -> None:
               f"servers={perf.retrieval_servers}")
     print()
 
-    best = result.max_qps_per_chip
-    fastest = result.min_ttft
+    best = session.best()  # throughput-optimal by default
+    fastest = session.with_objective("min_ttft").best()
     print("throughput-optimal schedule:")
     print(f"  {best.schedule.describe()}")
     print(f"  -> {best.qps_per_chip:.2f} QPS/chip at "
@@ -47,6 +55,13 @@ def main() -> None:
     print(f"  {fastest.schedule.describe()}")
     print(f"  -> {fastest.ttft * 1e3:.1f} ms TTFT at "
           f"{fastest.qps_per_chip:.2f} QPS/chip")
+    print()
+
+    # Workloads are reproducible artifacts: serialize, reload, re-run.
+    config.save("quickstart_workload.json", schema)
+    assert config.load("quickstart_workload.json") == schema
+    print("wrote quickstart_workload.json "
+          "(try: python -m repro optimize --config quickstart_workload.json)")
 
 
 if __name__ == "__main__":

@@ -16,14 +16,29 @@ implements the paper end to end:
   allocation x batching -> Pareto frontier).
 * :mod:`repro.baselines`, :mod:`repro.experiments` -- the paper's
   comparison systems and one runner per evaluation table/figure.
+* :mod:`repro.config` -- versioned JSON serialization of every
+  optimizer artifact (schemas, clusters, schedules, found frontiers).
 
-Quickstart::
+Quickstart -- declare a pipeline, open a session, constrain, solve::
 
-    from repro import RAGO, ClusterSpec, case_iv_rewriter_reranker
+    from repro import ClusterSpec, OptimizerSession
+    from repro.schema import pipeline
+    from repro.schema.paradigms import HYPERSCALE_DATABASE
 
-    rago = RAGO(case_iv_rewriter_reranker("70B"), ClusterSpec())
-    result = rago.optimize()
-    print(result.max_qps_per_chip.schedule.describe())
+    schema = (pipeline("my-rag")
+              .rewrite("8B")
+              .retrieve(HYPERSCALE_DATABASE, neighbors=5)
+              .rerank("120M")
+              .generate("70B")
+              .build())
+    session = (OptimizerSession(schema, ClusterSpec())
+               .with_constraint(max_ttft=0.2))
+    print(session.best().schedule.describe())
+
+The paper's presets remain one call away (``case_i_hyperscale("8B")``,
+...), the classic facade still works (``RAGO(schema,
+cluster).optimize()``), and any schema/result round-trips through
+:mod:`repro.config` for reproducible experiment files.
 """
 
 from repro.errors import (
@@ -59,7 +74,11 @@ from repro.retrieval import (
     RetrievalSimulator,
 )
 from repro.inference import InferenceSimulator
+# NOTE: the builder entry point `pipeline()` is exported from
+# repro.schema only -- binding it here would shadow the repro.pipeline
+# submodule attribute on this package.
 from repro.schema import (
+    PipelineBuilder,
     RAGSchema,
     Stage,
     case_i_hyperscale,
@@ -67,6 +86,7 @@ from repro.schema import (
     case_iii_iterative,
     case_iv_rewriter_reranker,
     llm_only,
+    register_stage_type,
 )
 from repro.workloads import SequenceProfile
 from repro.pipeline import (
@@ -80,13 +100,18 @@ from repro.pipeline import (
 )
 from repro.rago import (
     RAGO,
+    OptimizerSession,
     PriceBook,
     SearchConfig,
     SearchResult,
     ServiceObjective,
+    SweepCell,
+    SweepResult,
     estimate_cost,
     pareto_front,
 )
+from repro import config
+from repro.config import OptimizationConfig
 from repro.rago.provisioning import ProvisioningResult, provision
 from repro.hardware.power import PowerProfile, estimate_energy
 from repro.sim import ServingSimulator
@@ -127,6 +152,8 @@ __all__ = [
     "InferenceSimulator",
     # schema
     "RAGSchema",
+    "PipelineBuilder",
+    "register_stage_type",
     "Stage",
     "SequenceProfile",
     "case_i_hyperscale",
@@ -144,8 +171,14 @@ __all__ = [
     "simulate_iterative_decode",
     # rago
     "RAGO",
+    "OptimizerSession",
+    "SweepCell",
+    "SweepResult",
     "SearchConfig",
     "SearchResult",
+    # config
+    "config",
+    "OptimizationConfig",
     "pareto_front",
     "ServiceObjective",
     "PriceBook",

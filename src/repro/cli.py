@@ -1,27 +1,33 @@
 """Command-line interface.
 
-Three subcommands::
+Five subcommands::
 
     python -m repro list                      # registered experiments
     python -m repro run fig5 [--full]         # regenerate an artifact
     python -m repro optimize --case iv --llm 70B [--max-ttft 0.2]
+    python -m repro optimize --config workload.json [--json out.json]
+    python -m repro sweep --case i --llms 1B,8B --servers 16,32
 
-``optimize`` runs RAGO on one of the four paradigm presets and prints
-the Pareto frontier plus the schedules selected for each objective.
+``optimize`` runs RAGO on one of the four paradigm presets or on a
+serialized :mod:`repro.config` file (a schema or a full optimization
+config) and prints the Pareto frontier plus the schedules selected for
+each objective; ``sweep`` searches a grid of (LLM size, cluster size)
+cells, optionally over a multiprocessing pool.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import List, Optional
 
-from repro.errors import ReproError
+from repro import config as config_module
+from repro.config import OptimizationConfig
+from repro.errors import ConfigError, ReproError
 from repro.hardware.accelerator import XPU_A, XPU_B, XPU_C
 from repro.hardware.cluster import ClusterSpec
-
-_XPU_BY_LETTER = {"A": XPU_A, "B": XPU_B, "C": XPU_C}
-from repro.rago.objectives import ServiceObjective, select_max_throughput
-from repro.rago.optimizer import RAGO
+from repro.rago.objectives import ServiceObjective
+from repro.rago.session import OptimizerSession
 from repro.reporting.experiments import EXPERIMENTS, get_experiment
 from repro.schema.paradigms import (
     case_i_hyperscale,
@@ -29,6 +35,9 @@ from repro.schema.paradigms import (
     case_iii_iterative,
     case_iv_rewriter_reranker,
 )
+
+#: Accelerator generations by their --xpu letter (Table 2).
+_XPU_BY_LETTER = {"A": XPU_A, "B": XPU_B, "C": XPU_C}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -48,7 +57,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="also dump the structured data to a JSON file")
 
     optimize = commands.add_parser("optimize",
-                                   help="run RAGO on a paradigm preset")
+                                   help="run RAGO on a preset or config file")
     optimize.add_argument("--case", choices=("i", "ii", "iii", "iv"),
                           default="i", help="paradigm (Table 3)")
     optimize.add_argument("--llm", default="8B",
@@ -57,12 +66,37 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="context length for case ii")
     optimize.add_argument("--retrievals", type=int, default=4,
                           help="retrieval frequency for case iii")
-    optimize.add_argument("--servers", type=int, default=32,
-                          help="cluster host servers (4 XPUs each)")
-    optimize.add_argument("--xpu", choices=("A", "B", "C"), default="C",
-                          help="accelerator generation (Table 2)")
+    optimize.add_argument("--servers", type=int, default=None,
+                          help="cluster host servers (4 XPUs each, "
+                               "default 32); overrides --config's cluster")
+    optimize.add_argument("--xpu", choices=("A", "B", "C"), default=None,
+                          help="accelerator generation (Table 2, default "
+                               "C); overrides --config's cluster")
     optimize.add_argument("--max-ttft", type=float, default=None,
-                          help="TTFT SLO in seconds")
+                          help="TTFT SLO in seconds; overrides --config's "
+                               "TTFT bound (other bounds stay in force)")
+    optimize.add_argument("--config", dest="config_path", default=None,
+                          help="serialized workload or optimization config "
+                               "(repro.config JSON); overrides --case/--llm")
+    optimize.add_argument("--json", dest="json_path", default=None,
+                          help="also dump the frontier and chosen schedule "
+                               "to a JSON file")
+
+    sweep = commands.add_parser(
+        "sweep", help="search a grid of LLM sizes x cluster sizes")
+    sweep.add_argument("--case", choices=("i", "ii", "iii", "iv"),
+                       default="i")
+    sweep.add_argument("--llms", default="1B,8B",
+                       help="comma-separated LLM size labels")
+    sweep.add_argument("--servers", default="32",
+                       help="comma-separated host-server counts")
+    sweep.add_argument("--context", type=int, default=1_000_000)
+    sweep.add_argument("--retrievals", type=int, default=4)
+    sweep.add_argument("--xpu", choices=("A", "B", "C"), default="C")
+    sweep.add_argument("--processes", type=int, default=1,
+                       help="worker processes for the sweep executor")
+    sweep.add_argument("--json", dest="json_path", default=None,
+                       help="also dump the tidy result table to a JSON file")
 
     prov = commands.add_parser(
         "provision", help="size a fleet for a target load")
@@ -78,15 +112,15 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _schema_for(args: argparse.Namespace):
+def _schema_for(args: argparse.Namespace, llm: Optional[str] = None):
+    llm = llm or args.llm
     if args.case == "i":
-        return case_i_hyperscale(args.llm)
+        return case_i_hyperscale(llm)
     if args.case == "ii":
-        return case_ii_long_context(args.context, args.llm)
+        return case_ii_long_context(args.context, llm)
     if args.case == "iii":
-        return case_iii_iterative(args.llm,
-                                  retrieval_frequency=args.retrievals)
-    return case_iv_rewriter_reranker(args.llm)
+        return case_iii_iterative(llm, retrieval_frequency=args.retrievals)
+    return case_iv_rewriter_reranker(llm)
 
 
 def _command_list() -> int:
@@ -113,8 +147,6 @@ def _command_run(args: argparse.Namespace) -> int:
     output = experiment.runner()(fast=not args.full)
     print(output)
     if args.json_path:
-        import json
-
         payload = {
             "exp_id": output.exp_id,
             "title": output.title,
@@ -127,14 +159,71 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_optimization_config(path: str) -> OptimizationConfig:
+    """Load an optimize --config file: either a bare schema envelope or
+    a full optimization config."""
+    loaded = config_module.load(path)
+    if isinstance(loaded, OptimizationConfig):
+        return loaded
+    from repro.schema.ragschema import RAGSchema
+
+    if isinstance(loaded, RAGSchema):
+        return OptimizationConfig(schema=loaded)
+    raise ConfigError(
+        f"{path} holds a {type(loaded).__name__}; optimize expects a "
+        f"rag_schema or optimization_config"
+    )
+
+
+def _resolve_cluster(args: argparse.Namespace,
+                     loaded: Optional[ClusterSpec]) -> ClusterSpec:
+    """The run's cluster: --config's, with explicit flags overriding."""
+    import dataclasses
+
+    cluster = loaded or ClusterSpec(num_servers=args.servers or 32,
+                                    xpu=_XPU_BY_LETTER[args.xpu or "C"])
+    overrides = {}
+    if args.servers is not None and cluster.num_servers != args.servers:
+        overrides["num_servers"] = args.servers
+    if args.xpu is not None and cluster.xpu != _XPU_BY_LETTER[args.xpu]:
+        overrides["xpu"] = _XPU_BY_LETTER[args.xpu]
+    return dataclasses.replace(cluster, **overrides) if overrides \
+        else cluster
+
+
 def _command_optimize(args: argparse.Namespace) -> int:
-    schema = _schema_for(args)
-    cluster = ClusterSpec(num_servers=args.servers,
-                          xpu=_XPU_BY_LETTER[getattr(args, "xpu", "C")])
+    objective: Optional[ServiceObjective] = None
+    search = None
+    if args.config_path:
+        loaded = _load_optimization_config(args.config_path)
+        schema = loaded.schema
+        cluster = _resolve_cluster(args, loaded.cluster)
+        search = loaded.search
+        objective = loaded.objective
+    else:
+        schema = _schema_for(args)
+        cluster = _resolve_cluster(args, None)
+
     print(f"workload: {schema.describe()}")
     print(f"cluster : {cluster.num_servers} servers x "
           f"{cluster.xpus_per_server} {cluster.xpu.name}")
-    result = RAGO(schema, cluster).optimize()
+    session = OptimizerSession(schema, cluster)
+    if search is not None:
+        session = session.with_search(search)
+    # The session owns constraint merging: --config's bounds first, then
+    # an explicit --max-ttft flag replaces the file's TTFT bound only.
+    if objective is not None:
+        session = session.with_constraint(
+            max_ttft=objective.max_ttft,
+            max_tpot=objective.max_tpot,
+            min_qps_per_chip=objective.min_qps_per_chip)
+    if args.max_ttft is not None:
+        session = session.with_constraint(max_ttft=args.max_ttft)
+    objective = session.objective
+    constrained = any(bound is not None for bound in
+                      (objective.max_ttft, objective.max_tpot,
+                       objective.min_qps_per_chip))
+    result = session.optimize()
     print(f"searched {result.num_plans} plans; frontier:")
     for perf in result.frontier:
         print(f"  ttft={perf.ttft * 1e3:9.1f} ms  "
@@ -148,10 +237,11 @@ def _command_optimize(args: argparse.Namespace) -> int:
         print(ascii_scatter({"frontier": points}, width=60, height=12,
                             x_label="TTFT (s)", y_label="QPS/chip",
                             log_x=True))
-    if args.max_ttft is not None:
-        objective = ServiceObjective(max_ttft=args.max_ttft)
-        chosen = select_max_throughput(result, objective)
-        print(f"best schedule under TTFT <= {args.max_ttft} s:")
+    if constrained:
+        chosen = session.best()
+        constraint = (f"TTFT <= {objective.max_ttft} s"
+                      if objective.max_ttft is not None else f"{objective}")
+        print(f"best schedule under {constraint}:")
     else:
         chosen = result.max_qps_per_chip
         print("throughput-optimal schedule:")
@@ -159,6 +249,61 @@ def _command_optimize(args: argparse.Namespace) -> int:
     print(f"  ttft={chosen.ttft * 1e3:.1f} ms  "
           f"qps/chip={chosen.qps_per_chip:.3f}  "
           f"tpot={chosen.tpot * 1e3:.2f} ms")
+    if args.json_path:
+        payload = {
+            "workload": config_module.to_config(schema),
+            "cluster": config_module.to_config(cluster),
+            "num_plans": result.num_plans,
+            "num_candidates": result.num_candidates,
+            "frontier": [
+                {"ttft": perf.ttft, "tpot": perf.tpot,
+                 "qps_per_chip": perf.qps_per_chip,
+                 "total_xpus": perf.total_xpus}
+                for perf in result.frontier
+            ],
+            "chosen": {
+                "ttft": chosen.ttft,
+                "tpot": chosen.tpot,
+                "qps_per_chip": chosen.qps_per_chip,
+                "schedule": config_module.to_config(chosen.schedule),
+            },
+        }
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    try:
+        llms = [label.strip() for label in args.llms.split(",")
+                if label.strip()]
+        server_counts = [int(token) for token in args.servers.split(",")
+                         if token.strip()]
+    except ValueError as error:
+        raise ConfigError(f"bad sweep axis: {error}") from error
+    if not llms or not server_counts:
+        raise ConfigError("sweep needs at least one LLM and server count")
+    schemas = [_schema_for(args, llm) for llm in llms]
+    clusters = [ClusterSpec(num_servers=count, xpu=_XPU_BY_LETTER[args.xpu])
+                for count in server_counts]
+    session = OptimizerSession(schemas[0], clusters[0])
+    sweep = session.sweep(schemas=schemas, clusters=clusters,
+                          processes=args.processes)
+    print(f"swept {len(sweep)} cells "
+          f"({len(llms)} LLMs x {len(server_counts)} cluster sizes, "
+          f"{args.processes} process(es)):")
+    print(sweep.to_table())
+    failed = [cell for cell in sweep if not cell.ok]
+    if failed:
+        print(f"{len(failed)} cell(s) infeasible")
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump({"rows": sweep.rows}, handle, indent=1)
+        print(f"wrote {args.json_path}")
+    if failed and len(failed) == len(sweep):
+        print("error: every sweep cell was infeasible")
+        return 1
     return 0
 
 
@@ -196,9 +341,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_list()
         if args.command == "run":
             return _command_run(args)
+        if args.command == "sweep":
+            return _command_sweep(args)
         if args.command == "provision":
             return _command_provision(args)
         return _command_optimize(args)
     except ReproError as error:
+        print(f"error: {error}")
+        return 1
+    except OSError as error:
         print(f"error: {error}")
         return 1

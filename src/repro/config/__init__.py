@@ -1,0 +1,220 @@
+"""repro.config: versioned, JSON-serializable optimizer artifacts.
+
+Every object a RAGO run consumes or produces -- the workload
+(:class:`~repro.schema.RAGSchema`), the hardware budget
+(:class:`~repro.hardware.ClusterSpec`), the search knobs
+(:class:`~repro.rago.SearchConfig`), the service objective, a chosen
+:class:`~repro.pipeline.Schedule` and the full
+:class:`~repro.rago.SearchResult` frontier -- round-trips through a
+plain dict with a ``{"config_version", "kind", "spec"}`` envelope::
+
+    from repro import config, case_iv_rewriter_reranker
+
+    config.save("workload.json", case_iv_rewriter_reranker("70B"))
+    schema = config.load("workload.json")
+
+:class:`OptimizationConfig` bundles schema + cluster + search +
+objective into one reproducible experiment file, the format behind
+``repro optimize --config file.json``. Round-trip equality is
+guaranteed (and tested): ``from_config(to_config(x)) == x``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.hardware.cluster import ClusterSpec
+from repro.pipeline.assembly import Schedule
+from repro.rago.objectives import ServiceObjective
+from repro.rago.search import SearchConfig, SearchResult
+from repro.schema.ragschema import RAGSchema
+from repro.config.serializers import (
+    cluster_from_dict,
+    cluster_to_dict,
+    objective_from_dict,
+    objective_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+    search_config_from_dict,
+    search_config_to_dict,
+    search_result_from_dict,
+    search_result_to_dict,
+)
+
+#: Version stamped into every envelope; bump on incompatible layout
+#: changes and keep loaders accepting older stamps where possible.
+CONFIG_VERSION = 1
+
+
+@dataclass(frozen=True)
+class OptimizationConfig:
+    """One self-contained, reproducible optimizer run.
+
+    Attributes:
+        schema: The workload to optimize (required).
+        cluster: Hardware budget; None means the library default.
+        search: Search-space knobs; None means defaults.
+        objective: Serving constraints used to pick the reported
+            schedule; None means unconstrained (throughput-optimal).
+    """
+
+    schema: RAGSchema
+    cluster: Optional[ClusterSpec] = None
+    search: Optional[SearchConfig] = None
+    objective: Optional[ServiceObjective] = None
+
+
+def _optimization_config_to_dict(config: OptimizationConfig) -> Dict:
+    return {
+        "schema": schema_to_dict(config.schema),
+        "cluster": (None if config.cluster is None
+                    else cluster_to_dict(config.cluster)),
+        "search": (None if config.search is None
+                   else search_config_to_dict(config.search)),
+        "objective": (None if config.objective is None
+                      else objective_to_dict(config.objective)),
+    }
+
+
+def _optimization_config_from_dict(data: Dict) -> OptimizationConfig:
+    try:
+        schema_payload = data["schema"]
+    except KeyError as missing:
+        raise ConfigError("optimization config needs a schema") from missing
+    # `is not None` (not truthiness): an empty {} sub-payload is a
+    # malformed file and must fail that section's validation, not
+    # silently fall back to library defaults.
+    cluster = data.get("cluster")
+    search = data.get("search")
+    objective = data.get("objective")
+    return OptimizationConfig(
+        schema=schema_from_dict(schema_payload),
+        cluster=(cluster_from_dict(cluster)
+                 if cluster is not None else None),
+        search=(search_config_from_dict(search)
+                if search is not None else None),
+        objective=(objective_from_dict(objective)
+                   if objective is not None else None),
+    )
+
+
+#: kind tag -> (type, to_dict, from_dict). Dispatch order matters only
+#: for isinstance checks in :func:`to_config`.
+_KINDS: Dict[str, Tuple[type, Callable[[Any], Dict],
+                        Callable[[Dict], Any]]] = {
+    "rag_schema": (RAGSchema, schema_to_dict, schema_from_dict),
+    "cluster_spec": (ClusterSpec, cluster_to_dict, cluster_from_dict),
+    "search_config": (SearchConfig, search_config_to_dict,
+                      search_config_from_dict),
+    "service_objective": (ServiceObjective, objective_to_dict,
+                          objective_from_dict),
+    "schedule": (Schedule, schedule_to_dict, schedule_from_dict),
+    "search_result": (SearchResult, search_result_to_dict,
+                      search_result_from_dict),
+    "optimization_config": (OptimizationConfig,
+                            _optimization_config_to_dict,
+                            _optimization_config_from_dict),
+}
+
+
+def to_config(obj: Any) -> Dict:
+    """Wrap any supported artifact in its versioned envelope.
+
+    Raises:
+        ConfigError: for unsupported object types.
+    """
+    for kind, (cls, encode, _) in _KINDS.items():
+        if isinstance(obj, cls):
+            return {"config_version": CONFIG_VERSION, "kind": kind,
+                    "spec": encode(obj)}
+    raise ConfigError(
+        f"cannot serialize {type(obj).__name__}; supported kinds: "
+        f"{', '.join(sorted(_KINDS))}"
+    )
+
+
+def from_config(data: Dict) -> Any:
+    """Reconstruct an artifact from its envelope.
+
+    Raises:
+        ConfigError: on missing/unknown kind, or a version newer than
+            this library understands.
+    """
+    if not isinstance(data, dict):
+        raise ConfigError("config payload must be a mapping")
+    version = data.get("config_version")
+    if version is None:
+        raise ConfigError("config envelope is missing config_version")
+    if not isinstance(version, int) or version < 1:
+        raise ConfigError(f"invalid config_version {version!r}")
+    if version > CONFIG_VERSION:
+        raise ConfigError(
+            f"config_version {version} is newer than the supported "
+            f"{CONFIG_VERSION}; upgrade the library"
+        )
+    kind = data.get("kind")
+    if kind not in _KINDS:
+        raise ConfigError(
+            f"unknown config kind {kind!r}; supported: "
+            f"{', '.join(sorted(_KINDS))}"
+        )
+    spec = data.get("spec")
+    if not isinstance(spec, dict):
+        raise ConfigError(f"config envelope for {kind!r} has no spec")
+    return _KINDS[kind][2](spec)
+
+
+def dumps(obj: Any, indent: Optional[int] = 1) -> str:
+    """Serialize an artifact to a JSON string (envelope included)."""
+    return json.dumps(to_config(obj), indent=indent)
+
+
+def loads(text: str) -> Any:
+    """Reconstruct an artifact from :func:`dumps` output."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ConfigError(f"invalid JSON: {error}") from error
+    return from_config(data)
+
+
+def save(path: str, obj: Any, indent: Optional[int] = 1) -> None:
+    """Write one artifact to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(obj, indent=indent))
+        handle.write("\n")
+
+
+def load(path: str) -> Any:
+    """Load an artifact written by :func:`save`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+__all__ = [
+    "CONFIG_VERSION",
+    "OptimizationConfig",
+    "to_config",
+    "from_config",
+    "dumps",
+    "loads",
+    "save",
+    "load",
+    "schema_to_dict",
+    "schema_from_dict",
+    "cluster_to_dict",
+    "cluster_from_dict",
+    "search_config_to_dict",
+    "search_config_from_dict",
+    "objective_to_dict",
+    "objective_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "search_result_to_dict",
+    "search_result_from_dict",
+]

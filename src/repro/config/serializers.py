@@ -1,0 +1,242 @@
+"""Plain-dict serializers for every optimizer artifact type.
+
+Each ``*_to_dict`` emits only JSON types (str/int/float/bool/None,
+lists, string-keyed dicts) and each ``*_from_dict`` reconstructs an
+object that compares **equal** to the original -- the round-trip
+guarantee :mod:`repro.config` (and its tests) rely on. Schema and
+schedule payloads delegate to :mod:`repro.schema.serialization`, the
+library's original low-level encoders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.hardware.accelerator import XPUSpec
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.cpu import CPUServerSpec
+from repro.inference.parallelism import ShardingPlan
+from repro.pipeline.assembly import PipelinePerf
+from repro.pipeline.stage_perf import StagePerf
+from repro.rago.objectives import ServiceObjective
+from repro.rago.search import PlanFrontier, SearchConfig, SearchResult
+from repro.schema.serialization import (
+    schedule_from_dict,
+    schedule_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.schema.stages import Stage
+
+__all__ = [
+    "schema_to_dict", "schema_from_dict",
+    "schedule_to_dict", "schedule_from_dict",
+    "cluster_to_dict", "cluster_from_dict",
+    "search_config_to_dict", "search_config_from_dict",
+    "objective_to_dict", "objective_from_dict",
+    "search_result_to_dict", "search_result_from_dict",
+]
+
+_XPU_FIELDS = ("name", "peak_flops", "hbm_bytes", "mem_bandwidth",
+               "interconnect_bandwidth", "flops_efficiency",
+               "mem_efficiency")
+_CPU_FIELDS = ("name", "cores", "memory_bytes", "mem_bandwidth",
+               "pq_scan_rate_per_core", "mem_utilization")
+_OBJECTIVE_FIELDS = ("max_ttft", "max_tpot", "min_qps_per_chip")
+_STAGE_PERF_FIELDS = ("latency", "request_qps", "batch", "resource_amount",
+                      "resource_type", "tpot")
+
+
+def cluster_to_dict(cluster: ClusterSpec) -> Dict:
+    """Serialize a ClusterSpec (with its full XPU/CPU specs)."""
+    return {
+        "num_servers": cluster.num_servers,
+        "xpus_per_server": cluster.xpus_per_server,
+        "xpu": {name: getattr(cluster.xpu, name) for name in _XPU_FIELDS},
+        "cpu": {name: getattr(cluster.cpu, name) for name in _CPU_FIELDS},
+        "pcie_bandwidth": cluster.pcie_bandwidth,
+    }
+
+
+_CLUSTER_FIELDS = ("num_servers", "xpus_per_server", "xpu", "cpu",
+                   "pcie_bandwidth")
+
+
+def cluster_from_dict(data: Dict) -> ClusterSpec:
+    """Reconstruct a ClusterSpec serialized by :func:`cluster_to_dict`.
+
+    Unknown keys are rejected (same strictness as the search-config and
+    objective loaders)."""
+    unknown = set(data) - set(_CLUSTER_FIELDS)
+    if unknown:
+        raise ConfigError(f"unknown cluster fields: {sorted(unknown)}")
+    try:
+        return ClusterSpec(
+            num_servers=data["num_servers"],
+            xpus_per_server=data["xpus_per_server"],
+            xpu=XPUSpec(**data["xpu"]),
+            cpu=CPUServerSpec(**data["cpu"]),
+            pcie_bandwidth=data["pcie_bandwidth"],
+        )
+    except (KeyError, TypeError) as error:
+        raise ConfigError(f"malformed cluster dict: {error}") from error
+
+
+def search_config_to_dict(config: SearchConfig) -> Dict:
+    """Serialize a SearchConfig (placements/allocations included)."""
+    placements: Optional[List[List[List[str]]]] = None
+    if config.placements is not None:
+        placements = [[[stage.value for stage in group] for group in placement]
+                      for placement in config.placements]
+    allocations: Optional[List[List[int]]] = None
+    if config.allocations is not None:
+        allocations = [list(allocation) for allocation in config.allocations]
+    return {
+        "budget_xpus": config.budget_xpus,
+        "max_batch": config.max_batch,
+        "max_decode_batch": config.max_decode_batch,
+        "placements": placements,
+        "allocations": allocations,
+        "collect_per_plan": config.collect_per_plan,
+        "max_frontier_points": config.max_frontier_points,
+    }
+
+
+_SEARCH_CONFIG_FIELDS = ("budget_xpus", "max_batch", "max_decode_batch",
+                         "placements", "allocations", "collect_per_plan",
+                         "max_frontier_points")
+
+
+def search_config_from_dict(data: Dict) -> SearchConfig:
+    """Reconstruct a SearchConfig serialized by
+    :func:`search_config_to_dict`.
+
+    Unknown keys are rejected -- a typo'd knob in a hand-edited
+    experiment file must not silently fall back to a default.
+    """
+    unknown = set(data) - set(_SEARCH_CONFIG_FIELDS)
+    if unknown:
+        raise ConfigError(
+            f"unknown search config fields: {sorted(unknown)}")
+    try:
+        # Only keys present in the payload are passed through, so the
+        # dataclass itself supplies defaults for everything omitted.
+        kwargs = {key: data[key] for key in _SEARCH_CONFIG_FIELDS
+                  if key in data}
+        if kwargs.get("placements") is not None:
+            kwargs["placements"] = [
+                tuple(tuple(Stage(name) for name in group)
+                      for group in placement)
+                for placement in kwargs["placements"]]
+        if kwargs.get("allocations") is not None:
+            kwargs["allocations"] = [tuple(allocation)
+                                     for allocation in kwargs["allocations"]]
+        return SearchConfig(**kwargs)
+    except (TypeError, ValueError) as error:
+        raise ConfigError(f"malformed search config dict: {error}") from error
+
+
+def objective_to_dict(objective: ServiceObjective) -> Dict:
+    """Serialize a ServiceObjective."""
+    return {name: getattr(objective, name) for name in _OBJECTIVE_FIELDS}
+
+
+def objective_from_dict(data: Dict) -> ServiceObjective:
+    """Reconstruct a ServiceObjective."""
+    unknown = set(data) - set(_OBJECTIVE_FIELDS)
+    if unknown:
+        raise ConfigError(f"unknown objective fields: {sorted(unknown)}")
+    return ServiceObjective(**data)
+
+
+def _stage_perf_to_dict(perf: StagePerf) -> Dict:
+    payload = {name: getattr(perf, name) for name in _STAGE_PERF_FIELDS}
+    payload["stage"] = perf.stage.value
+    payload["plan"] = (None if perf.plan is None else
+                       {"tensor_parallel": perf.plan.tensor_parallel,
+                        "pipeline_parallel": perf.plan.pipeline_parallel})
+    return payload
+
+
+def _stage_perf_from_dict(data: Dict) -> StagePerf:
+    plan = data.get("plan")
+    return StagePerf(
+        stage=Stage(data["stage"]),
+        plan=None if plan is None else ShardingPlan(**plan),
+        **{name: data[name] for name in _STAGE_PERF_FIELDS},
+    )
+
+
+def _pipeline_perf_to_dict(perf: PipelinePerf) -> Dict:
+    return {
+        "ttft": perf.ttft,
+        "tpot": perf.tpot,
+        "qps": perf.qps,
+        "qps_per_chip": perf.qps_per_chip,
+        "total_xpus": perf.total_xpus,
+        "charged_chips": perf.charged_chips,
+        "retrieval_servers": perf.retrieval_servers,
+        "stage_perfs": {stage.value: _stage_perf_to_dict(stage_perf)
+                        for stage, stage_perf in perf.stage_perfs.items()},
+        "schedule": (None if perf.schedule is None
+                     else schedule_to_dict(perf.schedule)),
+    }
+
+
+def _pipeline_perf_from_dict(data: Dict) -> PipelinePerf:
+    schedule = data.get("schedule")
+    return PipelinePerf(
+        ttft=data["ttft"],
+        tpot=data["tpot"],
+        qps=data["qps"],
+        qps_per_chip=data["qps_per_chip"],
+        total_xpus=data["total_xpus"],
+        charged_chips=data["charged_chips"],
+        retrieval_servers=data["retrieval_servers"],
+        stage_perfs={Stage(name): _stage_perf_from_dict(stage_perf)
+                     for name, stage_perf in data["stage_perfs"].items()},
+        schedule=None if schedule is None else schedule_from_dict(schedule),
+    )
+
+
+def search_result_to_dict(result: SearchResult) -> Dict:
+    """Serialize a SearchResult, schedules and stage perfs included, so
+    a found frontier is a reproducible artifact."""
+    return {
+        "frontier": [_pipeline_perf_to_dict(perf)
+                     for perf in result.frontier],
+        "num_plans": result.num_plans,
+        "num_candidates": result.num_candidates,
+        "per_plan": [
+            {"placement": [[stage.value for stage in group]
+                           for group in frontier.placement],
+             "allocation": list(frontier.allocation),
+             "points": [list(point) for point in frontier.points]}
+            for frontier in result.per_plan
+        ],
+    }
+
+
+def search_result_from_dict(data: Dict) -> SearchResult:
+    """Reconstruct a SearchResult serialized by
+    :func:`search_result_to_dict`."""
+    try:
+        per_plan = [
+            PlanFrontier(
+                placement=tuple(tuple(Stage(name) for name in group)
+                                for group in frontier["placement"]),
+                allocation=tuple(frontier["allocation"]),
+                points=tuple(tuple(point) for point in frontier["points"]),
+            )
+            for frontier in data.get("per_plan", [])
+        ]
+        return SearchResult(
+            frontier=[_pipeline_perf_from_dict(perf)
+                      for perf in data["frontier"]],
+            num_plans=data.get("num_plans", 0),
+            num_candidates=data.get("num_candidates", 0),
+            per_plan=per_plan,
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ConfigError(f"malformed search result dict: {error}") from error

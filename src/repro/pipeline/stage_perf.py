@@ -75,6 +75,10 @@ class RAGPerfModel:
             )
         self._cache: Dict[Tuple[Stage, int, int],
                           Tuple[StagePerf, ...]] = {}
+        self._plan_cache: Dict[Tuple[Stage, int, int, ShardingPlan],
+                               StagePerf] = {}
+        self._hits = 0
+        self._misses = 0
 
     @property
     def schema(self) -> RAGSchema:
@@ -142,8 +146,19 @@ class RAGPerfModel:
             raise ConfigError("resource must be positive")
         key = (stage, batch, resource)
         if key not in self._cache:
+            self._misses += 1
             self._cache[key] = self._evaluate(stage, batch, resource)
+        else:
+            self._hits += 1
         return self._cache[key]
+
+    @property
+    def cache_stats(self) -> Dict[str, int]:
+        """Cache effectiveness counters (hits/misses across the stage
+        frontier cache and the off-frontier plan cache)."""
+        return {"hits": self._hits, "misses": self._misses,
+                "stage_points": len(self._cache),
+                "plan_points": len(self._plan_cache)}
 
     def perf(self, stage: Stage, batch: int, resource: int,
              plan: Optional[ShardingPlan] = None) -> StagePerf:
@@ -160,7 +175,17 @@ class RAGPerfModel:
         for option in options:
             if option.plan == plan:
                 return option
-        return self._evaluate_plan(stage, batch, resource, plan)
+        # Off-frontier plans recur across search candidates and repeated
+        # assemblies (every frontier re-evaluation in search_schedules),
+        # so they get their own cache.
+        key = (stage, batch, resource, plan)
+        if key not in self._plan_cache:
+            self._misses += 1
+            self._plan_cache[key] = self._evaluate_plan(stage, batch,
+                                                        resource, plan)
+        else:
+            self._hits += 1
+        return self._plan_cache[key]
 
     # ------------------------------------------------------------------
 

@@ -23,6 +23,7 @@ from repro.rago.placement import enumerate_placements
 from repro.rago.allocation import enumerate_allocations, power_of_two_options
 from repro.rago.batching import batch_options
 from repro.rago.search import SearchConfig, SearchResult, search_schedules
+from repro.rago.session import OptimizerSession, SweepCell, SweepResult
 from repro.rago.optimizer import RAGO
 from repro.rago.objectives import (
     ServiceObjective,
@@ -42,6 +43,9 @@ __all__ = [
     "SearchConfig",
     "SearchResult",
     "search_schedules",
+    "OptimizerSession",
+    "SweepCell",
+    "SweepResult",
     "RAGO",
     "ServiceObjective",
     "select_max_throughput",

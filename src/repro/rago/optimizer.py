@@ -2,7 +2,10 @@
 
 Ties together the stage cost models and the schedule search (Fig. 2 of
 the paper: RAGSchema + resources in, performance Pareto + optimal system
-configuration out).
+configuration out). Since the session redesign this class is a thin
+backward-compatible veneer over
+:class:`~repro.rago.session.OptimizerSession`, which adds chainable
+constraints, memoized searches and grid sweeps.
 """
 
 from __future__ import annotations
@@ -11,9 +14,10 @@ from typing import Optional
 
 from repro.hardware.cluster import ClusterSpec
 from repro.inference.memory import MemoryModel
-from repro.pipeline.assembly import PipelinePerf, Schedule, assemble
+from repro.pipeline.assembly import PipelinePerf, Schedule
 from repro.pipeline.stage_perf import RAGPerfModel
-from repro.rago.search import SearchConfig, SearchResult, search_schedules
+from repro.rago.search import SearchConfig, SearchResult
+from repro.rago.session import OptimizerSession
 from repro.schema.ragschema import RAGSchema
 
 
@@ -30,31 +34,35 @@ class RAGO:
 
     def __init__(self, schema: RAGSchema, cluster: Optional[ClusterSpec] = None,
                  memory: Optional[MemoryModel] = None) -> None:
-        self._cluster = cluster or ClusterSpec()
-        self._perf_model = RAGPerfModel(schema, self._cluster, memory)
+        self._session = OptimizerSession(schema, cluster, memory=memory)
+
+    @property
+    def session(self) -> OptimizerSession:
+        """The underlying (memoizing) optimizer session."""
+        return self._session
 
     @property
     def schema(self) -> RAGSchema:
         """The workload being optimized."""
-        return self._perf_model.schema
+        return self._session.schema
 
     @property
     def cluster(self) -> ClusterSpec:
         """The hardware budget."""
-        return self._cluster
+        return self._session.cluster
 
     @property
     def perf_model(self) -> RAGPerfModel:
         """Stage-level cost model (shared caches)."""
-        return self._perf_model
+        return self._session.perf_model
 
     def optimize(self, config: Optional[SearchConfig] = None) -> SearchResult:
         """Search the scheduling space and return the Pareto frontier."""
-        return search_schedules(self._perf_model, config)
+        return self._session.optimize(config)
 
     def evaluate(self, schedule: Schedule) -> PipelinePerf:
         """Evaluate one explicit schedule (no search)."""
-        return assemble(self._perf_model, schedule)
+        return self._session.evaluate(schedule)
 
     def max_qps_per_chip(self,
                          config: Optional[SearchConfig] = None) -> PipelinePerf:

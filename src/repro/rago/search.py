@@ -64,6 +64,18 @@ class SearchConfig:
     collect_per_plan: bool = False
     max_frontier_points: int = 4096
 
+    def __post_init__(self) -> None:
+        # Normalize the restriction containers to nested tuples so that
+        # equal restrictions compare equal (and serialization round-trips
+        # exactly) no matter which sequence type the caller used.
+        if self.placements is not None:
+            object.__setattr__(self, "placements", tuple(
+                tuple(tuple(group) for group in placement)
+                for placement in self.placements))
+        if self.allocations is not None:
+            object.__setattr__(self, "allocations", tuple(
+                tuple(allocation) for allocation in self.allocations))
+
 
 @dataclass(frozen=True)
 class PlanFrontier:

@@ -1,0 +1,493 @@
+"""Session-based optimizer front-end.
+
+:class:`OptimizerSession` replaces one-shot ``RAGO(...).optimize()``
+with a stateful workflow object:
+
+* **chainable intent** -- ``.with_constraint(max_ttft=0.2)`` and
+  ``.with_objective("min_ttft")`` accumulate what "best" means before
+  any search runs;
+* **memoization** -- searches and schedule evaluations are cached,
+  keyed by the serialized (schema, cluster, search-config / schedule)
+  triple, so interactive exploration never repeats a sweep;
+* **scale** -- :meth:`OptimizerSession.sweep` fans a grid of
+  (schema, cluster) cells out over a multiprocessing pool in chunks
+  and returns a tidy result table.
+
+Example::
+
+    from repro import ClusterSpec, OptimizerSession
+    from repro.schema import pipeline
+    from repro.schema.paradigms import HYPERSCALE_DATABASE
+
+    schema = (pipeline("my-rag")
+              .retrieve(HYPERSCALE_DATABASE, neighbors=5)
+              .generate("8B")
+              .build())
+    best = (OptimizerSession(schema, ClusterSpec(num_servers=16))
+            .with_constraint(max_ttft=0.2)
+            .best())
+
+:class:`~repro.rago.optimizer.RAGO` remains as a thin facade over one
+session, so existing call sites keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+import multiprocessing
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigError, ReproError, ScheduleError
+from repro.hardware.cluster import ClusterSpec
+from repro.inference.memory import MemoryModel
+from repro.pipeline.assembly import PipelinePerf, Schedule, assemble
+from repro.pipeline.stage_perf import RAGPerfModel
+from repro.rago.objectives import (
+    ServiceObjective,
+    admissible,
+    knee_point,
+    select_max_throughput,
+    select_min_ttft,
+)
+from repro.rago.search import SearchConfig, SearchResult, search_schedules
+from repro.schema.builder import PipelineBuilder
+from repro.schema.ragschema import RAGSchema
+
+#: A selector turns (result, objective) into the chosen frontier point.
+Selector = Callable[[SearchResult, ServiceObjective], PipelinePerf]
+
+
+def _constrained_knee(result: SearchResult,
+                      objective: ServiceObjective) -> PipelinePerf:
+    """Knee of the admissible sub-frontier (constraints still apply)."""
+    candidates = admissible(result, objective)
+    if not candidates:
+        raise ScheduleError(
+            f"no schedule satisfies {objective} on this frontier"
+        )
+    return knee_point(SearchResult(frontier=candidates))
+
+
+_SELECTORS: Dict[str, Selector] = {
+    "max_qps_per_chip": select_max_throughput,
+    "min_ttft": select_min_ttft,
+    "knee": _constrained_knee,
+}
+
+
+def _config_key(*objects: Any) -> str:
+    """Stable memo key: the concatenated config JSON of the inputs."""
+    from repro import config
+
+    return "\x1e".join(config.dumps(obj, indent=None) for obj in objects)
+
+
+def _copy_result(result: SearchResult) -> SearchResult:
+    """Defensive copy of a memoized result.
+
+    SearchResult's containers are mutable; handing the cached object
+    out directly would let a caller's in-place edit (say, filtering the
+    frontier for display) silently corrupt every later memoized answer.
+    Frontier points are frozen but carry a mutable ``stage_perfs`` dict,
+    so each point is copied with its own dict; ``per_plan`` entries are
+    fully immutable (tuples all the way down).
+    """
+    frontier = [replace(perf, stage_perfs=dict(perf.stage_perfs))
+                for perf in result.frontier]
+    return SearchResult(frontier=frontier,
+                        num_plans=result.num_plans,
+                        num_candidates=result.num_candidates,
+                        per_plan=list(result.per_plan))
+
+
+class OptimizerSession:
+    """A stateful, memoizing optimizer for one workload on one cluster.
+
+    Args:
+        schema: The workload -- a built :class:`RAGSchema` or a
+            :class:`~repro.schema.builder.PipelineBuilder` still in
+            progress (it is built here).
+        cluster: Hardware budget (library default when None).
+        memory: Optional memory-accounting override.
+        search: Default search knobs for this session.
+    """
+
+    def __init__(self, schema: Union[RAGSchema, PipelineBuilder],
+                 cluster: Optional[ClusterSpec] = None,
+                 memory: Optional[MemoryModel] = None,
+                 search: Optional[SearchConfig] = None) -> None:
+        if isinstance(schema, PipelineBuilder):
+            schema = schema.build()
+        if not isinstance(schema, RAGSchema):
+            raise ConfigError(
+                f"schema must be a RAGSchema or PipelineBuilder, got "
+                f"{type(schema).__name__}"
+            )
+        self._cluster = cluster or ClusterSpec()
+        self._memory = memory
+        self._perf_model = RAGPerfModel(schema, self._cluster, memory)
+        self._search = search or SearchConfig()
+        self._objective = ServiceObjective()
+        self._selector: Selector = select_max_throughput
+        self._results: Dict[str, SearchResult] = {}
+        self._evaluations: Dict[str, PipelinePerf] = {}
+        # Schema and cluster are fixed for the session's lifetime, so
+        # their share of the memo key is serialized once.
+        self._base_key = _config_key(schema, self._cluster)
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def schema(self) -> RAGSchema:
+        """The workload being optimized."""
+        return self._perf_model.schema
+
+    @property
+    def cluster(self) -> ClusterSpec:
+        """The hardware budget."""
+        return self._cluster
+
+    @property
+    def perf_model(self) -> RAGPerfModel:
+        """Stage-level cost model (shared caches)."""
+        return self._perf_model
+
+    @property
+    def objective(self) -> ServiceObjective:
+        """Accumulated serving constraints."""
+        return self._objective
+
+    @property
+    def search_config(self) -> SearchConfig:
+        """Session-default search knobs."""
+        return self._search
+
+    # -- chainable intent ----------------------------------------------
+    #
+    # Every with_* method returns a DERIVED session (the original is
+    # untouched, true to the name); the perf model and memo caches are
+    # shared between derivations, so chaining never re-searches.
+
+    def _derive(self, **attrs: Any) -> "OptimizerSession":
+        derived = copy.copy(self)  # shallow: shares perf model + memos
+        for name, value in attrs.items():
+            setattr(derived, name, value)
+        return derived
+
+    def with_constraint(self, max_ttft: Optional[float] = None,
+                        max_tpot: Optional[float] = None,
+                        min_qps_per_chip: Optional[float] = None,
+                        ) -> "OptimizerSession":
+        """Derived session with added serving constraints (None leaves
+        a bound unchanged; constraints accumulate along a chain)."""
+        return self._derive(_objective=ServiceObjective(
+            max_ttft=max_ttft if max_ttft is not None
+            else self._objective.max_ttft,
+            max_tpot=max_tpot if max_tpot is not None
+            else self._objective.max_tpot,
+            min_qps_per_chip=min_qps_per_chip if min_qps_per_chip is not None
+            else self._objective.min_qps_per_chip,
+        ))
+
+    def with_objective(self,
+                       selector: Union[str, Selector]) -> "OptimizerSession":
+        """Derived session with a different :meth:`best` selector.
+
+        Args:
+            selector: ``"max_qps_per_chip"`` (default), ``"min_ttft"``,
+                ``"knee"``, or a callable ``(result, objective) ->
+                PipelinePerf``.
+        """
+        if callable(selector):
+            return self._derive(_selector=selector)
+        try:
+            return self._derive(_selector=_SELECTORS[selector])
+        except KeyError:
+            known = ", ".join(sorted(_SELECTORS))
+            raise ConfigError(
+                f"unknown objective {selector!r}; known: {known}"
+            ) from None
+
+    def with_search(self, config: Optional[SearchConfig] = None,
+                    **overrides: Any) -> "OptimizerSession":
+        """Derived session with replaced or tweaked search knobs.
+
+        ``with_search(max_batch=64)`` tweaks the current config;
+        ``with_search(SearchConfig(...))`` replaces it outright.
+        """
+        base = config if config is not None else self._search
+        try:
+            new = replace(base, **overrides) if overrides else base
+        except TypeError as error:
+            raise ConfigError(f"unknown search fields: {error}") from error
+        return self._derive(_search=new)
+
+    # -- execution -----------------------------------------------------
+
+    def optimize(self, search: Optional[SearchConfig] = None) -> SearchResult:
+        """Run (or recall) the schedule search.
+
+        Results are memoized per (schema, cluster, search config); a
+        repeated call with the same knobs returns the cached frontier
+        without re-searching.
+        """
+        config = search or self._search
+        key = self._base_key + "\x1e" + _config_key(config)
+        if key not in self._results:
+            self._results[key] = search_schedules(self._perf_model, config)
+        return _copy_result(self._results[key])
+
+    def frontier(self,
+                 search: Optional[SearchConfig] = None) -> List[PipelinePerf]:
+        """The Pareto frontier (memoized search)."""
+        return self.optimize(search).frontier
+
+    def best(self, search: Optional[SearchConfig] = None) -> PipelinePerf:
+        """The frontier point matching the accumulated constraints and
+        objective.
+
+        Raises:
+            ScheduleError: when no frontier point satisfies the
+                constraints.
+        """
+        return self._selector(self.optimize(search), self._objective)
+
+    def evaluate(self, schedule: Schedule) -> PipelinePerf:
+        """Evaluate one explicit schedule (memoized; no search)."""
+        key = self._base_key + "\x1e" + _config_key(schedule)
+        if key not in self._evaluations:
+            self._evaluations[key] = assemble(self._perf_model, schedule)
+        cached = self._evaluations[key]
+        # PipelinePerf is frozen but carries a mutable stage_perfs dict.
+        return replace(cached, stage_perfs=dict(cached.stage_perfs))
+
+    def cache_info(self) -> Dict[str, int]:
+        """Memo sizes (searches and schedule evaluations held)."""
+        return {"results": len(self._results),
+                "evaluations": len(self._evaluations)}
+
+    # -- sweeps --------------------------------------------------------
+
+    def sweep(self, schemas: Optional[Sequence[RAGSchema]] = None,
+              clusters: Optional[Sequence[ClusterSpec]] = None,
+              search: Optional[SearchConfig] = None,
+              processes: int = 1) -> "SweepResult":
+        """Search every (schema, cluster) cell of a grid.
+
+        Args:
+            schemas: Workload axis; defaults to this session's schema.
+            clusters: Hardware axis; defaults to this session's cluster.
+            search: Search knobs for every cell (session default when
+                None).
+            processes: Worker processes; 1 runs in-process, >1 fans
+                cells out over a multiprocessing pool in chunks. Either
+                way every successful cell lands in this session's memo,
+                so repeated sweeps (and optimize() calls overlapping
+                the grid) reuse results.
+
+        Returns:
+            A :class:`SweepResult` table; infeasible cells carry an
+            error string instead of aborting the sweep.
+        """
+        if processes < 1:
+            raise ConfigError("processes must be at least 1")
+        schema_axis: List[RAGSchema] = list(schemas) if schemas is not None \
+            else [self.schema]
+        cluster_axis: List[ClusterSpec] = list(clusters) \
+            if clusters is not None else [self._cluster]
+        if not schema_axis or not cluster_axis:
+            raise ConfigError("sweep axes must be non-empty")
+        for schema in schema_axis:
+            if isinstance(schema, PipelineBuilder):
+                raise ConfigError("build() pipelines before sweeping them")
+        config = search or self._search
+        cells = [(schema, cluster) for schema in schema_axis
+                 for cluster in cluster_axis]
+        # Cell memo keys use the same layout as optimize()'s, so sweep
+        # cells and direct optimize() calls share one cache; duplicate
+        # grid cells are searched once.
+        keys = [_config_key(schema, cluster) + "\x1e" + _config_key(config)
+                for schema, cluster in cells]
+        by_key: Dict[str, Tuple[Optional[SearchResult], Optional[str]]] = {
+            key: (self._results[key], None) for key in keys
+            if key in self._results}
+        if processes == 1 or len(cells) == 1:
+            for (schema, cluster), key in zip(cells, keys):
+                if key in by_key:
+                    continue
+                if schema == self.schema and cluster == self._cluster:
+                    # The session's own cell reuses its perf-model caches.
+                    by_key[key] = _run_cell(schema, cluster, config,
+                                            session=self)
+                else:
+                    by_key[key] = _run_cell(schema, cluster, config,
+                                            memory=self._memory)
+        else:
+            pending = []
+            for index, key in enumerate(keys):
+                if key not in by_key:
+                    by_key[key] = (None, "pending")
+                    pending.append((index, key))
+            pooled = _pooled_sweep([cells[index] for index, _ in pending],
+                                   config, processes,
+                                   memory=self._memory) if pending else []
+            for (_, key), outcome in zip(pending, pooled):
+                by_key[key] = outcome
+        for key, (result, _) in by_key.items():
+            if result is not None:
+                self._results.setdefault(key, result)
+        outcomes = [by_key[key] for key in keys]
+        return SweepResult(cells=tuple(
+            SweepCell(schema=schema, cluster=cluster,
+                      result=None if result is None else _copy_result(result),
+                      error=error)
+            for (schema, cluster), (result, error) in zip(cells, outcomes)
+        ))
+
+
+# ---------------------------------------------------------------------------
+# Sweep execution. Workers rebuild each cell from config JSON, so the
+# jobs pickle cheaply and survive spawn-based multiprocessing too.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (schema, cluster) cell of a sweep grid.
+
+    Attributes:
+        schema: The cell's workload.
+        cluster: The cell's hardware budget.
+        result: The search outcome, or None when the cell failed.
+        error: Failure description, or None on success.
+    """
+
+    schema: RAGSchema
+    cluster: ClusterSpec
+    result: Optional[SearchResult]
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cell searched successfully."""
+        return self.result is not None
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Tidy outcome of :meth:`OptimizerSession.sweep`."""
+
+    cells: Tuple[SweepCell, ...]
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        """One flat record per cell (tidy-table form)."""
+        rows = []
+        for cell in self.cells:
+            row: Dict[str, Any] = {
+                "schema": cell.schema.name,
+                "llm": cell.schema.generative_llm.name,
+                "cluster_servers": cell.cluster.num_servers,
+                "total_xpus": cell.cluster.total_xpus,
+                "xpu": cell.cluster.xpu.name,
+                "ok": cell.ok,
+                "error": cell.error,
+                "frontier_points": None,
+                "best_qps_per_chip": None,
+                "min_ttft": None,
+            }
+            if cell.result is not None and cell.result.frontier:
+                row["frontier_points"] = len(cell.result.frontier)
+                row["best_qps_per_chip"] = \
+                    cell.result.max_qps_per_chip.qps_per_chip
+                row["min_ttft"] = cell.result.min_ttft.ttft
+            rows.append(row)
+        return rows
+
+    def to_table(self) -> str:
+        """Render the rows as an aligned ASCII table."""
+        columns = ("schema", "llm", "xpu", "cluster_servers",
+                   "frontier_points", "best_qps_per_chip", "min_ttft",
+                   "error")
+
+        def fmt(value: Any) -> str:
+            if value is None:
+                return "-"
+            if isinstance(value, float):
+                return f"{value:.4g}"
+            return str(value)
+
+        rows = [[fmt(row[column]) for column in columns]
+                for row in self.rows]
+        widths = [max(len(column), *(len(row[i]) for row in rows))
+                  if rows else len(column)
+                  for i, column in enumerate(columns)]
+        lines = ["  ".join(column.ljust(width)
+                           for column, width in zip(columns, widths))]
+        lines.append("  ".join("-" * width for width in widths))
+        for row in rows:
+            lines.append("  ".join(value.ljust(width)
+                                   for value, width in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _run_cell(schema: RAGSchema, cluster: ClusterSpec,
+              config: SearchConfig,
+              memory: Optional[MemoryModel] = None,
+              session: Optional[OptimizerSession] = None,
+              ) -> Tuple[Optional[SearchResult], Optional[str]]:
+    """Search one cell, converting infeasibility into an error record."""
+    try:
+        if session is not None:
+            return session.optimize(config), None
+        perf_model = RAGPerfModel(schema, cluster, memory)
+        return search_schedules(perf_model, config), None
+    except ReproError as error:
+        return None, f"{type(error).__name__}: {error}"
+
+
+def _sweep_worker(payload: Tuple[int, str, Optional[MemoryModel]],
+                  ) -> Tuple[int, Optional[str], Optional[str]]:
+    """Pool worker: (index, jobs-JSON, memory) -> (index, result-JSON,
+    error)."""
+    from repro import config as config_module
+
+    index, job, memory = payload
+    schema_json, cluster_json, search_json = job.split("\x1e")
+    schema = config_module.loads(schema_json)
+    cluster = config_module.loads(cluster_json)
+    search = config_module.loads(search_json)
+    result, error = _run_cell(schema, cluster, search, memory=memory)
+    if result is None:
+        return index, None, error
+    return index, config_module.dumps(result, indent=None), None
+
+
+def _pooled_sweep(cells: Sequence[Tuple[RAGSchema, ClusterSpec]],
+                  config: SearchConfig, processes: int,
+                  memory: Optional[MemoryModel] = None,
+                  ) -> List[Tuple[Optional[SearchResult], Optional[str]]]:
+    """Fan cells out over a process pool in chunks. The MemoryModel
+    override travels by pickle (it is a tiny frozen dataclass)."""
+    from repro import config as config_module
+
+    jobs = [(index, _config_key(schema, cluster, config), memory)
+            for index, (schema, cluster) in enumerate(cells)]
+    workers = min(processes, len(jobs))
+    chunksize = max(1, math.ceil(len(jobs) / (workers * 2)))
+    with multiprocessing.Pool(processes=workers) as pool:
+        raw = pool.map(_sweep_worker, jobs, chunksize=chunksize)
+    outcomes: List[Tuple[Optional[SearchResult], Optional[str]]] = \
+        [(None, "missing")] * len(cells)
+    for index, result_json, error in raw:
+        result = config_module.loads(result_json) \
+            if result_json is not None else None
+        outcomes[index] = (result, error)
+    return outcomes

@@ -8,6 +8,13 @@ Table 1 and Fig. 3 of the paper.
 """
 
 from repro.schema.ragschema import RAGSchema
+from repro.schema.builder import (
+    PipelineBuilder,
+    pipeline,
+    register_stage_type,
+    stage_types,
+    unregister_stage_type,
+)
 from repro.schema.stages import Stage, pipeline_stages, ttft_stages, xpu_stages
 from repro.schema.paradigms import (
     case_i_hyperscale,
@@ -29,6 +36,11 @@ __all__ = [
     "schedule_to_dict",
     "schedule_from_dict",
     "RAGSchema",
+    "PipelineBuilder",
+    "pipeline",
+    "register_stage_type",
+    "unregister_stage_type",
+    "stage_types",
     "Stage",
     "pipeline_stages",
     "ttft_stages",

@@ -10,6 +10,10 @@ Case III           Iterative retrievals: Case I plus 2-8 retrievals per
                    sequence during decoding.
 Case IV            Query rewriter (8B) + reranker (120M) around Case I.
 =================  =======================================================
+
+Each preset is a thin program over :mod:`repro.schema.builder` -- the
+declarative API that composes *any* stage combination; these five are
+just the compositions the paper evaluates.
 """
 
 from __future__ import annotations
@@ -17,14 +21,10 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import ConfigError
-from repro.models.catalog import (
-    ENCODER_120M,
-    RERANKER_120M,
-    REWRITER_8B,
-    model_by_params,
-)
+from repro.models.catalog import ENCODER_120M, RERANKER_120M, REWRITER_8B
 from repro.models.transformer import TransformerConfig
 from repro.retrieval.scann_model import DatabaseConfig
+from repro.schema.builder import pipeline, resolve_model
 from repro.schema.ragschema import RAGSchema
 from repro.workloads.profile import SequenceProfile
 
@@ -42,27 +42,18 @@ HYPERSCALE_DATABASE = DatabaseConfig(
 LONG_CONTEXT_BYTES_PER_VECTOR = 768 * 2.0
 
 
-def _llm(model: "str | TransformerConfig") -> TransformerConfig:
-    if isinstance(model, TransformerConfig):
-        return model
-    return model_by_params(model)
-
-
 def case_i_hyperscale(llm: "str | TransformerConfig" = "8B",
                       queries_per_retrieval: int = 1,
                       scan_fraction: float = 0.001,
                       sequences: Optional[SequenceProfile] = None) -> RAGSchema:
     """Case I: hyperscale retrieval + generative LLM (RETRO-style)."""
-    model = _llm(llm)
+    model = resolve_model(llm)
     database = HYPERSCALE_DATABASE.with_scan_fraction(scan_fraction)
-    return RAGSchema(
-        name=f"case-i-{model.name}",
-        generative_llm=model,
-        database=database,
-        retrieval_frequency=1,
-        queries_per_retrieval=queries_per_retrieval,
-        sequences=sequences or SequenceProfile(),
-    )
+    return (pipeline(f"case-i-{model.name}")
+            .sequences(profile=sequences or SequenceProfile())
+            .retrieve(database, queries_per_retrieval=queries_per_retrieval)
+            .generate(model)
+            .build())
 
 
 def case_ii_long_context(context_len: int = 1_000_000,
@@ -87,17 +78,13 @@ def case_ii_long_context(context_len: int = 1_000_000,
         tree_fanout=max(num_vectors, 2),
         tree_levels=1,
     )
-    model = _llm(llm)
-    return RAGSchema(
-        name=f"case-ii-{model.name}-ctx{context_len}",
-        generative_llm=model,
-        database=database,
-        document_encoder=ENCODER_120M,
-        retrieval_frequency=1,
-        queries_per_retrieval=1,
-        brute_force_retrieval=True,
-        sequences=profile,
-    )
+    model = resolve_model(llm)
+    return (pipeline(f"case-ii-{model.name}-ctx{context_len}")
+            .sequences(profile=profile)
+            .encode(ENCODER_120M)
+            .retrieve(database, brute_force=True)
+            .generate(model)
+            .build())
 
 
 def case_iii_iterative(llm: "str | TransformerConfig" = "70B",
@@ -107,31 +94,25 @@ def case_iii_iterative(llm: "str | TransformerConfig" = "70B",
     decoding (2-8 per sequence)."""
     if retrieval_frequency < 1:
         raise ConfigError("retrieval_frequency must be at least 1")
-    model = _llm(llm)
-    return RAGSchema(
-        name=f"case-iii-{model.name}-x{retrieval_frequency}",
-        generative_llm=model,
-        database=HYPERSCALE_DATABASE,
-        retrieval_frequency=retrieval_frequency,
-        queries_per_retrieval=1,
-        sequences=sequences or SequenceProfile(),
-    )
+    model = resolve_model(llm)
+    return (pipeline(f"case-iii-{model.name}-x{retrieval_frequency}")
+            .sequences(profile=sequences or SequenceProfile())
+            .retrieve(HYPERSCALE_DATABASE)
+            .generate(model, iterative=retrieval_frequency)
+            .build())
 
 
 def case_iv_rewriter_reranker(llm: "str | TransformerConfig" = "70B",
                               sequences: Optional[SequenceProfile] = None) -> RAGSchema:
     """Case IV: Case I plus an 8B query rewriter and a 120M reranker."""
-    model = _llm(llm)
-    return RAGSchema(
-        name=f"case-iv-{model.name}",
-        generative_llm=model,
-        database=HYPERSCALE_DATABASE,
-        query_rewriter=REWRITER_8B,
-        query_reranker=RERANKER_120M,
-        retrieval_frequency=1,
-        queries_per_retrieval=1,
-        sequences=sequences or SequenceProfile(),
-    )
+    model = resolve_model(llm)
+    return (pipeline(f"case-iv-{model.name}")
+            .sequences(profile=sequences or SequenceProfile())
+            .rewrite(REWRITER_8B)
+            .retrieve(HYPERSCALE_DATABASE)
+            .rerank(RERANKER_120M)
+            .generate(model)
+            .build())
 
 
 def llm_only(llm: "str | TransformerConfig" = "70B",
@@ -143,14 +124,11 @@ def llm_only(llm: "str | TransformerConfig" = "70B",
     paper's RAG-vs-LLM-only comparison (512-token RAG prompts vs 32-token
     questions, §5.1).
     """
-    model = _llm(llm)
+    model = resolve_model(llm)
     base = sequences or SequenceProfile()
     prompt = prefix_len if prefix_len is not None else base.question_len
     profile = base.with_lengths(prefix_len=max(prompt, base.question_len))
-    return RAGSchema(
-        name=f"llm-only-{model.name}",
-        generative_llm=model,
-        database=None,
-        retrieval_frequency=0,
-        sequences=profile,
-    )
+    return (pipeline(f"llm-only-{model.name}")
+            .sequences(profile=profile)
+            .generate(model)
+            .build())

@@ -90,3 +90,138 @@ def test_optimize_xpu_generation(capsys):
                  "--xpu", "A"]) == 0
     out = capsys.readouterr().out
     assert "XPU-A" in out
+
+
+def test_optimize_json_export(tmp_path, capsys):
+    path = tmp_path / "opt.json"
+    assert main(["optimize", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--json", str(path)]) == 0
+    import json
+    payload = json.loads(path.read_text())
+    assert payload["workload"]["kind"] == "rag_schema"
+    assert payload["frontier"]
+    assert payload["chosen"]["schedule"]["kind"] == "schedule"
+    assert payload["chosen"]["qps_per_chip"] > 0
+
+
+def test_optimize_from_schema_config(tmp_path, capsys):
+    from repro import config
+    from repro.schema import case_i_hyperscale
+
+    path = tmp_path / "workload.json"
+    config.save(str(path), case_i_hyperscale("1B"))
+    assert main(["optimize", "--config", str(path),
+                 "--servers", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "case-i-llama3-1b" in out
+    assert "frontier" in out
+
+
+def test_optimize_from_full_config_reproduces_frontier(tmp_path, capsys):
+    """Acceptance: a serialized optimization config reproduces the same
+    frontier the in-process session finds."""
+    from repro import ClusterSpec, OptimizerSession, config
+    from repro.rago.search import SearchConfig
+    from repro.schema import case_iv_rewriter_reranker
+
+    schema = case_iv_rewriter_reranker("70B")
+    cluster = ClusterSpec(num_servers=16)
+    search = SearchConfig(max_batch=32, max_decode_batch=128)
+    expected = OptimizerSession(schema, cluster).frontier(search)
+
+    path = tmp_path / "caseiv.json"
+    config.save(str(path), config.OptimizationConfig(
+        schema=schema, cluster=cluster, search=search))
+    out_path = tmp_path / "result.json"
+    assert main(["optimize", "--config", str(path),
+                 "--json", str(out_path)]) == 0
+    assert "case-iv-llama3-70b" in capsys.readouterr().out
+
+    import json
+    payload = json.loads(out_path.read_text())
+    got = [(point["ttft"], point["qps_per_chip"])
+           for point in payload["frontier"]]
+    assert got == [(perf.ttft, perf.qps_per_chip) for perf in expected]
+
+
+def test_optimize_max_ttft_merges_with_config_objective(tmp_path, capsys):
+    """--max-ttft tightens the loaded objective instead of discarding
+    its other constraints."""
+    from repro import ClusterSpec, config
+    from repro.rago.objectives import ServiceObjective
+    from repro.rago.search import SearchConfig
+    from repro.schema import case_i_hyperscale
+
+    path = tmp_path / "exp.json"
+    config.save(str(path), config.OptimizationConfig(
+        schema=case_i_hyperscale("1B"),
+        cluster=ClusterSpec(num_servers=16),
+        search=SearchConfig(max_batch=32, max_decode_batch=128),
+        objective=ServiceObjective(max_tpot=1e-12)))  # unsatisfiable
+    # Without the merge fix, --max-ttft would drop the tpot bound and
+    # happily pick a schedule; with it, the run must report failure.
+    assert main(["optimize", "--config", str(path),
+                 "--max-ttft", "10.0"]) == 1
+    assert "error:" in capsys.readouterr().out
+
+
+def test_optimize_explicit_flags_override_config_cluster(tmp_path, capsys):
+    from repro import ClusterSpec, config
+    from repro.schema import case_i_hyperscale
+
+    path = tmp_path / "w.json"
+    config.save(str(path), config.OptimizationConfig(
+        schema=case_i_hyperscale("1B"),
+        cluster=ClusterSpec(num_servers=32)))
+    assert main(["optimize", "--config", str(path),
+                 "--servers", "16", "--xpu", "A"]) == 0
+    out = capsys.readouterr().out
+    assert "16 servers" in out
+    assert "XPU-A" in out
+
+
+def test_optimize_config_wrong_kind_fails_cleanly(tmp_path, capsys):
+    from repro import ClusterSpec, config
+
+    path = tmp_path / "cluster.json"
+    config.save(str(path), ClusterSpec(num_servers=16))
+    assert main(["optimize", "--config", str(path)]) == 1
+    assert "error:" in capsys.readouterr().out
+
+
+def test_optimize_missing_config_fails_cleanly(capsys):
+    assert main(["optimize", "--config", "/nonexistent/x.json"]) == 1
+    assert "error:" in capsys.readouterr().out
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "--case", "i", "--llms", "1B,8B",
+                 "--servers", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "swept 2 cells" in out
+    assert "llama3-1b" in out and "llama3-8b" in out
+    assert "best_qps_per_chip" in out
+
+
+def test_sweep_json_export(tmp_path, capsys):
+    path = tmp_path / "sweep.json"
+    assert main(["sweep", "--case", "i", "--llms", "1B",
+                 "--servers", "16", "--json", str(path)]) == 0
+    import json
+    payload = json.loads(path.read_text())
+    assert len(payload["rows"]) == 1
+    assert payload["rows"][0]["llm"] == "llama3-1b"
+    assert payload["rows"][0]["ok"] is True
+
+
+def test_sweep_bad_axis_fails_cleanly(capsys):
+    assert main(["sweep", "--llms", " ", "--servers", "16"]) == 1
+    assert "error:" in capsys.readouterr().out
+
+
+def test_sweep_all_cells_infeasible_exits_nonzero(capsys):
+    # 405B cannot fit (nor can the hyperscale database) on one server.
+    assert main(["sweep", "--case", "i", "--llms", "405B",
+                 "--servers", "1"]) == 1
+    out = capsys.readouterr().out
+    assert "infeasible" in out

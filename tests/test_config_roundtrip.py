@@ -1,0 +1,204 @@
+"""Versioned config serialization: round trips and backcompat.
+
+The contract: every artifact survives ``from_config(to_config(x)) == x``
+through an actual JSON encode/decode, and the redesigned session front-
+end produces frontiers identical to both the classic ``RAGO`` facade and
+a direct ``search_schedules`` call.
+"""
+
+import json
+
+import pytest
+
+from repro import config
+from repro.errors import ConfigError
+from repro.hardware.accelerator import XPU_A
+from repro.hardware.cluster import ClusterSpec
+from repro.pipeline.stage_perf import RAGPerfModel
+from repro.rago.objectives import ServiceObjective
+from repro.rago.search import SearchConfig, search_schedules
+from repro.rago.session import OptimizerSession
+from repro.schema import (
+    case_i_hyperscale,
+    case_ii_long_context,
+    case_iii_iterative,
+    case_iv_rewriter_reranker,
+    llm_only,
+)
+from repro.schema.stages import Stage
+
+_CLUSTER = ClusterSpec(num_servers=16)
+
+
+def roundtrip(obj):
+    """Envelope -> JSON text -> envelope -> object."""
+    return config.loads(config.dumps(obj))
+
+
+@pytest.mark.parametrize("schema", [
+    case_i_hyperscale("8B", queries_per_retrieval=4),
+    case_ii_long_context(1_000_000, "70B"),
+    case_iii_iterative("70B", retrieval_frequency=4),
+    case_iv_rewriter_reranker("70B"),
+    llm_only("8B"),
+], ids=["case-i", "case-ii", "case-iii", "case-iv", "llm-only"])
+def test_schema_round_trip_equality(schema):
+    assert roundtrip(schema) == schema
+
+
+def test_cluster_round_trip_equality():
+    cluster = ClusterSpec(num_servers=24, xpus_per_server=8, xpu=XPU_A)
+    assert roundtrip(cluster) == cluster
+
+
+def test_search_config_round_trip_equality():
+    search = SearchConfig(budget_xpus=64, max_batch=32,
+                          allocations=[(8, 8), (16, 16)],
+                          placements=[((Stage.PREFIX,), (Stage.DECODE,))],
+                          collect_per_plan=True)
+    rebuilt = roundtrip(search)
+    assert rebuilt.budget_xpus == 64
+    assert rebuilt.allocations == ((8, 8), (16, 16))
+    assert rebuilt.placements == (((Stage.PREFIX,), (Stage.DECODE,)),)
+    assert rebuilt == search
+
+
+def test_search_config_round_trip_any_container_type():
+    """Tuple-typed restrictions round-trip to equality too (containers
+    are normalized by SearchConfig itself)."""
+    search = SearchConfig(placements=(((Stage.PREFIX,), (Stage.DECODE,)),),
+                          allocations=((8, 8),))
+    assert roundtrip(search) == search
+    # List- and tuple-typed restrictions compare equal after
+    # normalization.
+    assert SearchConfig(allocations=[(8, 8)]) \
+        == SearchConfig(allocations=((8, 8),))
+
+
+def test_objective_round_trip_equality():
+    objective = ServiceObjective(max_ttft=0.2, max_tpot=0.01)
+    assert roundtrip(objective) == objective
+
+
+@pytest.mark.parametrize("schema", [
+    case_i_hyperscale("1B"),
+    case_ii_long_context(100_000, "1B"),
+    case_iii_iterative("1B", retrieval_frequency=2),
+    case_iv_rewriter_reranker("1B"),
+], ids=["case-i", "case-ii", "case-iii", "case-iv"])
+def test_search_result_round_trip_equality(schema):
+    """SearchResult -> dict -> SearchResult is exact for every paradigm
+    (schedules, stage perfs and floats included)."""
+    search = SearchConfig(max_batch=32, max_decode_batch=128)
+    result = search_schedules(RAGPerfModel(schema, _CLUSTER), search)
+    assert roundtrip(result) == result
+
+
+def test_schedule_round_trip_from_search():
+    result = search_schedules(
+        RAGPerfModel(case_i_hyperscale("1B"), _CLUSTER),
+        SearchConfig(max_batch=32, max_decode_batch=128))
+    schedule = result.max_qps_per_chip.schedule
+    assert roundtrip(schedule) == schedule
+
+
+def test_optimization_config_round_trip():
+    bundle = config.OptimizationConfig(
+        schema=case_iv_rewriter_reranker("70B"),
+        cluster=_CLUSTER,
+        search=SearchConfig(max_batch=64),
+        objective=ServiceObjective(max_ttft=0.5),
+    )
+    assert roundtrip(bundle) == bundle
+
+
+def test_optimization_config_schema_only():
+    bundle = config.OptimizationConfig(schema=llm_only("8B"))
+    rebuilt = roundtrip(bundle)
+    assert rebuilt == bundle
+    assert rebuilt.cluster is None and rebuilt.search is None
+
+
+def test_save_load_file(tmp_path):
+    path = tmp_path / "workload.json"
+    schema = case_i_hyperscale("8B")
+    config.save(str(path), schema)
+    payload = json.loads(path.read_text())
+    assert payload["config_version"] == config.CONFIG_VERSION
+    assert payload["kind"] == "rag_schema"
+    assert config.load(str(path)) == schema
+
+
+def test_empty_subpayload_rejected_not_defaulted():
+    """A {} cluster/search/objective section is malformed, not 'use
+    library defaults'."""
+    payload = config.to_config(config.OptimizationConfig(
+        schema=llm_only("8B"), cluster=_CLUSTER))
+    payload["spec"]["cluster"] = {}
+    with pytest.raises(ConfigError, match="cluster"):
+        config.from_config(payload)
+
+
+def test_cluster_unknown_field_rejected():
+    payload = config.to_config(_CLUSTER)
+    payload["spec"]["pcie_bandwith"] = 1e9  # typo'd knob
+    with pytest.raises(ConfigError, match="unknown cluster fields"):
+        config.from_config(payload)
+
+
+def test_search_config_unknown_field_rejected():
+    payload = config.to_config(SearchConfig(max_batch=8))
+    payload["spec"]["max_bacth"] = 16  # typo'd knob
+    with pytest.raises(ConfigError, match="unknown search config fields"):
+        config.from_config(payload)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ConfigError, match="unknown config kind"):
+        config.from_config({"config_version": 1, "kind": "bogus",
+                            "spec": {}})
+
+
+def test_future_version_rejected():
+    payload = config.to_config(llm_only("8B"))
+    payload["config_version"] = config.CONFIG_VERSION + 1
+    with pytest.raises(ConfigError, match="newer"):
+        config.from_config(payload)
+
+
+def test_missing_version_rejected():
+    with pytest.raises(ConfigError, match="config_version"):
+        config.from_config({"kind": "rag_schema", "spec": {}})
+
+
+def test_unsupported_object_rejected():
+    with pytest.raises(ConfigError, match="cannot serialize"):
+        config.to_config(object())
+
+
+def test_invalid_json_rejected():
+    with pytest.raises(ConfigError, match="invalid JSON"):
+        config.loads("{not json")
+
+
+# --- Backcompat: the facade, the session and the raw search agree. ----
+
+def test_rago_facade_frontier_unchanged():
+    """Old RAGO(...).optimize() returns frontiers identical to a direct
+    search_schedules call (the pre-session code path)."""
+    schema = case_i_hyperscale("8B")
+    direct = search_schedules(RAGPerfModel(schema, _CLUSTER))
+    from repro import RAGO
+
+    via_facade = RAGO(schema, _CLUSTER).optimize()
+    assert via_facade.frontier == direct.frontier
+    assert via_facade.num_plans == direct.num_plans
+
+
+def test_session_frontier_matches_facade():
+    schema = case_i_hyperscale("8B")
+    from repro import RAGO
+
+    facade = RAGO(schema, _CLUSTER).optimize()
+    session = OptimizerSession(schema, _CLUSTER).optimize()
+    assert session.frontier == facade.frontier

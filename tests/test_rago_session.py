@@ -1,0 +1,272 @@
+"""OptimizerSession: chaining, memoization, sweeps, acceptance."""
+
+import pytest
+
+from repro.errors import ConfigError, ScheduleError
+from repro.hardware.cluster import ClusterSpec
+from repro.rago.objectives import select_min_ttft
+from repro.rago.optimizer import RAGO
+from repro.rago.search import SearchConfig
+from repro.rago.session import OptimizerSession
+from repro.schema import case_i_hyperscale, case_iv_rewriter_reranker, pipeline
+from repro.schema.paradigms import HYPERSCALE_DATABASE
+
+_CLUSTER = ClusterSpec(num_servers=16)
+
+
+@pytest.fixture(scope="module")
+def session():
+    return OptimizerSession(case_i_hyperscale("8B"), _CLUSTER)
+
+
+def test_optimize_is_memoized(session):
+    first = session.optimize()
+    misses = session.perf_model.cache_stats["misses"]
+    second = session.optimize()
+    # No re-search: equal result, zero new stage evaluations, one entry.
+    assert second == first
+    assert session.perf_model.cache_stats["misses"] == misses
+    assert session.cache_info()["results"] == 1
+
+
+def test_memoized_results_are_mutation_safe(session):
+    """A caller editing a returned result in place must not corrupt the
+    memo (results are handed out as defensive copies)."""
+    first = session.optimize()
+    first.frontier[0].stage_perfs.clear()  # nested mutable state
+    first.frontier.clear()
+    fresh = session.optimize()
+    assert fresh.frontier  # memo unharmed
+    assert all(perf.stage_perfs for perf in fresh.frontier)
+    schedule = fresh.max_qps_per_chip.schedule
+    perf = session.evaluate(schedule)
+    perf.stage_perfs.clear()
+    assert session.evaluate(schedule).stage_perfs
+
+
+def test_distinct_search_configs_memoized_separately(session):
+    default = session.optimize()
+    narrow = session.optimize(SearchConfig(max_batch=16,
+                                           max_decode_batch=64))
+    assert narrow is not default
+    assert session.cache_info()["results"] == 2
+    # Narrowing the batching space cannot improve the frontier.
+    assert narrow.max_qps_per_chip.qps_per_chip \
+        <= default.max_qps_per_chip.qps_per_chip + 1e-9
+
+
+def test_builder_accepted_directly():
+    builder = (pipeline("from-builder")
+               .retrieve(HYPERSCALE_DATABASE)
+               .generate("1B"))
+    session = OptimizerSession(builder, _CLUSTER)
+    assert session.schema.name == "from-builder"
+
+
+def test_invalid_schema_type_rejected():
+    with pytest.raises(ConfigError, match="RAGSchema or PipelineBuilder"):
+        OptimizerSession("not-a-schema", _CLUSTER)
+
+
+def test_constraint_chaining_filters_frontier():
+    session = OptimizerSession(case_i_hyperscale("8B"), _CLUSTER)
+    unconstrained = session.best()
+    ceiling = unconstrained.ttft * 0.5
+    bounded = session.with_constraint(max_ttft=ceiling)
+    assert bounded.best().ttft <= ceiling
+    # Constraints accumulate along the chain...
+    chained = bounded.with_constraint(max_tpot=1.0)
+    assert chained.objective.max_ttft == ceiling
+    assert chained.objective.max_tpot == 1.0
+    # ...while the originals are untouched (with_* derives, not mutates)
+    # and derived sessions share the search memo (one cached entry).
+    assert session.objective.max_ttft is None
+    assert bounded.objective.max_tpot is None
+    assert chained.optimize() == session.optimize()
+    assert session.cache_info() == chained.cache_info()
+    assert session.cache_info()["results"] == 1
+
+
+def test_impossible_constraint_raises():
+    session = OptimizerSession(case_i_hyperscale("8B"), _CLUSTER)
+    with pytest.raises(ScheduleError):
+        session.with_constraint(max_ttft=1e-9).best()
+
+
+def test_objective_selection():
+    session = OptimizerSession(case_i_hyperscale("8B"), _CLUSTER)
+    result = session.optimize()
+    assert session.with_objective("min_ttft").best() == result.min_ttft
+    assert session.with_objective("max_qps_per_chip").best() \
+        == result.max_qps_per_chip
+    knee = session.with_objective("knee").best()
+    assert knee in result.frontier
+    custom = session.with_objective(select_min_ttft).best()
+    assert custom == result.min_ttft
+    with pytest.raises(ConfigError, match="unknown objective"):
+        session.with_objective("fastest")
+
+
+def test_knee_objective_respects_constraints():
+    session = OptimizerSession(case_i_hyperscale("8B"),
+                               _CLUSTER).with_objective("knee")
+    unconstrained = session.best()
+    # Constrain away part of the frontier: the knee must be recomputed
+    # over the admissible subset only.
+    ceiling = unconstrained.ttft * 0.9
+    constrained = session.with_constraint(max_ttft=ceiling).best()
+    assert constrained.ttft <= ceiling
+    # An impossible constraint raises rather than silently ignoring it.
+    with pytest.raises(ScheduleError):
+        session.with_constraint(max_ttft=1e-9).best()
+
+
+def test_with_search_overrides():
+    session = OptimizerSession(case_i_hyperscale("8B"), _CLUSTER)
+    tweaked = session.with_search(max_batch=32)
+    assert tweaked.search_config.max_batch == 32
+    assert session.search_config.max_batch == 128  # original untouched
+    replaced = tweaked.with_search(SearchConfig(max_batch=64))
+    assert replaced.search_config.max_batch == 64
+    with pytest.raises(ConfigError, match="unknown search fields"):
+        session.with_search(bogus=1)
+
+
+def test_evaluate_is_memoized():
+    session = OptimizerSession(case_i_hyperscale("8B"), _CLUSTER)
+    schedule = session.optimize().max_qps_per_chip.schedule
+    first = session.evaluate(schedule)
+    second = session.evaluate(schedule)
+    assert first == second
+    assert session.cache_info()["evaluations"] == 1
+
+
+def test_facade_exposes_session():
+    rago = RAGO(case_i_hyperscale("8B"), _CLUSTER)
+    assert rago.session.schema == rago.schema
+    assert rago.optimize() == rago.session.optimize()
+    assert rago.session.cache_info()["results"] == 1
+
+
+# --- Acceptance: builder pipeline == case-iv preset, end to end. ------
+
+def test_builder_case_iv_identical_frontier_through_session():
+    """A PipelineBuilder program matching case_iv_rewriter_reranker("70B")
+    yields an identical Pareto frontier through OptimizerSession."""
+    preset = case_iv_rewriter_reranker("70B")
+    built = (pipeline(preset.name)
+             .rewrite("8B")
+             .retrieve(HYPERSCALE_DATABASE)
+             .rerank("120M")
+             .generate("70B")
+             .build())
+    assert built == preset
+    search = SearchConfig(max_batch=32, max_decode_batch=128)
+    frontier_built = OptimizerSession(built, _CLUSTER).frontier(search)
+    frontier_preset = RAGO(preset, _CLUSTER).optimize(search).frontier
+    assert frontier_built == frontier_preset
+
+
+# --- Sweeps. ----------------------------------------------------------
+
+def test_sweep_grid_rows():
+    session = OptimizerSession(case_i_hyperscale("1B"), _CLUSTER)
+    sweep = session.sweep(
+        schemas=[case_i_hyperscale("1B"), case_i_hyperscale("8B")],
+        clusters=[_CLUSTER, ClusterSpec(num_servers=32)],
+    )
+    assert len(sweep) == 4
+    rows = sweep.rows
+    assert [row["llm"] for row in rows] == [
+        "llama3-1b", "llama3-1b", "llama3-8b", "llama3-8b"]
+    assert all(row["ok"] for row in rows)
+    assert all(row["best_qps_per_chip"] > 0 for row in rows)
+    table = sweep.to_table()
+    assert "llama3-8b" in table and "best_qps_per_chip" in table
+
+
+def test_sweep_infeasible_cell_is_recorded_not_fatal():
+    session = OptimizerSession(case_i_hyperscale("1B"), _CLUSTER)
+    # 405B weights cannot fit a 1-server (4 XPU) budget; the database
+    # floor also exceeds it.
+    tiny = ClusterSpec(num_servers=1)
+    sweep = session.sweep(schemas=[case_i_hyperscale("405B")],
+                          clusters=[tiny])
+    assert len(sweep) == 1
+    cell = sweep.cells[0]
+    assert not cell.ok
+    assert cell.error
+    assert sweep.rows[0]["best_qps_per_chip"] is None
+
+
+def test_sweep_parallel_matches_serial():
+    schemas = [case_i_hyperscale("1B"), case_i_hyperscale("8B")]
+    search = SearchConfig(max_batch=32, max_decode_batch=128)
+    serial = OptimizerSession(case_i_hyperscale("1B"), _CLUSTER) \
+        .sweep(schemas=schemas, search=search)
+    # Fresh session: a cold memo forces the pooled path to actually run
+    # the workers (job encoding, result deserialization and all).
+    cold_session = OptimizerSession(case_i_hyperscale("1B"), _CLUSTER)
+    parallel = cold_session.sweep(schemas=schemas, search=search,
+                                  processes=2)
+    for cell_s, cell_p in zip(serial.cells, parallel.cells):
+        assert cell_p.result.frontier == cell_s.result.frontier
+    # The pooled results also land in the memo for reuse.
+    assert cold_session.cache_info()["results"] == 2
+
+
+def test_sweep_cells_land_in_session_memo():
+    """Every successful sweep cell is memoized; a repeat sweep (and an
+    overlapping optimize) reuses the cached results."""
+    schema_a, schema_b = case_i_hyperscale("1B"), case_i_hyperscale("8B")
+    search = SearchConfig(max_batch=32, max_decode_batch=128)
+    session = OptimizerSession(schema_a, _CLUSTER, search=search)
+    first = session.sweep(schemas=[schema_a, schema_b])
+    assert session.cache_info()["results"] == 2
+    again = session.sweep(schemas=[schema_a, schema_b])
+    assert session.cache_info()["results"] == 2  # straight from the memo
+    for cell_1, cell_2 in zip(first.cells, again.cells):
+        assert cell_2.result == cell_1.result
+    # The session's own optimize() shares the same entries.
+    assert session.optimize() == first.cells[0].result
+    assert session.cache_info()["results"] == 2
+
+
+def test_sweep_carries_memory_override_to_every_cell():
+    """A session's MemoryModel override applies to all sweep cells (and
+    to pooled workers), not just the session's own (schema, cluster)."""
+    from repro.inference.memory import MemoryModel
+
+    strict = MemoryModel(usable_fraction=0.5)
+    schema = case_i_hyperscale("8B")
+    session = OptimizerSession(schema, _CLUSTER, memory=strict)
+    other_cluster = ClusterSpec(num_servers=32)
+    search = SearchConfig(max_batch=32, max_decode_batch=128)
+    sweep = session.sweep(clusters=[_CLUSTER, other_cluster], search=search)
+    expected = OptimizerSession(schema, other_cluster,
+                                memory=strict).frontier(search)
+    assert sweep.cells[1].result.frontier == expected
+    # Fresh session so the pooled path runs cold (workers must receive
+    # the pickled MemoryModel, not a memoized serial result).
+    pooled = OptimizerSession(schema, _CLUSTER, memory=strict) \
+        .sweep(clusters=[_CLUSTER, other_cluster], search=search,
+               processes=2)
+    assert pooled.cells[1].result.frontier == expected
+
+
+def test_sweep_duplicate_cells_searched_once():
+    schema = case_i_hyperscale("1B")
+    search = SearchConfig(max_batch=32, max_decode_batch=128)
+    session = OptimizerSession(case_i_hyperscale("8B"), _CLUSTER,
+                               search=search)
+    sweep = session.sweep(schemas=[schema, schema])
+    assert len(sweep) == 2
+    assert sweep.cells[1].result == sweep.cells[0].result
+    assert session.cache_info()["results"] == 1  # one search for both
+    session = OptimizerSession(case_i_hyperscale("1B"), _CLUSTER)
+    with pytest.raises(ConfigError, match="processes"):
+        session.sweep(processes=0)
+    with pytest.raises(ConfigError, match="non-empty"):
+        session.sweep(schemas=[])
+    with pytest.raises(ConfigError, match="build"):
+        session.sweep(schemas=[pipeline().generate("1B")])

@@ -1,0 +1,195 @@
+"""PipelineBuilder and stage-type registry tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.catalog import ENCODER_120M, LLAMA3_70B
+from repro.schema import (
+    case_i_hyperscale,
+    case_ii_long_context,
+    case_iii_iterative,
+    case_iv_rewriter_reranker,
+    llm_only,
+    pipeline,
+    register_stage_type,
+    stage_types,
+    unregister_stage_type,
+)
+from repro.schema.builder import BUILTIN_STAGE_TYPES, PipelineBuilder
+from repro.schema.paradigms import HYPERSCALE_DATABASE
+from repro.workloads.profile import SequenceProfile
+
+
+def test_builder_matches_case_i_preset():
+    built = (pipeline("case-i-llama3-8b")
+             .retrieve(HYPERSCALE_DATABASE, queries_per_retrieval=4)
+             .generate("8B")
+             .build())
+    assert built == case_i_hyperscale("8B", queries_per_retrieval=4)
+
+
+def test_builder_matches_case_ii_preset():
+    preset = case_ii_long_context(1_000_000, "70B")
+    built = (pipeline(preset.name)
+             .sequences(context_len=1_000_000)
+             .encode(ENCODER_120M)
+             .retrieve(preset.database, brute_force=True)
+             .generate(LLAMA3_70B)
+             .build())
+    assert built == preset
+
+
+def test_builder_matches_case_iii_preset():
+    built = (pipeline("case-iii-llama3-70b-x4")
+             .retrieve(HYPERSCALE_DATABASE)
+             .generate("70B", iterative=4)
+             .build())
+    assert built == case_iii_iterative("70B", retrieval_frequency=4)
+
+
+def test_builder_matches_case_iv_preset():
+    built = (pipeline("case-iv-llama3-70b")
+             .rewrite("8B")
+             .retrieve(HYPERSCALE_DATABASE)
+             .rerank("120M")
+             .generate("70B")
+             .build())
+    assert built == case_iv_rewriter_reranker("70B")
+
+
+def test_builder_matches_llm_only_preset():
+    built = (pipeline("llm-only-llama3-70b")
+             .sequences(prefix_len=32)
+             .generate("70B")
+             .build())
+    assert built == llm_only("70B")
+
+
+def test_issue_style_program_builds():
+    schema = (pipeline()
+              .rewrite("1B")
+              .retrieve(HYPERSCALE_DATABASE, neighbors=5)
+              .rerank(ENCODER_120M)
+              .generate("70B", iterative=4)
+              .build())
+    assert schema.query_rewriter.name == "llama3-1b"
+    assert schema.sequences.retrieved_passages == 5
+    assert schema.retrieval_frequency == 4
+    assert schema.is_iterative
+    # Default name synthesized from the declared stages.
+    assert "llama3-70b" in schema.name
+
+
+def test_sequence_overrides_compose():
+    schema = (pipeline("seq")
+              .sequences(profile=SequenceProfile(decode_len=64))
+              .retrieve(HYPERSCALE_DATABASE, neighbors=3)
+              .rerank("120M", candidates=8)
+              .generate("8B", decode_len=128)
+              .build())
+    assert schema.sequences.retrieved_passages == 3
+    assert schema.sequences.rerank_candidates == 8
+    assert schema.sequences.decode_len == 128
+
+
+def test_build_requires_generator():
+    with pytest.raises(ConfigError, match="generator"):
+        pipeline().retrieve(HYPERSCALE_DATABASE).build()
+
+
+def test_iterative_requires_retrieval():
+    with pytest.raises(ConfigError, match="retrieve"):
+        pipeline().generate("8B", iterative=4).build()
+
+
+def test_rerank_requires_retrieval():
+    with pytest.raises(ConfigError, match="retrieve"):
+        pipeline().rerank("120M").generate("8B").build()
+
+
+def test_rewrite_requires_retrieval():
+    # A rewriter that feeds no retrieval burns chips for nothing.
+    with pytest.raises(ConfigError, match="retrieve"):
+        pipeline().rewrite("8B").generate("8B").build()
+
+
+def test_duplicate_stage_rejected():
+    builder = pipeline().generate("8B")
+    with pytest.raises(ConfigError, match="twice"):
+        builder.generate("70B")
+
+
+def test_unknown_stage_kind_reports_registry():
+    with pytest.raises(AttributeError, match="registered"):
+        pipeline().quantize("8B")
+
+
+def test_register_custom_stage_type():
+    def apply_compress(spec, ratio):
+        spec.sequences = spec.sequences.with_lengths(
+            prefix_len=max(int(spec.sequences.prefix_len * ratio),
+                           spec.sequences.question_len))
+
+    register_stage_type("compress", apply_compress)
+    try:
+        assert "compress" in stage_types()
+        schema = (pipeline("compressed")
+                  .retrieve(HYPERSCALE_DATABASE)
+                  .compress(0.25)
+                  .generate("8B")
+                  .build())
+        assert schema.sequences.prefix_len == 128
+    finally:
+        unregister_stage_type("compress")
+    assert "compress" not in stage_types()
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ConfigError, match="already registered"):
+        register_stage_type("generate", lambda spec: None)
+
+
+def test_registration_rejects_shadowed_kind():
+    # Real attributes win over __getattr__, so these verbs could never
+    # dispatch; registration must refuse them.
+    for shadowed in ("build", "named", "apply", "spec"):
+        with pytest.raises(ConfigError, match="collides"):
+            register_stage_type(shadowed, lambda spec: None,
+                                replace_existing=True)
+
+
+def test_registration_requires_identifier():
+    with pytest.raises(ConfigError, match="identifier"):
+        register_stage_type("not a name", lambda spec: None)
+
+
+def test_apply_dispatches_like_attribute_access():
+    built = (PipelineBuilder("via-apply")
+             .apply("retrieve", HYPERSCALE_DATABASE)
+             .apply("generate", "8B")
+             .build())
+    assert built == (pipeline("via-apply")
+                     .retrieve(HYPERSCALE_DATABASE)
+                     .generate("8B")
+                     .build())
+
+
+def test_pipeline_submodule_not_shadowed():
+    """The builder entry point must not displace the repro.pipeline
+    submodule on the package (module attribute access stays intact)."""
+    import repro
+    import repro.pipeline as pipeline_module
+
+    assert repro.pipeline is pipeline_module
+    assert hasattr(pipeline_module, "assemble")
+    assert "pipeline" not in repro.__all__
+    # The builder is reachable where documented.
+    from repro.schema import pipeline as build
+
+    assert build().__class__ is PipelineBuilder
+
+
+def test_builtin_stage_types_registered():
+    for kind in ("rewrite", "encode", "retrieve", "rerank", "generate",
+                 "sequences"):
+        assert kind in BUILTIN_STAGE_TYPES
