@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Replay live traffic scenarios through a searched schedule.
+
+RAGO picks schedules from closed-form steady-state math; this example
+asks what happens to one of those schedules under *traffic*: the same
+average load shaped as a memoryless Poisson stream, as Markov-modulated
+bursts (flash crowds), and as a diurnal rate curve. Queueing effects
+diverge from the analytical model exactly where traffic stops being
+smooth -- that divergence is what the trace-driven subsystem measures.
+
+The same study is one command per scenario on the CLI:
+
+    python -m repro replay --case i --llm 8B --scenario bursty --json out.json
+
+Run:
+    python examples/replay_traffic.py
+"""
+
+from repro import ClusterSpec, OptimizerSession, SLOTarget, case_i_hyperscale
+from repro.reporting import format_serving_report
+from repro.workloads import scenario_trace
+
+DURATION = 12.0
+SEED = 7
+
+
+def main() -> None:
+    session = OptimizerSession(case_i_hyperscale("8B"),
+                               ClusterSpec(num_servers=32))
+    chosen = session.optimize().max_qps_per_chip
+    print("schedule under test (RAGO's throughput-optimal point):")
+    print(f"  {chosen.schedule.describe()}")
+    print(f"analytical prediction: qps={chosen.qps:.0f} "
+          f"ttft={chosen.ttft * 1e3:.1f} ms tpot={chosen.tpot * 1e3:.2f} ms")
+
+    # Score each replay against the same targets: a TTFT budget of 5x
+    # the analytical (unloaded) TTFT and a TPOT budget of 2x.
+    slo = SLOTarget(ttft=5.0 * chosen.ttft, tpot=2.0 * chosen.tpot)
+    print(f"SLO: ttft <= {slo.ttft * 1e3:.0f} ms, "
+          f"tpot <= {slo.tpot * 1e3:.2f} ms")
+
+    rate = 0.7 * chosen.qps  # identical average load for every scenario
+    for name in ("poisson", "bursty", "diurnal"):
+        trace = scenario_trace(name, rate_qps=rate, duration=DURATION,
+                               seed=SEED, mean_decode_len=256)
+        report = session.evaluate_trace(chosen.schedule, trace, slo=slo)
+        print()
+        print("=" * 60)
+        print(format_serving_report(report))
+
+    print()
+    print("reading: all three scenarios offer the same average load, but")
+    print("only poisson resembles the closed-form regime. Bursts push the")
+    print("p99 TTFT and SLO misses up through queueing alone; the diurnal")
+    print("peak does the same on a slower time scale. This is why found")
+    print("schedules are validated under replayed traffic, not just QPS.")
+
+
+if __name__ == "__main__":
+    main()

@@ -88,7 +88,14 @@ from repro.schema import (
     llm_only,
     register_stage_type,
 )
-from repro.workloads import SequenceProfile
+from repro.workloads import (
+    RequestTrace,
+    SequenceProfile,
+    bursty_trace,
+    diurnal_trace,
+    poisson_trace,
+    scenario_trace,
+)
 from repro.pipeline import (
     PipelinePerf,
     PlacementGroup,
@@ -114,7 +121,7 @@ from repro import config
 from repro.config import OptimizationConfig
 from repro.rago.provisioning import ProvisioningResult, provision
 from repro.hardware.power import PowerProfile, estimate_energy
-from repro.sim import ServingSimulator
+from repro.sim import ServingReport, ServingSimulator, SLOTarget
 
 __version__ = "1.0.0"
 
@@ -156,6 +163,12 @@ __all__ = [
     "register_stage_type",
     "Stage",
     "SequenceProfile",
+    # workload traces
+    "RequestTrace",
+    "poisson_trace",
+    "bursty_trace",
+    "diurnal_trace",
+    "scenario_trace",
     "case_i_hyperscale",
     "case_ii_long_context",
     "case_iii_iterative",
@@ -189,4 +202,6 @@ __all__ = [
     "PowerProfile",
     "estimate_energy",
     "ServingSimulator",
+    "ServingReport",
+    "SLOTarget",
 ]

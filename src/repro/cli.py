@@ -1,18 +1,24 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro list                      # registered experiments
     python -m repro run fig5 [--full]         # regenerate an artifact
     python -m repro optimize --case iv --llm 70B [--max-ttft 0.2]
     python -m repro optimize --config workload.json [--json out.json]
     python -m repro sweep --case i --llms 1B,8B --servers 16,32
+    python -m repro replay --case i --scenario bursty [--json out.json]
+    python -m repro provision --case i --qps 500
 
 ``optimize`` runs RAGO on one of the four paradigm presets or on a
 serialized :mod:`repro.config` file (a schema or a full optimization
 config) and prints the Pareto frontier plus the schedules selected for
 each objective; ``sweep`` searches a grid of (LLM size, cluster size)
-cells, optionally over a multiprocessing pool.
+cells, optionally over a multiprocessing pool; ``replay`` exercises the
+selected schedule under live traffic -- a seeded scenario (poisson /
+bursty / diurnal) or a recorded JSONL trace -- through the
+discrete-event simulator and reports SLO attainment, latency
+percentiles and queueing breakdowns.
 """
 
 from __future__ import annotations
@@ -35,9 +41,15 @@ from repro.schema.paradigms import (
     case_iii_iterative,
     case_iv_rewriter_reranker,
 )
+from repro.sim.policies import DISPATCH_POLICIES
+from repro.workloads.traces import SCENARIOS
 
 #: Accelerator generations by their --xpu letter (Table 2).
 _XPU_BY_LETTER = {"A": XPU_A, "B": XPU_B, "C": XPU_C}
+
+#: Choice lists for `repro replay`.
+_SCENARIO_NAMES = frozenset(SCENARIOS)
+_DISPATCH_NAMES = frozenset(DISPATCH_POLICIES)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -97,6 +109,56 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the sweep executor")
     sweep.add_argument("--json", dest="json_path", default=None,
                        help="also dump the tidy result table to a JSON file")
+
+    replay = commands.add_parser(
+        "replay", help="replay live traffic through a searched schedule")
+    replay.add_argument("--case", choices=("i", "ii", "iii", "iv"),
+                        default="i", help="paradigm (Table 3)")
+    replay.add_argument("--llm", default="8B",
+                        help="generative LLM size label (1B/8B/70B/405B)")
+    replay.add_argument("--context", type=int, default=1_000_000,
+                        help="context length for case ii")
+    replay.add_argument("--retrievals", type=int, default=4,
+                        help="retrieval frequency for case iii")
+    replay.add_argument("--servers", type=int, default=None,
+                        help="cluster host servers (default 32)")
+    replay.add_argument("--xpu", choices=("A", "B", "C"), default=None,
+                        help="accelerator generation (default C)")
+    replay.add_argument("--config", dest="config_path", default=None,
+                        help="serialized workload or optimization config "
+                             "(repro.config JSON); overrides --case/--llm")
+    replay.add_argument("--max-ttft", type=float, default=None,
+                        help="TTFT SLO used to pick the schedule (and, "
+                             "unless --slo-ttft is given, to score it)")
+    replay.add_argument("--scenario", choices=sorted(_SCENARIO_NAMES),
+                        default=None,
+                        help="built-in traffic scenario to generate "
+                             "(default poisson; exclusive with --trace)")
+    replay.add_argument("--trace", dest="trace_path", default=None,
+                        help="replay a recorded JSONL trace instead of "
+                             "generating a scenario")
+    replay.add_argument("--load", type=float, default=0.7,
+                        help="offered load as a fraction of the schedule's "
+                             "analytical saturation QPS (default 0.7)")
+    replay.add_argument("--rate", type=float, default=None,
+                        help="absolute offered QPS; overrides --load")
+    replay.add_argument("--duration", type=float, default=10.0,
+                        help="scenario length in seconds (default 10)")
+    replay.add_argument("--seed", type=int, default=0,
+                        help="scenario RNG seed")
+    replay.add_argument("--dispatch", choices=sorted(_DISPATCH_NAMES),
+                        default=None,
+                        help="batch-dispatch policy for pre-decode stages "
+                             "(default deadline-flush)")
+    replay.add_argument("--slo-ttft", type=float, default=None,
+                        help="TTFT target in seconds for attainment "
+                             "accounting (default: 5x analytical TTFT)")
+    replay.add_argument("--slo-tpot", type=float, default=None,
+                        help="TPOT target in seconds for attainment "
+                             "accounting (default: 2x analytical TPOT)")
+    replay.add_argument("--json", dest="json_path", default=None,
+                        help="dump the serving report (plus schedule and "
+                             "trace envelopes) to a JSON file")
 
     prov = commands.add_parser(
         "provision", help="size a fleet for a target load")
@@ -191,9 +253,17 @@ def _resolve_cluster(args: argparse.Namespace,
         else cluster
 
 
-def _command_optimize(args: argparse.Namespace) -> int:
-    objective: Optional[ServiceObjective] = None
+def _resolve_session(args: argparse.Namespace) -> OptimizerSession:
+    """One constrained session from --config / preset flags.
+
+    Shared by ``optimize`` and ``replay``: loads the workload (file or
+    preset), resolves the cluster, and merges constraints -- the
+    config file's bounds first, then an explicit ``--max-ttft`` flag
+    replaces the file's TTFT bound only. Prints the workload/cluster
+    header both commands lead with.
+    """
     search = None
+    objective: Optional[ServiceObjective] = None
     if args.config_path:
         loaded = _load_optimization_config(args.config_path)
         schema = loaded.schema
@@ -203,15 +273,12 @@ def _command_optimize(args: argparse.Namespace) -> int:
     else:
         schema = _schema_for(args)
         cluster = _resolve_cluster(args, None)
-
     print(f"workload: {schema.describe()}")
     print(f"cluster : {cluster.num_servers} servers x "
           f"{cluster.xpus_per_server} {cluster.xpu.name}")
     session = OptimizerSession(schema, cluster)
     if search is not None:
         session = session.with_search(search)
-    # The session owns constraint merging: --config's bounds first, then
-    # an explicit --max-ttft flag replaces the file's TTFT bound only.
     if objective is not None:
         session = session.with_constraint(
             max_ttft=objective.max_ttft,
@@ -219,10 +286,23 @@ def _command_optimize(args: argparse.Namespace) -> int:
             min_qps_per_chip=objective.min_qps_per_chip)
     if args.max_ttft is not None:
         session = session.with_constraint(max_ttft=args.max_ttft)
+    return session
+
+
+def _session_constrained(session: OptimizerSession) -> bool:
+    """Whether any serving bound is in force on the session."""
     objective = session.objective
-    constrained = any(bound is not None for bound in
-                      (objective.max_ttft, objective.max_tpot,
-                       objective.min_qps_per_chip))
+    return any(bound is not None for bound in
+               (objective.max_ttft, objective.max_tpot,
+                objective.min_qps_per_chip))
+
+
+def _command_optimize(args: argparse.Namespace) -> int:
+    session = _resolve_session(args)
+    schema = session.schema
+    cluster = session.cluster
+    objective = session.objective
+    constrained = _session_constrained(session)
     result = session.optimize()
     print(f"searched {result.num_plans} plans; frontier:")
     for perf in result.frontier:
@@ -267,6 +347,74 @@ def _command_optimize(args: argparse.Namespace) -> int:
                 "qps_per_chip": chosen.qps_per_chip,
                 "schedule": config_module.to_config(chosen.schedule),
             },
+        }
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+def _command_replay(args: argparse.Namespace) -> int:
+    from repro.reporting import format_serving_report
+    from repro.sim import SLOTarget
+    from repro.workloads import RequestTrace, scenario_trace
+
+    session = _resolve_session(args)
+    schema = session.schema
+    objective = session.objective
+    chosen = session.best() if _session_constrained(session) \
+        else session.optimize().max_qps_per_chip
+    print(f"schedule: {chosen.schedule.describe()}")
+    print(f"analytical: qps={chosen.qps:.1f}  "
+          f"ttft={chosen.ttft * 1e3:.1f} ms  "
+          f"tpot={chosen.tpot * 1e3:.2f} ms")
+
+    if args.trace_path:
+        # A recorded trace fixes the traffic entirely; generator knobs
+        # alongside it would be silently dead, so reject the mix.
+        defaults = {"scenario": None, "rate": None, "load": 0.7,
+                    "duration": 10.0, "seed": 0}
+        clashing = [f"--{name}" for name, default in defaults.items()
+                    if getattr(args, name) != default]
+        if clashing:
+            raise ConfigError(
+                f"--trace replays a recorded stream; drop "
+                f"{', '.join(clashing)} (they only apply to generated "
+                f"scenarios)")
+        trace = RequestTrace.from_jsonl(args.trace_path)
+    else:
+        rate = args.rate if args.rate is not None \
+            else args.load * chosen.qps
+        if rate <= 0:
+            raise ConfigError("offered rate must be positive; pass a "
+                              "positive --rate or --load")
+        # Generators fall back to fixed lengths for means too small for
+        # the geometric sampler, so the schema's length passes through.
+        trace = scenario_trace(
+            args.scenario or "poisson", rate_qps=rate,
+            duration=args.duration, seed=args.seed,
+            mean_decode_len=schema.sequences.decode_len)
+    print(f"traffic : {trace.describe()}")
+
+    slo = SLOTarget(
+        ttft=args.slo_ttft if args.slo_ttft is not None
+        else (objective.max_ttft or 5.0 * chosen.ttft),
+        tpot=args.slo_tpot if args.slo_tpot is not None
+        else (objective.max_tpot or 2.0 * chosen.tpot),
+    )
+    report = session.evaluate_trace(chosen.schedule, trace, slo=slo,
+                                    dispatch=args.dispatch)
+    print()
+    print(format_serving_report(report))
+    if args.json_path:
+        # Workload + cluster envelopes ride along so the report can be
+        # regenerated from this file alone.
+        payload = {
+            "report": config_module.to_config(report),
+            "workload": config_module.to_config(schema),
+            "cluster": config_module.to_config(session.cluster),
+            "schedule": config_module.to_config(chosen.schedule),
+            "trace": config_module.to_config(trace),
         }
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=1)
@@ -343,6 +491,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_run(args)
         if args.command == "sweep":
             return _command_sweep(args)
+        if args.command == "replay":
+            return _command_replay(args)
         if args.command == "provision":
             return _command_provision(args)
         return _command_optimize(args)

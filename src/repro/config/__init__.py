@@ -31,6 +31,9 @@ from repro.pipeline.assembly import Schedule
 from repro.rago.objectives import ServiceObjective
 from repro.rago.search import SearchConfig, SearchResult
 from repro.schema.ragschema import RAGSchema
+from repro.rago.session import SweepResult
+from repro.sim.serving import ServingReport
+from repro.workloads.traces import RequestTrace
 from repro.config.serializers import (
     cluster_from_dict,
     cluster_to_dict,
@@ -44,6 +47,12 @@ from repro.config.serializers import (
     search_config_to_dict,
     search_result_from_dict,
     search_result_to_dict,
+    serving_report_from_dict,
+    serving_report_to_dict,
+    sweep_result_from_dict,
+    sweep_result_to_dict,
+    trace_from_dict,
+    trace_to_dict,
 )
 
 #: Version stamped into every envelope; bump on incompatible layout
@@ -119,6 +128,11 @@ _KINDS: Dict[str, Tuple[type, Callable[[Any], Dict],
     "optimization_config": (OptimizationConfig,
                             _optimization_config_to_dict,
                             _optimization_config_from_dict),
+    "request_trace": (RequestTrace, trace_to_dict, trace_from_dict),
+    "serving_report": (ServingReport, serving_report_to_dict,
+                       serving_report_from_dict),
+    "sweep_result": (SweepResult, sweep_result_to_dict,
+                     sweep_result_from_dict),
 }
 
 
@@ -217,4 +231,10 @@ __all__ = [
     "schedule_from_dict",
     "search_result_to_dict",
     "search_result_from_dict",
+    "trace_to_dict",
+    "trace_from_dict",
+    "serving_report_to_dict",
+    "serving_report_from_dict",
+    "sweep_result_to_dict",
+    "sweep_result_from_dict",
 ]

@@ -28,6 +28,8 @@ from repro.schema.serialization import (
     schema_to_dict,
 )
 from repro.schema.stages import Stage
+from repro.sim.serving import ServingReport, SLOTarget
+from repro.workloads.traces import RequestTrace
 
 __all__ = [
     "schema_to_dict", "schema_from_dict",
@@ -36,6 +38,9 @@ __all__ = [
     "search_config_to_dict", "search_config_from_dict",
     "objective_to_dict", "objective_from_dict",
     "search_result_to_dict", "search_result_from_dict",
+    "trace_to_dict", "trace_from_dict",
+    "serving_report_to_dict", "serving_report_from_dict",
+    "sweep_result_to_dict", "sweep_result_from_dict",
 ]
 
 _XPU_FIELDS = ("name", "peak_flops", "hbm_bytes", "mem_bandwidth",
@@ -240,3 +245,129 @@ def search_result_from_dict(data: Dict) -> SearchResult:
         )
     except (KeyError, TypeError, ValueError) as error:
         raise ConfigError(f"malformed search result dict: {error}") from error
+
+
+# ---------------------------------------------------------------------------
+# Traffic subsystem artifacts: traces, serving reports, sweep results.
+# ---------------------------------------------------------------------------
+
+_TRACE_FIELDS = ("arrivals", "decode_lens", "metadata")
+
+
+def trace_to_dict(trace: RequestTrace) -> Dict:
+    """Serialize a RequestTrace (arrivals, lengths, metadata)."""
+    return {
+        "arrivals": list(trace.arrivals),
+        "decode_lens": (None if trace.decode_lens is None
+                        else list(trace.decode_lens)),
+        "metadata": dict(trace.metadata),
+    }
+
+
+def trace_from_dict(data: Dict) -> RequestTrace:
+    """Reconstruct a RequestTrace serialized by :func:`trace_to_dict`."""
+    unknown = set(data) - set(_TRACE_FIELDS)
+    if unknown:
+        raise ConfigError(f"unknown trace fields: {sorted(unknown)}")
+    try:
+        decode_lens = data.get("decode_lens")
+        return RequestTrace(
+            arrivals=tuple(data["arrivals"]),
+            decode_lens=(None if decode_lens is None
+                         else tuple(decode_lens)),
+            metadata=dict(data.get("metadata") or {}),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ConfigError(f"malformed trace dict: {error}") from error
+
+
+_REPORT_FIELDS = ("scenario", "offered", "completed", "duration",
+                  "throughput", "slo", "slo_attainment", "ttft", "tpot",
+                  "queueing", "utilization", "trace_metadata")
+
+
+def serving_report_to_dict(report: ServingReport) -> Dict:
+    """Serialize a ServingReport (aggregates only; per-request records
+    intentionally do not travel)."""
+    return {
+        "scenario": report.scenario,
+        "offered": report.offered,
+        "completed": report.completed,
+        "duration": report.duration,
+        "throughput": report.throughput,
+        "slo": {"ttft": report.slo.ttft, "tpot": report.slo.tpot},
+        "slo_attainment": dict(report.slo_attainment),
+        "ttft": dict(report.ttft),
+        "tpot": dict(report.tpot),
+        "queueing": {stage: dict(stats)
+                     for stage, stats in report.queueing.items()},
+        "utilization": dict(report.utilization),
+        "trace_metadata": dict(report.trace_metadata),
+    }
+
+
+def serving_report_from_dict(data: Dict) -> ServingReport:
+    """Reconstruct a ServingReport serialized by
+    :func:`serving_report_to_dict` (records come back empty)."""
+    unknown = set(data) - set(_REPORT_FIELDS)
+    if unknown:
+        raise ConfigError(f"unknown serving report fields: "
+                          f"{sorted(unknown)}")
+    try:
+        slo = data["slo"]
+        return ServingReport(
+            scenario=data["scenario"],
+            offered=data["offered"],
+            completed=data["completed"],
+            duration=data["duration"],
+            throughput=data["throughput"],
+            slo=SLOTarget(ttft=slo.get("ttft"), tpot=slo.get("tpot")),
+            slo_attainment=dict(data["slo_attainment"]),
+            ttft=dict(data["ttft"]),
+            tpot=dict(data["tpot"]),
+            queueing={stage: dict(stats)
+                      for stage, stats in data["queueing"].items()},
+            utilization=dict(data["utilization"]),
+            trace_metadata=dict(data.get("trace_metadata") or {}),
+        )
+    except (KeyError, TypeError, AttributeError) as error:
+        raise ConfigError(
+            f"malformed serving report dict: {error}") from error
+
+
+def sweep_result_to_dict(result) -> Dict:
+    """Serialize a SweepResult cell by cell, so grid studies are
+    resumable and diffable artifacts."""
+    return {
+        "cells": [
+            {
+                "schema": schema_to_dict(cell.schema),
+                "cluster": cluster_to_dict(cell.cluster),
+                "result": (None if cell.result is None
+                           else search_result_to_dict(cell.result)),
+                "error": cell.error,
+            }
+            for cell in result.cells
+        ],
+    }
+
+
+def sweep_result_from_dict(data: Dict):
+    """Reconstruct a SweepResult serialized by
+    :func:`sweep_result_to_dict`."""
+    from repro.rago.session import SweepCell, SweepResult
+
+    try:
+        cells = []
+        for cell in data["cells"]:
+            result = cell.get("result")
+            cells.append(SweepCell(
+                schema=schema_from_dict(cell["schema"]),
+                cluster=cluster_from_dict(cell["cluster"]),
+                result=(None if result is None
+                        else search_result_from_dict(result)),
+                error=cell.get("error"),
+            ))
+        return SweepResult(cells=tuple(cells))
+    except (KeyError, TypeError) as error:
+        raise ConfigError(f"malformed sweep result dict: {error}") from error

@@ -34,6 +34,7 @@ session, so existing call sites keep working unchanged.
 from __future__ import annotations
 
 import copy
+import hashlib
 import math
 import multiprocessing
 from dataclasses import dataclass, replace
@@ -54,6 +55,9 @@ from repro.rago.objectives import (
 from repro.rago.search import SearchConfig, SearchResult, search_schedules
 from repro.schema.builder import PipelineBuilder
 from repro.schema.ragschema import RAGSchema
+from repro.sim.policies import DispatchPolicy, resolve_dispatch_policy
+from repro.sim.serving import ServingReport, ServingSimulator, SLOTarget
+from repro.workloads.traces import RequestTrace
 
 #: A selector turns (result, objective) into the chosen frontier point.
 Selector = Callable[[SearchResult, ServiceObjective], PipelinePerf]
@@ -133,6 +137,7 @@ class OptimizerSession:
         self._selector: Selector = select_max_throughput
         self._results: Dict[str, SearchResult] = {}
         self._evaluations: Dict[str, PipelinePerf] = {}
+        self._trace_reports: Dict[str, ServingReport] = {}
         # Schema and cluster are fixed for the session's lifetime, so
         # their share of the memo key is serialized once.
         self._base_key = _config_key(schema, self._cluster)
@@ -263,10 +268,78 @@ class OptimizerSession:
         # PipelinePerf is frozen but carries a mutable stage_perfs dict.
         return replace(cached, stage_perfs=dict(cached.stage_perfs))
 
+    def evaluate_trace(self, schedule: Schedule, trace: RequestTrace,
+                       slo: Optional[SLOTarget] = None,
+                       max_wait: Optional[float] = None,
+                       dispatch: Union[None, str, DispatchPolicy] = None,
+                       ) -> ServingReport:
+        """Replay a request trace through one schedule (memoized DES).
+
+        The discrete-event counterpart of :meth:`evaluate`: where the
+        analytical evaluation answers "what does this schedule promise
+        in steady state", a trace replay answers "what does it deliver
+        under this traffic". Results are memoized per (schema, cluster,
+        schedule, trace, SLO), so sweeping schedules over a fixed trace
+        (or traces over a fixed schedule) never re-simulates a cell.
+
+        Args:
+            schedule: The deployment to exercise.
+            trace: The traffic to replay (see
+                :mod:`repro.workloads.traces`).
+            slo: Latency targets for attainment accounting; None
+                derives targets from this session's accumulated
+                constraints (unconstrained dimensions stay unscored).
+            max_wait: Optional partial-batch deadline override passed
+                to the simulator.
+            dispatch: Optional dispatch policy (instance or registry
+                name) for the pre-decode stations.
+
+        Returns:
+            The replay's :class:`~repro.sim.ServingReport`.
+        """
+        if slo is None:
+            slo = SLOTarget(ttft=self._objective.max_ttft,
+                            tpot=self._objective.max_tpot)
+        policy = resolve_dispatch_policy(dispatch)
+        # A recorded trace can hold 100k+ requests; keep the memo key
+        # fixed-size by digesting the serialized (schedule, trace) pair
+        # instead of storing megabytes of JSON per entry.
+        digest = hashlib.sha256(
+            _config_key(schedule, trace).encode("utf-8")).hexdigest()
+        key = "\x1e".join((self._base_key, digest,
+                           f"slo={slo.ttft}:{slo.tpot}",
+                           f"max_wait={max_wait}",
+                           f"dispatch={policy!r}"))
+        if key not in self._trace_reports:
+            simulator = ServingSimulator(self._perf_model, schedule,
+                                         max_wait=max_wait,
+                                         dispatch=policy)
+            self._trace_reports[key] = simulator.run(trace, slo=slo)
+        cached = self._trace_reports[key]
+        # Reports are frozen but carry mutable aggregate dicts and
+        # mutable per-request records; hand out copies (records deep,
+        # they nest dicts) so callers cannot corrupt the memo. For huge
+        # recorded traces the record copy dominates a cache hit -- a
+        # deliberate trade of hit speed for isolation; aggregate-only
+        # consumers can drop `records` entirely via the config envelope.
+        return replace(
+            cached,
+            slo_attainment=dict(cached.slo_attainment),
+            ttft=dict(cached.ttft),
+            tpot=dict(cached.tpot),
+            queueing={stage: dict(stats)
+                      for stage, stats in cached.queueing.items()},
+            utilization=dict(cached.utilization),
+            trace_metadata=dict(cached.trace_metadata),
+            records=copy.deepcopy(cached.records),
+        )
+
     def cache_info(self) -> Dict[str, int]:
-        """Memo sizes (searches and schedule evaluations held)."""
+        """Memo sizes (searches, schedule evaluations and trace replays
+        held)."""
         return {"results": len(self._results),
-                "evaluations": len(self._evaluations)}
+                "evaluations": len(self._evaluations),
+                "trace_reports": len(self._trace_reports)}
 
     # -- sweeps --------------------------------------------------------
 

@@ -56,3 +56,52 @@ def _cell(value: object) -> str:
             return f"{value:.3e}"
         return f"{value:.4g}"
     return str(value)
+
+
+def format_serving_report(report) -> str:
+    """Render a :class:`~repro.sim.ServingReport` as aligned tables.
+
+    Sections: a one-line header, latency percentiles, SLO attainment,
+    the per-stage queueing breakdown and resource utilization -- the
+    printable form behind ``repro replay``.
+    """
+    lines: List[str] = [
+        f"scenario {report.scenario}: {report.completed}/{report.offered} "
+        f"requests completed over {report.duration:.2f}s "
+        f"({report.throughput:.1f} QPS)"
+    ]
+    lines.append("")
+    lines.append(format_table(
+        ("metric", "mean", "p50", "p95", "p99"),
+        [["TTFT (ms)"] + [report.ttft[key] * 1e3
+                          for key in ("mean", "p50", "p95", "p99")],
+         ["TPOT (ms)"] + [report.tpot[key] * 1e3
+                          for key in ("mean", "p50", "p95", "p99")]],
+    ))
+    slo_rows = []
+    for name, target in (("TTFT", report.slo.ttft),
+                         ("TPOT", report.slo.tpot)):
+        slo_rows.append([
+            name,
+            "-" if target is None else f"{target * 1e3:.4g} ms",
+            f"{100 * report.slo_attainment[name.lower()]:.1f}%",
+        ])
+    slo_rows.append(["joint", "-",
+                     f"{100 * report.slo_attainment['joint']:.1f}%"])
+    lines.append("")
+    lines.append(format_table(("SLO", "target", "attainment"), slo_rows))
+    if report.queueing:
+        lines.append("")
+        lines.append(format_table(
+            ("stage", "mean wait (ms)", "p95 wait (ms)", "max wait (ms)"),
+            [[stage, stats["mean_wait"] * 1e3, stats["p95_wait"] * 1e3,
+              stats["max_wait"] * 1e3]
+             for stage, stats in report.queueing.items()],
+        ))
+    if report.utilization:
+        busiest = sorted(report.utilization.items(),
+                         key=lambda item: item[1], reverse=True)
+        lines.append("")
+        lines.append("utilization: " + "  ".join(
+            f"{name}={100 * value:.0f}%" for name, value in busiest))
+    return "\n".join(lines)

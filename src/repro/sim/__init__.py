@@ -10,16 +10,48 @@ delay, tail latency) can be studied.
 The simulator consumes the same :class:`~repro.pipeline.Schedule` and
 :class:`~repro.pipeline.RAGPerfModel` as the analytical path: stage
 *service times* come from the calibrated cost models; the DES adds only
-queueing and batching dynamics on top.
+queueing and batching dynamics on top. Batching and admission are
+pluggable policies (:mod:`repro.sim.policies`); workloads arrive as
+:class:`~repro.workloads.traces.RequestTrace` scenarios, and a trace
+replay yields a :class:`ServingReport` with SLO attainment, latency
+percentiles and queueing breakdowns.
 """
 
 from repro.sim.engine import EventQueue, Simulation
-from repro.sim.serving import RequestRecord, ServingMetrics, ServingSimulator
+from repro.sim.policies import (
+    ADMISSION_POLICIES,
+    DISPATCH_POLICIES,
+    AdmissionPolicy,
+    DeadlineFlushPolicy,
+    DispatchPolicy,
+    FullBatchPolicy,
+    GreedyAdmission,
+    SizeCappedPolicy,
+    TokenBudgetAdmission,
+)
+from repro.sim.serving import (
+    RequestRecord,
+    ServingMetrics,
+    ServingReport,
+    ServingSimulator,
+    SLOTarget,
+)
 
 __all__ = [
     "EventQueue",
     "Simulation",
     "ServingSimulator",
     "ServingMetrics",
+    "ServingReport",
+    "SLOTarget",
     "RequestRecord",
+    "DispatchPolicy",
+    "DeadlineFlushPolicy",
+    "FullBatchPolicy",
+    "SizeCappedPolicy",
+    "AdmissionPolicy",
+    "GreedyAdmission",
+    "TokenBudgetAdmission",
+    "DISPATCH_POLICIES",
+    "ADMISSION_POLICIES",
 ]

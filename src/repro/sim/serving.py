@@ -11,9 +11,19 @@ Builds a queueing network from a :class:`~repro.pipeline.Schedule`:
   batch at step boundaries and leave after ``decode_len`` steps.
 
 Stage *service times* come from the analytical cost models; the DES adds
-queueing, batching and admission dynamics. Batches dispatch when full,
-or when a station has waited ``max_wait`` with a partial batch (so tails
-cannot deadlock).
+queueing, batching and admission dynamics. *When* a station fires and
+*who* joins the decode batch are pluggable policies
+(:mod:`repro.sim.policies`); the defaults -- deadline flush and greedy
+admission -- reproduce the paper's serving model (batches dispatch when
+full, or when a station has waited ``max_wait`` with a partial batch,
+so tails cannot deadlock).
+
+Workloads arrive either as bare arrival lists (legacy API, returns
+:class:`ServingMetrics`) or as a
+:class:`~repro.workloads.traces.RequestTrace`, in which case
+:meth:`ServingSimulator.run` returns a :class:`ServingReport` --
+SLO attainment, interpolated latency percentiles and per-stage queueing
+breakdowns -- the artifact behind ``repro replay``.
 
 Iterative-retrieval schemas are handled by the dedicated cohort model in
 :mod:`repro.pipeline.iterative`; this simulator rejects them.
@@ -22,13 +32,34 @@ Iterative-retrieval schemas are handled by the dedicated cohort model in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.errors import ConfigError
 from repro.pipeline.assembly import Schedule, derive_retrieval_servers
 from repro.pipeline.stage_perf import RAGPerfModel
 from repro.schema.stages import Stage, pipeline_stages
 from repro.sim.engine import Simulation
+from repro.sim.policies import (
+    AdmissionPolicy,
+    DispatchPolicy,
+    resolve_admission_policy,
+    resolve_dispatch_policy,
+)
+from repro.workloads.traces import RequestTrace
+
+#: Per-stage dispatch selection: one policy (or registry name) for all
+#: stages, or a mapping from stage to policy/name.
+DispatchSelection = Union[None, str, DispatchPolicy,
+                          Mapping[Stage, Union[str, DispatchPolicy]]]
 
 
 @dataclass
@@ -41,6 +72,9 @@ class RequestRecord:
         decode_len: Tokens this request generates (the workload profile's
             decode length unless per-request lengths were supplied).
         stage_completions: Completion time per pipeline stage.
+        stage_enqueues: Last enqueue time per stage (queueing bookkeeping).
+        queue_waits: Accumulated queueing delay per stage (a stage visited
+            repeatedly, e.g. iterative re-prefix, accumulates).
         first_token_time: When the prefix stage finished (first token).
         completion_time: When the last decode step finished.
     """
@@ -49,6 +83,8 @@ class RequestRecord:
     arrival: float
     decode_len: int = 0
     stage_completions: Dict[Stage, float] = field(default_factory=dict)
+    stage_enqueues: Dict[Stage, float] = field(default_factory=dict)
+    queue_waits: Dict[Stage, float] = field(default_factory=dict)
     first_token_time: Optional[float] = None
     completion_time: Optional[float] = None
 
@@ -58,6 +94,14 @@ class RequestRecord:
         if self.first_token_time is None:
             return None
         return self.first_token_time - self.arrival
+
+    @property
+    def tpot(self) -> Optional[float]:
+        """Mean seconds per generated token (None if unfinished)."""
+        if self.completion_time is None or self.first_token_time is None:
+            return None
+        return (self.completion_time - self.first_token_time) \
+            / max(self.decode_len, 1)
 
 
 @dataclass
@@ -88,6 +132,104 @@ class ServingMetrics:
     records: List[RequestRecord] = field(repr=False, default_factory=list)
 
 
+@dataclass(frozen=True)
+class SLOTarget:
+    """Per-request latency targets a served request must meet.
+
+    Attributes:
+        ttft: TTFT target in seconds (None = dimension unconstrained).
+        tpot: TPOT target in seconds (None = dimension unconstrained).
+    """
+
+    ttft: Optional[float] = None
+    tpot: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name, value in (("ttft", self.ttft), ("tpot", self.tpot)):
+            if value is not None and value <= 0:
+                raise ConfigError(f"SLO {name} must be positive when set")
+
+
+def _interpolated_percentile(sorted_values: Sequence[float],
+                             fraction: float) -> float:
+    """Linear-interpolated percentile over pre-sorted values.
+
+    Raises:
+        ConfigError: on an empty sample (degenerate runs must surface
+            as configuration errors, not index errors).
+    """
+    if not sorted_values:
+        raise ConfigError("cannot take a percentile of zero samples")
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigError("percentile fraction must be in [0, 1]")
+    rank = fraction * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    weight = rank - low
+    return sorted_values[low] * (1.0 - weight) \
+        + sorted_values[high] * weight
+
+
+def _latency_summary(sorted_values: Sequence[float]) -> Dict[str, float]:
+    return {
+        "mean": sum(sorted_values) / len(sorted_values),
+        "p50": _interpolated_percentile(sorted_values, 0.50),
+        "p95": _interpolated_percentile(sorted_values, 0.95),
+        "p99": _interpolated_percentile(sorted_values, 0.99),
+    }
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Scenario-level outcome of replaying a trace through a schedule.
+
+    The serializable artifact behind ``repro replay``: aggregates only
+    (``records`` ride along for programmatic drill-down but are
+    excluded from equality and from the :mod:`repro.config` envelope).
+
+    Attributes:
+        scenario: The trace's generating scenario name.
+        offered / completed: Requests injected / finished.
+        duration: Seconds from first arrival to last completion.
+        throughput: Completed requests per second.
+        slo: The targets attainment was measured against.
+        slo_attainment: Fraction of completed requests meeting the
+            ``ttft`` target, the ``tpot`` target, and both (``joint``).
+            An unconstrained dimension counts as met.
+        ttft / tpot: mean/p50/p95/p99 latency summaries (interpolated
+            percentiles, seconds).
+        queueing: Per-stage queue-wait breakdown (stage name ->
+            mean/p95/max wait in seconds) over completed requests.
+        utilization: Busy-time fraction per pre-decode resource.
+        trace_metadata: The replayed trace's metadata, for provenance.
+        records: Per-request lifecycles (not serialized, not compared).
+    """
+
+    scenario: str
+    offered: int
+    completed: int
+    duration: float
+    throughput: float
+    slo: SLOTarget
+    slo_attainment: Dict[str, float]
+    ttft: Dict[str, float]
+    tpot: Dict[str, float]
+    queueing: Dict[str, Dict[str, float]]
+    utilization: Dict[str, float]
+    trace_metadata: Dict[str, Any] = field(default_factory=dict)
+    records: List[RequestRecord] = field(default_factory=list,
+                                         repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.completed < 0 or self.offered < 0:
+            raise ConfigError("request counts must be non-negative")
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of offered requests that finished."""
+        return self.completed / self.offered if self.offered else 0.0
+
+
 class _Resource:
     """A set of chips (or servers) that one batch occupies at a time."""
 
@@ -112,18 +254,22 @@ class _BatchStation:
     (``batch / throughput``): pipeline-parallel prefill overlaps
     consecutive batches, so the resource frees before the batch's full
     latency has elapsed; results are delivered at the latency.
+
+    When to fire and how much to take are delegated to a
+    :class:`~repro.sim.policies.DispatchPolicy` (already resolved
+    against this stage's default deadline).
     """
 
     def __init__(self, stage: Stage, batch_size: int,
                  perf_fn: Callable[[int], "object"], resource: _Resource,
                  deliver: Callable[[Simulation, RequestRecord], None],
-                 max_wait: float) -> None:
+                 policy: DispatchPolicy) -> None:
         self.stage = stage
         self.batch_size = batch_size
         self.perf_fn = perf_fn
         self.resource = resource
         self.deliver = deliver
-        self.max_wait = max_wait
+        self.policy = policy
         self.queue: List[RequestRecord] = []
         self._oldest_enqueue: Optional[float] = None
         self._flush_scheduled = False
@@ -131,6 +277,7 @@ class _BatchStation:
 
     def accept(self, sim: Simulation, record: RequestRecord) -> None:
         self.queue.append(record)
+        record.stage_enqueues[self.stage] = sim.now
         if self._oldest_enqueue is None:
             self._oldest_enqueue = sim.now
         self.try_dispatch(sim)
@@ -138,27 +285,32 @@ class _BatchStation:
     def try_dispatch(self, sim: Simulation) -> None:
         if self.resource.busy or not self.queue:
             return
-        full = len(self.queue) >= self.batch_size
-        stale = (self._oldest_enqueue is not None
-                 and sim.now - self._oldest_enqueue >= self.max_wait)
-        if full or stale:
-            self._dispatch(sim)
+        waited = sim.now - self._oldest_enqueue
+        take = self.policy.take(len(self.queue), self.batch_size, waited)
+        if take > 0:
+            self._dispatch(sim, take)
         elif not self._flush_scheduled:
-            self._flush_scheduled = True
-            wait = self.max_wait - (sim.now - self._oldest_enqueue)
-            sim.schedule(max(wait, 0.0), self._flush)
+            delay = self.policy.flush_delay(waited)
+            if delay is not None:
+                self._flush_scheduled = True
+                sim.schedule(max(delay, 0.0), self._flush)
 
     def _flush(self, sim: Simulation) -> None:
         # Force-dispatch the partial batch (float rounding must not turn
         # the staleness check into a zero-delay reschedule loop).
         self._flush_scheduled = False
         if not self.resource.busy and self.queue:
-            self._dispatch(sim)
+            self._dispatch(sim, self.policy.flush_take(len(self.queue),
+                                                       self.batch_size))
 
-    def _dispatch(self, sim: Simulation) -> None:
-        take = min(self.batch_size, len(self.queue))
+    def _dispatch(self, sim: Simulation, take: int) -> None:
         batch = self.queue[:take]
         del self.queue[:take]
+        for record in batch:
+            enqueued = record.stage_enqueues.get(self.stage, sim.now)
+            record.queue_waits[self.stage] = \
+                record.queue_waits.get(self.stage, 0.0) \
+                + (sim.now - enqueued)
         self._oldest_enqueue = sim.now if self.queue else None
         self.resource.busy = True
         perf = self.perf_fn(take)
@@ -184,6 +336,9 @@ class _DecodeExecutor:
     leave after their own decode length (variable-length requests mix in
     the batch, which is why the paper reports worst-case TPOT).
 
+    *Who* joins at a step boundary is the
+    :class:`~repro.sim.policies.AdmissionPolicy`'s call.
+
     For iterative schemas (Case III), a sequence that hits one of its
     retrieval positions leaves the batch through ``retrieval_hook`` (to
     the retrieval + re-prefix stations) and re-joins via :meth:`accept`
@@ -192,6 +347,7 @@ class _DecodeExecutor:
 
     def __init__(self, capacity: int, step_latency: float, decode_len: int,
                  on_complete: Callable[[Simulation, RequestRecord], None],
+                 admission: AdmissionPolicy,
                  retrieval_hook: Optional[
                      Callable[[Simulation, RequestRecord], None]] = None,
                  positions_fn: Optional[
@@ -200,21 +356,23 @@ class _DecodeExecutor:
         self.step_latency = step_latency
         self.decode_len = decode_len
         self.on_complete = on_complete
+        self.admission = admission
         self.retrieval_hook = retrieval_hook
         self.positions_fn = positions_fn
         self.waiting: List[RequestRecord] = []
-        self.remaining: List[List] = []  # [record, tokens_done, target]
+        self.remaining: List[List] = []  # [record, target]
         self.running = False
         self._progress: Dict[int, int] = {}
         self._positions: Dict[int, List[int]] = {}
 
     def accept(self, sim: Simulation, record: RequestRecord) -> None:
         self.waiting.append(record)
+        record.stage_enqueues[Stage.DECODE] = sim.now
         if not self.running:
             self.running = True
             sim.schedule(0.0, self._step)
 
-    def _admit(self, record: RequestRecord) -> None:
+    def _admit(self, now: float, record: RequestRecord) -> None:
         if record.request_id not in self._progress:
             self._progress[record.request_id] = 0
             if self.positions_fn is not None:
@@ -222,13 +380,23 @@ class _DecodeExecutor:
                     self.positions_fn(record))
             else:
                 self._positions[record.request_id] = []
+        enqueued = record.stage_enqueues.get(Stage.DECODE, now)
+        record.queue_waits[Stage.DECODE] = \
+            record.queue_waits.get(Stage.DECODE, 0.0) + (now - enqueued)
         target = record.decode_len or self.decode_len
         self.remaining.append([record, target])
 
     def _step(self, sim: Simulation) -> None:
-        # Admit new sequences up to capacity.
-        while self.waiting and len(self.remaining) < self.capacity:
-            self._admit(self.waiting.pop(0))
+        # Admit new sequences per the admission policy.
+        if self.waiting:
+            admitted = self.admission.admit(
+                [record.decode_len or self.decode_len
+                 for record in self.waiting],
+                [entry[1] - self._progress[entry[0].request_id]
+                 for entry in self.remaining],
+                self.capacity)
+            for _ in range(admitted):
+                self._admit(sim.now, self.waiting.pop(0))
         if not self.remaining:
             self.running = False
             return
@@ -260,10 +428,26 @@ class _DecodeExecutor:
 
 
 class ServingSimulator:
-    """Simulate one schedule serving a stream of requests."""
+    """Simulate one schedule serving a stream of requests.
+
+    Args:
+        perf_model: Calibrated stage cost models.
+        schedule: The deployment under test.
+        max_wait: Legacy global partial-batch deadline; fills in any
+            dispatch policy whose own ``max_wait`` is unset (per-stage
+            batch latency when both are None).
+        seed: Seed for the iterative retrieval-position sampler.
+        dispatch: Dispatch policy for the pre-decode stations -- a
+            policy instance, a registry name, or a per-stage mapping
+            (deadline flush when omitted).
+        admission: Decode admission policy instance or registry name
+            (greedy when omitted).
+    """
 
     def __init__(self, perf_model: RAGPerfModel, schedule: Schedule,
-                 max_wait: Optional[float] = None, seed: int = 0) -> None:
+                 max_wait: Optional[float] = None, seed: int = 0,
+                 dispatch: DispatchSelection = None,
+                 admission: Union[None, str, AdmissionPolicy] = None) -> None:
         self._perf_model = perf_model
         self._schedule = schedule
         self._schema = perf_model.schema
@@ -272,6 +456,8 @@ class ServingSimulator:
             self._servers = derive_retrieval_servers(perf_model, schedule)
         self._max_wait = max_wait
         self._seed = seed
+        self._dispatch = dispatch
+        self._admission = resolve_admission_policy(admission)
         self._records: List[RequestRecord] = []
         self._stations: Dict[Stage, _BatchStation] = {}
         self._decode: Optional[_DecodeExecutor] = None
@@ -287,6 +473,22 @@ class ServingSimulator:
                                          plan=plan)
 
         return perf
+
+    def _station_policy(self, stage: Stage,
+                        default_wait: float) -> DispatchPolicy:
+        """The stage's dispatch policy, resolved against its deadline.
+
+        Deadline precedence: the policy's own ``max_wait``, then the
+        simulator-wide ``max_wait`` argument, then the stage's batch
+        latency.
+        """
+        selection = self._dispatch
+        if isinstance(selection, Mapping):
+            selection = selection.get(stage)
+        policy = resolve_dispatch_policy(selection)
+        if self._max_wait is not None:
+            default_wait = self._max_wait
+        return policy.resolve(default_wait)
 
     def _build(self) -> None:
         schema = self._schema
@@ -316,14 +518,11 @@ class ServingSimulator:
                 amount = self._schedule.groups[group_index].num_xpus
             batch = self._schedule.batches[stage]
             perf_fn = self._stage_perf_fn(stage, amount)
-            max_wait = self._max_wait
-            if max_wait is None:
-                max_wait = perf_fn(batch).latency
             station = _BatchStation(
                 stage=stage, batch_size=batch, perf_fn=perf_fn,
                 resource=resource,
                 deliver=self._make_deliver(stage, deliver_next),
-                max_wait=max_wait)
+                policy=self._station_policy(stage, perf_fn(batch).latency))
             self._stations[stage] = station
             deliver_next = station.accept
         self._entry = deliver_next
@@ -354,14 +553,14 @@ class ServingSimulator:
                 stage=Stage.PREFIX, batch_size=iter_batch,
                 perf_fn=prefix_perf_fn, resource=resources[prefix_index],
                 deliver=lambda sim, record: self._decode.accept(sim, record),
-                max_wait=self._max_wait
-                or prefix_perf_fn(iter_batch).latency)
+                policy=self._station_policy(
+                    Stage.PREFIX, prefix_perf_fn(iter_batch).latency))
             iter_retrieval = _BatchStation(
                 stage=Stage.RETRIEVAL, batch_size=iter_batch,
                 perf_fn=retrieval_perf_fn, resource=retrieval_resource,
                 deliver=iter_prefix.accept,
-                max_wait=self._max_wait
-                or retrieval_perf_fn(iter_batch).latency)
+                policy=self._station_policy(
+                    Stage.RETRIEVAL, retrieval_perf_fn(iter_batch).latency))
             retrieval_hook = iter_retrieval.accept
             retrievals = schema.retrieval_frequency - 1
             base_seed = self._seed
@@ -379,6 +578,7 @@ class ServingSimulator:
             capacity=decode_batch, step_latency=step_latency,
             decode_len=schema.sequences.decode_len,
             on_complete=lambda sim, record: None,
+            admission=self._admission,
             retrieval_hook=retrieval_hook,
             positions_fn=positions_fn)
 
@@ -395,23 +595,49 @@ class ServingSimulator:
 
     # ------------------------------------------------------------------
 
-    def run(self, arrivals: Sequence[float],
+    def run(self, workload: Union[RequestTrace, Sequence[float]],
             horizon: Optional[float] = None,
-            decode_lengths: Optional[Sequence[int]] = None) -> ServingMetrics:
-        """Inject requests at the given times and simulate to completion.
+            decode_lengths: Optional[Sequence[int]] = None,
+            slo: Optional[SLOTarget] = None,
+            ) -> Union[ServingMetrics, ServingReport]:
+        """Inject requests and simulate to completion.
 
         Args:
-            arrivals: Sorted arrival timestamps in seconds.
+            workload: A :class:`~repro.workloads.traces.RequestTrace`
+                (per-request decode lengths and metadata travel inside
+                it) or bare sorted arrival timestamps in seconds.
             horizon: Optional hard stop; unfinished requests are dropped
                 from the completed statistics.
-            decode_lengths: Optional per-request generation lengths (same
-                order as ``arrivals``); None uses the workload profile's
-                decode length for every request.
+            decode_lengths: Optional per-request generation lengths for
+                the bare-arrivals form (same order as the arrivals);
+                None uses the workload profile's decode length.
+            slo: Latency targets for attainment accounting (trace
+                workloads only; defaults to unconstrained).
+
+        Returns:
+            A :class:`ServingReport` for a trace workload, a
+            :class:`ServingMetrics` for bare arrivals.
 
         Raises:
-            ConfigError: on empty/unsorted arrivals or mismatched
-                decode-length counts.
+            ConfigError: on empty/unsorted arrivals, mismatched
+                decode-length counts, or a trace replay in which zero
+                requests finish before the horizon.
         """
+        if isinstance(workload, RequestTrace):
+            if decode_lengths is not None:
+                raise ConfigError(
+                    "decode_lengths travel inside the trace; do not pass "
+                    "both")
+            metrics = self._run(list(workload.arrivals), horizon,
+                                workload.decode_lens)
+            return self._report(metrics, workload, slo or SLOTarget())
+        if slo is not None:
+            raise ConfigError(
+                "SLO accounting needs a RequestTrace workload")
+        return self._run(workload, horizon, decode_lengths)
+
+    def _run(self, arrivals: Sequence[float], horizon: Optional[float],
+             decode_lengths: Optional[Sequence[int]]) -> ServingMetrics:
         if not arrivals:
             raise ConfigError("need at least one arrival")
         if any(b < a for a, b in zip(arrivals, arrivals[1:])):
@@ -440,7 +666,7 @@ class ServingSimulator:
     def _metrics(self, arrivals: Sequence[float]) -> ServingMetrics:
         done = [r for r in self._records if r.completion_time is not None]
         ttfts = sorted(r.ttft for r in done if r.ttft is not None)
-        if done:
+        if done and ttfts:
             last = max(r.completion_time for r in done)
             duration = max(last - arrivals[0], 1e-12)
             throughput = len(done) / duration
@@ -467,4 +693,52 @@ class ServingSimulator:
             mean_tpot=mean_tpot,
             utilization=utilization,
             records=self._records,
+        )
+
+    def _report(self, metrics: ServingMetrics, trace: RequestTrace,
+                slo: SLOTarget) -> ServingReport:
+        done = [r for r in metrics.records
+                if r.completion_time is not None
+                and r.first_token_time is not None]
+        if not done:
+            raise ConfigError(
+                "zero requests finished the replay; raise the horizon or "
+                "lower the offered load before asking for a report")
+        ttfts = sorted(r.ttft for r in done)
+        tpots = sorted(r.tpot for r in done)
+        met_ttft = [slo.ttft is None or r.ttft <= slo.ttft for r in done]
+        met_tpot = [slo.tpot is None or r.tpot <= slo.tpot for r in done]
+        attainment = {
+            "ttft": sum(met_ttft) / len(done),
+            "tpot": sum(met_tpot) / len(done),
+            "joint": sum(a and b for a, b in zip(met_ttft, met_tpot))
+            / len(done),
+        }
+        queueing: Dict[str, Dict[str, float]] = {}
+        stage_order = [stage for stage in pipeline_stages(self._schema)
+                       if stage is not Stage.DECODE] + [Stage.DECODE]
+        for stage in stage_order:
+            waits = sorted(r.queue_waits[stage] for r in done
+                           if stage in r.queue_waits)
+            if not waits:
+                continue
+            queueing[stage.value] = {
+                "mean_wait": sum(waits) / len(waits),
+                "p95_wait": _interpolated_percentile(waits, 0.95),
+                "max_wait": waits[-1],
+            }
+        return ServingReport(
+            scenario=trace.scenario,
+            offered=metrics.offered,
+            completed=metrics.completed,
+            duration=metrics.duration,
+            throughput=metrics.throughput,
+            slo=slo,
+            slo_attainment=attainment,
+            ttft=_latency_summary(ttfts),
+            tpot=_latency_summary(tpots),
+            queueing=queueing,
+            utilization=dict(metrics.utilization),
+            trace_metadata=dict(trace.metadata),
+            records=metrics.records,
         )

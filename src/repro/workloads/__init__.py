@@ -1,6 +1,6 @@
 """Workload generation: sequence-length profiles, request arrival
-processes, and synthetic vector datasets for the functional retrieval
-engine."""
+processes, request traces (seeded traffic scenarios + replay files),
+and synthetic vector datasets for the functional retrieval engine."""
 
 from repro.workloads.profile import SequenceProfile
 from repro.workloads.arrivals import burst_arrivals, poisson_arrivals
@@ -9,12 +9,28 @@ from repro.workloads.sequences import (
     sample_question_lengths,
     sample_retrieval_positions,
 )
+from repro.workloads.traces import (
+    SCENARIOS,
+    RequestTrace,
+    bursty_trace,
+    diurnal_trace,
+    poisson_trace,
+    scenario_trace,
+    trace_from_arrivals,
+)
 from repro.workloads.vectors import clustered_vectors, gaussian_vectors
 
 __all__ = [
     "SequenceProfile",
     "poisson_arrivals",
     "burst_arrivals",
+    "RequestTrace",
+    "SCENARIOS",
+    "poisson_trace",
+    "bursty_trace",
+    "diurnal_trace",
+    "scenario_trace",
+    "trace_from_arrivals",
     "sample_question_lengths",
     "sample_decode_lengths",
     "sample_retrieval_positions",

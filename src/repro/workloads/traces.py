@@ -1,0 +1,418 @@
+"""Request traces: first-class workloads for the serving simulator.
+
+A :class:`RequestTrace` bundles what the discrete-event experiments
+previously passed around as loose ``List[float]`` arrivals: arrival
+timestamps, optional per-request decode lengths, and metadata recording
+how the trace was generated (scenario name, rate, seed). Traces are the
+currency of the traffic subsystem -- every scenario is a seeded
+generator returning one, :meth:`ServingSimulator.run
+<repro.sim.ServingSimulator.run>` consumes one, and
+:mod:`repro.config` round-trips one, so an experiment's exact traffic
+is a reproducible artifact.
+
+Built-in scenario generators (all seeded):
+
+* :func:`poisson_trace` -- the paper's memoryless baseline,
+* :func:`bursty_trace` -- a Markov-modulated (on/off) Poisson process,
+  the classic model for flash crowds,
+* :func:`diurnal_trace` -- an inhomogeneous Poisson process following a
+  sinusoidal rate curve (day/night load), sampled by thinning,
+* :meth:`RequestTrace.from_jsonl` -- replay of a recorded trace file.
+
+``SCENARIOS`` maps scenario names to generators for the ``repro
+replay`` front-end.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.workloads.sequences import sample_decode_lengths
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """One stream of requests: arrival times plus per-request shape.
+
+    Attributes:
+        arrivals: Sorted, non-negative arrival timestamps in seconds.
+        decode_lens: Optional per-request generation lengths (same
+            order as ``arrivals``); None means every request uses the
+            workload profile's decode length.
+        metadata: How the trace was produced (scenario name, rate,
+            seed, source file ...). JSON-scalar values only, so traces
+            serialize exactly.
+    """
+
+    arrivals: Tuple[float, ...]
+    decode_lens: Optional[Tuple[int, ...]] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "arrivals", tuple(self.arrivals))
+        if not self.arrivals:
+            raise ConfigError("a trace needs at least one request")
+        previous = 0.0
+        for time in self.arrivals:
+            if not math.isfinite(time) or time < 0:
+                raise ConfigError("arrival times must be finite and "
+                                  "non-negative")
+            if time < previous:
+                raise ConfigError("arrivals must be sorted")
+            previous = time
+        if self.decode_lens is not None:
+            object.__setattr__(self, "decode_lens",
+                               tuple(int(n) for n in self.decode_lens))
+            if len(self.decode_lens) != len(self.arrivals):
+                raise ConfigError(
+                    "decode_lens must match arrivals in length")
+            if any(length <= 0 for length in self.decode_lens):
+                raise ConfigError("decode lengths must be positive")
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def num_requests(self) -> int:
+        """How many requests the trace injects."""
+        return len(self.arrivals)
+
+    @property
+    def duration(self) -> float:
+        """Seconds from time zero to the last arrival."""
+        return self.arrivals[-1]
+
+    @property
+    def mean_rate(self) -> float:
+        """Average offered load in requests per second."""
+        span = self.metadata.get("duration", self.duration)
+        if not span:
+            return float(len(self.arrivals))
+        return len(self.arrivals) / float(span)
+
+    @property
+    def scenario(self) -> str:
+        """The generating scenario's name (``custom`` when unknown)."""
+        return str(self.metadata.get("scenario", "custom"))
+
+    def describe(self) -> str:
+        """One-line summary for logs and CLI output."""
+        return (f"{self.scenario} trace: {self.num_requests} requests "
+                f"over {self.duration:.2f}s (~{self.mean_rate:.1f} QPS)")
+
+    def with_metadata(self, **entries: Any) -> "RequestTrace":
+        """A copy with extra metadata entries merged in."""
+        merged = dict(self.metadata)
+        merged.update(entries)
+        return replace(self, metadata=merged)
+
+    # -- replay files --------------------------------------------------
+
+    def to_jsonl(self, path: str) -> None:
+        """Write the trace as JSON Lines.
+
+        The first line carries the metadata; every following line is
+        one request (``{"arrival": t}`` plus ``"decode_len"`` when
+        per-request lengths are set). The format is append-friendly, so
+        recorded production logs convert line by line.
+        """
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"metadata": self.metadata}) + "\n")
+            for index, arrival in enumerate(self.arrivals):
+                row: Dict[str, Any] = {"arrival": arrival}
+                if self.decode_lens is not None:
+                    row["decode_len"] = self.decode_lens[index]
+                handle.write(json.dumps(row) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "RequestTrace":
+        """Load a trace written by :meth:`to_jsonl` (or recorded in the
+        same shape).
+
+        Raises:
+            ConfigError: on malformed lines, unsorted arrivals, or a
+                mix of requests with and without ``decode_len``.
+        """
+        metadata: Dict[str, Any] = {}
+        arrivals = []
+        lengths = []
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError as error:
+            raise ConfigError(f"cannot read trace file: {error}") from error
+        for number, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ConfigError(
+                    f"{path}:{number}: invalid JSON: {error}") from error
+            if not isinstance(row, dict):
+                raise ConfigError(f"{path}:{number}: expected an object")
+            if "metadata" in row:
+                if not isinstance(row["metadata"], dict):
+                    raise ConfigError(
+                        f"{path}:{number}: metadata must be an object")
+                metadata.update(row["metadata"])
+                continue
+            if "arrival" not in row:
+                raise ConfigError(
+                    f"{path}:{number}: request line needs an 'arrival'")
+            arrivals.append(float(row["arrival"]))
+            if "decode_len" in row:
+                lengths.append(int(row["decode_len"]))
+        if lengths and len(lengths) != len(arrivals):
+            raise ConfigError(
+                f"{path}: either every request line carries decode_len "
+                f"or none does ({len(lengths)} of {len(arrivals)} do)")
+        if not arrivals:
+            raise ConfigError(f"{path}: trace file holds no requests")
+        metadata.setdefault("scenario", "replay")
+        metadata.setdefault("source", path)
+        return cls(arrivals=tuple(arrivals),
+                   decode_lens=tuple(lengths) if lengths else None,
+                   metadata=metadata)
+
+
+# ---------------------------------------------------------------------------
+# Seeded scenario generators.
+# ---------------------------------------------------------------------------
+
+#: sample_decode_lengths' shifted-geometric floor: means at or below it
+#: cannot be sampled, so such traces fall back to fixed lengths.
+_MIN_SAMPLED_DECODE_LEN = 16
+
+
+def _decode_lens_for(count: int, mean_decode_len: Optional[int],
+                     seed: int) -> Optional[Tuple[int, ...]]:
+    """Per-request decode lengths (geometric tail) when a mean is set."""
+    if mean_decode_len is None or count == 0:
+        return None
+    if mean_decode_len <= 0:
+        raise ConfigError("mean_decode_len must be positive")
+    if mean_decode_len <= _MIN_SAMPLED_DECODE_LEN:
+        return (int(mean_decode_len),) * count
+    # minimum is passed explicitly so this floor and the sampler's can
+    # never drift apart.
+    lengths = sample_decode_lengths(count, mean=mean_decode_len,
+                                    minimum=_MIN_SAMPLED_DECODE_LEN,
+                                    seed=seed)
+    return tuple(int(n) for n in lengths)
+
+
+def _check_rate_duration(rate_qps: float, duration: float) -> None:
+    if rate_qps <= 0 or duration <= 0:
+        raise ConfigError("rate_qps and duration must be positive")
+
+
+def poisson_trace(rate_qps: float, duration: float, seed: int = 0,
+                  mean_decode_len: Optional[int] = None) -> RequestTrace:
+    """A homogeneous Poisson request stream.
+
+    Args:
+        rate_qps: Mean requests per second.
+        duration: Observation window in seconds.
+        seed: RNG seed (arrivals and decode lengths both derive from it).
+        mean_decode_len: When set, sample per-request decode lengths
+            with this mean instead of using the workload default.
+    """
+    _check_rate_duration(rate_qps, duration)
+    rng = np.random.default_rng(seed)
+    arrivals = []
+    now = 0.0
+    while True:
+        now += rng.exponential(1.0 / rate_qps)
+        if now >= duration:
+            break
+        arrivals.append(now)
+    if not arrivals:
+        raise ConfigError(
+            f"poisson scenario produced no arrivals (rate {rate_qps} over "
+            f"{duration}s with seed {seed}); raise rate or duration")
+    return RequestTrace(
+        arrivals=tuple(arrivals),
+        decode_lens=_decode_lens_for(len(arrivals), mean_decode_len, seed),
+        metadata={"scenario": "poisson", "rate_qps": rate_qps,
+                  "duration": duration, "seed": seed,
+                  "mean_decode_len": mean_decode_len},
+    )
+
+
+def bursty_trace(rate_qps: float, duration: float, seed: int = 0,
+                 mean_decode_len: Optional[int] = None,
+                 burst_factor: float = 4.0, on_fraction: float = 0.2,
+                 mean_cycle: float = 2.0) -> RequestTrace:
+    """A Markov-modulated on/off Poisson stream (flash-crowd traffic).
+
+    The process alternates between an *on* state serving
+    ``burst_factor`` times the baseline rate and an *off* state whose
+    rate is scaled down so the long-run average stays ``rate_qps``.
+    Sojourn times are exponential, making this a two-state MMPP.
+
+    Args:
+        rate_qps: Long-run average requests per second.
+        duration: Observation window in seconds.
+        seed: RNG seed.
+        mean_decode_len: Optional per-request decode-length mean.
+        burst_factor: On-state rate as a multiple of ``rate_qps``
+            (must exceed 1).
+        on_fraction: Long-run fraction of time spent bursting, in
+            (0, 1).
+        mean_cycle: Mean seconds of one on+off cycle.
+    """
+    _check_rate_duration(rate_qps, duration)
+    if burst_factor <= 1.0:
+        raise ConfigError("burst_factor must exceed 1")
+    if not 0.0 < on_fraction < 1.0:
+        raise ConfigError("on_fraction must be in (0, 1)")
+    if mean_cycle <= 0:
+        raise ConfigError("mean_cycle must be positive")
+    on_rate = burst_factor * rate_qps
+    off_rate = rate_qps * (1.0 - burst_factor * on_fraction) \
+        / (1.0 - on_fraction)
+    if off_rate < 0:
+        raise ConfigError(
+            "burst_factor * on_fraction must not exceed 1 (the off state "
+            "cannot have a negative rate)")
+    mean_on = on_fraction * mean_cycle
+    mean_off = (1.0 - on_fraction) * mean_cycle
+    rng = np.random.default_rng(seed)
+    arrivals = []
+    now = 0.0
+    bursting = False
+    while now < duration:
+        sojourn = rng.exponential(mean_on if bursting else mean_off)
+        end = min(now + sojourn, duration)
+        rate = on_rate if bursting else off_rate
+        if rate > 0:
+            t = now
+            while True:
+                t += rng.exponential(1.0 / rate)
+                if t >= end:
+                    break
+                arrivals.append(t)
+        now = end
+        bursting = not bursting
+    if not arrivals:
+        raise ConfigError(
+            f"bursty scenario produced no arrivals (rate {rate_qps} over "
+            f"{duration}s with seed {seed}); raise rate or duration")
+    return RequestTrace(
+        arrivals=tuple(arrivals),
+        decode_lens=_decode_lens_for(len(arrivals), mean_decode_len, seed),
+        metadata={"scenario": "bursty", "rate_qps": rate_qps,
+                  "duration": duration, "seed": seed,
+                  "mean_decode_len": mean_decode_len,
+                  "burst_factor": burst_factor,
+                  "on_fraction": on_fraction, "mean_cycle": mean_cycle},
+    )
+
+
+def diurnal_trace(rate_qps: float, duration: float, seed: int = 0,
+                  mean_decode_len: Optional[int] = None,
+                  amplitude: float = 0.8,
+                  period: Optional[float] = None) -> RequestTrace:
+    """An inhomogeneous Poisson stream following a sinusoidal rate curve.
+
+    The instantaneous rate is ``rate_qps * (1 + amplitude *
+    sin(2*pi*t/period))``, sampled exactly by thinning a homogeneous
+    process at the peak rate -- the standard day/night load model
+    compressed into the simulated window.
+
+    Args:
+        rate_qps: Mean requests per second over one period.
+        duration: Observation window in seconds.
+        seed: RNG seed.
+        mean_decode_len: Optional per-request decode-length mean.
+        amplitude: Peak-to-mean swing in [0, 1); 0 degenerates to
+            Poisson.
+        period: Seconds per day/night cycle; defaults to ``duration``
+            (one full cycle inside the window).
+    """
+    _check_rate_duration(rate_qps, duration)
+    if not 0.0 <= amplitude < 1.0:
+        raise ConfigError("amplitude must be in [0, 1)")
+    cycle = duration if period is None else period
+    if cycle <= 0:
+        raise ConfigError("period must be positive")
+    peak = rate_qps * (1.0 + amplitude)
+    rng = np.random.default_rng(seed)
+    arrivals = []
+    now = 0.0
+    while True:
+        now += rng.exponential(1.0 / peak)
+        if now >= duration:
+            break
+        rate = rate_qps * (1.0 + amplitude
+                           * math.sin(2.0 * math.pi * now / cycle))
+        if rng.uniform() <= rate / peak:
+            arrivals.append(now)
+    if not arrivals:
+        raise ConfigError(
+            f"diurnal scenario produced no arrivals (rate {rate_qps} over "
+            f"{duration}s with seed {seed}); raise rate or duration")
+    return RequestTrace(
+        arrivals=tuple(arrivals),
+        decode_lens=_decode_lens_for(len(arrivals), mean_decode_len, seed),
+        metadata={"scenario": "diurnal", "rate_qps": rate_qps,
+                  "duration": duration, "seed": seed,
+                  "mean_decode_len": mean_decode_len,
+                  "amplitude": amplitude, "period": cycle},
+    )
+
+
+#: Scenario name -> generator; every generator shares the
+#: (rate_qps, duration, seed, mean_decode_len) core signature.
+SCENARIOS = {
+    "poisson": poisson_trace,
+    "bursty": bursty_trace,
+    "diurnal": diurnal_trace,
+}
+
+
+def scenario_trace(name: str, rate_qps: float, duration: float,
+                   seed: int = 0, mean_decode_len: Optional[int] = None,
+                   **knobs: Any) -> RequestTrace:
+    """Generate a built-in scenario by name (the ``repro replay``
+    front-end).
+
+    Args:
+        name: One of ``poisson``, ``bursty``, ``diurnal``.
+        rate_qps / duration / seed / mean_decode_len: Shared core knobs.
+        **knobs: Scenario-specific extras (e.g. ``burst_factor``).
+
+    Raises:
+        ConfigError: for unknown scenario names or bad knobs.
+    """
+    try:
+        generator = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ConfigError(
+            f"unknown scenario {name!r}; known: {known}") from None
+    try:
+        return generator(rate_qps, duration, seed=seed,
+                         mean_decode_len=mean_decode_len, **knobs)
+    except TypeError as error:
+        raise ConfigError(
+            f"bad knobs for scenario {name!r}: {error}") from error
+
+
+def trace_from_arrivals(arrivals: Iterable[float],
+                        decode_lens: Optional[Sequence[int]] = None,
+                        **metadata: Any) -> RequestTrace:
+    """Wrap loose arrival lists (the pre-trace API) into a trace."""
+    return RequestTrace(
+        arrivals=tuple(float(t) for t in arrivals),
+        decode_lens=None if decode_lens is None
+        else tuple(int(n) for n in decode_lens),
+        metadata=metadata,
+    )

@@ -225,3 +225,106 @@ def test_sweep_all_cells_infeasible_exits_nonzero(capsys):
                  "--servers", "1"]) == 1
     out = capsys.readouterr().out
     assert "infeasible" in out
+
+
+# ---------------------------------------------------------------------------
+# replay: trace-driven serving reports from the command line.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scenario", ["poisson", "bursty", "diurnal"])
+def test_replay_builtin_scenarios_emit_reports(tmp_path, capsys, scenario):
+    import json
+
+    path = tmp_path / f"{scenario}.json"
+    assert main(["replay", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--scenario", scenario,
+                 "--duration", "3", "--load", "0.5",
+                 "--json", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert f"scenario {scenario}" in out
+    assert "TTFT (ms)" in out and "attainment" in out
+    payload = json.loads(path.read_text())
+    report = payload["report"]
+    assert report["kind"] == "serving_report"
+    spec = report["spec"]
+    assert set(spec["slo_attainment"]) == {"ttft", "tpot", "joint"}
+    for key in ("p50", "p95", "p99"):
+        assert spec["ttft"][key] > 0
+    assert payload["trace"]["spec"]["metadata"]["scenario"] == scenario
+    assert payload["schedule"]["kind"] == "schedule"
+
+
+def test_replay_from_recorded_trace_file(tmp_path, capsys):
+    import json
+
+    from repro.workloads import poisson_trace
+
+    trace_path = tmp_path / "recorded.jsonl"
+    poisson_trace(100, 2.0, seed=5).to_jsonl(str(trace_path))
+    out_path = tmp_path / "replayed.json"
+    assert main(["replay", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--trace", str(trace_path),
+                 "--json", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    # A recorded poisson trace keeps its provenance through replay.
+    assert "scenario poisson" in out
+    payload = json.loads(out_path.read_text())
+    spec = payload["report"]["spec"]
+    assert spec["scenario"] == "poisson"
+    assert spec["trace_metadata"]["source"] == str(trace_path)
+    assert spec["slo_attainment"]["joint"] >= 0.0
+
+
+def test_replay_respects_slo_flags(capsys):
+    assert main(["replay", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--duration", "2",
+                 "--slo-ttft", "1e-9"]) == 0
+    out = capsys.readouterr().out
+    assert "0.0%" in out  # nothing meets a nanosecond TTFT target
+
+
+def test_replay_missing_trace_file_fails_cleanly(capsys):
+    assert main(["replay", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--trace", "/nonexistent.jsonl"]) == 1
+    assert "error:" in capsys.readouterr().out
+
+
+def test_replay_bad_rate_fails_cleanly(capsys):
+    assert main(["replay", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--rate", "-5"]) == 1
+    assert "error:" in capsys.readouterr().out
+
+
+def test_replay_trace_conflicts_with_scenario_flags(tmp_path, capsys):
+    from repro.workloads import poisson_trace
+
+    trace_path = tmp_path / "t.jsonl"
+    poisson_trace(50, 2.0, seed=1).to_jsonl(str(trace_path))
+    assert main(["replay", "--case", "i", "--llm", "1B", "--servers", "16",
+                 "--trace", str(trace_path), "--rate", "200"]) == 1
+    out = capsys.readouterr().out
+    assert "error:" in out and "--rate" in out
+
+
+def test_replay_json_payload_is_self_contained(tmp_path):
+    import json
+
+    path = tmp_path / "self.json"
+    assert main(["replay", "--case", "i", "--llm", "1B", "--servers", "16",
+                 "--duration", "2", "--json", str(path)]) == 0
+    payload = json.loads(path.read_text())
+    assert payload["workload"]["kind"] == "rag_schema"
+    assert payload["cluster"]["kind"] == "cluster_spec"
+    # The embedded envelopes reconstruct the exact simulator inputs.
+    from repro import config
+    from repro.pipeline import RAGPerfModel
+    from repro.sim import ServingSimulator, SLOTarget
+
+    pm = RAGPerfModel(config.from_config(payload["workload"]),
+                      config.from_config(payload["cluster"]))
+    slo = config.from_config(payload["report"]).slo
+    regenerated = ServingSimulator(
+        pm, config.from_config(payload["schedule"])).run(
+        config.from_config(payload["trace"]), slo=slo)
+    assert config.to_config(regenerated) == payload["report"]

@@ -202,3 +202,90 @@ def test_session_frontier_matches_facade():
     facade = RAGO(schema, _CLUSTER).optimize()
     session = OptimizerSession(schema, _CLUSTER).optimize()
     assert session.frontier == facade.frontier
+
+
+# ---------------------------------------------------------------------------
+# Traffic-subsystem envelopes: traces, serving reports, sweep results.
+# ---------------------------------------------------------------------------
+
+
+def test_request_trace_round_trip_equality():
+    from repro.workloads import bursty_trace
+
+    trace = bursty_trace(40, 5.0, seed=11, mean_decode_len=256)
+    assert roundtrip(trace) == trace
+
+
+def test_request_trace_without_lengths_round_trips():
+    from repro.workloads import trace_from_arrivals
+
+    trace = trace_from_arrivals([0.0, 0.5, 2.25], scenario="custom")
+    back = roundtrip(trace)
+    assert back == trace
+    assert back.decode_lens is None
+
+
+def test_trace_unknown_field_rejected():
+    from repro.config import trace_from_dict
+
+    with pytest.raises(ConfigError):
+        trace_from_dict({"arrivals": [0.0], "qps": 5})
+
+
+def test_serving_report_round_trip_equality():
+    from repro.pipeline import PlacementGroup, Schedule
+    from repro.sim import ServingSimulator, SLOTarget
+    from repro.workloads import poisson_trace
+
+    pm = RAGPerfModel(case_i_hyperscale("8B"), _CLUSTER)
+    schedule = Schedule(
+        groups=(PlacementGroup((Stage.PREFIX,), 16),
+                PlacementGroup((Stage.DECODE,), 16)),
+        batches={Stage.PREFIX: 16, Stage.DECODE: 256, Stage.RETRIEVAL: 32},
+    )
+    trace = poisson_trace(40, 2.0, seed=29)
+    report = ServingSimulator(pm, schedule).run(
+        trace, slo=SLOTarget(ttft=0.5, tpot=0.05))
+    back = roundtrip(report)
+    assert back == report
+    # Per-request records intentionally do not travel.
+    assert back.records == [] and report.records
+
+
+def test_serving_report_unknown_field_rejected():
+    from repro.config import serving_report_from_dict
+
+    with pytest.raises(ConfigError):
+        serving_report_from_dict({"scenario": "poisson", "bogus": 1})
+
+
+def test_sweep_result_round_trip_equality():
+    session = OptimizerSession(case_i_hyperscale("1B"), _CLUSTER)
+    sweep = session.sweep(
+        schemas=[case_i_hyperscale("1B"), case_i_hyperscale("8B")],
+        search=SearchConfig(max_batch=16, max_decode_batch=64))
+    back = roundtrip(sweep)
+    assert back == sweep
+    assert back.rows == sweep.rows
+    assert back.to_table() == sweep.to_table()
+
+
+def test_sweep_result_with_failed_cell_round_trips(tmp_path):
+    session = OptimizerSession(case_i_hyperscale("405B"),
+                               ClusterSpec(num_servers=1))
+    sweep = session.sweep(search=SearchConfig(max_batch=4,
+                                              max_decode_batch=8))
+    assert not sweep.cells[0].ok  # 405B cannot fit one server
+    path = tmp_path / "sweep.json"
+    config.save(str(path), sweep)
+    back = config.load(str(path))
+    assert back == sweep
+    assert back.cells[0].error == sweep.cells[0].error
+
+
+def test_trace_malformed_decode_lens_rejected():
+    from repro.config import trace_from_dict
+
+    with pytest.raises(ConfigError):
+        trace_from_dict({"arrivals": [0.0, 1.0],
+                         "decode_lens": ["8", "x"]})

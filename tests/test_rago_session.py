@@ -270,3 +270,79 @@ def test_sweep_duplicate_cells_searched_once():
         session.sweep(schemas=[])
     with pytest.raises(ConfigError, match="build"):
         session.sweep(schemas=[pipeline().generate("1B")])
+
+
+# ---------------------------------------------------------------------------
+# Trace replays through the session.
+# ---------------------------------------------------------------------------
+
+
+def _small_search():
+    return SearchConfig(max_batch=16, max_decode_batch=64)
+
+
+def test_evaluate_trace_returns_report_and_memoizes():
+    from repro.workloads import poisson_trace
+
+    session = OptimizerSession(case_i_hyperscale("1B"), _CLUSTER)
+    chosen = session.optimize(_small_search()).max_qps_per_chip
+    trace = poisson_trace(0.3 * chosen.qps, 2.0, seed=31)
+    first = session.evaluate_trace(chosen.schedule, trace)
+    assert session.cache_info()["trace_reports"] == 1
+    again = session.evaluate_trace(chosen.schedule, trace)
+    assert session.cache_info()["trace_reports"] == 1  # memo hit
+    assert again == first
+    assert first.completed == trace.num_requests
+
+
+def test_evaluate_trace_memo_is_mutation_safe():
+    from repro.workloads import poisson_trace
+
+    session = OptimizerSession(case_i_hyperscale("1B"), _CLUSTER)
+    chosen = session.optimize(_small_search()).max_qps_per_chip
+    trace = poisson_trace(0.3 * chosen.qps, 2.0, seed=31)
+    report = session.evaluate_trace(chosen.schedule, trace)
+    report.ttft.clear()
+    report.slo_attainment["joint"] = -1.0
+    fresh = session.evaluate_trace(chosen.schedule, trace)
+    assert fresh.ttft and fresh.slo_attainment["joint"] >= 0.0
+
+
+def test_evaluate_trace_slo_defaults_to_session_constraints():
+    from repro.workloads import poisson_trace
+
+    session = OptimizerSession(case_i_hyperscale("1B"), _CLUSTER) \
+        .with_constraint(max_ttft=0.5)
+    chosen = session.best(_small_search())
+    trace = poisson_trace(0.3 * chosen.qps, 2.0, seed=37)
+    report = session.evaluate_trace(chosen.schedule, trace)
+    assert report.slo.ttft == 0.5
+    assert report.slo.tpot is None
+
+
+def test_evaluate_trace_distinguishes_slo_and_dispatch():
+    from repro.sim import SLOTarget
+    from repro.workloads import poisson_trace
+
+    session = OptimizerSession(case_i_hyperscale("1B"), _CLUSTER)
+    chosen = session.optimize(_small_search()).max_qps_per_chip
+    trace = poisson_trace(0.3 * chosen.qps, 2.0, seed=41)
+    session.evaluate_trace(chosen.schedule, trace)
+    session.evaluate_trace(chosen.schedule, trace,
+                           slo=SLOTarget(ttft=0.25))
+    session.evaluate_trace(chosen.schedule, trace, dispatch="full-batch")
+    assert session.cache_info()["trace_reports"] == 3
+
+
+def test_evaluate_trace_records_are_copy_isolated():
+    from repro.workloads import poisson_trace
+
+    session = OptimizerSession(case_i_hyperscale("1B"), _CLUSTER)
+    chosen = session.optimize(_small_search()).max_qps_per_chip
+    trace = poisson_trace(0.3 * chosen.qps, 2.0, seed=43)
+    first = session.evaluate_trace(chosen.schedule, trace)
+    first.records[0].queue_waits.clear()
+    first.records[0].completion_time = None
+    fresh = session.evaluate_trace(chosen.schedule, trace)
+    assert fresh.records[0].completion_time is not None
+    assert fresh.records[0].queue_waits

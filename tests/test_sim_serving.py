@@ -233,3 +233,157 @@ def test_utilization_grows_with_load(setup):
         poisson_arrivals(0.9 * analytical.qps, 10.0, seed=15))
     for name in light.utilization:
         assert heavy.utilization[name] >= light.utilization[name] - 0.05
+
+
+# ---------------------------------------------------------------------------
+# Trace-driven runs: ServingReport, regression pins, determinism,
+# degenerate inputs.
+# ---------------------------------------------------------------------------
+
+
+def test_refactored_des_reproduces_pre_refactor_metrics():
+    """The policy-refactored DES with default policies must be
+    bit-identical to the pre-refactor simulator (values pinned from the
+    original implementation on this seeded Poisson workload)."""
+    cluster = ClusterSpec(num_servers=32)
+    pm = RAGPerfModel(case_i_hyperscale("8B"), cluster)
+    schedule = Schedule(
+        groups=(PlacementGroup((Stage.PREFIX,), 32),
+                PlacementGroup((Stage.DECODE,), 32)),
+        batches={Stage.PREFIX: 32, Stage.DECODE: 512, Stage.RETRIEVAL: 64},
+    )
+    arrivals = poisson_arrivals(120.0, duration=5.0, seed=1234)
+    metrics = ServingSimulator(pm, schedule).run(arrivals)
+    assert metrics.completed == metrics.offered == 601
+    assert metrics.duration == pytest.approx(5.6208622567079285, rel=1e-12)
+    assert metrics.throughput == pytest.approx(106.9230969470507, rel=1e-12)
+    assert metrics.mean_ttft == pytest.approx(0.1331778401932656, rel=1e-12)
+    assert metrics.p99_ttft == pytest.approx(0.165808825579703, rel=1e-12)
+    assert metrics.mean_tpot == pytest.approx(0.002033427795173091,
+                                              rel=1e-12)
+    assert metrics.utilization["prefix"] == pytest.approx(
+        0.09198183916694158, rel=1e-12)
+    assert metrics.utilization["retrieval-servers"] == pytest.approx(
+        0.2555152968365344, rel=1e-12)
+
+
+def test_refactored_des_reproduces_pre_refactor_iterative_metrics():
+    """Same pin for the iterative (Case III) path, which exercises the
+    retrieval-hook and re-prefix stations."""
+    pm, schedule = _iterative_setup()
+    metrics = ServingSimulator(pm, schedule).run(
+        poisson_arrivals(20, 2.0, seed=8))
+    assert metrics.completed == metrics.offered == 46
+    assert metrics.duration == pytest.approx(2.412382197544141, rel=1e-12)
+    assert metrics.mean_ttft == pytest.approx(0.11044916152702101,
+                                              rel=1e-12)
+    assert metrics.mean_tpot == pytest.approx(0.0015716157173773842,
+                                              rel=1e-12)
+
+
+def test_identical_seed_trace_schedule_is_bit_identical(setup):
+    """Determinism contract: one seed + trace + schedule -> the same
+    metrics bit for bit across independent simulator instances (guards
+    the event-queue insertion-order tie-break in sim/engine.py)."""
+    from repro.workloads import bursty_trace
+
+    pm, schedule, _ = setup
+    trace = bursty_trace(120, 4.0, seed=21, mean_decode_len=256)
+    first = ServingSimulator(pm, schedule, seed=5).run(trace)
+    second = ServingSimulator(pm, schedule, seed=5).run(trace)
+    assert first == second  # aggregate equality (records excluded)
+    for a, b in zip(first.records, second.records):
+        assert (a.arrival, a.first_token_time, a.completion_time) \
+            == (b.arrival, b.first_token_time, b.completion_time)
+        assert a.stage_completions == b.stage_completions
+        assert a.queue_waits == b.queue_waits
+
+
+def test_trace_run_returns_report(setup):
+    from repro.sim import ServingReport, SLOTarget
+    from repro.workloads import poisson_trace
+
+    pm, schedule, analytical = setup
+    trace = poisson_trace(0.5 * analytical.qps, 4.0, seed=13)
+    report = ServingSimulator(pm, schedule).run(
+        trace, slo=SLOTarget(ttft=1.0, tpot=0.1))
+    assert isinstance(report, ServingReport)
+    assert report.scenario == "poisson"
+    assert report.completed == report.offered == trace.num_requests
+    assert report.completion_rate == 1.0
+    # Percentiles are monotone and interpolated.
+    assert report.ttft["p50"] <= report.ttft["p95"] <= report.ttft["p99"]
+    assert report.tpot["p50"] <= report.tpot["p99"]
+    # Generous SLOs are met.
+    assert report.slo_attainment == {"ttft": 1.0, "tpot": 1.0, "joint": 1.0}
+    # Queueing breakdown covers every visited stage.
+    assert set(report.queueing) == {"retrieval", "prefix", "decode"}
+    for stats in report.queueing.values():
+        assert 0.0 <= stats["mean_wait"] <= stats["p95_wait"] \
+            <= stats["max_wait"]
+    assert report.trace_metadata["seed"] == 13
+
+
+def test_tight_slo_lowers_attainment(setup):
+    from repro.sim import SLOTarget
+    from repro.workloads import poisson_trace
+
+    pm, schedule, analytical = setup
+    trace = poisson_trace(0.9 * analytical.qps, 6.0, seed=17)
+    sim = ServingSimulator(pm, schedule)
+    strict = sim.run(trace, slo=SLOTarget(ttft=1e-6))
+    assert strict.slo_attainment["ttft"] == 0.0
+    assert strict.slo_attainment["tpot"] == 1.0  # unconstrained dimension
+    assert strict.slo_attainment["joint"] == 0.0
+
+
+def test_trace_with_decode_lengths_and_no_double_pass(setup):
+    from repro.workloads import poisson_trace
+
+    pm, schedule, _ = setup
+    trace = poisson_trace(50, 2.0, seed=19, mean_decode_len=256)
+    with pytest.raises(ConfigError):
+        ServingSimulator(pm, schedule).run(trace, decode_lengths=[1])
+    report = ServingSimulator(pm, schedule).run(trace)
+    lengths = {r.request_id: r.decode_len for r in report.records}
+    assert lengths[0] == trace.decode_lens[0]
+
+
+def test_slo_requires_trace_workload(setup):
+    from repro.sim import SLOTarget
+
+    pm, schedule, _ = setup
+    with pytest.raises(ConfigError):
+        ServingSimulator(pm, schedule).run([0.0, 1.0],
+                                           slo=SLOTarget(ttft=0.5))
+
+
+def test_zero_finished_replay_is_config_error(setup):
+    from repro.workloads import poisson_trace
+
+    pm, schedule, _ = setup
+    trace = poisson_trace(50, 2.0, seed=23)
+    with pytest.raises(ConfigError):
+        ServingSimulator(pm, schedule).run(trace, horizon=1e-9)
+
+
+def test_invalid_slo_target_rejected():
+    from repro.sim import SLOTarget
+
+    with pytest.raises(ConfigError):
+        SLOTarget(ttft=0.0)
+    with pytest.raises(ConfigError):
+        SLOTarget(tpot=-1.0)
+
+
+def test_interpolated_percentile_edges():
+    from repro.sim.serving import _interpolated_percentile
+
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert _interpolated_percentile(values, 0.0) == 1.0
+    assert _interpolated_percentile(values, 1.0) == 4.0
+    assert _interpolated_percentile(values, 0.5) == pytest.approx(2.5)
+    with pytest.raises(ConfigError):
+        _interpolated_percentile([], 0.5)
+    with pytest.raises(ConfigError):
+        _interpolated_percentile(values, 1.5)

@@ -1,0 +1,188 @@
+"""RequestTrace: validation, seeded scenario generators, JSONL replay."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import (
+    SCENARIOS,
+    RequestTrace,
+    bursty_trace,
+    diurnal_trace,
+    poisson_trace,
+    scenario_trace,
+    trace_from_arrivals,
+)
+
+
+# -- construction and validation ----------------------------------------
+
+
+def test_trace_validates_sorted_arrivals():
+    with pytest.raises(ConfigError):
+        RequestTrace(arrivals=(1.0, 0.5))
+
+
+def test_trace_rejects_empty():
+    with pytest.raises(ConfigError):
+        RequestTrace(arrivals=())
+
+
+def test_trace_rejects_negative_times():
+    with pytest.raises(ConfigError):
+        RequestTrace(arrivals=(-1.0, 0.5))
+
+
+def test_trace_rejects_mismatched_decode_lens():
+    with pytest.raises(ConfigError):
+        RequestTrace(arrivals=(0.0, 1.0), decode_lens=(32,))
+
+
+def test_trace_rejects_nonpositive_decode_lens():
+    with pytest.raises(ConfigError):
+        RequestTrace(arrivals=(0.0, 1.0), decode_lens=(32, 0))
+
+
+def test_trace_properties():
+    trace = RequestTrace(arrivals=(0.0, 1.0, 4.0),
+                         metadata={"scenario": "poisson", "duration": 5.0})
+    assert trace.num_requests == 3
+    assert trace.duration == 4.0
+    assert trace.mean_rate == pytest.approx(3 / 5.0)
+    assert trace.scenario == "poisson"
+    assert "poisson" in trace.describe()
+
+
+def test_with_metadata_merges():
+    trace = trace_from_arrivals([0.0, 1.0], scenario="custom")
+    tagged = trace.with_metadata(run="a")
+    assert tagged.metadata["run"] == "a"
+    assert tagged.metadata["scenario"] == "custom"
+    assert "run" not in trace.metadata  # original untouched
+
+
+# -- generators ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenarios_are_seed_deterministic(name):
+    first = scenario_trace(name, rate_qps=50, duration=4.0, seed=3)
+    second = scenario_trace(name, rate_qps=50, duration=4.0, seed=3)
+    assert first == second
+    other = scenario_trace(name, rate_qps=50, duration=4.0, seed=4)
+    assert first.arrivals != other.arrivals
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenarios_hit_requested_rate(name):
+    trace = scenario_trace(name, rate_qps=200, duration=20.0, seed=1)
+    assert trace.mean_rate == pytest.approx(200, rel=0.25)
+    assert all(0 <= t < 20.0 for t in trace.arrivals)
+    assert trace.metadata["scenario"] == name
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenarios_sample_decode_lengths(name):
+    trace = scenario_trace(name, rate_qps=100, duration=5.0, seed=2,
+                           mean_decode_len=256)
+    assert trace.decode_lens is not None
+    assert len(trace.decode_lens) == trace.num_requests
+    mean = sum(trace.decode_lens) / len(trace.decode_lens)
+    assert mean == pytest.approx(256, rel=0.25)
+
+
+def test_bursty_is_burstier_than_poisson():
+    """The MMPP's interarrival variance exceeds Poisson's at equal rate."""
+    def squared_cov(trace):
+        gaps = [b - a for a, b in zip(trace.arrivals, trace.arrivals[1:])]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        return var / mean ** 2
+
+    poisson = poisson_trace(100, 30.0, seed=5)
+    bursty = bursty_trace(100, 30.0, seed=5)
+    assert squared_cov(bursty) > 1.5 * squared_cov(poisson)
+
+
+def test_diurnal_rate_follows_curve():
+    """First-half arrivals (rising sine) outnumber second-half ones."""
+    trace = diurnal_trace(100, 20.0, seed=6, amplitude=0.9)
+    half = sum(1 for t in trace.arrivals if t < 10.0)
+    assert half > 0.6 * trace.num_requests
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ConfigError):
+        scenario_trace("lunar", rate_qps=10, duration=1.0)
+
+
+def test_bad_scenario_knobs_rejected():
+    with pytest.raises(ConfigError):
+        scenario_trace("bursty", rate_qps=10, duration=5.0, warp=9)
+    with pytest.raises(ConfigError):
+        bursty_trace(10, 5.0, burst_factor=0.5)
+    with pytest.raises(ConfigError):
+        bursty_trace(10, 5.0, on_fraction=1.5)
+    with pytest.raises(ConfigError):
+        diurnal_trace(10, 5.0, amplitude=1.5)
+    with pytest.raises(ConfigError):
+        poisson_trace(0.0, 5.0)
+
+
+def test_generator_with_no_arrivals_is_a_config_error():
+    with pytest.raises(ConfigError):
+        poisson_trace(1e-9, 1e-6, seed=0)
+
+
+# -- JSONL replay -------------------------------------------------------
+
+
+def test_jsonl_round_trip(tmp_path):
+    trace = poisson_trace(50, 3.0, seed=9, mean_decode_len=256)
+    path = tmp_path / "trace.jsonl"
+    trace.to_jsonl(str(path))
+    back = RequestTrace.from_jsonl(str(path))
+    assert back.arrivals == pytest.approx(trace.arrivals)
+    assert back.decode_lens == trace.decode_lens
+    assert back.metadata["scenario"] == "poisson"
+    assert back.metadata["source"] == str(path)
+
+
+def test_jsonl_without_metadata_line(tmp_path):
+    path = tmp_path / "raw.jsonl"
+    path.write_text('{"arrival": 0.0}\n{"arrival": 1.5}\n')
+    trace = RequestTrace.from_jsonl(str(path))
+    assert trace.arrivals == (0.0, 1.5)
+    assert trace.scenario == "replay"
+
+
+def test_jsonl_mixed_decode_lens_rejected(tmp_path):
+    path = tmp_path / "mixed.jsonl"
+    path.write_text('{"arrival": 0.0, "decode_len": 16}\n{"arrival": 1.0}\n')
+    with pytest.raises(ConfigError):
+        RequestTrace.from_jsonl(str(path))
+
+
+def test_jsonl_bad_line_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"arrival": 0.0}\nnot json\n')
+    with pytest.raises(ConfigError):
+        RequestTrace.from_jsonl(str(path))
+
+
+def test_jsonl_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(ConfigError):
+        RequestTrace.from_jsonl(str(path))
+
+
+def test_jsonl_missing_file_rejected(tmp_path):
+    with pytest.raises(ConfigError):
+        RequestTrace.from_jsonl(str(tmp_path / "nope.jsonl"))
+
+
+def test_small_decode_mean_falls_back_to_fixed_lengths():
+    trace = poisson_trace(50, 2.0, seed=1, mean_decode_len=8)
+    assert set(trace.decode_lens) == {8}
+    with pytest.raises(ConfigError):
+        poisson_trace(50, 2.0, seed=1, mean_decode_len=0)
