@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Smoke test for the live serving front-end.
+
+Starts ``repro serve`` as a real subprocess on a loopback ephemeral
+port, drives ~50 requests through the JSON-lines socket, asks for a
+shutdown, and asserts that a well-formed ``ServingReport`` comes back
+(both over the socket and in the ``--json`` artifact). Exits non-zero
+on any failure -- the CI serve-smoke job runs exactly this.
+
+Run:
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import time
+
+REQUESTS = 50
+DEADLINE = 120.0  # generous wall-clock budget for slow CI machines
+
+
+def fail(proc, message):
+    proc.kill()
+    out, _ = proc.communicate(timeout=10)
+    print(f"FAIL: {message}", file=sys.stderr)
+    print("--- server output ---", file=sys.stderr)
+    print(out, file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    report_path = "serve_smoke_report.json"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--case", "i", "--llm", "1B", "--servers", "16",
+         "--port", "0", "--time-scale", "200", "--tick", "0.005",
+         "--json", report_path],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env={**os.environ, "PYTHONUNBUFFERED": "1"},
+    )
+    deadline = time.monotonic() + DEADLINE
+
+    # The server prints the bound port once the socket is up.
+    port = None
+    for line in proc.stdout:
+        match = re.search(r"serving on [\w.]+:(\d+)", line)
+        if match:
+            port = int(match.group(1))
+            break
+        if time.monotonic() > deadline:
+            fail(proc, "server never announced its port")
+    if port is None:
+        fail(proc, "server exited before announcing its port")
+
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as conn:
+        conn.settimeout(30)
+        stream = conn.makefile("rwb")
+        for index in range(REQUESTS):
+            stream.write(json.dumps(
+                {"op": "submit", "id": f"smoke-{index}",
+                 "decode_len": 64}).encode() + b"\n")
+        stream.write(b'{"op": "stats"}\n')
+        stream.flush()
+
+        acks = completions = 0
+        stats = report = None
+        while report is None:
+            if time.monotonic() > deadline:
+                fail(proc, "timed out waiting for acks/stats")
+            line = stream.readline()
+            if not line:
+                fail(proc, "server closed the connection early")
+            message = json.loads(line)
+            if message["op"] == "ack":
+                acks += 1
+            elif message["op"] == "completion":
+                completions += 1
+            elif message["op"] == "stats":
+                stats = message
+                stream.write(b'{"op": "shutdown"}\n')
+                stream.flush()
+            elif message["op"] == "report":
+                report = message
+            elif message["op"] == "error":
+                fail(proc, f"server answered an error: {message}")
+
+    if acks != REQUESTS:
+        fail(proc, f"expected {REQUESTS} acks, got {acks}")
+    if stats["offered"] != REQUESTS:
+        fail(proc, f"stats reported {stats['offered']} offered")
+    envelope = report["report"]
+    if envelope is None or envelope.get("kind") != "serving_report":
+        fail(proc, f"malformed report line: {report}")
+    spec = envelope["spec"]
+    if spec["offered"] != REQUESTS or spec["completed"] != REQUESTS:
+        fail(proc, f"report counts wrong: {spec['offered']} offered, "
+                   f"{spec['completed']} completed")
+
+    if proc.wait(timeout=60) != 0:
+        fail(proc, f"server exited with {proc.returncode}")
+    with open(report_path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    os.remove(report_path)
+    for key in ("report", "workload", "cluster", "schedule", "trace",
+                "serve"):
+        if key not in payload:
+            print(f"FAIL: --json artifact is missing {key!r}",
+                  file=sys.stderr)
+            return 1
+    if payload["report"]["spec"]["completed"] != REQUESTS:
+        print("FAIL: --json report count mismatch", file=sys.stderr)
+        return 1
+    print(f"OK: {REQUESTS} requests served, {completions} completions "
+          f"streamed live, well-formed report on shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

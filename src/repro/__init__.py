@@ -121,7 +121,14 @@ from repro import config
 from repro.config import OptimizationConfig
 from repro.rago.provisioning import ProvisioningResult, provision
 from repro.hardware.power import PowerProfile, estimate_energy
-from repro.sim import ServingReport, ServingSimulator, SLOTarget
+from repro.sim import (
+    LiveSnapshot,
+    ServingEngine,
+    ServingReport,
+    ServingSimulator,
+    SLOTarget,
+)
+from repro.serve import LiveServer, ServeConfig
 
 __version__ = "1.0.0"
 
@@ -202,6 +209,10 @@ __all__ = [
     "PowerProfile",
     "estimate_energy",
     "ServingSimulator",
+    "ServingEngine",
     "ServingReport",
     "SLOTarget",
+    "LiveSnapshot",
+    "LiveServer",
+    "ServeConfig",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands::
+Eight subcommands::
 
     python -m repro list                      # registered experiments
     python -m repro run fig5 [--full]         # regenerate an artifact
@@ -8,6 +8,8 @@ Six subcommands::
     python -m repro optimize --config workload.json [--json out.json]
     python -m repro sweep --case i --llms 1B,8B --servers 16,32
     python -m repro replay --case i --scenario bursty [--json out.json]
+    python -m repro serve --case i --port 8707 [--time-scale 100]
+    python -m repro trace recorded.jsonl [other.jsonl ...]
     python -m repro provision --case i --qps 500
 
 ``optimize`` runs RAGO on one of the four paradigm presets or on a
@@ -18,7 +20,11 @@ cells, optionally over a multiprocessing pool; ``replay`` exercises the
 selected schedule under live traffic -- a seeded scenario (poisson /
 bursty / diurnal) or a recorded JSONL trace -- through the
 discrete-event simulator and reports SLO attainment, latency
-percentiles and queueing breakdowns.
+percentiles and queueing breakdowns; ``serve`` puts the same engine
+behind a live asyncio JSON-lines socket (requests stream in, per-request
+completions stream out, the observed traffic is recorded as a
+replayable trace); ``trace`` inspects and compares recorded JSONL
+traces (rate curves, burstiness, decode-length stats) before replay.
 """
 
 from __future__ import annotations
@@ -41,15 +47,16 @@ from repro.schema.paradigms import (
     case_iii_iterative,
     case_iv_rewriter_reranker,
 )
-from repro.sim.policies import DISPATCH_POLICIES
+from repro.sim.policies import ADMISSION_POLICIES, DISPATCH_POLICIES
 from repro.workloads.traces import SCENARIOS
 
 #: Accelerator generations by their --xpu letter (Table 2).
 _XPU_BY_LETTER = {"A": XPU_A, "B": XPU_B, "C": XPU_C}
 
-#: Choice lists for `repro replay`.
+#: Choice lists for `repro replay` / `repro serve`.
 _SCENARIO_NAMES = frozenset(SCENARIOS)
 _DISPATCH_NAMES = frozenset(DISPATCH_POLICIES)
+_ADMISSION_NAMES = frozenset(ADMISSION_POLICIES)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -127,6 +134,10 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--config", dest="config_path", default=None,
                         help="serialized workload or optimization config "
                              "(repro.config JSON); overrides --case/--llm")
+    replay.add_argument("--schedule", dest="schedule_path", default=None,
+                        help="replay through this exact schedule -- a "
+                             "schedule envelope or a replay/serve --json "
+                             "artifact -- instead of searching")
     replay.add_argument("--max-ttft", type=float, default=None,
                         help="TTFT SLO used to pick the schedule (and, "
                              "unless --slo-ttft is given, to score it)")
@@ -150,6 +161,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="batch-dispatch policy for pre-decode stages "
                              "(default deadline-flush)")
+    replay.add_argument("--admission", choices=sorted(_ADMISSION_NAMES),
+                        default=None,
+                        help="decode admission policy "
+                             "(default greedy)")
     replay.add_argument("--slo-ttft", type=float, default=None,
                         help="TTFT target in seconds for attainment "
                              "accounting (default: 5x analytical TTFT)")
@@ -159,6 +174,73 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--json", dest="json_path", default=None,
                         help="dump the serving report (plus schedule and "
                              "trace envelopes) to a JSON file")
+
+    serve = commands.add_parser(
+        "serve", help="serve a live request stream over a socket")
+    serve.add_argument("--case", choices=("i", "ii", "iii", "iv"),
+                       default="i", help="paradigm (Table 3)")
+    serve.add_argument("--llm", default="8B",
+                       help="generative LLM size label (1B/8B/70B/405B)")
+    serve.add_argument("--context", type=int, default=1_000_000,
+                       help="context length for case ii")
+    serve.add_argument("--retrievals", type=int, default=4,
+                       help="retrieval frequency for case iii")
+    serve.add_argument("--servers", type=int, default=None,
+                       help="cluster host servers (default 32)")
+    serve.add_argument("--xpu", choices=("A", "B", "C"), default=None,
+                       help="accelerator generation (default C)")
+    serve.add_argument("--config", dest="config_path", default=None,
+                       help="serialized workload or optimization config "
+                            "(repro.config JSON); overrides --case/--llm")
+    serve.add_argument("--max-ttft", type=float, default=None,
+                       help="TTFT SLO used to pick the served schedule")
+    serve.add_argument("--schedule", dest="schedule_path", default=None,
+                       help="serve this exact schedule -- a schedule "
+                            "envelope or a replay/serve --json artifact "
+                            "-- instead of the searched knee")
+    serve.add_argument("--serve-config", dest="serve_config_path",
+                       default=None,
+                       help="serve_config envelope (repro.config JSON) "
+                            "with server settings; explicit flags "
+                            "override individual fields")
+    serve.add_argument("--host", default=None,
+                       help="interface to bind (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port; 0 binds an ephemeral port and "
+                            "prints it (default 0)")
+    serve.add_argument("--tick", type=float, default=None,
+                       help="wall seconds between engine advances "
+                            "(default 0.02)")
+    serve.add_argument("--time-scale", type=float, default=None,
+                       help="simulated seconds per wall second "
+                            "(default 1.0; raise to fast-forward)")
+    serve.add_argument("--dispatch", choices=sorted(_DISPATCH_NAMES),
+                       default=None,
+                       help="batch-dispatch policy for pre-decode stages")
+    serve.add_argument("--admission", choices=sorted(_ADMISSION_NAMES),
+                       default=None, help="decode admission policy")
+    serve.add_argument("--slo-ttft", type=float, default=None,
+                       help="TTFT target in seconds scored per "
+                            "completion (default: 5x analytical TTFT)")
+    serve.add_argument("--slo-tpot", type=float, default=None,
+                       help="TPOT target in seconds scored per "
+                            "completion (default: 2x analytical TPOT)")
+    serve.add_argument("--record", dest="record_path", default=None,
+                       help="write the observed arrivals as a replayable "
+                            "JSONL trace on shutdown")
+    serve.add_argument("--json", dest="json_path", default=None,
+                       help="dump the final serving report (plus "
+                            "schedule, trace and server envelopes) to a "
+                            "JSON file on shutdown")
+
+    trace_cmd = commands.add_parser(
+        "trace", help="inspect/compare recorded JSONL traces")
+    trace_cmd.add_argument("paths", nargs="+", metavar="TRACE",
+                           help="recorded JSONL trace files "
+                                "(RequestTrace.to_jsonl / repro serve "
+                                "--record output)")
+    trace_cmd.add_argument("--bins", type=int, default=24,
+                           help="rate-curve resolution (default 24 bins)")
 
     prov = commands.add_parser(
         "provision", help="size a fleet for a target load")
@@ -289,6 +371,35 @@ def _resolve_session(args: argparse.Namespace) -> OptimizerSession:
     return session
 
 
+def _load_schedule(path: str, session: OptimizerSession):
+    """Load an explicit schedule for replay/serve and evaluate it.
+
+    Accepts either a bare ``schedule`` config envelope or a replay/serve
+    ``--json`` artifact (whose ``"schedule"`` key holds one), so a
+    recorded session closes the loop without extracting envelopes by
+    hand.
+    """
+    from repro.pipeline import Schedule
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise ConfigError(f"{path}: invalid JSON: {error}") from error
+    if isinstance(data, dict) and "config_version" in data:
+        loaded = config_module.from_config(data)
+    elif isinstance(data, dict) and isinstance(data.get("schedule"), dict):
+        loaded = config_module.from_config(data["schedule"])
+    else:
+        raise ConfigError(
+            f"{path} holds neither a schedule envelope nor a --json "
+            f"artifact with a 'schedule' key")
+    if not isinstance(loaded, Schedule):
+        raise ConfigError(
+            f"{path} holds a {type(loaded).__name__}; expected a schedule")
+    return session.evaluate(loaded)
+
+
 def _session_constrained(session: OptimizerSession) -> bool:
     """Whether any serving bound is in force on the session."""
     objective = session.objective
@@ -362,8 +473,12 @@ def _command_replay(args: argparse.Namespace) -> int:
     session = _resolve_session(args)
     schema = session.schema
     objective = session.objective
-    chosen = session.best() if _session_constrained(session) \
-        else session.optimize().max_qps_per_chip
+    if args.schedule_path:
+        chosen = _load_schedule(args.schedule_path, session)
+    elif _session_constrained(session):
+        chosen = session.best()
+    else:
+        chosen = session.optimize().max_qps_per_chip
     print(f"schedule: {chosen.schedule.describe()}")
     print(f"analytical: qps={chosen.qps:.1f}  "
           f"ttft={chosen.ttft * 1e3:.1f} ms  "
@@ -403,22 +518,165 @@ def _command_replay(args: argparse.Namespace) -> int:
         else (objective.max_tpot or 2.0 * chosen.tpot),
     )
     report = session.evaluate_trace(chosen.schedule, trace, slo=slo,
-                                    dispatch=args.dispatch)
+                                    dispatch=args.dispatch,
+                                    admission=args.admission)
     print()
     print(format_serving_report(report))
     if args.json_path:
-        # Workload + cluster envelopes ride along so the report can be
-        # regenerated from this file alone.
+        # Workload + cluster envelopes (and the policy selections) ride
+        # along so the report can be regenerated from this file alone.
         payload = {
             "report": config_module.to_config(report),
             "workload": config_module.to_config(schema),
             "cluster": config_module.to_config(session.cluster),
             "schedule": config_module.to_config(chosen.schedule),
             "trace": config_module.to_config(trace),
+            "policies": {
+                "dispatch": args.dispatch or "deadline-flush",
+                "admission": args.admission or "greedy",
+            },
         }
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=1)
         print(f"wrote {args.json_path}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import dataclasses
+
+    from repro.reporting import format_live_summary, format_serving_report
+    from repro.serve import LiveServer, ServeConfig
+
+    # Resolve and validate the server settings before the (expensive)
+    # schedule search: a bad --tick must fail in milliseconds.
+    base = ServeConfig()
+    if args.serve_config_path:
+        loaded = config_module.load(args.serve_config_path)
+        if not isinstance(loaded, ServeConfig):
+            raise ConfigError(
+                f"{args.serve_config_path} holds a "
+                f"{type(loaded).__name__}; serve expects a serve_config")
+        base = loaded
+    overrides = {
+        name: value for name, value in (
+            ("host", args.host), ("port", args.port),
+            ("tick", args.tick), ("time_scale", args.time_scale),
+            ("slo_ttft", args.slo_ttft), ("slo_tpot", args.slo_tpot),
+        ) if value is not None
+    }
+    serve_config = dataclasses.replace(base, **overrides)
+
+    session = _resolve_session(args)
+    objective = session.objective
+    if args.schedule_path:
+        chosen = _load_schedule(args.schedule_path, session)
+    else:
+        # Live serving wants the balanced frontier point: the knee of
+        # the admissible sub-frontier (constraints from --config /
+        # --max-ttft still apply).
+        chosen = session.with_objective("knee").best()
+    print(f"schedule: {chosen.schedule.describe()}")
+    print(f"analytical: qps={chosen.qps:.1f}  "
+          f"ttft={chosen.ttft * 1e3:.1f} ms  "
+          f"tpot={chosen.tpot * 1e3:.2f} ms")
+
+    if serve_config.slo_ttft is None:
+        serve_config = dataclasses.replace(
+            serve_config,
+            slo_ttft=objective.max_ttft or 5.0 * chosen.ttft)
+    if serve_config.slo_tpot is None:
+        serve_config = dataclasses.replace(
+            serve_config,
+            slo_tpot=objective.max_tpot or 2.0 * chosen.tpot)
+
+    engine = session.serving_engine(chosen.schedule,
+                                    dispatch=args.dispatch,
+                                    admission=args.admission)
+    server = LiveServer(engine, serve_config)
+
+    def ready(host: str, port: int) -> None:
+        print(f"serving on {host}:{port} "
+              f"(time scale {serve_config.time_scale:g}x; JSON-lines "
+              f"ops: submit / stats / shutdown; Ctrl-C stops)",
+              flush=True)
+
+    report = asyncio.run(server.run(ready=ready))
+    if args.record_path and server.trace is not None:
+        # The observed arrivals are worth keeping even when the session
+        # was too degenerate to produce a report.
+        server.trace.to_jsonl(args.record_path)
+        print(f"recorded trace -> {args.record_path}")
+    if report is None:
+        if server.trace is None:
+            print("shut down with zero submissions; no report to emit")
+        else:
+            print("shut down before any request completed; no report "
+                  "to emit")
+        return 0
+    print()
+    print(format_live_summary(server.snapshot()))
+    print()
+    print(format_serving_report(report))
+    if args.json_path:
+        payload = {
+            "report": config_module.to_config(report),
+            "workload": config_module.to_config(session.schema),
+            "cluster": config_module.to_config(session.cluster),
+            "schedule": config_module.to_config(chosen.schedule),
+            "trace": config_module.to_config(server.trace),
+            "serve": config_module.to_config(serve_config),
+            "policies": {
+                "dispatch": args.dispatch or "deadline-flush",
+                "admission": args.admission or "greedy",
+            },
+        }
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.reporting import format_table
+    from repro.reporting.ascii_plot import ascii_scatter
+    from repro.workloads import RequestTrace, rate_curve, trace_stats
+
+    if args.bins < 1:
+        raise ConfigError("--bins must be at least 1")
+    traces = [(path, RequestTrace.from_jsonl(path)) for path in args.paths]
+    for path, trace in traces:
+        print(f"{path}: {trace.describe()}")
+    rows = []
+    series = {}
+    for path, trace in traces:
+        stats = trace_stats(trace, bins=args.bins)
+        rows.append([
+            stats["scenario"], stats["requests"], stats["duration"],
+            stats["mean_qps"], stats["peak_qps"],
+            "-" if stats["burstiness_cv"] is None
+            else stats["burstiness_cv"],
+            "-" if stats["decode_mean"] is None else stats["decode_mean"],
+            "-" if stats["decode_p95"] is None else stats["decode_p95"],
+        ])
+        if len(traces) == 1:
+            label = "rate"
+        else:
+            import os
+
+            label = os.path.basename(path)
+            if label in series:
+                label = f"{label}#{len(series)}"
+        series[label] = rate_curve(trace, bins=args.bins)
+    print()
+    print(format_table(
+        ("scenario", "requests", "duration (s)", "mean QPS", "peak QPS",
+         "burstiness CV", "decode mean", "decode p95"),
+        rows, title="trace statistics (CV ~1 poisson, >1 bursty)"))
+    print()
+    print(ascii_scatter(series, width=60, height=12,
+                        x_label="time (s)", y_label="QPS"))
     return 0
 
 
@@ -493,6 +751,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_sweep(args)
         if args.command == "replay":
             return _command_replay(args)
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "trace":
+            return _command_trace(args)
         if args.command == "provision":
             return _command_provision(args)
         return _command_optimize(args)

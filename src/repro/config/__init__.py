@@ -32,11 +32,14 @@ from repro.rago.objectives import ServiceObjective
 from repro.rago.search import SearchConfig, SearchResult
 from repro.schema.ragschema import RAGSchema
 from repro.rago.session import SweepResult
+from repro.serve import ServeConfig
 from repro.sim.serving import ServingReport
 from repro.workloads.traces import RequestTrace
 from repro.config.serializers import (
     cluster_from_dict,
     cluster_to_dict,
+    serve_config_from_dict,
+    serve_config_to_dict,
     objective_from_dict,
     objective_to_dict,
     schedule_from_dict,
@@ -133,6 +136,8 @@ _KINDS: Dict[str, Tuple[type, Callable[[Any], Dict],
                        serving_report_from_dict),
     "sweep_result": (SweepResult, sweep_result_to_dict,
                      sweep_result_from_dict),
+    "serve_config": (ServeConfig, serve_config_to_dict,
+                     serve_config_from_dict),
 }
 
 
@@ -237,4 +242,6 @@ __all__ = [
     "serving_report_from_dict",
     "sweep_result_to_dict",
     "sweep_result_from_dict",
+    "serve_config_to_dict",
+    "serve_config_from_dict",
 ]

@@ -28,6 +28,7 @@ from repro.schema.serialization import (
     schema_to_dict,
 )
 from repro.schema.stages import Stage
+from repro.serve import ServeConfig
 from repro.sim.serving import ServingReport, SLOTarget
 from repro.workloads.traces import RequestTrace
 
@@ -41,6 +42,7 @@ __all__ = [
     "trace_to_dict", "trace_from_dict",
     "serving_report_to_dict", "serving_report_from_dict",
     "sweep_result_to_dict", "sweep_result_from_dict",
+    "serve_config_to_dict", "serve_config_from_dict",
 ]
 
 _XPU_FIELDS = ("name", "peak_flops", "hbm_bytes", "mem_bandwidth",
@@ -333,6 +335,30 @@ def serving_report_from_dict(data: Dict) -> ServingReport:
     except (KeyError, TypeError, AttributeError) as error:
         raise ConfigError(
             f"malformed serving report dict: {error}") from error
+
+
+_SERVE_CONFIG_FIELDS = ("host", "port", "tick", "time_scale",
+                        "slo_ttft", "slo_tpot", "default_decode_len")
+
+
+def serve_config_to_dict(config: ServeConfig) -> Dict:
+    """Serialize the live server's settings envelope."""
+    return {name: getattr(config, name) for name in _SERVE_CONFIG_FIELDS}
+
+
+def serve_config_from_dict(data: Dict) -> ServeConfig:
+    """Reconstruct a ServeConfig serialized by
+    :func:`serve_config_to_dict`.
+
+    Unknown keys are rejected; missing keys fall back to the library
+    defaults, so hand-written server configs stay terse."""
+    unknown = set(data) - set(_SERVE_CONFIG_FIELDS)
+    if unknown:
+        raise ConfigError(f"unknown serve config fields: {sorted(unknown)}")
+    try:
+        return ServeConfig(**data)
+    except TypeError as error:
+        raise ConfigError(f"malformed serve config dict: {error}") from error
 
 
 def sweep_result_to_dict(result) -> Dict:

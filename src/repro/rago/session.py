@@ -55,7 +55,13 @@ from repro.rago.objectives import (
 from repro.rago.search import SearchConfig, SearchResult, search_schedules
 from repro.schema.builder import PipelineBuilder
 from repro.schema.ragschema import RAGSchema
-from repro.sim.policies import DispatchPolicy, resolve_dispatch_policy
+from repro.sim.engine import ServingEngine
+from repro.sim.policies import (
+    AdmissionPolicy,
+    DispatchPolicy,
+    resolve_admission_policy,
+    resolve_dispatch_policy,
+)
 from repro.sim.serving import ServingReport, ServingSimulator, SLOTarget
 from repro.workloads.traces import RequestTrace
 
@@ -272,6 +278,7 @@ class OptimizerSession:
                        slo: Optional[SLOTarget] = None,
                        max_wait: Optional[float] = None,
                        dispatch: Union[None, str, DispatchPolicy] = None,
+                       admission: Union[None, str, AdmissionPolicy] = None,
                        ) -> ServingReport:
         """Replay a request trace through one schedule (memoized DES).
 
@@ -279,8 +286,9 @@ class OptimizerSession:
         analytical evaluation answers "what does this schedule promise
         in steady state", a trace replay answers "what does it deliver
         under this traffic". Results are memoized per (schema, cluster,
-        schedule, trace, SLO), so sweeping schedules over a fixed trace
-        (or traces over a fixed schedule) never re-simulates a cell.
+        schedule, trace, SLO, policies), so sweeping schedules over a
+        fixed trace (or traces over a fixed schedule) never
+        re-simulates a cell.
 
         Args:
             schedule: The deployment to exercise.
@@ -293,6 +301,8 @@ class OptimizerSession:
                 to the simulator.
             dispatch: Optional dispatch policy (instance or registry
                 name) for the pre-decode stations.
+            admission: Optional decode admission policy (instance or
+                registry name).
 
         Returns:
             The replay's :class:`~repro.sim.ServingReport`.
@@ -301,6 +311,7 @@ class OptimizerSession:
             slo = SLOTarget(ttft=self._objective.max_ttft,
                             tpot=self._objective.max_tpot)
         policy = resolve_dispatch_policy(dispatch)
+        admit = resolve_admission_policy(admission)
         # A recorded trace can hold 100k+ requests; keep the memo key
         # fixed-size by digesting the serialized (schedule, trace) pair
         # instead of storing megabytes of JSON per entry.
@@ -309,11 +320,13 @@ class OptimizerSession:
         key = "\x1e".join((self._base_key, digest,
                            f"slo={slo.ttft}:{slo.tpot}",
                            f"max_wait={max_wait}",
-                           f"dispatch={policy!r}"))
+                           f"dispatch={policy!r}",
+                           f"admission={admit!r}"))
         if key not in self._trace_reports:
             simulator = ServingSimulator(self._perf_model, schedule,
                                          max_wait=max_wait,
-                                         dispatch=policy)
+                                         dispatch=policy,
+                                         admission=admit)
             self._trace_reports[key] = simulator.run(trace, slo=slo)
         cached = self._trace_reports[key]
         # Reports are frozen but carry mutable aggregate dicts and
@@ -333,6 +346,36 @@ class OptimizerSession:
             trace_metadata=dict(cached.trace_metadata),
             records=copy.deepcopy(cached.records),
         )
+
+    def serving_engine(self, schedule: Optional[Schedule] = None,
+                       max_wait: Optional[float] = None, seed: int = 0,
+                       dispatch: Union[None, str, DispatchPolicy] = None,
+                       admission: Union[None, str, AdmissionPolicy] = None,
+                       ) -> ServingEngine:
+        """An incremental DES engine serving one schedule live.
+
+        The entry point behind ``repro serve``: where
+        :meth:`evaluate_trace` replays a pre-built trace open loop,
+        the returned :class:`~repro.sim.ServingEngine` accepts
+        interleaved ``submit``/``step`` calls, so a live front-end
+        (:class:`repro.serve.LiveServer`) can feed it requests as they
+        arrive on a socket. Engines are single-use and never memoized.
+
+        Args:
+            schedule: The deployment to serve; None serves the **knee**
+                of this session's (memoized) search frontier under the
+                accumulated constraints -- the balanced
+                latency/throughput point a live deployment usually
+                wants.
+            max_wait / seed / dispatch / admission: Engine knobs, as in
+                :meth:`evaluate_trace`.
+        """
+        if schedule is None:
+            schedule = _constrained_knee(self.optimize(),
+                                         self._objective).schedule
+        return ServingEngine(self._perf_model, schedule,
+                             max_wait=max_wait, seed=seed,
+                             dispatch=dispatch, admission=admission)
 
     def cache_info(self) -> Dict[str, int]:
         """Memo sizes (searches, schedule evaluations and trace replays

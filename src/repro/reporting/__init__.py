@@ -1,7 +1,11 @@
 """Reporting: text tables, printable figure series, and the experiment
 registry that maps every paper table/figure to a runnable generator."""
 
-from repro.reporting.tables import format_serving_report, format_table
+from repro.reporting.tables import (
+    format_live_summary,
+    format_serving_report,
+    format_table,
+)
 from repro.reporting.figures import format_heatmap, format_series
 from repro.reporting.ascii_plot import ascii_scatter
 from repro.reporting.experiments import EXPERIMENTS, Experiment, get_experiment
@@ -9,6 +13,7 @@ from repro.reporting.experiments import EXPERIMENTS, Experiment, get_experiment
 __all__ = [
     "format_table",
     "format_serving_report",
+    "format_live_summary",
     "format_series",
     "format_heatmap",
     "ascii_scatter",

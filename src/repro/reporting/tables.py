@@ -58,6 +58,23 @@ def _cell(value: object) -> str:
     return str(value)
 
 
+def format_live_summary(snapshot) -> str:
+    """Render a :class:`~repro.sim.LiveSnapshot` as a one-row table.
+
+    The printable heartbeat of ``repro serve``: offered / completed /
+    in-flight counts, sustained throughput and running latency means at
+    the snapshot's simulated time.
+    """
+    table = format_table(
+        ("sim time (s)", "offered", "completed", "in flight", "QPS",
+         "mean TTFT (ms)", "mean TPOT (ms)"),
+        [[snapshot.now, snapshot.offered, snapshot.completed,
+          snapshot.in_flight, snapshot.throughput,
+          snapshot.mean_ttft * 1e3, snapshot.mean_tpot * 1e3]],
+    )
+    return f"live serving summary\n{table}"
+
+
 def format_serving_report(report) -> str:
     """Render a :class:`~repro.sim.ServingReport` as aligned tables.
 

@@ -7,17 +7,29 @@ queues, busy servers, continuous-batching decode -- so the closed-form
 predictions can be validated and transient effects (bursts, queueing
 delay, tail latency) can be studied.
 
-The simulator consumes the same :class:`~repro.pipeline.Schedule` and
+The simulation consumes the same :class:`~repro.pipeline.Schedule` and
 :class:`~repro.pipeline.RAGPerfModel` as the analytical path: stage
 *service times* come from the calibrated cost models; the DES adds only
-queueing and batching dynamics on top. Batching and admission are
-pluggable policies (:mod:`repro.sim.policies`); workloads arrive as
-:class:`~repro.workloads.traces.RequestTrace` scenarios, and a trace
-replay yields a :class:`ServingReport` with SLO attainment, latency
-percentiles and queueing breakdowns.
+queueing and batching dynamics on top. The core is the incremental
+:class:`ServingEngine` (explicit ``submit`` / ``step`` / ``drain``
+lifecycle, running metrics, completion listeners); batching and
+admission are pluggable policies (:mod:`repro.sim.policies`).
+:class:`ServingSimulator` drives the engine open loop over a
+:class:`~repro.workloads.traces.RequestTrace` and yields a
+:class:`ServingReport` with SLO attainment, latency percentiles and
+queueing breakdowns, while :mod:`repro.serve` feeds the same engine
+from a live asyncio request stream.
 """
 
-from repro.sim.engine import EventQueue, Simulation
+from repro.sim.engine import EventQueue, ServingEngine, Simulation
+from repro.sim.metrics import (
+    LiveSnapshot,
+    MetricsAccumulator,
+    RequestRecord,
+    ServingMetrics,
+    ServingReport,
+    SLOTarget,
+)
 from repro.sim.policies import (
     ADMISSION_POLICIES,
     DISPATCH_POLICIES,
@@ -29,22 +41,19 @@ from repro.sim.policies import (
     SizeCappedPolicy,
     TokenBudgetAdmission,
 )
-from repro.sim.serving import (
-    RequestRecord,
-    ServingMetrics,
-    ServingReport,
-    ServingSimulator,
-    SLOTarget,
-)
+from repro.sim.serving import ServingSimulator
 
 __all__ = [
     "EventQueue",
     "Simulation",
+    "ServingEngine",
     "ServingSimulator",
     "ServingMetrics",
     "ServingReport",
     "SLOTarget",
     "RequestRecord",
+    "LiveSnapshot",
+    "MetricsAccumulator",
     "DispatchPolicy",
     "DeadlineFlushPolicy",
     "FullBatchPolicy",

@@ -1,20 +1,61 @@
-"""Minimal discrete-event simulation core.
+"""Discrete-event core and the incremental serving engine.
 
-A :class:`Simulation` owns a time-ordered event queue; callbacks are
-scheduled at absolute times and executed in order. Ties break by
-insertion order, which keeps runs deterministic.
+Two layers live here:
+
+* :class:`Simulation` / :class:`EventQueue` -- the minimal DES kernel.
+  Callbacks are scheduled at absolute times and executed in order; ties
+  break by insertion order, which keeps runs deterministic. ``run`` can
+  stop at a horizon and be resumed, so the same kernel drives both
+  batch replays and incremental stepping.
+* :class:`ServingEngine` -- the request-level serving network (batch
+  stations time-multiplexing placement-group resources, a retrieval
+  tier, a continuous-batching decode executor) with an **explicit
+  lifecycle**: :meth:`~ServingEngine.submit` injects one request,
+  :meth:`~ServingEngine.step` advances simulated time to a bound, and
+  :meth:`~ServingEngine.drain` runs the network empty. Requests can be
+  submitted *while* time advances, which is what turns the simulator
+  from a closed-box trace replayer into the core of a live,
+  socket-facing front-end (:mod:`repro.serve`).
+
+:class:`~repro.sim.serving.ServingSimulator` remains the open-loop
+driver over this engine: it submits a whole trace up front and drains,
+reproducing the pre-refactor replay bit for bit (pinned by tests).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional, Tuple
+import math
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import ConfigError
+from repro.pipeline.assembly import Schedule, derive_retrieval_servers
+from repro.pipeline.stage_perf import RAGPerfModel
+from repro.schema.stages import Stage, pipeline_stages
+from repro.sim.metrics import (
+    LiveSnapshot,
+    MetricsAccumulator,
+    RequestRecord,
+    ServingMetrics,
+    ServingReport,
+    SLOTarget,
+)
+from repro.sim.policies import (
+    AdmissionPolicy,
+    DispatchPolicy,
+    resolve_admission_policy,
+    resolve_dispatch_policy,
+)
+from repro.workloads.traces import RequestTrace
 
 #: An event callback receives the simulation so it can schedule more.
 EventFn = Callable[["Simulation"], None]
+
+#: Per-stage dispatch selection: one policy (or registry name) for all
+#: stages, or a mapping from stage to policy/name.
+DispatchSelection = Union[None, str, DispatchPolicy,
+                          Mapping[Stage, Union[str, DispatchPolicy]]]
 
 
 class EventQueue:
@@ -34,6 +75,10 @@ class EventQueue:
         """Remove and return the earliest (time, callback)."""
         time, _, callback = heapq.heappop(self._heap)
         return time, callback
+
+    def peek_time(self) -> float:
+        """The earliest scheduled time without removing the event."""
+        return self._heap[0][0]
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -78,25 +123,590 @@ class Simulation:
 
         Args:
             until: Stop once the clock would pass this time (remaining
-                events stay queued).
-            max_events: Safety valve against runaway simulations.
+                events stay queued, keeping their insertion order so an
+                incremental caller can resume without reordering ties).
+            max_events: Safety valve against runaway simulations; a
+                per-call budget, so a long-lived incremental engine can
+                step indefinitely.
 
         Raises:
             ConfigError: when ``max_events`` is exhausted (almost always
                 a modelling bug such as a self-rescheduling zero-delay
                 event).
         """
+        processed = 0
         while self._queue:
-            if self._events_processed >= max_events:
+            if processed >= max_events:
                 raise ConfigError(
                     f"simulation exceeded {max_events} events; likely a "
                     f"zero-delay event loop"
                 )
-            time, callback = self._queue.pop()
-            if until is not None and time > until:
-                self._queue.push(time, callback)
+            if until is not None and self._queue.peek_time() > until:
                 self._now = until
                 return
+            time, callback = self._queue.pop()
             self._now = time
             self._events_processed += 1
+            processed += 1
             callback(self)
+        if until is not None and until > self._now:
+            self._now = until
+
+
+class _Resource:
+    """A set of chips (or servers) that one batch occupies at a time."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.busy = False
+        self.stations: List["_BatchStation"] = []
+        self.busy_time = 0.0
+
+    def release(self, sim: Simulation) -> None:
+        self.busy = False
+        for station in self.stations:
+            station.try_dispatch(sim)
+            if self.busy:
+                break
+
+
+class _BatchStation:
+    """One pipeline stage batching requests on a shared resource.
+
+    A batch occupies the resource for its *initiation interval*
+    (``batch / throughput``): pipeline-parallel prefill overlaps
+    consecutive batches, so the resource frees before the batch's full
+    latency has elapsed; results are delivered at the latency.
+
+    When to fire and how much to take are delegated to a
+    :class:`~repro.sim.policies.DispatchPolicy` (already resolved
+    against this stage's default deadline).
+    """
+
+    def __init__(self, stage: Stage, batch_size: int,
+                 perf_fn: Callable[[int], "object"], resource: _Resource,
+                 deliver: Callable[[Simulation, RequestRecord], None],
+                 policy: DispatchPolicy) -> None:
+        self.stage = stage
+        self.batch_size = batch_size
+        self.perf_fn = perf_fn
+        self.resource = resource
+        self.deliver = deliver
+        self.policy = policy
+        self.queue: List[RequestRecord] = []
+        self._oldest_enqueue: Optional[float] = None
+        self._flush_scheduled = False
+        resource.stations.append(self)
+
+    def accept(self, sim: Simulation, record: RequestRecord) -> None:
+        self.queue.append(record)
+        record.stage_enqueues[self.stage] = sim.now
+        if self._oldest_enqueue is None:
+            self._oldest_enqueue = sim.now
+        self.try_dispatch(sim)
+
+    def try_dispatch(self, sim: Simulation) -> None:
+        if self.resource.busy or not self.queue:
+            return
+        waited = sim.now - self._oldest_enqueue
+        take = self.policy.take(len(self.queue), self.batch_size, waited)
+        if take > 0:
+            self._dispatch(sim, take)
+        elif not self._flush_scheduled:
+            delay = self.policy.flush_delay(waited)
+            if delay is not None:
+                self._flush_scheduled = True
+                sim.schedule(max(delay, 0.0), self._flush)
+
+    def _flush(self, sim: Simulation) -> None:
+        # Force-dispatch the partial batch (float rounding must not turn
+        # the staleness check into a zero-delay reschedule loop).
+        self._flush_scheduled = False
+        if not self.resource.busy and self.queue:
+            self._dispatch(sim, self.policy.flush_take(len(self.queue),
+                                                       self.batch_size))
+
+    def _dispatch(self, sim: Simulation, take: int) -> None:
+        batch = self.queue[:take]
+        del self.queue[:take]
+        for record in batch:
+            enqueued = record.stage_enqueues.get(self.stage, sim.now)
+            record.queue_waits[self.stage] = \
+                record.queue_waits.get(self.stage, 0.0) \
+                + (sim.now - enqueued)
+        self._oldest_enqueue = sim.now if self.queue else None
+        self.resource.busy = True
+        perf = self.perf_fn(take)
+        latency = perf.latency
+        occupancy = min(take / perf.request_qps, latency)
+        self.resource.busy_time += occupancy
+
+        def free(sim_: Simulation) -> None:
+            self.resource.release(sim_)
+
+        def complete(sim_: Simulation, batch_=batch) -> None:
+            for record in batch_:
+                record.stage_completions[self.stage] = sim_.now
+            for record in batch_:
+                self.deliver(sim_, record)
+
+        sim.schedule(occupancy, free)
+        sim.schedule(latency, complete)
+
+
+class _DecodeExecutor:
+    """Continuous-batching decode: sequences join at step boundaries and
+    leave after their own decode length (variable-length requests mix in
+    the batch, which is why the paper reports worst-case TPOT).
+
+    *Who* joins at a step boundary is the
+    :class:`~repro.sim.policies.AdmissionPolicy`'s call.
+
+    For iterative schemas (Case III), a sequence that hits one of its
+    retrieval positions leaves the batch through ``retrieval_hook`` (to
+    the retrieval + re-prefix stations) and re-joins via :meth:`accept`
+    when the new context has been integrated.
+    """
+
+    def __init__(self, capacity: int, step_latency: float, decode_len: int,
+                 on_complete: Callable[[Simulation, RequestRecord], None],
+                 admission: AdmissionPolicy,
+                 retrieval_hook: Optional[
+                     Callable[[Simulation, RequestRecord], None]] = None,
+                 positions_fn: Optional[
+                     Callable[[RequestRecord], List[int]]] = None) -> None:
+        self.capacity = capacity
+        self.step_latency = step_latency
+        self.decode_len = decode_len
+        self.on_complete = on_complete
+        self.admission = admission
+        self.retrieval_hook = retrieval_hook
+        self.positions_fn = positions_fn
+        self.waiting: List[RequestRecord] = []
+        self.remaining: List[List] = []  # [record, target]
+        self.running = False
+        self._progress: Dict[int, int] = {}
+        self._positions: Dict[int, List[int]] = {}
+
+    def accept(self, sim: Simulation, record: RequestRecord) -> None:
+        self.waiting.append(record)
+        record.stage_enqueues[Stage.DECODE] = sim.now
+        if not self.running:
+            self.running = True
+            sim.schedule(0.0, self._step)
+
+    def _admit(self, now: float, record: RequestRecord) -> None:
+        if record.request_id not in self._progress:
+            self._progress[record.request_id] = 0
+            if self.positions_fn is not None:
+                self._positions[record.request_id] = list(
+                    self.positions_fn(record))
+            else:
+                self._positions[record.request_id] = []
+        enqueued = record.stage_enqueues.get(Stage.DECODE, now)
+        record.queue_waits[Stage.DECODE] = \
+            record.queue_waits.get(Stage.DECODE, 0.0) + (now - enqueued)
+        target = record.decode_len or self.decode_len
+        self.remaining.append([record, target])
+
+    def _step(self, sim: Simulation) -> None:
+        # Admit new sequences per the admission policy.
+        if self.waiting:
+            admitted = self.admission.admit(
+                [record.decode_len or self.decode_len
+                 for record in self.waiting],
+                [entry[1] - self._progress[entry[0].request_id]
+                 for entry in self.remaining],
+                self.capacity)
+            for _ in range(admitted):
+                self._admit(sim.now, self.waiting.pop(0))
+        if not self.remaining:
+            self.running = False
+            return
+
+        def advance(sim_: Simulation) -> None:
+            finished = []
+            departing = []
+            for entry in self.remaining:
+                record = entry[0]
+                self._progress[record.request_id] += 1
+                done = self._progress[record.request_id]
+                if done >= entry[1]:
+                    finished.append(entry)
+                    continue
+                positions = self._positions[record.request_id]
+                if positions and done >= positions[0]:
+                    positions.pop(0)
+                    departing.append(entry)
+            for entry in finished:
+                self.remaining.remove(entry)
+                entry[0].completion_time = sim_.now
+                self.on_complete(sim_, entry[0])
+            for entry in departing:
+                self.remaining.remove(entry)
+                self.retrieval_hook(sim_, entry[0])
+            self._step(sim_)
+
+        sim.schedule(self.step_latency, advance)
+
+
+#: A completion listener receives each finished request's record.
+CompletionFn = Callable[[RequestRecord], None]
+
+
+class ServingEngine:
+    """Incremental, resumable request-level serving simulation.
+
+    One engine owns one :class:`Simulation` and the station network for
+    one schedule; its lifecycle is explicit so callers choose the
+    driving mode:
+
+    * **open loop** (what :class:`~repro.sim.serving.ServingSimulator`
+      does): submit every request of a trace, then :meth:`drain`;
+    * **incremental / live**: interleave :meth:`submit` and
+      :meth:`step` as requests arrive in wall time, reading
+      :meth:`snapshot` for running statistics and streaming completions
+      through ``on_complete``.
+
+    An engine is single-use: once drained (or stepped past a horizon),
+    build a new one for the next run. Submissions must carry
+    non-decreasing arrival times; an arrival before the engine's
+    current simulated time is an out-of-order timestamp and raises
+    :class:`~repro.errors.ConfigError`.
+
+    Args:
+        perf_model: Calibrated stage cost models.
+        schedule: The deployment under test.
+        max_wait: Legacy global partial-batch deadline; fills in any
+            dispatch policy whose own ``max_wait`` is unset (per-stage
+            batch latency when both are None).
+        seed: Seed for the iterative retrieval-position sampler.
+        dispatch: Dispatch policy for the pre-decode stations -- a
+            policy instance, a registry name, or a per-stage mapping
+            (deadline flush when omitted).
+        admission: Decode admission policy instance or registry name
+            (greedy when omitted).
+        on_complete: Optional listener invoked synchronously (during
+            :meth:`step`/:meth:`drain`) with each finished request's
+            :class:`~repro.sim.metrics.RequestRecord`.
+    """
+
+    def __init__(self, perf_model: RAGPerfModel, schedule: Schedule,
+                 max_wait: Optional[float] = None, seed: int = 0,
+                 dispatch: DispatchSelection = None,
+                 admission: Union[None, str, AdmissionPolicy] = None,
+                 on_complete: Optional[CompletionFn] = None) -> None:
+        self._perf_model = perf_model
+        self._schedule = schedule
+        self._schema = perf_model.schema
+        self._servers = schedule.retrieval_servers
+        if self._servers is None:
+            self._servers = derive_retrieval_servers(perf_model, schedule)
+        self._max_wait = max_wait
+        self._seed = seed
+        self._dispatch = dispatch
+        self._admission = resolve_admission_policy(admission)
+        self._listeners: List[CompletionFn] = \
+            [on_complete] if on_complete is not None else []
+        self._sim = Simulation()
+        self._accumulator = MetricsAccumulator(self._schema)
+        self._last_arrival: Optional[float] = None
+        self._next_id = 0
+        self._stations: Dict[Stage, _BatchStation] = {}
+        self._decode: Optional[_DecodeExecutor] = None
+        self._build()
+
+    # -- construction --------------------------------------------------
+
+    def _stage_perf_fn(self, stage: Stage, resource_amount: int):
+        plan = self._schedule.shard_plans.get(stage)
+
+        def perf(batch: int):
+            return self._perf_model.perf(stage, batch, resource_amount,
+                                         plan=plan)
+
+        return perf
+
+    def _station_policy(self, stage: Stage,
+                        default_wait: float) -> DispatchPolicy:
+        """The stage's dispatch policy, resolved against its deadline.
+
+        Deadline precedence: the policy's own ``max_wait``, then the
+        engine-wide ``max_wait`` argument, then the stage's batch
+        latency.
+        """
+        selection = self._dispatch
+        if isinstance(selection, Mapping):
+            selection = selection.get(stage)
+        policy = resolve_dispatch_policy(selection)
+        if self._max_wait is not None:
+            default_wait = self._max_wait
+        return policy.resolve(default_wait)
+
+    def _build(self) -> None:
+        schema = self._schema
+        stages = [stage for stage in pipeline_stages(schema)
+                  if stage is not Stage.DECODE]
+        resources: Dict[int, _Resource] = {}
+        for index, group in enumerate(self._schedule.groups):
+            resources[index] = _Resource(
+                name="+".join(str(s) for s in group.stages))
+        retrieval_resource = _Resource("retrieval-servers")
+        self._resources = [res for res in resources.values()
+                           if "decode" not in res.name]
+        if schema.has_retrieval:
+            self._resources.append(retrieval_resource)
+
+        # Build stations back to front so each knows its successor.
+        deliver_next = self._enter_decode
+        for stage in reversed(stages):
+            if stage is Stage.RETRIEVAL:
+                resource = retrieval_resource
+                amount = self._servers
+            else:
+                group_index = next(
+                    i for i, group in enumerate(self._schedule.groups)
+                    if stage in group.stages)
+                resource = resources[group_index]
+                amount = self._schedule.groups[group_index].num_xpus
+            batch = self._schedule.batches[stage]
+            perf_fn = self._stage_perf_fn(stage, amount)
+            station = _BatchStation(
+                stage=stage, batch_size=batch, perf_fn=perf_fn,
+                resource=resource,
+                deliver=self._make_deliver(stage, deliver_next),
+                policy=self._station_policy(stage, perf_fn(batch).latency))
+            self._stations[stage] = station
+            deliver_next = station.accept
+        self._entry = deliver_next
+
+        decode_group = next(group for group in self._schedule.groups
+                            if Stage.DECODE in group.stages)
+        decode_batch = self._schedule.batches[Stage.DECODE]
+        decode_perf = self._perf_model.perf(Stage.DECODE, decode_batch,
+                                            decode_group.num_xpus)
+        step_latency = decode_perf.latency / schema.sequences.decode_len
+
+        retrieval_hook = None
+        positions_fn = None
+        if schema.is_iterative:
+            # Iterative retrieval + re-prefix stations: retrieval shares
+            # the CPU servers with the initial retrieval; the re-prefix
+            # time-multiplexes the prefix group's chips (§6.1 [III]).
+            iter_batch = (self._schedule.iterative_batch
+                          or self._schedule.batches[Stage.RETRIEVAL])
+            prefix_index = next(
+                i for i, group in enumerate(self._schedule.groups)
+                if Stage.PREFIX in group.stages)
+            retrieval_perf_fn = self._stage_perf_fn(Stage.RETRIEVAL,
+                                                    self._servers)
+            prefix_perf_fn = self._stage_perf_fn(
+                Stage.PREFIX, self._schedule.groups[prefix_index].num_xpus)
+            iter_prefix = _BatchStation(
+                stage=Stage.PREFIX, batch_size=iter_batch,
+                perf_fn=prefix_perf_fn, resource=resources[prefix_index],
+                deliver=lambda sim, record: self._decode.accept(sim, record),
+                policy=self._station_policy(
+                    Stage.PREFIX, prefix_perf_fn(iter_batch).latency))
+            iter_retrieval = _BatchStation(
+                stage=Stage.RETRIEVAL, batch_size=iter_batch,
+                perf_fn=retrieval_perf_fn, resource=retrieval_resource,
+                deliver=iter_prefix.accept,
+                policy=self._station_policy(
+                    Stage.RETRIEVAL, retrieval_perf_fn(iter_batch).latency))
+            retrieval_hook = iter_retrieval.accept
+            retrievals = schema.retrieval_frequency - 1
+            base_seed = self._seed
+
+            def positions_fn(record: RequestRecord):
+                from repro.workloads.sequences import (
+                    sample_retrieval_positions,
+                )
+                length = record.decode_len or schema.sequences.decode_len
+                count = min(retrievals, max(length - 1, 0))
+                return sample_retrieval_positions(
+                    length, count, seed=base_seed + record.request_id)
+
+        self._decode = _DecodeExecutor(
+            capacity=decode_batch, step_latency=step_latency,
+            decode_len=schema.sequences.decode_len,
+            on_complete=self._request_done,
+            admission=self._admission,
+            retrieval_hook=retrieval_hook,
+            positions_fn=positions_fn)
+
+    def _make_deliver(self, stage: Stage, downstream):
+        def deliver(sim: Simulation, record: RequestRecord) -> None:
+            if stage is Stage.PREFIX and record.first_token_time is None:
+                record.first_token_time = sim.now
+            downstream(sim, record)
+
+        return deliver
+
+    def _enter_decode(self, sim: Simulation, record: RequestRecord) -> None:
+        self._decode.accept(sim, record)
+
+    def _request_done(self, sim: Simulation, record: RequestRecord) -> None:
+        self._accumulator.finish(record)
+        for listener in self._listeners:
+            listener(record)
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._sim.now
+
+    @property
+    def offered(self) -> int:
+        """Requests submitted so far."""
+        return self._accumulator.offered
+
+    @property
+    def completed(self) -> int:
+        """Requests finished so far."""
+        return self._accumulator.completed
+
+    @property
+    def in_flight(self) -> int:
+        """Submitted but unfinished requests."""
+        return self.offered - self.completed
+
+    @property
+    def records(self) -> List[RequestRecord]:
+        """All submitted records, in submission order."""
+        return self._accumulator.records
+
+    @property
+    def schema(self):
+        """The workload schema this engine serves."""
+        return self._schema
+
+    @property
+    def schedule(self) -> Schedule:
+        """The deployment under test."""
+        return self._schedule
+
+    def add_listener(self, listener: CompletionFn) -> None:
+        """Subscribe an additional completion listener."""
+        self._listeners.append(listener)
+
+    def submit(self, arrival: float, decode_len: Optional[int] = None,
+               ) -> RequestRecord:
+        """Inject one request at simulated time ``arrival``.
+
+        Args:
+            arrival: Arrival timestamp in simulated seconds. Must be
+                finite, non-negative, at or after the engine's current
+                time, and non-decreasing across submissions.
+            decode_len: Tokens this request generates (the workload
+                profile's decode length when None).
+
+        Returns:
+            The request's live :class:`RequestRecord` (its fields fill
+            in as the simulation advances).
+
+        Raises:
+            ConfigError: on out-of-order timestamps or a non-positive
+                decode length.
+        """
+        if not isinstance(arrival, (int, float)) \
+                or not math.isfinite(arrival):
+            raise ConfigError("arrival must be a finite number")
+        if arrival < 0:
+            raise ConfigError("arrival times must be non-negative")
+        if self._last_arrival is not None and arrival < self._last_arrival:
+            raise ConfigError(
+                f"out-of-order timestamp: arrival {arrival} precedes the "
+                f"previous submission at {self._last_arrival}")
+        if arrival < self._sim.now:
+            raise ConfigError(
+                f"out-of-order timestamp: arrival {arrival} is in the "
+                f"engine's past (simulated time {self._sim.now})")
+        if decode_len is None:
+            decode_len = self._schema.sequences.decode_len
+        if decode_len <= 0:
+            raise ConfigError("decode lengths must be positive")
+        record = RequestRecord(request_id=self._next_id, arrival=arrival,
+                               decode_len=int(decode_len))
+        self._next_id += 1
+        self._last_arrival = arrival
+        self._accumulator.add(record)
+        self._sim.schedule_at(arrival,
+                              lambda s, r=record: self._entry(s, r))
+        return record
+
+    def step(self, until: float) -> float:
+        """Advance simulated time to ``until``, processing due events.
+
+        Events scheduled past ``until`` stay queued (in order), so
+        stepping is resumable; completions fire listeners synchronously.
+
+        Returns:
+            The engine's simulated time after the step (``until``).
+        """
+        if until < self._sim.now:
+            raise ConfigError("cannot step backwards in time")
+        self._sim.run(until=until)
+        return self._sim.now
+
+    def drain(self) -> float:
+        """Run the network empty: process every remaining event.
+
+        Returns:
+            The simulated time of the last event.
+        """
+        self._sim.run()
+        return self._sim.now
+
+    # -- results -------------------------------------------------------
+
+    def _busy_times(self) -> Dict[str, float]:
+        return {resource.name: resource.busy_time
+                for resource in self._resources}
+
+    def snapshot(self) -> LiveSnapshot:
+        """Running statistics at the engine's current time (O(1))."""
+        return self._accumulator.snapshot(self._sim.now)
+
+    def metrics(self) -> ServingMetrics:
+        """Aggregate metrics over everything submitted so far."""
+        return self._accumulator.metrics(self._busy_times())
+
+    def report(self, trace: RequestTrace,
+               slo: Optional[SLOTarget] = None) -> ServingReport:
+        """The trace-level :class:`ServingReport` for this run.
+
+        Args:
+            trace: The traffic that was (or would be) replayed; supplies
+                scenario name and metadata. Use :meth:`recorded_trace`
+                for a live run.
+            slo: Latency targets (unconstrained when None).
+        """
+        return self._accumulator.report(trace, slo or SLOTarget(),
+                                        self._busy_times())
+
+    def recorded_trace(self, **metadata) -> RequestTrace:
+        """The submissions observed so far, as a replayable trace.
+
+        Every engine submission carries an explicit decode length, so
+        the trace replays to the same per-request lifecycles. Metadata
+        defaults to ``{"scenario": "live"}``; keyword arguments merge
+        on top.
+
+        Raises:
+            ConfigError: when nothing has been submitted (an empty
+                trace is not representable).
+        """
+        records = self._accumulator.records
+        if not records:
+            raise ConfigError("no submissions recorded; an empty trace "
+                              "cannot be built")
+        merged = {"scenario": "live"}
+        merged.update(metadata)
+        return RequestTrace(
+            arrivals=tuple(r.arrival for r in records),
+            decode_lens=tuple(r.decode_len for r in records),
+            metadata=merged,
+        )

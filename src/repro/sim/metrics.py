@@ -1,0 +1,408 @@
+"""Serving-simulation data types and the incremental metrics pipeline.
+
+Everything the DES measures lives here: the per-request lifecycle
+(:class:`RequestRecord`), latency targets (:class:`SLOTarget`), the two
+result artifacts (:class:`ServingMetrics` for bare-arrival runs,
+:class:`ServingReport` for trace replays), and the
+:class:`MetricsAccumulator` that builds them **incrementally** -- each
+completion is folded in as it happens, so a live front-end can snapshot
+running statistics mid-flight (:class:`LiveSnapshot`) while a batch
+replay still gets the exact aggregates the pre-refactor simulator
+computed after the fact.
+
+Historically these types lived in :mod:`repro.sim.serving`; they moved
+here so the incremental engine (:mod:`repro.sim.engine`) can use them
+without importing the open-loop driver. The old import paths keep
+working via re-exports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.schema.stages import Stage, pipeline_stages
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.schema.ragschema import RAGSchema
+    from repro.workloads.traces import RequestTrace
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle of one request through the simulated deployment.
+
+    Attributes:
+        request_id: Arrival index.
+        arrival: Arrival time in seconds.
+        decode_len: Tokens this request generates (the workload profile's
+            decode length unless per-request lengths were supplied).
+        stage_completions: Completion time per pipeline stage.
+        stage_enqueues: Last enqueue time per stage (queueing bookkeeping).
+        queue_waits: Accumulated queueing delay per stage (a stage visited
+            repeatedly, e.g. iterative re-prefix, accumulates).
+        first_token_time: When the prefix stage finished (first token).
+        completion_time: When the last decode step finished.
+    """
+
+    request_id: int
+    arrival: float
+    decode_len: int = 0
+    stage_completions: Dict[Stage, float] = field(default_factory=dict)
+    stage_enqueues: Dict[Stage, float] = field(default_factory=dict)
+    queue_waits: Dict[Stage, float] = field(default_factory=dict)
+    first_token_time: Optional[float] = None
+    completion_time: Optional[float] = None
+
+    @property
+    def ttft(self) -> Optional[float]:
+        """Seconds from arrival to first token (None if unfinished)."""
+        if self.first_token_time is None:
+            return None
+        return self.first_token_time - self.arrival
+
+    @property
+    def tpot(self) -> Optional[float]:
+        """Mean seconds per generated token (None if unfinished)."""
+        if self.completion_time is None or self.first_token_time is None:
+            return None
+        return (self.completion_time - self.first_token_time) \
+            / max(self.decode_len, 1)
+
+
+@dataclass
+class ServingMetrics:
+    """Aggregate results of one simulation run.
+
+    Attributes:
+        completed: Requests that finished decoding.
+        offered: Requests injected.
+        duration: Seconds from first arrival to last completion.
+        throughput: Completed requests per second over ``duration``.
+        mean_ttft / p99_ttft: TTFT statistics over completed requests.
+        mean_tpot: Mean (completion - first token) / decode_len.
+        utilization: Busy-time fraction per pre-decode resource over the
+            run (group name -> [0, 1]); shows which tier the schedule
+            actually saturates.
+        records: Per-request lifecycles.
+    """
+
+    completed: int
+    offered: int
+    duration: float
+    throughput: float
+    mean_ttft: float
+    p99_ttft: float
+    mean_tpot: float
+    utilization: Dict[str, float] = field(default_factory=dict)
+    records: List[RequestRecord] = field(repr=False, default_factory=list)
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """Per-request latency targets a served request must meet.
+
+    Attributes:
+        ttft: TTFT target in seconds (None = dimension unconstrained).
+        tpot: TPOT target in seconds (None = dimension unconstrained).
+    """
+
+    ttft: Optional[float] = None
+    tpot: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name, value in (("ttft", self.ttft), ("tpot", self.tpot)):
+            if value is not None and value <= 0:
+                raise ConfigError(f"SLO {name} must be positive when set")
+
+    def check(self, record: RequestRecord) -> Dict[str, Optional[bool]]:
+        """Per-dimension verdict for one completed request.
+
+        An unconstrained dimension verdicts None; an unfinished request
+        fails every constrained dimension.
+        """
+        ttft_ok: Optional[bool] = None
+        tpot_ok: Optional[bool] = None
+        if self.ttft is not None:
+            ttft_ok = record.ttft is not None and record.ttft <= self.ttft
+        if self.tpot is not None:
+            tpot_ok = record.tpot is not None and record.tpot <= self.tpot
+        return {"ttft": ttft_ok, "tpot": tpot_ok,
+                "joint": (None if ttft_ok is None and tpot_ok is None
+                          else ttft_ok is not False and tpot_ok is not False)}
+
+
+def _interpolated_percentile(sorted_values: Sequence[float],
+                             fraction: float) -> float:
+    """Linear-interpolated percentile over pre-sorted values.
+
+    Raises:
+        ConfigError: on an empty sample (degenerate runs must surface
+            as configuration errors, not index errors).
+    """
+    if not sorted_values:
+        raise ConfigError("cannot take a percentile of zero samples")
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigError("percentile fraction must be in [0, 1]")
+    rank = fraction * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    weight = rank - low
+    return sorted_values[low] * (1.0 - weight) \
+        + sorted_values[high] * weight
+
+
+def _latency_summary(sorted_values: Sequence[float]) -> Dict[str, float]:
+    return {
+        "mean": sum(sorted_values) / len(sorted_values),
+        "p50": _interpolated_percentile(sorted_values, 0.50),
+        "p95": _interpolated_percentile(sorted_values, 0.95),
+        "p99": _interpolated_percentile(sorted_values, 0.99),
+    }
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Scenario-level outcome of replaying a trace through a schedule.
+
+    The serializable artifact behind ``repro replay``: aggregates only
+    (``records`` ride along for programmatic drill-down but are
+    excluded from equality and from the :mod:`repro.config` envelope).
+
+    Attributes:
+        scenario: The trace's generating scenario name.
+        offered / completed: Requests injected / finished.
+        duration: Seconds from first arrival to last completion.
+        throughput: Completed requests per second.
+        slo: The targets attainment was measured against.
+        slo_attainment: Fraction of completed requests meeting the
+            ``ttft`` target, the ``tpot`` target, and both (``joint``).
+            An unconstrained dimension counts as met.
+        ttft / tpot: mean/p50/p95/p99 latency summaries (interpolated
+            percentiles, seconds).
+        queueing: Per-stage queue-wait breakdown (stage name ->
+            mean/p95/max wait in seconds) over completed requests.
+        utilization: Busy-time fraction per pre-decode resource.
+        trace_metadata: The replayed trace's metadata, for provenance.
+        records: Per-request lifecycles (not serialized, not compared).
+    """
+
+    scenario: str
+    offered: int
+    completed: int
+    duration: float
+    throughput: float
+    slo: SLOTarget
+    slo_attainment: Dict[str, float]
+    ttft: Dict[str, float]
+    tpot: Dict[str, float]
+    queueing: Dict[str, Dict[str, float]]
+    utilization: Dict[str, float]
+    trace_metadata: Dict[str, Any] = field(default_factory=dict)
+    records: List[RequestRecord] = field(default_factory=list,
+                                         repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.completed < 0 or self.offered < 0:
+            raise ConfigError("request counts must be non-negative")
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of offered requests that finished."""
+        return self.completed / self.offered if self.offered else 0.0
+
+
+@dataclass(frozen=True)
+class LiveSnapshot:
+    """Running statistics of an in-flight engine, O(1) to take.
+
+    Attributes:
+        now: Current simulated time in seconds.
+        offered: Requests submitted so far.
+        completed: Requests finished so far.
+        in_flight: Submitted but unfinished requests.
+        throughput: Completions per second since the first arrival.
+        mean_ttft / mean_tpot: Running means over completed requests
+            (0.0 before the first completion).
+    """
+
+    now: float
+    offered: int
+    completed: int
+    in_flight: int
+    throughput: float
+    mean_ttft: float
+    mean_tpot: float
+
+
+class MetricsAccumulator:
+    """Folds request lifecycles into serving statistics incrementally.
+
+    The engine calls :meth:`add` at submission and :meth:`finish` at
+    completion; between those calls the accumulator can answer
+    :meth:`snapshot` from running sums alone. :meth:`metrics` and
+    :meth:`report` reproduce -- value for value -- the aggregates the
+    pre-refactor batch simulator computed, so an open-loop replay
+    through the engine stays bit-identical.
+    """
+
+    def __init__(self, schema: "RAGSchema") -> None:
+        self._schema = schema
+        self._records: List[RequestRecord] = []
+        self._first_arrival: Optional[float] = None
+        self._completed = 0
+        self._ttft_sum = 0.0
+        self._ttft_count = 0
+        self._tpot_sum = 0.0
+        self._last_completion = 0.0
+        self._utilization_fn = None
+
+    # -- engine feed ---------------------------------------------------
+
+    def add(self, record: RequestRecord) -> None:
+        """Register a submitted request."""
+        self._records.append(record)
+        if self._first_arrival is None:
+            self._first_arrival = record.arrival
+
+    def finish(self, record: RequestRecord) -> None:
+        """Fold in one completed request (completion_time set)."""
+        self._completed += 1
+        self._last_completion = max(self._last_completion,
+                                    record.completion_time)
+        if record.ttft is not None:
+            self._ttft_sum += record.ttft
+            self._ttft_count += 1
+            self._tpot_sum += record.tpot
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def offered(self) -> int:
+        """Requests registered so far."""
+        return len(self._records)
+
+    @property
+    def completed(self) -> int:
+        """Requests finished so far."""
+        return self._completed
+
+    @property
+    def records(self) -> List[RequestRecord]:
+        """All registered records, in submission order."""
+        return self._records
+
+    def snapshot(self, now: float) -> LiveSnapshot:
+        """Running statistics at simulated time ``now`` (O(1))."""
+        elapsed = 0.0
+        if self._first_arrival is not None:
+            elapsed = max(now - self._first_arrival, 0.0)
+        return LiveSnapshot(
+            now=now,
+            offered=self.offered,
+            completed=self._completed,
+            in_flight=self.offered - self._completed,
+            throughput=self._completed / elapsed if elapsed > 0 else 0.0,
+            mean_ttft=(self._ttft_sum / self._ttft_count
+                       if self._ttft_count else 0.0),
+            mean_tpot=(self._tpot_sum / self._ttft_count
+                       if self._ttft_count else 0.0),
+        )
+
+    # -- final artifacts -----------------------------------------------
+
+    def metrics(self,
+                utilization_of: Optional[Dict[str, float]] = None,
+                ) -> ServingMetrics:
+        """The batch-run aggregate (pre-refactor ``ServingMetrics``).
+
+        Args:
+            utilization_of: Resource-name -> busy-seconds totals; the
+                accumulator normalizes them by the run duration.
+        """
+        done = [r for r in self._records if r.completion_time is not None]
+        ttfts = sorted(r.ttft for r in done if r.ttft is not None)
+        if done and ttfts:
+            last = max(r.completion_time for r in done)
+            duration = max(last - self._records[0].arrival, 1e-12)
+            throughput = len(done) / duration
+            mean_ttft = sum(ttfts) / len(ttfts)
+            p99 = ttfts[min(int(0.99 * len(ttfts)), len(ttfts) - 1)]
+            tpots = [(r.completion_time - r.first_token_time)
+                     / max(r.decode_len, 1)
+                     for r in done if r.first_token_time is not None]
+            mean_tpot = sum(tpots) / len(tpots)
+        else:
+            duration = throughput = mean_ttft = p99 = mean_tpot = 0.0
+        utilization = {}
+        if duration > 0 and utilization_of:
+            utilization = {name: min(busy / duration, 1.0)
+                           for name, busy in utilization_of.items()}
+        return ServingMetrics(
+            completed=len(done),
+            offered=len(self._records),
+            duration=duration,
+            throughput=throughput,
+            mean_ttft=mean_ttft,
+            p99_ttft=p99,
+            mean_tpot=mean_tpot,
+            utilization=utilization,
+            records=self._records,
+        )
+
+    def report(self, trace: "RequestTrace", slo: SLOTarget,
+               utilization_of: Optional[Dict[str, float]] = None,
+               ) -> ServingReport:
+        """The trace-replay artifact (pre-refactor ``ServingReport``).
+
+        Raises:
+            ConfigError: when zero requests finished -- a degenerate run
+                must surface as a configuration error, not bad math.
+        """
+        metrics = self.metrics(utilization_of)
+        done = [r for r in metrics.records
+                if r.completion_time is not None
+                and r.first_token_time is not None]
+        if not done:
+            raise ConfigError(
+                "zero requests finished the replay; raise the horizon or "
+                "lower the offered load before asking for a report")
+        ttfts = sorted(r.ttft for r in done)
+        tpots = sorted(r.tpot for r in done)
+        met_ttft = [slo.ttft is None or r.ttft <= slo.ttft for r in done]
+        met_tpot = [slo.tpot is None or r.tpot <= slo.tpot for r in done]
+        attainment = {
+            "ttft": sum(met_ttft) / len(done),
+            "tpot": sum(met_tpot) / len(done),
+            "joint": sum(a and b for a, b in zip(met_ttft, met_tpot))
+            / len(done),
+        }
+        queueing: Dict[str, Dict[str, float]] = {}
+        stage_order = [stage for stage in pipeline_stages(self._schema)
+                       if stage is not Stage.DECODE] + [Stage.DECODE]
+        for stage in stage_order:
+            waits = sorted(r.queue_waits[stage] for r in done
+                           if stage in r.queue_waits)
+            if not waits:
+                continue
+            queueing[stage.value] = {
+                "mean_wait": sum(waits) / len(waits),
+                "p95_wait": _interpolated_percentile(waits, 0.95),
+                "max_wait": waits[-1],
+            }
+        return ServingReport(
+            scenario=trace.scenario,
+            offered=metrics.offered,
+            completed=metrics.completed,
+            duration=metrics.duration,
+            throughput=metrics.throughput,
+            slo=slo,
+            slo_attainment=attainment,
+            ttft=_latency_summary(ttfts),
+            tpot=_latency_summary(tpots),
+            queueing=queueing,
+            utilization=dict(metrics.utilization),
+            trace_metadata=dict(trace.metadata),
+            records=metrics.records,
+        )

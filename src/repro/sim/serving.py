@@ -1,430 +1,60 @@
-"""Request-level RAG serving simulator.
+"""Open-loop driver over the incremental serving engine.
 
-Builds a queueing network from a :class:`~repro.pipeline.Schedule`:
+:class:`ServingSimulator` is the batch front door to the request-level
+DES: it validates a whole workload up front, submits every request to a
+fresh :class:`~repro.sim.engine.ServingEngine`, drains it, and returns
+the aggregate artifact -- :class:`~repro.sim.metrics.ServingMetrics`
+for bare arrival lists (legacy API) or a
+:class:`~repro.sim.metrics.ServingReport` for a
+:class:`~repro.workloads.traces.RequestTrace` (the artifact behind
+``repro replay``).
 
-* every placement group becomes one *resource*; the group's stages are
-  batch stations that serialize on it (time multiplexing, §6.1),
-* retrieval is a station on its own CPU-server resource -- so a
-  collocated group spanning retrieval naturally idles while requests
-  are out at the retrieval tier, reproducing the paper's stall rule,
-* decode is a continuous-batching executor: sequences join the running
-  batch at step boundaries and leave after ``decode_len`` steps.
+The queueing network itself -- placement-group resources, batch
+stations, the continuous-batching decode executor, pluggable
+dispatch/admission policies -- lives in :mod:`repro.sim.engine`; this
+module adds only the one-shot replay discipline. Replays through the
+engine are bit-identical to the pre-refactor monolithic simulator
+(pinned by regression tests), and the same engine also powers the live
+asyncio front-end in :mod:`repro.serve`.
 
-Stage *service times* come from the analytical cost models; the DES adds
-queueing, batching and admission dynamics. *When* a station fires and
-*who* joins the decode batch are pluggable policies
-(:mod:`repro.sim.policies`); the defaults -- deadline flush and greedy
-admission -- reproduce the paper's serving model (batches dispatch when
-full, or when a station has waited ``max_wait`` with a partial batch,
-so tails cannot deadlock).
-
-Workloads arrive either as bare arrival lists (legacy API, returns
-:class:`ServingMetrics`) or as a
-:class:`~repro.workloads.traces.RequestTrace`, in which case
-:meth:`ServingSimulator.run` returns a :class:`ServingReport` --
-SLO attainment, interpolated latency percentiles and per-stage queueing
-breakdowns -- the artifact behind ``repro replay``.
-
-Iterative-retrieval schemas are handled by the dedicated cohort model in
-:mod:`repro.pipeline.iterative`; this simulator rejects them.
+Iterative-retrieval schemas (Case III) run through the engine's
+retrieval-hook and re-prefix stations; the closed-form counterpart is
+the cohort model in :mod:`repro.pipeline.iterative`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import (
-    Any,
-    Callable,
-    Dict,
-    List,
-    Mapping,
-    Optional,
-    Sequence,
-    Union,
-)
+from typing import Optional, Sequence, Union
 
 from repro.errors import ConfigError
-from repro.pipeline.assembly import Schedule, derive_retrieval_servers
+from repro.pipeline.assembly import Schedule
 from repro.pipeline.stage_perf import RAGPerfModel
-from repro.schema.stages import Stage, pipeline_stages
-from repro.sim.engine import Simulation
-from repro.sim.policies import (
-    AdmissionPolicy,
-    DispatchPolicy,
-    resolve_admission_policy,
-    resolve_dispatch_policy,
+from repro.sim.engine import DispatchSelection, ServingEngine
+from repro.sim.metrics import (
+    LiveSnapshot,
+    MetricsAccumulator,
+    RequestRecord,
+    ServingMetrics,
+    ServingReport,
+    SLOTarget,
+    _interpolated_percentile,
+    _latency_summary,
 )
+from repro.sim.policies import AdmissionPolicy
 from repro.workloads.traces import RequestTrace
 
-#: Per-stage dispatch selection: one policy (or registry name) for all
-#: stages, or a mapping from stage to policy/name.
-DispatchSelection = Union[None, str, DispatchPolicy,
-                          Mapping[Stage, Union[str, DispatchPolicy]]]
-
-
-@dataclass
-class RequestRecord:
-    """Lifecycle of one request through the simulated deployment.
-
-    Attributes:
-        request_id: Arrival index.
-        arrival: Arrival time in seconds.
-        decode_len: Tokens this request generates (the workload profile's
-            decode length unless per-request lengths were supplied).
-        stage_completions: Completion time per pipeline stage.
-        stage_enqueues: Last enqueue time per stage (queueing bookkeeping).
-        queue_waits: Accumulated queueing delay per stage (a stage visited
-            repeatedly, e.g. iterative re-prefix, accumulates).
-        first_token_time: When the prefix stage finished (first token).
-        completion_time: When the last decode step finished.
-    """
-
-    request_id: int
-    arrival: float
-    decode_len: int = 0
-    stage_completions: Dict[Stage, float] = field(default_factory=dict)
-    stage_enqueues: Dict[Stage, float] = field(default_factory=dict)
-    queue_waits: Dict[Stage, float] = field(default_factory=dict)
-    first_token_time: Optional[float] = None
-    completion_time: Optional[float] = None
-
-    @property
-    def ttft(self) -> Optional[float]:
-        """Seconds from arrival to first token (None if unfinished)."""
-        if self.first_token_time is None:
-            return None
-        return self.first_token_time - self.arrival
-
-    @property
-    def tpot(self) -> Optional[float]:
-        """Mean seconds per generated token (None if unfinished)."""
-        if self.completion_time is None or self.first_token_time is None:
-            return None
-        return (self.completion_time - self.first_token_time) \
-            / max(self.decode_len, 1)
-
-
-@dataclass
-class ServingMetrics:
-    """Aggregate results of one simulation run.
-
-    Attributes:
-        completed: Requests that finished decoding.
-        offered: Requests injected.
-        duration: Seconds from first arrival to last completion.
-        throughput: Completed requests per second over ``duration``.
-        mean_ttft / p99_ttft: TTFT statistics over completed requests.
-        mean_tpot: Mean (completion - first token) / decode_len.
-        utilization: Busy-time fraction per pre-decode resource over the
-            run (group name -> [0, 1]); shows which tier the schedule
-            actually saturates.
-        records: Per-request lifecycles.
-    """
-
-    completed: int
-    offered: int
-    duration: float
-    throughput: float
-    mean_ttft: float
-    p99_ttft: float
-    mean_tpot: float
-    utilization: Dict[str, float] = field(default_factory=dict)
-    records: List[RequestRecord] = field(repr=False, default_factory=list)
-
-
-@dataclass(frozen=True)
-class SLOTarget:
-    """Per-request latency targets a served request must meet.
-
-    Attributes:
-        ttft: TTFT target in seconds (None = dimension unconstrained).
-        tpot: TPOT target in seconds (None = dimension unconstrained).
-    """
-
-    ttft: Optional[float] = None
-    tpot: Optional[float] = None
-
-    def __post_init__(self) -> None:
-        for name, value in (("ttft", self.ttft), ("tpot", self.tpot)):
-            if value is not None and value <= 0:
-                raise ConfigError(f"SLO {name} must be positive when set")
-
-
-def _interpolated_percentile(sorted_values: Sequence[float],
-                             fraction: float) -> float:
-    """Linear-interpolated percentile over pre-sorted values.
-
-    Raises:
-        ConfigError: on an empty sample (degenerate runs must surface
-            as configuration errors, not index errors).
-    """
-    if not sorted_values:
-        raise ConfigError("cannot take a percentile of zero samples")
-    if not 0.0 <= fraction <= 1.0:
-        raise ConfigError("percentile fraction must be in [0, 1]")
-    rank = fraction * (len(sorted_values) - 1)
-    low = int(rank)
-    high = min(low + 1, len(sorted_values) - 1)
-    weight = rank - low
-    return sorted_values[low] * (1.0 - weight) \
-        + sorted_values[high] * weight
-
-
-def _latency_summary(sorted_values: Sequence[float]) -> Dict[str, float]:
-    return {
-        "mean": sum(sorted_values) / len(sorted_values),
-        "p50": _interpolated_percentile(sorted_values, 0.50),
-        "p95": _interpolated_percentile(sorted_values, 0.95),
-        "p99": _interpolated_percentile(sorted_values, 0.99),
-    }
-
-
-@dataclass(frozen=True)
-class ServingReport:
-    """Scenario-level outcome of replaying a trace through a schedule.
-
-    The serializable artifact behind ``repro replay``: aggregates only
-    (``records`` ride along for programmatic drill-down but are
-    excluded from equality and from the :mod:`repro.config` envelope).
-
-    Attributes:
-        scenario: The trace's generating scenario name.
-        offered / completed: Requests injected / finished.
-        duration: Seconds from first arrival to last completion.
-        throughput: Completed requests per second.
-        slo: The targets attainment was measured against.
-        slo_attainment: Fraction of completed requests meeting the
-            ``ttft`` target, the ``tpot`` target, and both (``joint``).
-            An unconstrained dimension counts as met.
-        ttft / tpot: mean/p50/p95/p99 latency summaries (interpolated
-            percentiles, seconds).
-        queueing: Per-stage queue-wait breakdown (stage name ->
-            mean/p95/max wait in seconds) over completed requests.
-        utilization: Busy-time fraction per pre-decode resource.
-        trace_metadata: The replayed trace's metadata, for provenance.
-        records: Per-request lifecycles (not serialized, not compared).
-    """
-
-    scenario: str
-    offered: int
-    completed: int
-    duration: float
-    throughput: float
-    slo: SLOTarget
-    slo_attainment: Dict[str, float]
-    ttft: Dict[str, float]
-    tpot: Dict[str, float]
-    queueing: Dict[str, Dict[str, float]]
-    utilization: Dict[str, float]
-    trace_metadata: Dict[str, Any] = field(default_factory=dict)
-    records: List[RequestRecord] = field(default_factory=list,
-                                         repr=False, compare=False)
-
-    def __post_init__(self) -> None:
-        if self.completed < 0 or self.offered < 0:
-            raise ConfigError("request counts must be non-negative")
-
-    @property
-    def completion_rate(self) -> float:
-        """Fraction of offered requests that finished."""
-        return self.completed / self.offered if self.offered else 0.0
-
-
-class _Resource:
-    """A set of chips (or servers) that one batch occupies at a time."""
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.busy = False
-        self.stations: List["_BatchStation"] = []
-        self.busy_time = 0.0
-
-    def release(self, sim: Simulation) -> None:
-        self.busy = False
-        for station in self.stations:
-            station.try_dispatch(sim)
-            if self.busy:
-                break
-
-
-class _BatchStation:
-    """One pipeline stage batching requests on a shared resource.
-
-    A batch occupies the resource for its *initiation interval*
-    (``batch / throughput``): pipeline-parallel prefill overlaps
-    consecutive batches, so the resource frees before the batch's full
-    latency has elapsed; results are delivered at the latency.
-
-    When to fire and how much to take are delegated to a
-    :class:`~repro.sim.policies.DispatchPolicy` (already resolved
-    against this stage's default deadline).
-    """
-
-    def __init__(self, stage: Stage, batch_size: int,
-                 perf_fn: Callable[[int], "object"], resource: _Resource,
-                 deliver: Callable[[Simulation, RequestRecord], None],
-                 policy: DispatchPolicy) -> None:
-        self.stage = stage
-        self.batch_size = batch_size
-        self.perf_fn = perf_fn
-        self.resource = resource
-        self.deliver = deliver
-        self.policy = policy
-        self.queue: List[RequestRecord] = []
-        self._oldest_enqueue: Optional[float] = None
-        self._flush_scheduled = False
-        resource.stations.append(self)
-
-    def accept(self, sim: Simulation, record: RequestRecord) -> None:
-        self.queue.append(record)
-        record.stage_enqueues[self.stage] = sim.now
-        if self._oldest_enqueue is None:
-            self._oldest_enqueue = sim.now
-        self.try_dispatch(sim)
-
-    def try_dispatch(self, sim: Simulation) -> None:
-        if self.resource.busy or not self.queue:
-            return
-        waited = sim.now - self._oldest_enqueue
-        take = self.policy.take(len(self.queue), self.batch_size, waited)
-        if take > 0:
-            self._dispatch(sim, take)
-        elif not self._flush_scheduled:
-            delay = self.policy.flush_delay(waited)
-            if delay is not None:
-                self._flush_scheduled = True
-                sim.schedule(max(delay, 0.0), self._flush)
-
-    def _flush(self, sim: Simulation) -> None:
-        # Force-dispatch the partial batch (float rounding must not turn
-        # the staleness check into a zero-delay reschedule loop).
-        self._flush_scheduled = False
-        if not self.resource.busy and self.queue:
-            self._dispatch(sim, self.policy.flush_take(len(self.queue),
-                                                       self.batch_size))
-
-    def _dispatch(self, sim: Simulation, take: int) -> None:
-        batch = self.queue[:take]
-        del self.queue[:take]
-        for record in batch:
-            enqueued = record.stage_enqueues.get(self.stage, sim.now)
-            record.queue_waits[self.stage] = \
-                record.queue_waits.get(self.stage, 0.0) \
-                + (sim.now - enqueued)
-        self._oldest_enqueue = sim.now if self.queue else None
-        self.resource.busy = True
-        perf = self.perf_fn(take)
-        latency = perf.latency
-        occupancy = min(take / perf.request_qps, latency)
-        self.resource.busy_time += occupancy
-
-        def free(sim_: Simulation) -> None:
-            self.resource.release(sim_)
-
-        def complete(sim_: Simulation, batch_=batch) -> None:
-            for record in batch_:
-                record.stage_completions[self.stage] = sim_.now
-            for record in batch_:
-                self.deliver(sim_, record)
-
-        sim.schedule(occupancy, free)
-        sim.schedule(latency, complete)
-
-
-class _DecodeExecutor:
-    """Continuous-batching decode: sequences join at step boundaries and
-    leave after their own decode length (variable-length requests mix in
-    the batch, which is why the paper reports worst-case TPOT).
-
-    *Who* joins at a step boundary is the
-    :class:`~repro.sim.policies.AdmissionPolicy`'s call.
-
-    For iterative schemas (Case III), a sequence that hits one of its
-    retrieval positions leaves the batch through ``retrieval_hook`` (to
-    the retrieval + re-prefix stations) and re-joins via :meth:`accept`
-    when the new context has been integrated.
-    """
-
-    def __init__(self, capacity: int, step_latency: float, decode_len: int,
-                 on_complete: Callable[[Simulation, RequestRecord], None],
-                 admission: AdmissionPolicy,
-                 retrieval_hook: Optional[
-                     Callable[[Simulation, RequestRecord], None]] = None,
-                 positions_fn: Optional[
-                     Callable[[RequestRecord], List[int]]] = None) -> None:
-        self.capacity = capacity
-        self.step_latency = step_latency
-        self.decode_len = decode_len
-        self.on_complete = on_complete
-        self.admission = admission
-        self.retrieval_hook = retrieval_hook
-        self.positions_fn = positions_fn
-        self.waiting: List[RequestRecord] = []
-        self.remaining: List[List] = []  # [record, target]
-        self.running = False
-        self._progress: Dict[int, int] = {}
-        self._positions: Dict[int, List[int]] = {}
-
-    def accept(self, sim: Simulation, record: RequestRecord) -> None:
-        self.waiting.append(record)
-        record.stage_enqueues[Stage.DECODE] = sim.now
-        if not self.running:
-            self.running = True
-            sim.schedule(0.0, self._step)
-
-    def _admit(self, now: float, record: RequestRecord) -> None:
-        if record.request_id not in self._progress:
-            self._progress[record.request_id] = 0
-            if self.positions_fn is not None:
-                self._positions[record.request_id] = list(
-                    self.positions_fn(record))
-            else:
-                self._positions[record.request_id] = []
-        enqueued = record.stage_enqueues.get(Stage.DECODE, now)
-        record.queue_waits[Stage.DECODE] = \
-            record.queue_waits.get(Stage.DECODE, 0.0) + (now - enqueued)
-        target = record.decode_len or self.decode_len
-        self.remaining.append([record, target])
-
-    def _step(self, sim: Simulation) -> None:
-        # Admit new sequences per the admission policy.
-        if self.waiting:
-            admitted = self.admission.admit(
-                [record.decode_len or self.decode_len
-                 for record in self.waiting],
-                [entry[1] - self._progress[entry[0].request_id]
-                 for entry in self.remaining],
-                self.capacity)
-            for _ in range(admitted):
-                self._admit(sim.now, self.waiting.pop(0))
-        if not self.remaining:
-            self.running = False
-            return
-
-        def advance(sim_: Simulation) -> None:
-            finished = []
-            departing = []
-            for entry in self.remaining:
-                record = entry[0]
-                self._progress[record.request_id] += 1
-                done = self._progress[record.request_id]
-                if done >= entry[1]:
-                    finished.append(entry)
-                    continue
-                positions = self._positions[record.request_id]
-                if positions and done >= positions[0]:
-                    positions.pop(0)
-                    departing.append(entry)
-            for entry in finished:
-                self.remaining.remove(entry)
-                entry[0].completion_time = sim_.now
-                self.on_complete(sim_, entry[0])
-            for entry in departing:
-                self.remaining.remove(entry)
-                self.retrieval_hook(sim_, entry[0])
-            self._step(sim_)
-
-        sim.schedule(self.step_latency, advance)
+__all__ = [
+    "ServingSimulator",
+    "RequestRecord",
+    "ServingMetrics",
+    "ServingReport",
+    "SLOTarget",
+    "LiveSnapshot",
+    "MetricsAccumulator",
+    "DispatchSelection",
+    "_interpolated_percentile",
+    "_latency_summary",
+]
 
 
 class ServingSimulator:
@@ -451,149 +81,26 @@ class ServingSimulator:
         self._perf_model = perf_model
         self._schedule = schedule
         self._schema = perf_model.schema
-        self._servers = schedule.retrieval_servers
-        if self._servers is None:
-            self._servers = derive_retrieval_servers(perf_model, schedule)
         self._max_wait = max_wait
         self._seed = seed
         self._dispatch = dispatch
-        self._admission = resolve_admission_policy(admission)
-        self._records: List[RequestRecord] = []
-        self._stations: Dict[Stage, _BatchStation] = {}
-        self._decode: Optional[_DecodeExecutor] = None
-        self._build()
+        self._admission = admission
+        # Engines are single-use; build one eagerly so schedule/schema
+        # validation still fails at construction time, as it always has.
+        self._engine: Optional[ServingEngine] = self._fresh_engine()
 
-    # ------------------------------------------------------------------
+    def _fresh_engine(self) -> ServingEngine:
+        return ServingEngine(self._perf_model, self._schedule,
+                             max_wait=self._max_wait, seed=self._seed,
+                             dispatch=self._dispatch,
+                             admission=self._admission)
 
-    def _stage_perf_fn(self, stage: Stage, resource_amount: int):
-        plan = self._schedule.shard_plans.get(stage)
-
-        def perf(batch: int):
-            return self._perf_model.perf(stage, batch, resource_amount,
-                                         plan=plan)
-
-        return perf
-
-    def _station_policy(self, stage: Stage,
-                        default_wait: float) -> DispatchPolicy:
-        """The stage's dispatch policy, resolved against its deadline.
-
-        Deadline precedence: the policy's own ``max_wait``, then the
-        simulator-wide ``max_wait`` argument, then the stage's batch
-        latency.
-        """
-        selection = self._dispatch
-        if isinstance(selection, Mapping):
-            selection = selection.get(stage)
-        policy = resolve_dispatch_policy(selection)
-        if self._max_wait is not None:
-            default_wait = self._max_wait
-        return policy.resolve(default_wait)
-
-    def _build(self) -> None:
-        schema = self._schema
-        stages = [stage for stage in pipeline_stages(schema)
-                  if stage is not Stage.DECODE]
-        resources: Dict[int, _Resource] = {}
-        for index, group in enumerate(self._schedule.groups):
-            resources[index] = _Resource(
-                name="+".join(str(s) for s in group.stages))
-        retrieval_resource = _Resource("retrieval-servers")
-        self._resources = [res for res in resources.values()
-                           if "decode" not in res.name]
-        if schema.has_retrieval:
-            self._resources.append(retrieval_resource)
-
-        # Build stations back to front so each knows its successor.
-        deliver_next = self._enter_decode
-        for stage in reversed(stages):
-            if stage is Stage.RETRIEVAL:
-                resource = retrieval_resource
-                amount = self._servers
-            else:
-                group_index = next(
-                    i for i, group in enumerate(self._schedule.groups)
-                    if stage in group.stages)
-                resource = resources[group_index]
-                amount = self._schedule.groups[group_index].num_xpus
-            batch = self._schedule.batches[stage]
-            perf_fn = self._stage_perf_fn(stage, amount)
-            station = _BatchStation(
-                stage=stage, batch_size=batch, perf_fn=perf_fn,
-                resource=resource,
-                deliver=self._make_deliver(stage, deliver_next),
-                policy=self._station_policy(stage, perf_fn(batch).latency))
-            self._stations[stage] = station
-            deliver_next = station.accept
-        self._entry = deliver_next
-
-        decode_group = next(group for group in self._schedule.groups
-                            if Stage.DECODE in group.stages)
-        decode_batch = self._schedule.batches[Stage.DECODE]
-        decode_perf = self._perf_model.perf(Stage.DECODE, decode_batch,
-                                            decode_group.num_xpus)
-        step_latency = decode_perf.latency / schema.sequences.decode_len
-
-        retrieval_hook = None
-        positions_fn = None
-        if schema.is_iterative:
-            # Iterative retrieval + re-prefix stations: retrieval shares
-            # the CPU servers with the initial retrieval; the re-prefix
-            # time-multiplexes the prefix group's chips (§6.1 [III]).
-            iter_batch = (self._schedule.iterative_batch
-                          or self._schedule.batches[Stage.RETRIEVAL])
-            prefix_index = next(
-                i for i, group in enumerate(self._schedule.groups)
-                if Stage.PREFIX in group.stages)
-            retrieval_perf_fn = self._stage_perf_fn(Stage.RETRIEVAL,
-                                                    self._servers)
-            prefix_perf_fn = self._stage_perf_fn(
-                Stage.PREFIX, self._schedule.groups[prefix_index].num_xpus)
-            iter_prefix = _BatchStation(
-                stage=Stage.PREFIX, batch_size=iter_batch,
-                perf_fn=prefix_perf_fn, resource=resources[prefix_index],
-                deliver=lambda sim, record: self._decode.accept(sim, record),
-                policy=self._station_policy(
-                    Stage.PREFIX, prefix_perf_fn(iter_batch).latency))
-            iter_retrieval = _BatchStation(
-                stage=Stage.RETRIEVAL, batch_size=iter_batch,
-                perf_fn=retrieval_perf_fn, resource=retrieval_resource,
-                deliver=iter_prefix.accept,
-                policy=self._station_policy(
-                    Stage.RETRIEVAL, retrieval_perf_fn(iter_batch).latency))
-            retrieval_hook = iter_retrieval.accept
-            retrievals = schema.retrieval_frequency - 1
-            base_seed = self._seed
-
-            def positions_fn(record: RequestRecord):
-                from repro.workloads.sequences import (
-                    sample_retrieval_positions,
-                )
-                length = record.decode_len or schema.sequences.decode_len
-                count = min(retrievals, max(length - 1, 0))
-                return sample_retrieval_positions(
-                    length, count, seed=base_seed + record.request_id)
-
-        self._decode = _DecodeExecutor(
-            capacity=decode_batch, step_latency=step_latency,
-            decode_len=schema.sequences.decode_len,
-            on_complete=lambda sim, record: None,
-            admission=self._admission,
-            retrieval_hook=retrieval_hook,
-            positions_fn=positions_fn)
-
-    def _make_deliver(self, stage: Stage, downstream):
-        def deliver(sim: Simulation, record: RequestRecord) -> None:
-            if stage is Stage.PREFIX and record.first_token_time is None:
-                record.first_token_time = sim.now
-            downstream(sim, record)
-
-        return deliver
-
-    def _enter_decode(self, sim: Simulation, record: RequestRecord) -> None:
-        self._decode.accept(sim, record)
-
-    # ------------------------------------------------------------------
+    def _take_engine(self) -> ServingEngine:
+        """The pre-built engine, or a fresh one on repeated runs."""
+        engine, self._engine = self._engine, None
+        if engine is None or engine.offered:
+            engine = self._fresh_engine()
+        return engine
 
     def run(self, workload: Union[RequestTrace, Sequence[float]],
             horizon: Optional[float] = None,
@@ -628,16 +135,17 @@ class ServingSimulator:
                 raise ConfigError(
                     "decode_lengths travel inside the trace; do not pass "
                     "both")
-            metrics = self._run(list(workload.arrivals), horizon,
-                                workload.decode_lens)
-            return self._report(metrics, workload, slo or SLOTarget())
+            engine = self._replay(list(workload.arrivals), horizon,
+                                  workload.decode_lens)
+            return engine.report(workload, slo or SLOTarget())
         if slo is not None:
             raise ConfigError(
                 "SLO accounting needs a RequestTrace workload")
-        return self._run(workload, horizon, decode_lengths)
+        return self._replay(workload, horizon, decode_lengths).metrics()
 
-    def _run(self, arrivals: Sequence[float], horizon: Optional[float],
-             decode_lengths: Optional[Sequence[int]]) -> ServingMetrics:
+    def _replay(self, arrivals: Sequence[float], horizon: Optional[float],
+                decode_lengths: Optional[Sequence[int]]) -> ServingEngine:
+        """Open-loop drive: submit the whole workload, then run."""
         if not arrivals:
             raise ConfigError("need at least one arrival")
         if any(b < a for a, b in zip(arrivals, arrivals[1:])):
@@ -648,97 +156,13 @@ class ServingSimulator:
                     "decode_lengths must match arrivals in length")
             if any(length <= 0 for length in decode_lengths):
                 raise ConfigError("decode lengths must be positive")
-        sim = Simulation()
-        self._records = []
-        for resource in self._resources:
-            resource.busy_time = 0.0
-        default_len = self._schema.sequences.decode_len
+        engine = self._take_engine()
         for index, time in enumerate(arrivals):
-            length = decode_lengths[index] if decode_lengths is not None \
-                else default_len
-            record = RequestRecord(request_id=index, arrival=time,
-                                   decode_len=int(length))
-            self._records.append(record)
-            sim.schedule_at(time, lambda s, r=record: self._entry(s, r))
-        sim.run(until=horizon)
-        return self._metrics(arrivals)
-
-    def _metrics(self, arrivals: Sequence[float]) -> ServingMetrics:
-        done = [r for r in self._records if r.completion_time is not None]
-        ttfts = sorted(r.ttft for r in done if r.ttft is not None)
-        if done and ttfts:
-            last = max(r.completion_time for r in done)
-            duration = max(last - arrivals[0], 1e-12)
-            throughput = len(done) / duration
-            mean_ttft = sum(ttfts) / len(ttfts)
-            p99 = ttfts[min(int(0.99 * len(ttfts)), len(ttfts) - 1)]
-            tpots = [(r.completion_time - r.first_token_time)
-                     / max(r.decode_len, 1)
-                     for r in done if r.first_token_time is not None]
-            mean_tpot = sum(tpots) / len(tpots)
+            engine.submit(time,
+                          decode_len=None if decode_lengths is None
+                          else int(decode_lengths[index]))
+        if horizon is not None:
+            engine.step(until=horizon)
         else:
-            duration = throughput = mean_ttft = p99 = mean_tpot = 0.0
-        utilization = {}
-        if duration > 0:
-            utilization = {resource.name:
-                           min(resource.busy_time / duration, 1.0)
-                           for resource in self._resources}
-        return ServingMetrics(
-            completed=len(done),
-            offered=len(self._records),
-            duration=duration,
-            throughput=throughput,
-            mean_ttft=mean_ttft,
-            p99_ttft=p99,
-            mean_tpot=mean_tpot,
-            utilization=utilization,
-            records=self._records,
-        )
-
-    def _report(self, metrics: ServingMetrics, trace: RequestTrace,
-                slo: SLOTarget) -> ServingReport:
-        done = [r for r in metrics.records
-                if r.completion_time is not None
-                and r.first_token_time is not None]
-        if not done:
-            raise ConfigError(
-                "zero requests finished the replay; raise the horizon or "
-                "lower the offered load before asking for a report")
-        ttfts = sorted(r.ttft for r in done)
-        tpots = sorted(r.tpot for r in done)
-        met_ttft = [slo.ttft is None or r.ttft <= slo.ttft for r in done]
-        met_tpot = [slo.tpot is None or r.tpot <= slo.tpot for r in done]
-        attainment = {
-            "ttft": sum(met_ttft) / len(done),
-            "tpot": sum(met_tpot) / len(done),
-            "joint": sum(a and b for a, b in zip(met_ttft, met_tpot))
-            / len(done),
-        }
-        queueing: Dict[str, Dict[str, float]] = {}
-        stage_order = [stage for stage in pipeline_stages(self._schema)
-                       if stage is not Stage.DECODE] + [Stage.DECODE]
-        for stage in stage_order:
-            waits = sorted(r.queue_waits[stage] for r in done
-                           if stage in r.queue_waits)
-            if not waits:
-                continue
-            queueing[stage.value] = {
-                "mean_wait": sum(waits) / len(waits),
-                "p95_wait": _interpolated_percentile(waits, 0.95),
-                "max_wait": waits[-1],
-            }
-        return ServingReport(
-            scenario=trace.scenario,
-            offered=metrics.offered,
-            completed=metrics.completed,
-            duration=metrics.duration,
-            throughput=metrics.throughput,
-            slo=slo,
-            slo_attainment=attainment,
-            ttft=_latency_summary(ttfts),
-            tpot=_latency_summary(tpots),
-            queueing=queueing,
-            utilization=dict(metrics.utilization),
-            trace_metadata=dict(trace.metadata),
-            records=metrics.records,
-        )
+            engine.drain()
+        return engine

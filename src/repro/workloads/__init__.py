@@ -13,10 +13,13 @@ from repro.workloads.traces import (
     SCENARIOS,
     RequestTrace,
     bursty_trace,
+    burstiness_cv,
     diurnal_trace,
     poisson_trace,
+    rate_curve,
     scenario_trace,
     trace_from_arrivals,
+    trace_stats,
 )
 from repro.workloads.vectors import clustered_vectors, gaussian_vectors
 
@@ -31,6 +34,9 @@ __all__ = [
     "diurnal_trace",
     "scenario_trace",
     "trace_from_arrivals",
+    "rate_curve",
+    "burstiness_cv",
+    "trace_stats",
     "sample_question_lengths",
     "sample_decode_lengths",
     "sample_retrieval_positions",

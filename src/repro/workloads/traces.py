@@ -416,3 +416,95 @@ def trace_from_arrivals(arrivals: Iterable[float],
         else tuple(int(n) for n in decode_lens),
         metadata=metadata,
     )
+
+
+# ---------------------------------------------------------------------------
+# Trace analytics (the `repro trace` inspection subcommand).
+# ---------------------------------------------------------------------------
+
+
+def rate_curve(trace: RequestTrace,
+               bins: int = 24) -> List[Tuple[float, float]]:
+    """The trace's arrival-rate curve as (bin center, QPS) points.
+
+    The observation window is the trace's generating ``duration`` when
+    recorded in metadata (so trailing silence shows up as a zero-rate
+    tail), otherwise the span to the last arrival.
+
+    Raises:
+        ConfigError: on a non-positive bin count.
+    """
+    if bins < 1:
+        raise ConfigError("bins must be at least 1")
+    span = float(trace.metadata.get("duration", trace.duration))
+    if span <= 0:
+        # All arrivals at one instant: a single spike bin.
+        return [(trace.arrivals[0], float(trace.num_requests))]
+    width = span / bins
+    counts = [0] * bins
+    for time in trace.arrivals:
+        counts[min(int(time / width), bins - 1)] += 1
+    return [((index + 0.5) * width, count / width)
+            for index, count in enumerate(counts)]
+
+
+def burstiness_cv(trace: RequestTrace) -> float:
+    """Coefficient of variation of the trace's inter-arrival times.
+
+    The classic burstiness scalar: ~1 for a memoryless Poisson stream,
+    >1 for bursty (clustered) traffic, <1 for smoother-than-Poisson
+    pacing.
+
+    Raises:
+        ConfigError: with fewer than two arrivals (no inter-arrival
+            sample) or a zero mean inter-arrival (all arrivals
+            coincident).
+    """
+    if trace.num_requests < 2:
+        raise ConfigError(
+            "burstiness needs at least two arrivals to form an "
+            "inter-arrival sample")
+    gaps = np.diff(np.asarray(trace.arrivals, dtype=float))
+    mean = float(gaps.mean())
+    if mean <= 0:
+        raise ConfigError(
+            "all arrivals are coincident; inter-arrival burstiness is "
+            "undefined")
+    return float(gaps.std() / mean)
+
+
+def trace_stats(trace: RequestTrace, bins: int = 24) -> Dict[str, Any]:
+    """One flat record of a trace's shape, for tables and comparisons.
+
+    Keys: ``scenario``, ``requests``, ``duration``, ``mean_qps``,
+    ``peak_qps`` (highest rate-curve bin), ``burstiness_cv`` (None when
+    undefined), and -- when per-request lengths travel with the trace
+    -- ``decode_mean`` / ``decode_p50`` / ``decode_p95`` /
+    ``decode_max``.
+    """
+    curve = rate_curve(trace, bins=bins)
+    try:
+        cv: Optional[float] = burstiness_cv(trace)
+    except ConfigError:
+        cv = None
+    stats: Dict[str, Any] = {
+        "scenario": trace.scenario,
+        "requests": trace.num_requests,
+        "duration": float(trace.metadata.get("duration", trace.duration)),
+        "mean_qps": trace.mean_rate,
+        "peak_qps": max(rate for _, rate in curve),
+        "burstiness_cv": cv,
+        "decode_mean": None,
+        "decode_p50": None,
+        "decode_p95": None,
+        "decode_max": None,
+    }
+    if trace.decode_lens is not None:
+        lens = np.asarray(trace.decode_lens, dtype=float)
+        stats.update(
+            decode_mean=float(lens.mean()),
+            decode_p50=float(np.percentile(lens, 50)),
+            decode_p95=float(np.percentile(lens, 95)),
+            decode_max=float(lens.max()),
+        )
+    return stats

@@ -307,6 +307,144 @@ def test_replay_trace_conflicts_with_scenario_flags(tmp_path, capsys):
     assert "error:" in out and "--rate" in out
 
 
+def test_replay_admission_flag_and_json_policies(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "admitted.json"
+    assert main(["replay", "--case", "i", "--llm", "1B", "--servers", "16",
+                 "--duration", "2", "--admission", "greedy",
+                 "--dispatch", "size-capped", "--json", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "scenario poisson" in out
+    payload = json.loads(path.read_text())
+    # The policy selections travel in the artifact, so the report can be
+    # regenerated faithfully from this file alone.
+    assert payload["policies"] == {"dispatch": "size-capped",
+                                   "admission": "greedy"}
+
+
+def test_replay_unknown_admission_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["replay", "--case", "i", "--admission", "bogus"])
+
+
+def test_replay_schedule_flag_closes_the_loop(tmp_path, capsys):
+    """An emitted --json artifact replays through its own embedded
+    schedule to the same report (the serve -> replay round trip)."""
+    import json
+
+    from repro.workloads import poisson_trace
+
+    trace_path = tmp_path / "t.jsonl"
+    poisson_trace(100, 2.0, seed=5, mean_decode_len=64).to_jsonl(
+        str(trace_path))
+    first = tmp_path / "first.json"
+    assert main(["replay", "--case", "i", "--llm", "1B", "--servers", "16",
+                 "--trace", str(trace_path), "--json", str(first)]) == 0
+    second = tmp_path / "second.json"
+    assert main(["replay", "--case", "i", "--llm", "1B", "--servers", "16",
+                 "--trace", str(trace_path), "--schedule", str(first),
+                 "--json", str(second)]) == 0
+    a = json.loads(first.read_text())
+    b = json.loads(second.read_text())
+    assert a["schedule"] == b["schedule"]
+    assert a["report"] == b["report"]
+
+
+def test_replay_schedule_accepts_bare_envelope(tmp_path, capsys):
+    from repro import ClusterSpec, OptimizerSession, config
+    from repro.schema import case_i_hyperscale
+
+    session = OptimizerSession(case_i_hyperscale("1B"),
+                               ClusterSpec(num_servers=16))
+    schedule = session.optimize().max_qps_per_chip.schedule
+    path = tmp_path / "schedule.json"
+    config.save(str(path), schedule)
+    assert main(["replay", "--case", "i", "--llm", "1B", "--servers", "16",
+                 "--duration", "2", "--schedule", str(path)]) == 0
+    assert schedule.describe() in capsys.readouterr().out
+
+
+def test_replay_schedule_wrong_kind_fails_cleanly(tmp_path, capsys):
+    from repro import ClusterSpec, config
+
+    path = tmp_path / "cluster.json"
+    config.save(str(path), ClusterSpec(num_servers=16))
+    assert main(["replay", "--case", "i", "--llm", "1B", "--servers", "16",
+                 "--schedule", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "error:" in out and "expected a schedule" in out
+
+
+# ---------------------------------------------------------------------------
+# trace: JSONL trace inspection and comparison.
+# ---------------------------------------------------------------------------
+
+
+def test_trace_inspects_recorded_file(tmp_path, capsys):
+    from repro.workloads import bursty_trace
+
+    path = tmp_path / "bursty.jsonl"
+    bursty_trace(80, 6.0, seed=3, mean_decode_len=128).to_jsonl(str(path))
+    assert main(["trace", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "bursty trace" in out
+    assert "burstiness CV" in out
+    assert "QPS" in out  # the rate-curve plot renders
+    assert "decode mean" in out
+
+
+def test_trace_compares_multiple_files(tmp_path, capsys):
+    from repro.workloads import bursty_trace, poisson_trace
+
+    smooth = tmp_path / "poisson.jsonl"
+    spiky = tmp_path / "bursty.jsonl"
+    poisson_trace(80, 6.0, seed=3).to_jsonl(str(smooth))
+    bursty_trace(80, 6.0, seed=3).to_jsonl(str(spiky))
+    assert main(["trace", str(smooth), str(spiky), "--bins", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "poisson" in out and "bursty" in out
+    # Both series land in one comparison plot legend.
+    assert "poisson.jsonl" in out and "bursty.jsonl" in out
+
+
+def test_trace_missing_file_fails_cleanly(capsys):
+    assert main(["trace", "/nonexistent.jsonl"]) == 1
+    assert "error:" in capsys.readouterr().out
+
+
+def test_trace_bad_bins_fails_cleanly(tmp_path, capsys):
+    from repro.workloads import poisson_trace
+
+    path = tmp_path / "p.jsonl"
+    poisson_trace(50, 2.0, seed=1).to_jsonl(str(path))
+    assert main(["trace", str(path), "--bins", "0"]) == 1
+    assert "error:" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# serve: the live front-end (socket-level coverage lives in
+# tests/test_serve.py and scripts/serve_smoke.py; here the CLI wiring).
+# ---------------------------------------------------------------------------
+
+
+def test_serve_bad_serve_config_kind_fails_cleanly(tmp_path, capsys):
+    from repro import ClusterSpec, config
+
+    path = tmp_path / "cluster.json"
+    config.save(str(path), ClusterSpec(num_servers=16))
+    assert main(["serve", "--case", "i", "--llm", "1B", "--servers", "16",
+                 "--serve-config", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "error:" in out and "serve_config" in out
+
+
+def test_serve_rejects_bad_tick(capsys):
+    assert main(["serve", "--case", "i", "--llm", "1B", "--servers", "16",
+                 "--tick", "-1"]) == 1
+    assert "error:" in capsys.readouterr().out
+
+
 def test_replay_json_payload_is_self_contained(tmp_path):
     import json
 

@@ -89,3 +89,17 @@ class TestRegistry:
     def test_claims_recorded(self):
         for exp in EXPERIMENTS.values():
             assert exp.paper_claim
+
+
+def test_format_live_summary_renders_snapshot():
+    from repro.reporting import format_live_summary
+    from repro.sim import LiveSnapshot
+
+    snapshot = LiveSnapshot(now=2.5, offered=40, completed=30,
+                            in_flight=10, throughput=12.0,
+                            mean_ttft=0.132, mean_tpot=0.002)
+    text = format_live_summary(snapshot)
+    assert "live serving summary" in text
+    assert "offered" in text and "in flight" in text
+    assert "132" in text  # TTFT rendered in milliseconds
+    assert "40" in text and "30" in text and "10" in text

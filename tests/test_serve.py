@@ -1,0 +1,306 @@
+"""Live asyncio serving front-end tests.
+
+Covers the JSON-lines protocol, streamed completions, the recorded
+trace -> offline replay parity contract, and the degenerate live
+streams the server must survive cleanly: client disconnect
+mid-request, zero submissions before shutdown, malformed ops.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import ClusterSpec
+from repro.pipeline import PlacementGroup, RAGPerfModel, Schedule
+from repro.schema import Stage, case_i_hyperscale
+from repro.serve import LiveServer, ServeConfig
+from repro.sim import ServingEngine, ServingSimulator
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cluster = ClusterSpec(num_servers=32)
+    pm = RAGPerfModel(case_i_hyperscale("8B"), cluster)
+    schedule = Schedule(
+        groups=(PlacementGroup((Stage.PREFIX,), 32),
+                PlacementGroup((Stage.DECODE,), 32)),
+        batches={Stage.PREFIX: 32, Stage.DECODE: 512, Stage.RETRIEVAL: 64},
+    )
+    return pm, schedule
+
+
+def _engine(setup):
+    pm, schedule = setup
+    return ServingEngine(pm, schedule)
+
+
+_FAST = dict(port=0, time_scale=500.0, tick=0.005,
+             slo_ttft=5.0, slo_tpot=0.5)
+
+
+async def _lines_until(reader, op, collected=None):
+    """Read protocol lines until one with the given op arrives."""
+    while True:
+        line = await asyncio.wait_for(reader.readline(), timeout=30)
+        assert line, f"connection closed while waiting for {op!r}"
+        message = json.loads(line)
+        if collected is not None:
+            collected.append(message)
+        if message["op"] == op:
+            return message
+
+
+def test_live_session_records_trace_and_replays_identically(setup):
+    """Acceptance: the live server's final report equals an offline
+    replay of the trace it recorded."""
+    pm, schedule = setup
+
+    async def scenario():
+        server = LiveServer(_engine(setup), ServeConfig(**_FAST))
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        for index in range(25):
+            writer.write(json.dumps(
+                {"op": "submit", "id": index,
+                 "decode_len": 64}).encode() + b"\n")
+        await writer.drain()
+        acks = []
+        for _ in range(25):
+            await _lines_until(reader, "ack", acks)
+        report = await server.shutdown()
+        writer.close()
+        return server, report, acks
+
+    server, report, acks = asyncio.run(scenario())
+    assert report is not None
+    assert report.scenario == "live"
+    assert report.offered == report.completed == 25
+    assert [ack["request_id"] for ack in acks] == list(range(25))
+
+    trace = server.trace
+    assert trace is not None
+    assert trace.num_requests == 25
+    assert trace.decode_lens == (64,) * 25
+    assert trace.metadata["scenario"] == "live"
+
+    offline = ServingSimulator(pm, schedule).run(
+        trace, slo=ServeConfig(**_FAST).slo)
+    assert offline == report  # aggregate equality, bit for bit
+
+
+def test_completions_stream_with_ttft_and_slo_verdict(setup):
+    async def scenario():
+        server = LiveServer(_engine(setup), ServeConfig(**_FAST))
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b'{"op": "submit", "id": "only", "decode_len": 32}\n')
+        await writer.drain()
+        seen = []
+        completion = await _lines_until(reader, "completion", seen)
+        await server.shutdown()
+        writer.close()
+        return seen, completion
+
+    seen, completion = asyncio.run(scenario())
+    assert seen[0]["op"] == "ack"
+    assert completion["id"] == "only"
+    assert completion["ttft"] > 0
+    assert completion["tpot"] > 0
+    assert completion["slo"] == {"ttft": True, "tpot": True, "joint": True}
+
+
+def test_zero_submissions_shutdown_is_clean(setup):
+    async def scenario():
+        server = LiveServer(_engine(setup), ServeConfig(**_FAST))
+        await server.start()
+        return await server.shutdown()
+
+    report = asyncio.run(scenario())
+    assert report is None  # a clean empty session, not a crash
+
+
+def test_client_disconnect_mid_request_still_counts(setup):
+    """A vanished client's in-flight requests finish inside the DES and
+    land in the final report."""
+    async def scenario():
+        server = LiveServer(_engine(setup), ServeConfig(**_FAST))
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b'{"op": "submit", "id": "doomed"}\n')
+        await writer.drain()
+        await _lines_until(reader, "ack")
+        writer.close()  # hang up before the completion arrives
+        await writer.wait_closed()
+        await asyncio.sleep(0.05)  # let the server observe the EOF
+        return await server.shutdown()
+
+    report = asyncio.run(scenario())
+    assert report is not None
+    assert report.offered == report.completed == 1
+
+
+def test_malformed_ops_answer_errors_without_dropping(setup):
+    async def scenario():
+        server = LiveServer(_engine(setup), ServeConfig(**_FAST))
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        responses = []
+        for line in (b"not json\n",
+                     b'[1, 2, 3]\n',
+                     b'{"op": "bogus"}\n',
+                     b'{"op": "submit", "decode_len": "many"}\n',
+                     b'{"op": "submit", "decode_len": -5}\n'):
+            writer.write(line)
+            await writer.drain()
+            responses.append(await _lines_until(reader, "error"))
+        # The connection survives all of it.
+        writer.write(b'{"op": "submit", "id": "ok"}\n')
+        await writer.drain()
+        ack = await _lines_until(reader, "ack")
+        await server.shutdown()
+        writer.close()
+        return responses, ack
+
+    responses, ack = asyncio.run(scenario())
+    assert all(resp["op"] == "error" for resp in responses)
+    assert "decode lengths must be positive" in responses[4]["error"]
+    assert ack["id"] == "ok"
+
+
+def test_shutdown_op_streams_final_report_to_requester(setup):
+    async def scenario():
+        server = LiveServer(_engine(setup), ServeConfig(**_FAST))
+
+        async def client(host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b'{"op": "submit", "id": 0, "decode_len": 32}\n')
+            writer.write(b'{"op": "stats"}\n')
+            writer.write(b'{"op": "shutdown"}\n')
+            await writer.drain()
+            collected = []
+            report_line = await _lines_until(reader, "report", collected)
+            writer.close()
+            return collected, report_line
+
+        started = asyncio.Event()
+        results = {}
+
+        async def run_server():
+            report = await server.run(
+                ready=lambda host, port: (results.update(addr=(host, port))
+                                          or started.set()))
+            results["report"] = report
+
+        server_task = asyncio.ensure_future(run_server())
+        await started.wait()
+        collected, report_line = await client(*results["addr"])
+        await server_task
+        return results["report"], collected, report_line
+
+    report, collected, report_line = asyncio.run(scenario())
+    assert report is not None and report.completed == 1
+    assert report_line["report"]["kind"] == "serving_report"
+    assert report_line["report"]["spec"]["completed"] == 1
+    ops = [message["op"] for message in collected]
+    assert "ack" in ops and "stats" in ops and "completion" in ops
+
+
+def test_stats_op_reports_running_counts(setup):
+    async def scenario():
+        server = LiveServer(_engine(setup), ServeConfig(**_FAST))
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        for index in range(5):
+            writer.write(json.dumps(
+                {"op": "submit", "id": index,
+                 "decode_len": 64}).encode() + b"\n")
+        writer.write(b'{"op": "stats"}\n')
+        await writer.drain()
+        stats = await _lines_until(reader, "stats")
+        await server.shutdown()
+        writer.close()
+        return stats
+
+    stats = asyncio.run(scenario())
+    assert stats["offered"] == 5
+    assert 0 <= stats["completed"] <= 5
+    assert stats["in_flight"] == stats["offered"] - stats["completed"]
+
+
+def test_degenerate_session_keeps_trace_without_report(setup):
+    """A session whose requests never complete (full-batch policy,
+    partial batch) shuts down cleanly: no report, but the observed
+    trace survives for offline study."""
+    pm, schedule = setup
+
+    async def scenario():
+        engine = ServingEngine(pm, schedule, dispatch="full-batch")
+        server = LiveServer(engine, ServeConfig(**_FAST))
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b'{"op": "submit", "id": 0, "decode_len": 32}\n')
+        await writer.drain()
+        await _lines_until(reader, "ack")
+        report = await server.shutdown()
+        writer.close()
+        return server, report
+
+    server, report = asyncio.run(scenario())
+    assert report is None
+    assert server.trace is not None
+    assert server.trace.num_requests == 1
+
+
+def test_pump_failure_surfaces_instead_of_hanging(setup):
+    """An engine error inside the pump must end the session and
+    re-raise from shutdown, not die silently while submits keep
+    acking."""
+    async def scenario():
+        engine = _engine(setup)
+        server = LiveServer(engine, ServeConfig(**_FAST))
+        await server.start()
+
+        def boom(until):
+            raise ConfigError("engine blew up")
+
+        engine.step = boom
+        await asyncio.wait_for(server._shutdown_event.wait(), timeout=10)
+        with pytest.raises(ConfigError, match="engine blew up"):
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_server_requires_fresh_engine(setup):
+    engine = _engine(setup)
+    engine.submit(0.0)
+    with pytest.raises(ConfigError):
+        LiveServer(engine)
+
+
+def test_serve_config_validation():
+    with pytest.raises(ConfigError):
+        ServeConfig(tick=0.0)
+    with pytest.raises(ConfigError):
+        ServeConfig(time_scale=-1.0)
+    with pytest.raises(ConfigError):
+        ServeConfig(port=70000)
+    with pytest.raises(ConfigError):
+        ServeConfig(host="")
+    with pytest.raises(ConfigError):
+        ServeConfig(default_decode_len=0)
+    with pytest.raises(ConfigError):
+        ServeConfig(slo_ttft=-0.1)
+
+
+def test_serve_config_envelope_roundtrip():
+    from repro import config
+
+    original = ServeConfig(host="0.0.0.0", port=8707, tick=0.1,
+                           time_scale=25.0, slo_ttft=0.2, slo_tpot=0.01,
+                           default_decode_len=128)
+    assert config.from_config(config.to_config(original)) == original
+    with pytest.raises(ConfigError):
+        config.serve_config_from_dict({"bogus_knob": 1})

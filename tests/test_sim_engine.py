@@ -1,9 +1,15 @@
-"""Discrete-event engine tests."""
+"""Discrete-event engine tests: the DES kernel and the incremental
+ServingEngine lifecycle (submit / step / drain), including parity with
+the open-loop replay path."""
 
 import pytest
 
 from repro.errors import ConfigError
-from repro.sim import EventQueue, Simulation
+from repro.hardware import ClusterSpec
+from repro.pipeline import PlacementGroup, RAGPerfModel, Schedule
+from repro.schema import Stage, case_i_hyperscale
+from repro.sim import EventQueue, ServingEngine, ServingSimulator, Simulation
+from repro.workloads import SCENARIOS, poisson_trace
 
 
 def test_events_run_in_time_order():
@@ -77,8 +83,221 @@ def test_runaway_loop_detected():
         sim.run(max_events=100)
 
 
+def test_max_events_budget_is_per_call():
+    """A long-lived incremental engine steps indefinitely: the runaway
+    valve budgets each run() call, not the simulation's lifetime."""
+    sim = Simulation()
+    for index in range(150):
+        sim.schedule(float(index), lambda s: None)
+    for index in range(150):
+        sim.run(until=float(index), max_events=100)
+    assert sim.events_processed == 150  # lifetime stat still accumulates
+
+
 def test_event_queue_len():
     queue = EventQueue()
     assert not queue
     queue.push(1.0, lambda s: None)
     assert len(queue) == 1
+
+
+def test_horizon_stop_preserves_tie_order():
+    """Stopping at a horizon must not reorder same-time events: the
+    earliest event is peeked, not popped and re-pushed (a re-push gets a
+    new sequence number and would lose its tie-break rank)."""
+    sim = Simulation()
+    order = []
+    sim.schedule(2.0, lambda s: order.append("first"))
+    sim.schedule(2.0, lambda s: order.append("second"))
+    sim.run(until=1.0)  # stop right before the tied pair
+    assert order == []
+    sim.run(until=1.5)  # and again
+    sim.run()
+    assert order == ["first", "second"]
+
+
+def test_run_until_advances_clock_without_events():
+    sim = Simulation()
+    sim.run(until=4.0)
+    assert sim.now == pytest.approx(4.0)
+    sim.schedule(1.0, lambda s: None)  # i.e. at t=5.0
+    sim.run()
+    assert sim.now == pytest.approx(5.0)
+
+
+# ---------------------------------------------------------------------------
+# ServingEngine: the incremental submit / step / drain lifecycle.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def network():
+    cluster = ClusterSpec(num_servers=32)
+    pm = RAGPerfModel(case_i_hyperscale("8B"), cluster)
+    schedule = Schedule(
+        groups=(PlacementGroup((Stage.PREFIX,), 32),
+                PlacementGroup((Stage.DECODE,), 32)),
+        batches={Stage.PREFIX: 32, Stage.DECODE: 512, Stage.RETRIEVAL: 64},
+    )
+    return pm, schedule
+
+
+def _record_key(record):
+    return (record.request_id, record.arrival, record.first_token_time,
+            record.completion_time, dict(record.stage_completions),
+            dict(record.queue_waits))
+
+
+def test_incremental_stepping_matches_one_shot_drain(network):
+    """Advancing time in many small steps is bit-identical to draining
+    in one go (the resumability contract)."""
+    pm, schedule = network
+    trace = poisson_trace(120, 3.0, seed=11, mean_decode_len=128)
+
+    stepped = ServingEngine(pm, schedule)
+    for arrival, length in zip(trace.arrivals, trace.decode_lens):
+        stepped.submit(arrival, decode_len=length)
+    t = 0.0
+    while stepped.in_flight:
+        t += 0.05
+        stepped.step(until=t)
+    one_shot = ServingEngine(pm, schedule)
+    for arrival, length in zip(trace.arrivals, trace.decode_lens):
+        one_shot.submit(arrival, decode_len=length)
+    one_shot.drain()
+
+    assert stepped.report(trace) == one_shot.report(trace)
+    for a, b in zip(stepped.records, one_shot.records):
+        assert _record_key(a) == _record_key(b)
+
+
+def test_interleaved_submission_matches_open_loop_replay(network):
+    """Submitting each request only once simulated time has reached its
+    arrival (the live-serving pattern) reproduces the open-loop replay."""
+    pm, schedule = network
+    trace = poisson_trace(100, 3.0, seed=13, mean_decode_len=128)
+
+    live = ServingEngine(pm, schedule)
+    for arrival, length in zip(trace.arrivals, trace.decode_lens):
+        # Advance to just past this request's arrival minus a hair, the
+        # way a wall-clock pump would, then inject it.
+        live.step(until=max(live.now, arrival * (1 - 1e-12)))
+        live.submit(arrival, decode_len=length)
+    live.drain()
+
+    replayed = ServingSimulator(pm, schedule).run(trace)
+    live_report = live.report(trace)
+    assert live_report.completed == replayed.offered
+    assert live_report == replayed
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_engine_parity_with_simulator_per_scenario(network, scenario):
+    """Acceptance: for every registered trace scenario, the open-loop
+    simulator (now a driver over ServingEngine) and a hand-driven
+    engine produce bit-identical reports."""
+    from repro.sim import SLOTarget
+    from repro.workloads import scenario_trace
+
+    pm, schedule = network
+    trace = scenario_trace(scenario, rate_qps=80, duration=3.0, seed=7,
+                           mean_decode_len=128)
+    slo = SLOTarget(ttft=1.0, tpot=0.1)
+
+    engine = ServingEngine(pm, schedule)
+    for arrival, length in zip(trace.arrivals, trace.decode_lens):
+        engine.submit(arrival, decode_len=length)
+    engine.drain()
+
+    via_simulator = ServingSimulator(pm, schedule).run(trace, slo=slo)
+    assert engine.report(trace, slo=slo) == via_simulator
+
+
+def test_out_of_order_submission_rejected(network):
+    pm, schedule = network
+    engine = ServingEngine(pm, schedule)
+    engine.submit(1.0)
+    with pytest.raises(ConfigError, match="out-of-order"):
+        engine.submit(0.5)
+    # Also rejected: an arrival behind the already-advanced clock.
+    fresh = ServingEngine(pm, schedule)
+    fresh.step(until=2.0)
+    with pytest.raises(ConfigError, match="out-of-order"):
+        fresh.submit(1.0)
+
+
+def test_submit_validation(network):
+    pm, schedule = network
+    engine = ServingEngine(pm, schedule)
+    with pytest.raises(ConfigError):
+        engine.submit(float("nan"))
+    with pytest.raises(ConfigError):
+        engine.submit(float("inf"))
+    with pytest.raises(ConfigError):
+        engine.submit(-1.0)
+    with pytest.raises(ConfigError):
+        engine.submit(0.0, decode_len=0)
+    with pytest.raises(ConfigError):
+        engine.step(until=-1.0)
+
+
+def test_snapshot_tracks_progress(network):
+    pm, schedule = network
+    engine = ServingEngine(pm, schedule)
+    assert engine.snapshot().offered == 0
+    for index in range(10):
+        engine.submit(index * 0.01, decode_len=64)
+    mid = engine.snapshot()
+    assert mid.offered == 10 and mid.completed == 0
+    assert mid.in_flight == 10
+    engine.drain()
+    final = engine.snapshot()
+    assert final.completed == 10 and final.in_flight == 0
+    assert final.mean_ttft > 0 and final.mean_tpot > 0
+    assert final.throughput > 0
+
+
+def test_completion_listeners_fire_in_order(network):
+    pm, schedule = network
+    seen = []
+    engine = ServingEngine(pm, schedule, on_complete=seen.append)
+    second = []
+    engine.add_listener(second.append)
+    for index in range(5):
+        engine.submit(index * 0.01, decode_len=32 * (index + 1))
+    engine.drain()
+    assert len(seen) == len(second) == 5
+    # Completions arrive in completion-time order (shorter decode first).
+    times = [record.completion_time for record in seen]
+    assert times == sorted(times)
+    assert seen == second
+
+
+def test_recorded_trace_replays_identically(network):
+    pm, schedule = network
+    engine = ServingEngine(pm, schedule)
+    for index in range(20):
+        engine.submit(index * 0.005, decode_len=64)
+    engine.drain()
+    trace = engine.recorded_trace(source="unit-test")
+    assert trace.scenario == "live"
+    assert trace.metadata["source"] == "unit-test"
+    assert trace.num_requests == 20
+    replay = ServingSimulator(pm, schedule).run(trace)
+    assert replay == engine.report(trace)
+
+
+def test_recorded_trace_requires_submissions(network):
+    pm, schedule = network
+    with pytest.raises(ConfigError):
+        ServingEngine(pm, schedule).recorded_trace()
+
+
+def test_empty_engine_report_is_config_error(network):
+    pm, schedule = network
+    engine = ServingEngine(pm, schedule)
+    engine.submit(0.0)
+    # Nothing has run yet: zero completions cannot make a report.
+    trace = engine.recorded_trace()
+    with pytest.raises(ConfigError):
+        engine.report(trace)

@@ -186,3 +186,89 @@ def test_small_decode_mean_falls_back_to_fixed_lengths():
     assert set(trace.decode_lens) == {8}
     with pytest.raises(ConfigError):
         poisson_trace(50, 2.0, seed=1, mean_decode_len=0)
+
+
+# -- analytics (the `repro trace` subcommand's math) --------------------
+
+
+def test_rate_curve_conserves_request_count():
+    from repro.workloads import rate_curve
+
+    trace = poisson_trace(60, 5.0, seed=4)
+    curve = rate_curve(trace, bins=10)
+    assert len(curve) == 10
+    width = 5.0 / 10
+    assert sum(rate * width for _, rate in curve) \
+        == pytest.approx(trace.num_requests)
+    # Bin centers span the observation window in order.
+    centers = [center for center, _ in curve]
+    assert centers == sorted(centers)
+    assert 0.0 < centers[0] < centers[-1] < 5.0
+
+
+def test_rate_curve_single_instant_trace():
+    from repro.workloads import rate_curve
+
+    trace = trace_from_arrivals([2.0, 2.0, 2.0])
+    # All arrivals coincident and no recorded duration: one spike bin.
+    assert rate_curve(RequestTrace(arrivals=(0.0, 0.0))) \
+        == [(0.0, 2.0)]
+    curve = rate_curve(trace, bins=4)
+    assert sum(rate for _, rate in curve) > 0
+
+
+def test_rate_curve_validates_bins():
+    from repro.workloads import rate_curve
+
+    with pytest.raises(ConfigError):
+        rate_curve(poisson_trace(50, 2.0, seed=1), bins=0)
+
+
+def test_burstiness_cv_separates_scenarios():
+    from repro.workloads import burstiness_cv
+
+    smooth = burstiness_cv(poisson_trace(100, 10.0, seed=5))
+    spiky = burstiness_cv(bursty_trace(100, 10.0, seed=5))
+    # Poisson inter-arrivals have CV ~ 1; an on/off MMPP is burstier.
+    assert smooth == pytest.approx(1.0, abs=0.25)
+    assert spiky > smooth
+
+
+def test_burstiness_cv_degenerate_inputs():
+    from repro.workloads import burstiness_cv
+
+    with pytest.raises(ConfigError):
+        burstiness_cv(trace_from_arrivals([1.0]))
+    with pytest.raises(ConfigError):
+        burstiness_cv(trace_from_arrivals([1.0, 1.0, 1.0]))
+
+
+def test_trace_stats_flat_record():
+    from repro.workloads import trace_stats
+
+    trace = bursty_trace(80, 6.0, seed=3, mean_decode_len=128)
+    stats = trace_stats(trace, bins=12)
+    assert stats["scenario"] == "bursty"
+    assert stats["requests"] == trace.num_requests
+    assert stats["duration"] == pytest.approx(6.0)
+    assert stats["peak_qps"] >= stats["mean_qps"]
+    assert stats["burstiness_cv"] > 1.0
+    assert stats["decode_mean"] > 0
+    assert stats["decode_p50"] <= stats["decode_p95"] \
+        <= stats["decode_max"]
+
+
+def test_trace_stats_without_decode_lens():
+    from repro.workloads import trace_stats
+
+    stats = trace_stats(poisson_trace(50, 2.0, seed=1))
+    assert stats["decode_mean"] is None
+    assert stats["decode_p95"] is None
+
+
+def test_trace_stats_survives_undefined_cv():
+    from repro.workloads import trace_stats
+
+    stats = trace_stats(trace_from_arrivals([1.0]))
+    assert stats["burstiness_cv"] is None
+    assert stats["requests"] == 1
