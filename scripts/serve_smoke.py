@@ -1,11 +1,18 @@
 #!/usr/bin/env python3
 """Smoke test for the live serving front-end.
 
-Starts ``repro serve`` as a real subprocess on a loopback ephemeral
-port, drives ~50 requests through the JSON-lines socket, asks for a
-shutdown, and asserts that a well-formed ``ServingReport`` comes back
-(both over the socket and in the ``--json`` artifact). Exits non-zero
-on any failure -- the CI serve-smoke job runs exactly this.
+Two phases, each booting ``repro serve`` as a real subprocess on a
+loopback ephemeral port and driving ~50 requests through the
+JSON-lines socket:
+
+1. a single-engine server -- asserts a well-formed ``ServingReport``
+   comes back (over the socket and in the ``--json`` artifact);
+2. a 3-replica fleet (``--replicas 3 --routing least-in-flight``) --
+   additionally asserts the artifact's per-replica completion counts
+   sum to the request total.
+
+Exits non-zero on any failure -- the CI serve-smoke job runs exactly
+this.
 
 Run:
     PYTHONPATH=src python scripts/serve_smoke.py
@@ -32,13 +39,14 @@ def fail(proc, message):
     sys.exit(1)
 
 
-def main() -> int:
-    report_path = "serve_smoke_report.json"
+def drive(label, extra_args, report_path, replicas=None):
+    """Boot one server, push REQUESTS requests, return the --json
+    payload after asserting the socket-side protocol invariants."""
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve",
          "--case", "i", "--llm", "1B", "--servers", "16",
          "--port", "0", "--time-scale", "200", "--tick", "0.005",
-         "--json", report_path],
+         "--json", report_path] + extra_args,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
         env={**os.environ, "PYTHONUNBUFFERED": "1"},
     )
@@ -52,9 +60,9 @@ def main() -> int:
             port = int(match.group(1))
             break
         if time.monotonic() > deadline:
-            fail(proc, "server never announced its port")
+            fail(proc, f"[{label}] server never announced its port")
     if port is None:
-        fail(proc, "server exited before announcing its port")
+        fail(proc, f"[{label}] server exited before announcing its port")
 
     with socket.create_connection(("127.0.0.1", port), timeout=30) as conn:
         conn.settimeout(30)
@@ -70,10 +78,10 @@ def main() -> int:
         stats = report = None
         while report is None:
             if time.monotonic() > deadline:
-                fail(proc, "timed out waiting for acks/stats")
+                fail(proc, f"[{label}] timed out waiting for acks/stats")
             line = stream.readline()
             if not line:
-                fail(proc, "server closed the connection early")
+                fail(proc, f"[{label}] server closed the connection early")
             message = json.loads(line)
             if message["op"] == "ack":
                 acks += 1
@@ -86,25 +94,47 @@ def main() -> int:
             elif message["op"] == "report":
                 report = message
             elif message["op"] == "error":
-                fail(proc, f"server answered an error: {message}")
+                fail(proc, f"[{label}] server answered an error: {message}")
 
     if acks != REQUESTS:
-        fail(proc, f"expected {REQUESTS} acks, got {acks}")
+        fail(proc, f"[{label}] expected {REQUESTS} acks, got {acks}")
+    # shutdown flushes every pending completion before the report line,
+    # so by now all of them must have streamed (per-replica request-id
+    # collisions would silently drop fleet completions here).
+    if completions != REQUESTS:
+        fail(proc, f"[{label}] expected {REQUESTS} streamed completions, "
+                   f"got {completions}")
     if stats["offered"] != REQUESTS:
-        fail(proc, f"stats reported {stats['offered']} offered")
+        fail(proc, f"[{label}] stats reported {stats['offered']} offered")
+    if replicas is not None:
+        slots = stats.get("replicas")
+        if not slots or len(slots) != replicas:
+            fail(proc, f"[{label}] stats lacks {replicas} replica rows: "
+                       f"{slots}")
+        if sum(row["offered"] for row in slots) != REQUESTS:
+            fail(proc, f"[{label}] per-replica offered counts do not sum "
+                       f"to {REQUESTS}: {slots}")
     envelope = report["report"]
     if envelope is None or envelope.get("kind") != "serving_report":
-        fail(proc, f"malformed report line: {report}")
+        fail(proc, f"[{label}] malformed report line: {report}")
     spec = envelope["spec"]
     if spec["offered"] != REQUESTS or spec["completed"] != REQUESTS:
-        fail(proc, f"report counts wrong: {spec['offered']} offered, "
+        fail(proc, f"[{label}] report counts wrong: "
+                   f"{spec['offered']} offered, "
                    f"{spec['completed']} completed")
 
     if proc.wait(timeout=60) != 0:
-        fail(proc, f"server exited with {proc.returncode}")
+        fail(proc, f"[{label}] server exited with {proc.returncode}")
     with open(report_path, encoding="utf-8") as handle:
         payload = json.load(handle)
     os.remove(report_path)
+    print(f"[{label}] OK: {REQUESTS} requests served, {completions} "
+          f"completions streamed live, well-formed report on shutdown")
+    return payload
+
+
+def main() -> int:
+    payload = drive("single", [], "serve_smoke_report.json")
     for key in ("report", "workload", "cluster", "schedule", "trace",
                 "serve"):
         if key not in payload:
@@ -114,8 +144,26 @@ def main() -> int:
     if payload["report"]["spec"]["completed"] != REQUESTS:
         print("FAIL: --json report count mismatch", file=sys.stderr)
         return 1
-    print(f"OK: {REQUESTS} requests served, {completions} completions "
-          f"streamed live, well-formed report on shutdown")
+
+    fleet_payload = drive(
+        "fleet", ["--replicas", "3", "--routing", "least-in-flight"],
+        "serve_smoke_fleet_report.json", replicas=3)
+    fleet = fleet_payload.get("fleet")
+    if not fleet or fleet.get("replicas") != 3:
+        print(f"FAIL: fleet section malformed: {fleet}", file=sys.stderr)
+        return 1
+    per_replica = fleet["per_replica"]
+    completed = sum(row["completed"] for row in per_replica)
+    if completed != REQUESTS:
+        print(f"FAIL: per-replica completions sum to {completed}, "
+              f"expected {REQUESTS}: {per_replica}", file=sys.stderr)
+        return 1
+    if fleet_payload["policies"].get("routing") != "least-in-flight":
+        print("FAIL: routing policy missing from the artifact",
+              file=sys.stderr)
+        return 1
+    print(f"OK: single-engine and 3-replica fleet servers both served "
+          f"{REQUESTS} requests cleanly")
     return 0
 
 

@@ -122,7 +122,9 @@ from repro.config import OptimizationConfig
 from repro.rago.provisioning import ProvisioningResult, provision
 from repro.hardware.power import PowerProfile, estimate_energy
 from repro.sim import (
+    FleetEngine,
     LiveSnapshot,
+    RoutingPolicy,
     ServingEngine,
     ServingReport,
     ServingSimulator,
@@ -210,6 +212,8 @@ __all__ = [
     "estimate_energy",
     "ServingSimulator",
     "ServingEngine",
+    "FleetEngine",
+    "RoutingPolicy",
     "ServingReport",
     "SLOTarget",
     "LiveSnapshot",

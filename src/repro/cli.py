@@ -20,11 +20,13 @@ cells, optionally over a multiprocessing pool; ``replay`` exercises the
 selected schedule under live traffic -- a seeded scenario (poisson /
 bursty / diurnal) or a recorded JSONL trace -- through the
 discrete-event simulator and reports SLO attainment, latency
-percentiles and queueing breakdowns; ``serve`` puts the same engine
-behind a live asyncio JSON-lines socket (requests stream in, per-request
-completions stream out, the observed traffic is recorded as a
-replayable trace); ``trace`` inspects and compares recorded JSONL
-traces (rate curves, burstiness, decode-length stats) before replay.
+percentiles and queueing breakdowns (``--replicas N`` routes the same
+traffic across an N-engine fleet); ``serve`` puts the same engine --
+or, with ``--replicas``, a routed multi-replica fleet -- behind a live
+asyncio JSON-lines socket (requests stream in, per-request completions
+stream out, the observed traffic is recorded as a replayable trace);
+``trace`` inspects and compares recorded JSONL traces (rate curves,
+burstiness, decode-length stats) before replay.
 """
 
 from __future__ import annotations
@@ -47,7 +49,13 @@ from repro.schema.paradigms import (
     case_iii_iterative,
     case_iv_rewriter_reranker,
 )
-from repro.sim.policies import ADMISSION_POLICIES, DISPATCH_POLICIES
+from repro.sim.policies import (
+    ADMISSION_POLICIES,
+    DISPATCH_POLICIES,
+    admission_spec,
+    parse_admission_policy,
+)
+from repro.sim.routing import ROUTING_POLICIES
 from repro.workloads.traces import SCENARIOS
 
 #: Accelerator generations by their --xpu letter (Table 2).
@@ -56,7 +64,12 @@ _XPU_BY_LETTER = {"A": XPU_A, "B": XPU_B, "C": XPU_C}
 #: Choice lists for `repro replay` / `repro serve`.
 _SCENARIO_NAMES = frozenset(SCENARIOS)
 _DISPATCH_NAMES = frozenset(DISPATCH_POLICIES)
-_ADMISSION_NAMES = frozenset(ADMISSION_POLICIES)
+_ROUTING_NAMES = frozenset(ROUTING_POLICIES)
+#: --admission is free-form (parameterized values like
+#: token-budget=4096 are legal), so its help lists the named policies.
+_ADMISSION_HELP = (f"decode admission policy: "
+                   f"{'/'.join(sorted(ADMISSION_POLICIES))} or "
+                   f"token-budget=<int> (default greedy)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -161,10 +174,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="batch-dispatch policy for pre-decode stages "
                              "(default deadline-flush)")
-    replay.add_argument("--admission", choices=sorted(_ADMISSION_NAMES),
+    replay.add_argument("--admission", default=None, metavar="POLICY",
+                        help=_ADMISSION_HELP)
+    replay.add_argument("--replicas", type=int, default=None,
+                        help="replay through a fleet of N engine "
+                             "replicas (default 1: a single engine)")
+    replay.add_argument("--routing", choices=sorted(_ROUTING_NAMES),
                         default=None,
-                        help="decode admission policy "
-                             "(default greedy)")
+                        help="fleet request-routing policy "
+                             "(default round-robin)")
     replay.add_argument("--slo-ttft", type=float, default=None,
                         help="TTFT target in seconds for attainment "
                              "accounting (default: 5x analytical TTFT)")
@@ -217,8 +235,15 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--dispatch", choices=sorted(_DISPATCH_NAMES),
                        default=None,
                        help="batch-dispatch policy for pre-decode stages")
-    serve.add_argument("--admission", choices=sorted(_ADMISSION_NAMES),
-                       default=None, help="decode admission policy")
+    serve.add_argument("--admission", default=None, metavar="POLICY",
+                       help=_ADMISSION_HELP)
+    serve.add_argument("--replicas", type=int, default=None,
+                       help="serve N engine replicas behind one socket "
+                            "(default 1)")
+    serve.add_argument("--routing", choices=sorted(_ROUTING_NAMES),
+                       default=None,
+                       help="fleet request-routing policy "
+                            "(default round-robin)")
     serve.add_argument("--slo-ttft", type=float, default=None,
                        help="TTFT target in seconds scored per "
                             "completion (default: 5x analytical TTFT)")
@@ -470,6 +495,11 @@ def _command_replay(args: argparse.Namespace) -> int:
     from repro.sim import SLOTarget
     from repro.workloads import RequestTrace, scenario_trace
 
+    # Policy/fleet knobs must fail before the (expensive) search.
+    admission = parse_admission_policy(args.admission)
+    replicas = 1 if args.replicas is None else args.replicas
+    if replicas < 1:
+        raise ConfigError("--replicas must be at least 1")
     session = _resolve_session(args)
     schema = session.schema
     objective = session.objective
@@ -517,11 +547,30 @@ def _command_replay(args: argparse.Namespace) -> int:
         tpot=args.slo_tpot if args.slo_tpot is not None
         else (objective.max_tpot or 2.0 * chosen.tpot),
     )
-    report = session.evaluate_trace(chosen.schedule, trace, slo=slo,
-                                    dispatch=args.dispatch,
-                                    admission=args.admission)
+    fleet = None
+    if replicas > 1 or args.routing is not None:
+        # Fleet replay: route the trace across N replicas live instead
+        # of the single-engine memoized path.
+        fleet = session.fleet_engine(chosen.schedule, replicas=replicas,
+                                     routing=args.routing,
+                                     dispatch=args.dispatch,
+                                     admission=admission)
+        lens = trace.decode_lens or (None,) * trace.num_requests
+        for arrival, decode_len in zip(trace.arrivals, lens):
+            fleet.submit(arrival, decode_len=decode_len)
+        fleet.drain()
+        report = fleet.report(trace, slo=slo)
+    else:
+        report = session.evaluate_trace(chosen.schedule, trace, slo=slo,
+                                        dispatch=args.dispatch,
+                                        admission=admission)
     print()
     print(format_serving_report(report))
+    if fleet is not None:
+        from repro.reporting import format_fleet_breakdown
+
+        print()
+        print(format_fleet_breakdown(fleet.replica_stats()))
     if args.json_path:
         # Workload + cluster envelopes (and the policy selections) ride
         # along so the report can be regenerated from this file alone.
@@ -533,9 +582,16 @@ def _command_replay(args: argparse.Namespace) -> int:
             "trace": config_module.to_config(trace),
             "policies": {
                 "dispatch": args.dispatch or "deadline-flush",
-                "admission": args.admission or "greedy",
+                "admission": admission_spec(admission),
             },
         }
+        if fleet is not None:
+            payload["policies"]["routing"] = fleet.routing.name
+            payload["fleet"] = {
+                "replicas": fleet.replicas,
+                "routing": fleet.routing.name,
+                "per_replica": fleet.replica_stats(),
+            }
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=1)
         print(f"wrote {args.json_path}")
@@ -564,9 +620,11 @@ def _command_serve(args: argparse.Namespace) -> int:
             ("host", args.host), ("port", args.port),
             ("tick", args.tick), ("time_scale", args.time_scale),
             ("slo_ttft", args.slo_ttft), ("slo_tpot", args.slo_tpot),
+            ("replicas", args.replicas), ("routing", args.routing),
         ) if value is not None
     }
     serve_config = dataclasses.replace(base, **overrides)
+    admission = parse_admission_policy(args.admission)
 
     session = _resolve_session(args)
     objective = session.objective
@@ -591,15 +649,34 @@ def _command_serve(args: argparse.Namespace) -> int:
             serve_config,
             slo_tpot=objective.max_tpot or 2.0 * chosen.tpot)
 
-    engine = session.serving_engine(chosen.schedule,
-                                    dispatch=args.dispatch,
-                                    admission=args.admission)
+    # An explicit --routing means "serve a fleet" even at one replica,
+    # mirroring replay's behavior (the flag must never be silently
+    # ignored).
+    is_fleet = serve_config.replicas > 1 \
+        or serve_config.routing is not None
+    if is_fleet:
+        engine = session.fleet_engine(chosen.schedule,
+                                      replicas=serve_config.replicas,
+                                      routing=serve_config.routing,
+                                      dispatch=args.dispatch,
+                                      admission=admission)
+    else:
+        engine = session.serving_engine(chosen.schedule,
+                                        dispatch=args.dispatch,
+                                        admission=admission)
     server = LiveServer(engine, serve_config)
 
     def ready(host: str, port: int) -> None:
+        fleet_note = ""
+        if is_fleet:
+            fleet_note = (f"; fleet of {serve_config.replicas} "
+                          f"replica(s), "
+                          f"{serve_config.routing or 'round-robin'} "
+                          f"routing")
         print(f"serving on {host}:{port} "
               f"(time scale {serve_config.time_scale:g}x; JSON-lines "
-              f"ops: submit / stats / shutdown; Ctrl-C stops)",
+              f"ops: submit / stats / shutdown; Ctrl-C stops"
+              f"{fleet_note})",
               flush=True)
 
     report = asyncio.run(server.run(ready=ready))
@@ -619,6 +696,11 @@ def _command_serve(args: argparse.Namespace) -> int:
     print(format_live_summary(server.snapshot()))
     print()
     print(format_serving_report(report))
+    if is_fleet:
+        from repro.reporting import format_fleet_breakdown
+
+        print()
+        print(format_fleet_breakdown(engine.replica_stats()))
     if args.json_path:
         payload = {
             "report": config_module.to_config(report),
@@ -629,9 +711,16 @@ def _command_serve(args: argparse.Namespace) -> int:
             "serve": config_module.to_config(serve_config),
             "policies": {
                 "dispatch": args.dispatch or "deadline-flush",
-                "admission": args.admission or "greedy",
+                "admission": admission_spec(admission),
             },
         }
+        if is_fleet:
+            payload["policies"]["routing"] = engine.routing.name
+            payload["fleet"] = {
+                "replicas": engine.replicas,
+                "routing": engine.routing.name,
+                "per_replica": engine.replica_stats(),
+            }
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=1)
         print(f"wrote {args.json_path}")

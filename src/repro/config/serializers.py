@@ -338,7 +338,8 @@ def serving_report_from_dict(data: Dict) -> ServingReport:
 
 
 _SERVE_CONFIG_FIELDS = ("host", "port", "tick", "time_scale",
-                        "slo_ttft", "slo_tpot", "default_decode_len")
+                        "slo_ttft", "slo_tpot", "default_decode_len",
+                        "replicas", "routing")
 
 
 def serve_config_to_dict(config: ServeConfig) -> Dict:

@@ -17,7 +17,7 @@ from repro.errors import ConfigError, ScheduleError
 from repro.pipeline.assembly import PipelinePerf
 from repro.pipeline.stage_perf import RAGPerfModel
 from repro.rago.objectives import ServiceObjective
-from repro.rago.search import SearchConfig, search_schedules
+from repro.rago.search import SearchConfig, SearchResult, search_schedules
 
 
 @dataclass(frozen=True)
@@ -41,7 +41,8 @@ class ProvisioningResult:
 
 def provision(perf_model: RAGPerfModel, target_qps: float,
               objective: Optional[ServiceObjective] = None,
-              config: Optional[SearchConfig] = None) -> ProvisioningResult:
+              config: Optional[SearchConfig] = None,
+              result: Optional[SearchResult] = None) -> ProvisioningResult:
     """Find the fewest chips that sustain a target load within SLOs.
 
     Searches the schedule frontier once, then sizes replica counts: a
@@ -54,7 +55,11 @@ def provision(perf_model: RAGPerfModel, target_qps: float,
             both the per-replica schedule search and the total fleet.
         target_qps: Requests per second the deployment must sustain.
         objective: Optional latency SLOs each schedule must meet.
-        config: Search granularity knobs.
+        config: Search granularity knobs (ignored when ``result`` is
+            given).
+        result: Optional precomputed frontier for this perf model --
+            lets a memoizing caller (``OptimizerSession.provision``)
+            skip the search.
 
     Raises:
         ConfigError: on a non-positive target.
@@ -63,7 +68,8 @@ def provision(perf_model: RAGPerfModel, target_qps: float,
     if target_qps <= 0:
         raise ConfigError("target_qps must be positive")
     objective = objective or ServiceObjective()
-    result = search_schedules(perf_model, config)
+    if result is None:
+        result = search_schedules(perf_model, config)
     max_chips = perf_model.cluster.total_xpus
 
     best: Optional[ProvisioningResult] = None

@@ -52,16 +52,19 @@ from repro.rago.objectives import (
     select_max_throughput,
     select_min_ttft,
 )
+from repro.rago.provisioning import ProvisioningResult, provision
 from repro.rago.search import SearchConfig, SearchResult, search_schedules
 from repro.schema.builder import PipelineBuilder
 from repro.schema.ragschema import RAGSchema
 from repro.sim.engine import ServingEngine
+from repro.sim.fleet import FleetEngine
 from repro.sim.policies import (
     AdmissionPolicy,
     DispatchPolicy,
     resolve_admission_policy,
     resolve_dispatch_policy,
 )
+from repro.sim.routing import RoutingPolicy
 from repro.sim.serving import ServingReport, ServingSimulator, SLOTarget
 from repro.workloads.traces import RequestTrace
 
@@ -376,6 +379,80 @@ class OptimizerSession:
         return ServingEngine(self._perf_model, schedule,
                              max_wait=max_wait, seed=seed,
                              dispatch=dispatch, admission=admission)
+
+    def provision(self, target_qps: float,
+                  objective: Optional[ServiceObjective] = None,
+                  search: Optional[SearchConfig] = None,
+                  ) -> ProvisioningResult:
+        """Size a fleet for a target load (memoized frontier reuse).
+
+        The inverse scheduling problem on this session's workload and
+        cluster: how few chips -- replicated Pareto-optimal schedules
+        -- sustain ``target_qps`` within the SLOs? The underlying
+        frontier comes from :meth:`optimize`, so provisioning shares
+        the session's search memo.
+
+        Args:
+            target_qps: Requests per second the fleet must sustain.
+            objective: Latency SLOs each schedule must meet; None uses
+                this session's accumulated constraints.
+            search: Search knobs (session default when None).
+
+        Returns:
+            The cheapest admissible
+            :class:`~repro.rago.provisioning.ProvisioningResult`;
+            feed it to :meth:`fleet_engine` to test the replica count
+            under replayed or live traffic.
+        """
+        return provision(self._perf_model, target_qps,
+                         objective=objective or self._objective,
+                         result=self.optimize(search))
+
+    def fleet_engine(self, schedule: Optional[Schedule] = None,
+                     replicas: Optional[int] = None,
+                     routing: Union[None, str, RoutingPolicy] = None,
+                     max_wait: Optional[float] = None, seed: int = 0,
+                     dispatch: Union[None, str, DispatchPolicy] = None,
+                     admission: Union[None, str, AdmissionPolicy] = None,
+                     provisioning: Optional[ProvisioningResult] = None,
+                     ) -> FleetEngine:
+        """A multi-replica DES fleet serving this session's workload.
+
+        The scale-out sibling of :meth:`serving_engine` -- and the
+        bridge from the analytical provisioning model to live load:
+        pass a :class:`~repro.rago.provisioning.ProvisioningResult`
+        (usually straight from :meth:`provision`) and the fleet is
+        built with exactly the schedule and replica count the model
+        chose, ready to be validated against a replayed trace or a
+        live socket session. Fleets are single-use and never memoized.
+
+        Args:
+            schedule: Per-replica deployment; None uses the
+                provisioning result's schedule (or, lacking one, the
+                knee of the memoized frontier, as in
+                :meth:`serving_engine`).
+            replicas: Slot count; None uses the provisioning result's
+                replica count (or 1).
+            routing: Request-routing policy instance or registry name
+                (round robin when None).
+            max_wait / seed / dispatch / admission: Per-replica engine
+                knobs, as in :meth:`evaluate_trace`.
+            provisioning: Optional sizing to realize; explicit
+                ``schedule`` / ``replicas`` arguments override its
+                fields individually.
+        """
+        if provisioning is not None:
+            if schedule is None:
+                schedule = provisioning.perf.schedule
+            if replicas is None:
+                replicas = provisioning.replicas
+        if schedule is None:
+            schedule = _constrained_knee(self.optimize(),
+                                         self._objective).schedule
+        return FleetEngine(self._perf_model, schedule,
+                           replicas=1 if replicas is None else replicas,
+                           routing=routing, max_wait=max_wait, seed=seed,
+                           dispatch=dispatch, admission=admission)
 
     def cache_info(self) -> Dict[str, int]:
         """Memo sizes (searches, schedule evaluations and trace replays

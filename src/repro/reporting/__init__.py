@@ -2,6 +2,7 @@
 registry that maps every paper table/figure to a runnable generator."""
 
 from repro.reporting.tables import (
+    format_fleet_breakdown,
     format_live_summary,
     format_serving_report,
     format_table,
@@ -14,6 +15,7 @@ __all__ = [
     "format_table",
     "format_serving_report",
     "format_live_summary",
+    "format_fleet_breakdown",
     "format_series",
     "format_heatmap",
     "ascii_scatter",

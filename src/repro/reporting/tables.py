@@ -75,6 +75,31 @@ def format_live_summary(snapshot) -> str:
     return f"live serving summary\n{table}"
 
 
+def format_fleet_breakdown(stats: Sequence[dict]) -> str:
+    """Render a fleet's per-replica breakdown as an aligned table.
+
+    Args:
+        stats: :meth:`~repro.sim.fleet.FleetEngine.replica_stats`
+            records -- one row per engine generation (slot, lifecycle
+            state, request counters, running latency means).
+
+    Raises:
+        ConfigError: on an empty breakdown (a fleet always has at
+            least one replica, so nothing-to-render is a caller bug).
+    """
+    if not stats:
+        raise ConfigError("fleet breakdown needs at least one replica")
+    table = format_table(
+        ("slot", "state", "offered", "completed", "in flight", "QPS",
+         "mean TTFT (ms)", "mean TPOT (ms)", "schedule"),
+        [[row["slot"], row["state"], row["offered"], row["completed"],
+          row["in_flight"], row["throughput"], row["mean_ttft"] * 1e3,
+          row["mean_tpot"] * 1e3, row["schedule"]]
+         for row in stats],
+    )
+    return f"per-replica breakdown\n{table}"
+
+
 def format_serving_report(report) -> str:
     """Render a :class:`~repro.sim.ServingReport` as aligned tables.
 

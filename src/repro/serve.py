@@ -35,14 +35,20 @@ import json
 import signal
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ConfigError
 from repro.sim.engine import ServingEngine
+from repro.sim.fleet import FleetEngine
 from repro.sim.metrics import RequestRecord, ServingReport, SLOTarget
+from repro.sim.routing import resolve_routing_policy
 from repro.workloads.traces import RequestTrace
 
 __all__ = ["ServeConfig", "LiveServer"]
+
+#: Either serving back-end the live front-end can pump: one engine or
+#: a multi-replica fleet (identical submit/step/drain surface).
+EngineLike = Union[ServingEngine, FleetEngine]
 
 
 @dataclass(frozen=True)
@@ -62,6 +68,12 @@ class ServeConfig:
             in the final report (None = dimension unconstrained).
         default_decode_len: Decode length for submissions that do not
             carry one (the workload profile's length when None).
+        replicas: Serving-engine replicas behind the socket; above 1
+            the session fronts a
+            :class:`~repro.sim.fleet.FleetEngine`.
+        routing: Fleet request-routing policy name (see
+            :data:`~repro.sim.routing.ROUTING_POLICIES`); None means
+            round robin. Only meaningful with ``replicas > 1``.
     """
 
     host: str = "127.0.0.1"
@@ -71,6 +83,8 @@ class ServeConfig:
     slo_ttft: Optional[float] = None
     slo_tpot: Optional[float] = None
     default_decode_len: Optional[int] = None
+    replicas: int = 1
+    routing: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.host:
@@ -84,6 +98,9 @@ class ServeConfig:
         if self.default_decode_len is not None \
                 and self.default_decode_len <= 0:
             raise ConfigError("default_decode_len must be positive")
+        if self.replicas < 1:
+            raise ConfigError("replicas must be at least 1")
+        resolve_routing_policy(self.routing)  # validates the name
         self.slo  # noqa: B018 -- SLOTarget validates the targets
 
     @property
@@ -95,7 +112,10 @@ class ServeConfig:
 class LiveServer:
     """One live serving session: an engine behind a JSON-lines socket.
 
-    The server owns a single-use :class:`ServingEngine`; wall time is
+    The server owns a single-use :class:`ServingEngine` -- or a
+    multi-replica :class:`~repro.sim.fleet.FleetEngine`, which exposes
+    the same lifecycle, so a fleet serves through the identical
+    protocol and pump. Wall time is
     mapped onto simulated time from the moment :meth:`start` runs
     (``sim_t = (monotonic - t0) * time_scale``). A periodic pump task
     advances the engine to "now" every ``tick`` and flushes completion
@@ -113,7 +133,7 @@ class LiveServer:
     client ``shutdown`` op (or SIGINT/SIGTERM), and finalizes.
     """
 
-    def __init__(self, engine: ServingEngine,
+    def __init__(self, engine: EngineLike,
                  config: Optional[ServeConfig] = None) -> None:
         if engine.offered:
             raise ConfigError("LiveServer needs a fresh, unused engine")
@@ -410,7 +430,7 @@ class LiveServer:
 
     def _handle_stats(self) -> Dict[str, Any]:
         snap = self._engine.snapshot()
-        return {
+        payload = {
             "op": "stats",
             "now": snap.now,
             "offered": snap.offered,
@@ -420,3 +440,12 @@ class LiveServer:
             "mean_ttft": snap.mean_ttft,
             "mean_tpot": snap.mean_tpot,
         }
+        if isinstance(self._engine, FleetEngine):
+            payload["replicas"] = [
+                {"slot": stats["slot"], "state": stats["state"],
+                 "offered": stats["offered"],
+                 "completed": stats["completed"],
+                 "in_flight": stats["in_flight"]}
+                for stats in self._engine.replica_stats()
+            ]
+        return payload

@@ -22,6 +22,7 @@ from a live asyncio request stream.
 """
 
 from repro.sim.engine import EventQueue, ServingEngine, Simulation
+from repro.sim.fleet import FleetEngine
 from repro.sim.metrics import (
     LiveSnapshot,
     MetricsAccumulator,
@@ -40,6 +41,17 @@ from repro.sim.policies import (
     GreedyAdmission,
     SizeCappedPolicy,
     TokenBudgetAdmission,
+    admission_spec,
+    parse_admission_policy,
+)
+from repro.sim.routing import (
+    ROUTING_POLICIES,
+    LeastInFlightRouting,
+    ReplicaView,
+    RoundRobinRouting,
+    RoutingPolicy,
+    WeightedQPSRouting,
+    resolve_routing_policy,
 )
 from repro.sim.serving import ServingSimulator
 
@@ -47,6 +59,7 @@ __all__ = [
     "EventQueue",
     "Simulation",
     "ServingEngine",
+    "FleetEngine",
     "ServingSimulator",
     "ServingMetrics",
     "ServingReport",
@@ -63,4 +76,13 @@ __all__ = [
     "TokenBudgetAdmission",
     "DISPATCH_POLICIES",
     "ADMISSION_POLICIES",
+    "parse_admission_policy",
+    "admission_spec",
+    "RoutingPolicy",
+    "ReplicaView",
+    "RoundRobinRouting",
+    "LeastInFlightRouting",
+    "WeightedQPSRouting",
+    "ROUTING_POLICIES",
+    "resolve_routing_policy",
 ]

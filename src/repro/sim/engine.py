@@ -369,10 +369,13 @@ class ServingEngine:
       through ``on_complete``.
 
     An engine is single-use: once drained (or stepped past a horizon),
-    build a new one for the next run. Submissions must carry
-    non-decreasing arrival times; an arrival before the engine's
-    current simulated time is an out-of-order timestamp and raises
-    :class:`~repro.errors.ConfigError`.
+    build a new one for the next run. Submissions need not arrive in
+    timestamp order -- any arrival at or after the engine's current
+    simulated time is schedulable -- but an arrival behind the clock
+    is an out-of-order timestamp and raises
+    :class:`~repro.errors.ConfigError` (the live front-end in
+    :mod:`repro.serve` derives arrivals from a monotonic wall clock,
+    so its streams always satisfy this).
 
     Args:
         perf_model: Calibrated stage cost models.
@@ -410,7 +413,6 @@ class ServingEngine:
             [on_complete] if on_complete is not None else []
         self._sim = Simulation()
         self._accumulator = MetricsAccumulator(self._schema)
-        self._last_arrival: Optional[float] = None
         self._next_id = 0
         self._stations: Dict[Stage, _BatchStation] = {}
         self._decode: Optional[_DecodeExecutor] = None
@@ -598,8 +600,10 @@ class ServingEngine:
 
         Args:
             arrival: Arrival timestamp in simulated seconds. Must be
-                finite, non-negative, at or after the engine's current
-                time, and non-decreasing across submissions.
+                finite, non-negative, and at or after the engine's
+                current time (submissions need not be sorted among
+                themselves -- metrics account for the earliest arrival
+                regardless of submission order).
             decode_len: Tokens this request generates (the workload
                 profile's decode length when None).
 
@@ -608,18 +612,14 @@ class ServingEngine:
             in as the simulation advances).
 
         Raises:
-            ConfigError: on out-of-order timestamps or a non-positive
-                decode length.
+            ConfigError: on a timestamp behind the engine's clock or a
+                non-positive decode length.
         """
         if not isinstance(arrival, (int, float)) \
                 or not math.isfinite(arrival):
             raise ConfigError("arrival must be a finite number")
         if arrival < 0:
             raise ConfigError("arrival times must be non-negative")
-        if self._last_arrival is not None and arrival < self._last_arrival:
-            raise ConfigError(
-                f"out-of-order timestamp: arrival {arrival} precedes the "
-                f"previous submission at {self._last_arrival}")
         if arrival < self._sim.now:
             raise ConfigError(
                 f"out-of-order timestamp: arrival {arrival} is in the "
@@ -631,7 +631,6 @@ class ServingEngine:
         record = RequestRecord(request_id=self._next_id, arrival=arrival,
                                decode_len=int(decode_len))
         self._next_id += 1
-        self._last_arrival = arrival
         self._accumulator.add(record)
         self._sim.schedule_at(arrival,
                               lambda s, r=record: self._entry(s, r))
@@ -662,7 +661,8 @@ class ServingEngine:
 
     # -- results -------------------------------------------------------
 
-    def _busy_times(self) -> Dict[str, float]:
+    def busy_times(self) -> Dict[str, float]:
+        """Accumulated busy seconds per pre-decode resource name."""
         return {resource.name: resource.busy_time
                 for resource in self._resources}
 
@@ -672,7 +672,7 @@ class ServingEngine:
 
     def metrics(self) -> ServingMetrics:
         """Aggregate metrics over everything submitted so far."""
-        return self._accumulator.metrics(self._busy_times())
+        return self._accumulator.metrics(self.busy_times())
 
     def report(self, trace: RequestTrace,
                slo: Optional[SLOTarget] = None) -> ServingReport:
@@ -685,15 +685,18 @@ class ServingEngine:
             slo: Latency targets (unconstrained when None).
         """
         return self._accumulator.report(trace, slo or SLOTarget(),
-                                        self._busy_times())
+                                        self.busy_times())
 
     def recorded_trace(self, **metadata) -> RequestTrace:
         """The submissions observed so far, as a replayable trace.
 
         Every engine submission carries an explicit decode length, so
-        the trace replays to the same per-request lifecycles. Metadata
-        defaults to ``{"scenario": "live"}``; keyword arguments merge
-        on top.
+        the trace replays to the same per-request lifecycles. Records
+        are emitted in arrival order (a stable sort, so same-instant
+        submissions keep their tie-break rank); submission order may
+        differ when the caller injected out-of-order timestamps.
+        Metadata defaults to ``{"scenario": "live"}``; keyword
+        arguments merge on top.
 
         Raises:
             ConfigError: when nothing has been submitted (an empty
@@ -705,8 +708,9 @@ class ServingEngine:
                               "cannot be built")
         merged = {"scenario": "live"}
         merged.update(metadata)
+        ordered = sorted(records, key=lambda r: r.arrival)
         return RequestTrace(
-            arrivals=tuple(r.arrival for r in records),
-            decode_lens=tuple(r.decode_len for r in records),
+            arrivals=tuple(r.arrival for r in ordered),
+            decode_lens=tuple(r.decode_len for r in ordered),
             metadata=merged,
         )

@@ -261,9 +261,16 @@ class MetricsAccumulator:
     # -- engine feed ---------------------------------------------------
 
     def add(self, record: RequestRecord) -> None:
-        """Register a submitted request."""
+        """Register a submitted request.
+
+        Submission order is not guaranteed to be arrival order (an
+        engine accepts any arrival at or after its simulated clock), so
+        the earliest arrival is tracked as a running minimum rather
+        than assumed to be the first record's.
+        """
         self._records.append(record)
-        if self._first_arrival is None:
+        if self._first_arrival is None \
+                or record.arrival < self._first_arrival:
             self._first_arrival = record.arrival
 
     def finish(self, record: RequestRecord) -> None:
@@ -325,10 +332,14 @@ class MetricsAccumulator:
         ttfts = sorted(r.ttft for r in done if r.ttft is not None)
         if done and ttfts:
             last = max(r.completion_time for r in done)
-            duration = max(last - self._records[0].arrival, 1e-12)
+            # add() maintains the running min(arrival); records exist
+            # here, so it is never None.
+            duration = max(last - self._first_arrival, 1e-12)
             throughput = len(done) / duration
             mean_ttft = sum(ttfts) / len(ttfts)
-            p99 = ttfts[min(int(0.99 * len(ttfts)), len(ttfts) - 1)]
+            # Same interpolated estimator as report()/latency summaries:
+            # the one run must never emit two different p99s.
+            p99 = _interpolated_percentile(ttfts, 0.99)
             tpots = [(r.completion_time - r.first_token_time)
                      / max(r.decode_len, 1)
                      for r in done if r.first_token_time is not None]

@@ -17,10 +17,12 @@ the simulator:
 Policies are stateless frozen dataclasses: one instance can serve many
 stations and is safely shared across simulator builds. The named
 registries hold the policies that are usable with zero configuration:
-``DISPATCH_POLICIES`` backs the CLI's ``--dispatch`` selection, while
-``ADMISSION_POLICIES`` is programmatic only for now (token-budget
-admission needs an explicit ``max_tokens``, so it is constructed
-directly; a ``--admission`` front-end is a ROADMAP item).
+``DISPATCH_POLICIES`` backs the CLI's ``--dispatch`` selection and
+``ADMISSION_POLICIES`` its ``--admission`` names. Parameterized
+policies spell their parameter inline -- ``token-budget=4096`` -- and
+are parsed by :func:`parse_admission_policy`;
+:func:`admission_spec` is the inverse, so a selection round-trips
+through a ``--json`` artifact.
 """
 
 from __future__ import annotations
@@ -279,6 +281,58 @@ def resolve_admission_policy(
         return ADMISSION_POLICIES[policy]()
     except KeyError:
         known = ", ".join(sorted(ADMISSION_POLICIES))
+        hint = ("; parameterized: token-budget=<int>"
+                if policy.partition("=")[0] == "token-budget" else "")
         raise ConfigError(
-            f"unknown admission policy {policy!r}; known: {known}"
+            f"unknown admission policy {policy!r}; known: {known}{hint}"
         ) from None
+
+
+def parse_admission_policy(
+        spec: Union[None, str, AdmissionPolicy]) -> AdmissionPolicy:
+    """Parse a CLI/config admission selection, values included.
+
+    Accepts everything :func:`resolve_admission_policy` does, plus the
+    parameterized ``name=value`` syntax -- today only
+    ``token-budget=<int>``, the decode-KV ceiling.
+
+    Raises:
+        ConfigError: on an unknown name, a value on a policy that
+            takes none, a missing or non-integer token budget, or a
+            non-positive one (the policy's own validation).
+    """
+    if spec is None or isinstance(spec, AdmissionPolicy):
+        return resolve_admission_policy(spec)
+    name, equals, value = spec.partition("=")
+    name = name.strip()
+    if not equals:
+        if name == "token-budget":
+            raise ConfigError(
+                "token-budget admission needs a budget: pass "
+                "token-budget=<int> (e.g. token-budget=4096)")
+        return resolve_admission_policy(name)
+    if name != "token-budget":
+        if name in ADMISSION_POLICIES:
+            raise ConfigError(
+                f"admission policy {name!r} takes no value; drop "
+                f"'={value}'")
+        return resolve_admission_policy(name)  # uniform unknown-name error
+    try:
+        max_tokens = int(value.strip())
+    except ValueError:
+        raise ConfigError(
+            f"malformed admission token budget {value!r}; expected "
+            f"token-budget=<int>") from None
+    return TokenBudgetAdmission(max_tokens=max_tokens)
+
+
+def admission_spec(policy: AdmissionPolicy) -> str:
+    """The CLI spelling of an admission policy.
+
+    The inverse of :func:`parse_admission_policy`: the returned string
+    parses back to an equal policy, which is how a ``--json`` artifact
+    round-trips parameterized admission.
+    """
+    if isinstance(policy, TokenBudgetAdmission):
+        return f"token-budget={policy.max_tokens}"
+    return policy.name

@@ -1,0 +1,170 @@
+"""Pluggable request-routing policies for the multi-replica fleet.
+
+A :class:`~repro.sim.fleet.FleetEngine` fronts N serving-engine
+replicas; which replica a new arrival lands on is this module's
+decision point, mirroring the :mod:`repro.sim.policies` pattern: each
+policy is a stateless frozen dataclass, a named registry
+(``ROUTING_POLICIES``) backs the CLI's ``--routing`` selection, and
+:func:`resolve_routing_policy` normalizes None/name/instance
+arguments.
+
+Policies are pure functions of the candidate replicas' observable
+state (:class:`ReplicaView`): in-flight depth, how many requests the
+slot has ever been routed, and an analytical-QPS weight. The fleet
+owns the counters, so one policy instance can serve many fleets.
+
+Variants:
+
+* :class:`RoundRobinRouting` -- cycle the candidates (least-submitted
+  first), the classic fair splitter; on a homogeneous fleet it
+  partitions a trace into exact every-Nth subsequences.
+* :class:`LeastInFlightRouting` -- join the shortest queue, the
+  greedy load balancer that adapts to decode-length skew.
+* :class:`WeightedQPSRouting` -- deterministic weighted round robin:
+  each replica receives traffic proportional to its schedule's
+  analytical saturation QPS, the right default for heterogeneous
+  fleets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Union
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ReplicaView:
+    """What a routing policy may observe about one candidate replica.
+
+    Attributes:
+        index: The replica's fleet slot.
+        in_flight: Requests submitted to the slot but not finished.
+        submitted: Requests ever routed to the slot (persists across
+            rolling schedule swaps, so a freshly swapped-in engine is
+            not flooded to "catch up").
+        weight: Relative capacity, normally the schedule's analytical
+            saturation QPS (1.0 when unknown). Only weighted policies
+            read it.
+    """
+
+    index: int
+    in_flight: int
+    submitted: int
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class RoutingPolicy:
+    """Picks which replica receives the next arrival.
+
+    Subclasses override :meth:`select`; candidates are the fleet's
+    **routable** replicas only (draining and retired slots are never
+    offered).
+    """
+
+    @property
+    def name(self) -> str:
+        """Registry name (kebab-case class name by default)."""
+        return type(self).__name__.replace("Routing", "").lower()
+
+    def select(self, replicas: Sequence[ReplicaView]) -> int:
+        """The chosen replica's ``index`` among ``replicas``.
+
+        Args:
+            replicas: Views of every routable replica, slot order.
+
+        Raises:
+            ConfigError: when no replica is routable.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _require(replicas: Sequence[ReplicaView]) -> None:
+        if not replicas:
+            raise ConfigError("no routable replica: every fleet slot is "
+                              "draining or retired")
+
+
+@dataclass(frozen=True)
+class RoundRobinRouting(RoutingPolicy):
+    """Cycle through the replicas, least-submitted slot first.
+
+    With all slots routable from the start this is the textbook
+    round robin (0, 1, ..., N-1, 0, ...); after a drain/swap the
+    slot-persistent counters keep the cycle fair instead of flooding
+    the newest engine.
+    """
+
+    @property
+    def name(self) -> str:
+        return "round-robin"
+
+    def select(self, replicas: Sequence[ReplicaView]) -> int:
+        self._require(replicas)
+        return min(replicas, key=lambda r: (r.submitted, r.index)).index
+
+
+@dataclass(frozen=True)
+class LeastInFlightRouting(RoutingPolicy):
+    """Join the shortest queue: the replica with the fewest in-flight
+    requests wins (ties broken by fewest-ever-submitted, then slot
+    order, keeping the choice deterministic)."""
+
+    @property
+    def name(self) -> str:
+        return "least-in-flight"
+
+    def select(self, replicas: Sequence[ReplicaView]) -> int:
+        self._require(replicas)
+        return min(replicas,
+                   key=lambda r: (r.in_flight, r.submitted, r.index)).index
+
+
+@dataclass(frozen=True)
+class WeightedQPSRouting(RoutingPolicy):
+    """Deterministic weighted round robin over the replicas' QPS
+    weights: the next request goes to the slot whose
+    ``(submitted + 1) / weight`` is smallest, so long-run traffic
+    shares converge to the weights without randomness."""
+
+    @property
+    def name(self) -> str:
+        return "weighted-qps"
+
+    def select(self, replicas: Sequence[ReplicaView]) -> int:
+        self._require(replicas)
+        for view in replicas:
+            if view.weight <= 0:
+                raise ConfigError(
+                    f"replica {view.index} has non-positive routing "
+                    f"weight {view.weight}")
+        return min(replicas,
+                   key=lambda r: ((r.submitted + 1) / r.weight,
+                                  r.index)).index
+
+
+#: Named routing policies for the CLI / config front-ends. Values are
+#: zero-argument factories returning the default-configured policy.
+ROUTING_POLICIES: Dict[str, Callable[[], RoutingPolicy]] = {
+    "round-robin": RoundRobinRouting,
+    "least-in-flight": LeastInFlightRouting,
+    "weighted-qps": WeightedQPSRouting,
+}
+
+
+def resolve_routing_policy(
+        policy: Union[None, str, RoutingPolicy]) -> RoutingPolicy:
+    """Normalize a routing-policy argument (None/name/instance)."""
+    if policy is None:
+        return RoundRobinRouting()
+    if isinstance(policy, RoutingPolicy):
+        return policy
+    try:
+        return ROUTING_POLICIES[policy]()
+    except KeyError:
+        known = ", ".join(sorted(ROUTING_POLICIES))
+        raise ConfigError(
+            f"unknown routing policy {policy!r}; known: {known}"
+        ) from None

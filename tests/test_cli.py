@@ -324,8 +324,68 @@ def test_replay_admission_flag_and_json_policies(tmp_path, capsys):
 
 
 def test_replay_unknown_admission_rejected(capsys):
-    with pytest.raises(SystemExit):
-        main(["replay", "--case", "i", "--admission", "bogus"])
+    # --admission is free-form (parameterized values are legal), so an
+    # unknown name is a clean ConfigError, not an argparse exit.
+    assert main(["replay", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--admission", "bogus"]) == 1
+    out = capsys.readouterr().out
+    assert "unknown admission policy" in out
+
+
+def test_replay_malformed_admission_value_rejected(capsys):
+    assert main(["replay", "--case", "i", "--llm", "1B",
+                 "--servers", "16",
+                 "--admission", "token-budget=lots"]) == 1
+    assert "token-budget=<int>" in capsys.readouterr().out
+    assert main(["replay", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--admission", "token-budget"]) == 1
+    assert "needs a budget" in capsys.readouterr().out
+    assert main(["replay", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--admission", "greedy=3"]) == 1
+    assert "takes no value" in capsys.readouterr().out
+
+
+def test_replay_token_budget_value_roundtrips_json(tmp_path, capsys):
+    import json
+
+    from repro.sim.policies import TokenBudgetAdmission, \
+        parse_admission_policy
+
+    path = tmp_path / "budgeted.json"
+    assert main(["replay", "--case", "i", "--llm", "1B", "--servers", "16",
+                 "--duration", "2", "--admission", "token-budget=4096",
+                 "--json", str(path)]) == 0
+    payload = json.loads(path.read_text())
+    spec = payload["policies"]["admission"]
+    assert spec == "token-budget=4096"
+    assert parse_admission_policy(spec) == \
+        TokenBudgetAdmission(max_tokens=4096)
+
+
+def test_replay_fleet_breakdown_and_json(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "fleet.json"
+    assert main(["replay", "--case", "i", "--llm", "1B", "--servers", "16",
+                 "--duration", "2", "--replicas", "3",
+                 "--routing", "round-robin", "--json", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "per-replica breakdown" in out
+    payload = json.loads(path.read_text())
+    assert payload["fleet"]["replicas"] == 3
+    assert payload["policies"]["routing"] == "round-robin"
+    per_replica = payload["fleet"]["per_replica"]
+    assert len(per_replica) == 3
+    assert sum(row["offered"] for row in per_replica) \
+        == payload["report"]["spec"]["offered"]
+    assert sum(row["completed"] for row in per_replica) \
+        == payload["report"]["spec"]["completed"]
+
+
+def test_replay_rejects_non_positive_replicas(capsys):
+    assert main(["replay", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--replicas", "0"]) == 1
+    assert "--replicas" in capsys.readouterr().out
 
 
 def test_replay_schedule_flag_closes_the_loop(tmp_path, capsys):

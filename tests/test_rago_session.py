@@ -346,3 +346,56 @@ def test_evaluate_trace_records_are_copy_isolated():
     fresh = session.evaluate_trace(chosen.schedule, trace)
     assert fresh.records[0].completion_time is not None
     assert fresh.records[0].queue_waits
+
+
+# ---------------------------------------------------------------------------
+# Fleet sizing: provision() and fleet_engine() close the loop between
+# the analytical provisioning model and the DES.
+# ---------------------------------------------------------------------------
+
+
+def test_provision_reuses_memoized_frontier():
+    session = OptimizerSession(case_i_hyperscale("1B"), _CLUSTER)
+    session.optimize(_small_search())
+    misses = session.perf_model.cache_stats["misses"]
+    result = session.provision(100.0, search=_small_search())
+    # Sizing rode the memoized frontier: no new stage evaluations.
+    assert session.perf_model.cache_stats["misses"] == misses
+    assert result.replicas >= 1
+    assert result.total_qps >= 100.0
+
+
+def test_provision_uses_session_constraints():
+    loose = OptimizerSession(case_i_hyperscale("1B"), _CLUSTER)
+    min_ttft = loose.optimize(_small_search()).min_ttft.ttft
+    tight = loose.with_constraint(max_ttft=min_ttft * 1.01)
+    loose_result = loose.provision(200.0, search=_small_search())
+    tight_result = tight.provision(200.0, search=_small_search())
+    # The constrained session admits fewer schedules, so its fleet can
+    # only cost the same or more chips.
+    assert tight_result.budget_xpus >= loose_result.budget_xpus
+
+
+def test_fleet_engine_from_provisioning_result():
+    from repro.sim import FleetEngine
+
+    session = OptimizerSession(case_i_hyperscale("1B"), _CLUSTER)
+    sizing = session.provision(150.0, search=_small_search())
+    fleet = session.fleet_engine(provisioning=sizing,
+                                 routing="least-in-flight")
+    assert isinstance(fleet, FleetEngine)
+    assert fleet.replicas == sizing.replicas
+    assert all(schedule == sizing.perf.schedule
+               for schedule in fleet.schedules)
+    # Explicit arguments override the sizing field by field.
+    wider = session.fleet_engine(provisioning=sizing,
+                                 replicas=sizing.replicas + 2)
+    assert wider.replicas == sizing.replicas + 2
+
+
+def test_fleet_engine_defaults_to_knee_schedule():
+    session = (OptimizerSession(case_i_hyperscale("1B"), _CLUSTER)
+               .with_search(_small_search()))
+    fleet = session.fleet_engine(replicas=2)
+    knee = session.with_objective("knee").best().schedule
+    assert all(schedule == knee for schedule in fleet.schedules)

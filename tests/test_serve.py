@@ -293,6 +293,10 @@ def test_serve_config_validation():
         ServeConfig(default_decode_len=0)
     with pytest.raises(ConfigError):
         ServeConfig(slo_ttft=-0.1)
+    with pytest.raises(ConfigError):
+        ServeConfig(replicas=0)
+    with pytest.raises(ConfigError):
+        ServeConfig(routing="bogus")
 
 
 def test_serve_config_envelope_roundtrip():
@@ -300,7 +304,69 @@ def test_serve_config_envelope_roundtrip():
 
     original = ServeConfig(host="0.0.0.0", port=8707, tick=0.1,
                            time_scale=25.0, slo_ttft=0.2, slo_tpot=0.01,
-                           default_decode_len=128)
+                           default_decode_len=128, replicas=4,
+                           routing="least-in-flight")
     assert config.from_config(config.to_config(original)) == original
     with pytest.raises(ConfigError):
         config.serve_config_from_dict({"bogus_knob": 1})
+
+
+def test_live_server_over_fleet_engine(setup):
+    """A FleetEngine behind the live front-end: the identical protocol
+    serves N replicas, stats gains a per-replica section, and the
+    merged report covers every request."""
+    from repro.sim import FleetEngine
+
+    pm, schedule = setup
+
+    async def scenario():
+        fleet = FleetEngine(pm, schedule, replicas=3,
+                            routing="round-robin")
+        server = LiveServer(fleet, ServeConfig(replicas=3, **_FAST))
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        for index in range(30):
+            writer.write(json.dumps(
+                {"op": "submit", "id": index,
+                 "decode_len": 64}).encode() + b"\n")
+        await writer.drain()
+        collected = []
+        while sum(m["op"] == "completion" for m in collected) < 30:
+            await _lines_until(reader, "completion", collected)
+        writer.write(b'{"op": "stats"}\n')
+        await writer.drain()
+        stats = await _lines_until(reader, "stats")
+        report = await server.shutdown()
+        writer.close()
+        return fleet, stats, report, collected
+
+    fleet, stats, report, collected = asyncio.run(scenario())
+    assert report is not None
+    assert report.offered == report.completed == 30
+    assert stats["offered"] == 30
+    assert [row["slot"] for row in stats["replicas"]] == [0, 1, 2]
+    assert sum(row["offered"] for row in stats["replicas"]) == 30
+    per_replica = [s["completed"] for s in fleet.replica_stats()]
+    assert sum(per_replica) == 30
+    assert per_replica == [10, 10, 10]  # round robin splits exactly
+    # Every completion streams back exactly once, keyed by the
+    # fleet-global request id (per-replica ids would collide in the
+    # route table and drop 2 of every 3 completions).
+    acks = {m["id"]: m["request_id"] for m in collected
+            if m["op"] == "ack"}
+    completions = [m for m in collected if m["op"] == "completion"]
+    assert len(completions) == 30
+    assert sorted(m["request_id"] for m in completions) == list(range(30))
+    assert sorted(acks.values()) == list(range(30))
+    for message in completions:
+        assert acks[message["id"]] == message["request_id"]
+    # The recorded trace replays -- through an identical fleet -- to
+    # the same merged report (the live/offline parity contract, fleet
+    # edition; a single-engine replay of a 3-replica session would
+    # rightly differ).
+    replay = FleetEngine(pm, schedule, replicas=3, routing="round-robin")
+    trace = fleet.recorded_trace(time_scale=_FAST["time_scale"])
+    for arrival, decode_len in zip(trace.arrivals, trace.decode_lens):
+        replay.submit(arrival, decode_len=decode_len)
+    replay.drain()
+    assert replay.report(trace, slo=ServeConfig(**_FAST).slo) == report

@@ -213,17 +213,40 @@ def test_engine_parity_with_simulator_per_scenario(network, scenario):
     assert engine.report(trace, slo=slo) == via_simulator
 
 
-def test_out_of_order_submission_rejected(network):
+def test_submission_behind_clock_rejected(network):
     pm, schedule = network
     engine = ServingEngine(pm, schedule)
-    engine.submit(1.0)
+    engine.step(until=2.0)
     with pytest.raises(ConfigError, match="out-of-order"):
-        engine.submit(0.5)
-    # Also rejected: an arrival behind the already-advanced clock.
-    fresh = ServingEngine(pm, schedule)
-    fresh.step(until=2.0)
-    with pytest.raises(ConfigError, match="out-of-order"):
-        fresh.submit(1.0)
+        engine.submit(1.0)
+
+
+def test_out_of_order_submission_accounts_earliest_arrival(network):
+    """Direct engine submission is not arrival-ordered (only the live
+    front-end's wall clock guarantees order): submitting a later
+    arrival first must not skew duration/throughput, which anchor at
+    min(arrival), nor the snapshot's elapsed time."""
+    pm, schedule = network
+    engine = ServingEngine(pm, schedule)
+    engine.submit(0.5, decode_len=64)
+    engine.submit(0.1, decode_len=64)  # earlier arrival, submitted later
+    engine.submit(0.3, decode_len=64)
+    engine.drain()
+    metrics = engine.metrics()
+    assert metrics.completed == 3
+    last = max(r.completion_time for r in metrics.records)
+    assert metrics.duration == pytest.approx(last - 0.1, rel=1e-12)
+    assert metrics.throughput == pytest.approx(3 / metrics.duration,
+                                               rel=1e-12)
+    snap = engine.snapshot()
+    assert snap.throughput == pytest.approx(
+        3 / (engine.now - 0.1), rel=1e-12)
+    # The recorded trace re-sorts into arrival order, so it replays.
+    trace = engine.recorded_trace()
+    assert trace.arrivals == (0.1, 0.3, 0.5)
+    replay = ServingSimulator(pm, schedule).run(trace)
+    assert replay.completed == 3
+    assert replay.duration == pytest.approx(metrics.duration, rel=1e-12)
 
 
 def test_submit_validation(network):

@@ -174,3 +174,47 @@ def test_token_budget_oversized_request_fails_loudly(setup):
                            admission=TokenBudgetAdmission(max_tokens=256))
     with pytest.raises(ConfigError, match="token budget"):
         sim.run([0.0, 0.1], decode_lengths=[512, 8])
+
+
+# ---------------------------------------------------------------------------
+# Parameterized admission specs: the `--admission token-budget=<int>`
+# front-end syntax and its --json round trip.
+# ---------------------------------------------------------------------------
+
+
+def test_parse_admission_policy_names_and_values():
+    from repro.sim.policies import (
+        GreedyAdmission,
+        admission_spec,
+        parse_admission_policy,
+    )
+
+    assert parse_admission_policy(None) == GreedyAdmission()
+    assert parse_admission_policy("greedy") == GreedyAdmission()
+    budget = parse_admission_policy("token-budget=4096")
+    assert budget == TokenBudgetAdmission(max_tokens=4096)
+    # Instances pass through untouched.
+    assert parse_admission_policy(budget) is budget
+    # The spec spelling round-trips exactly.
+    for policy in (GreedyAdmission(), TokenBudgetAdmission(max_tokens=7)):
+        assert parse_admission_policy(admission_spec(policy)) == policy
+
+
+def test_parse_admission_policy_rejects_malformed_specs():
+    from repro.sim.policies import parse_admission_policy
+
+    with pytest.raises(ConfigError, match="needs a budget"):
+        parse_admission_policy("token-budget")
+    with pytest.raises(ConfigError, match="token-budget=<int>"):
+        parse_admission_policy("token-budget=lots")
+    with pytest.raises(ConfigError, match="token-budget=<int>"):
+        parse_admission_policy("token-budget=")
+    with pytest.raises(ConfigError, match="takes no value"):
+        parse_admission_policy("greedy=3")
+    with pytest.raises(ConfigError, match="unknown admission"):
+        parse_admission_policy("bogus")
+    with pytest.raises(ConfigError, match="unknown admission"):
+        parse_admission_policy("bogus=3")
+    # A non-positive budget fails the policy's own validation.
+    with pytest.raises(ConfigError, match="positive"):
+        parse_admission_policy("token-budget=0")

@@ -376,6 +376,30 @@ def test_invalid_slo_target_rejected():
         SLOTarget(tpot=-1.0)
 
 
+def test_metrics_and_report_share_one_p99_estimator(setup):
+    """Regression: metrics() used a truncating nearest-rank p99 while
+    report() interpolated, so one run emitted two different p99s. At
+    n=7 the estimators visibly diverge (rank 0.99*6 = 5.94 interpolates
+    between the 6th and 7th order statistics; nearest-rank snaps to the
+    max), so both artifacts must now agree on the interpolated value."""
+    from repro.sim.serving import _interpolated_percentile
+    from repro.workloads import trace_from_arrivals
+
+    pm, schedule, _ = setup
+    trace = trace_from_arrivals([0.02 * i for i in range(7)],
+                                decode_lens=[64] * 7, scenario="smalln")
+    report = ServingSimulator(pm, schedule).run(trace)
+    metrics = ServingSimulator(pm, schedule).run(list(trace.arrivals),
+                                                 decode_lengths=[64] * 7)
+    ttfts = sorted(r.ttft for r in metrics.records)
+    expected = _interpolated_percentile(ttfts, 0.99)
+    assert metrics.p99_ttft == pytest.approx(expected, rel=1e-12)
+    assert report.ttft["p99"] == pytest.approx(expected, rel=1e-12)
+    # The old truncating estimator answered the sample max instead.
+    assert ttfts[-1] > ttfts[-2]
+    assert metrics.p99_ttft < ttfts[-1]
+
+
 def test_interpolated_percentile_edges():
     from repro.sim.serving import _interpolated_percentile
 
