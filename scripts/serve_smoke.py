@@ -1,15 +1,20 @@
 #!/usr/bin/env python3
 """Smoke test for the live serving front-end.
 
-Two phases, each booting ``repro serve`` as a real subprocess on a
-loopback ephemeral port and driving ~50 requests through the
-JSON-lines socket:
+Three phases, each booting ``repro serve`` as a real subprocess on a
+loopback ephemeral port and driving requests through the JSON-lines
+socket:
 
 1. a single-engine server -- asserts a well-formed ``ServingReport``
    comes back (over the socket and in the ``--json`` artifact);
 2. a 3-replica fleet (``--replicas 3 --routing least-in-flight``) --
    additionally asserts the artifact's per-replica completion counts
-   sum to the request total.
+   sum to the request total;
+3. an autoscaled fleet (``--autoscale``) under a stepped load --
+   asserts the fleet grew during the step, shrank back to the floor
+   after the cooldown once the load stopped, and that per-replica
+   completions still sum to the request total (the zero-loss
+   invariant under scaling).
 
 Exits non-zero on any failure -- the CI serve-smoke job runs exactly
 this.
@@ -39,20 +44,18 @@ def fail(proc, message):
     sys.exit(1)
 
 
-def drive(label, extra_args, report_path, replicas=None):
-    """Boot one server, push REQUESTS requests, return the --json
-    payload after asserting the socket-side protocol invariants."""
+def boot(label, report_path, extra_args, time_scale="200"):
+    """Boot `repro serve` as a subprocess; return (proc, port,
+    deadline) once it announces its bound port."""
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve",
          "--case", "i", "--llm", "1B", "--servers", "16",
-         "--port", "0", "--time-scale", "200", "--tick", "0.005",
+         "--port", "0", "--time-scale", time_scale, "--tick", "0.005",
          "--json", report_path] + extra_args,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
         env={**os.environ, "PYTHONUNBUFFERED": "1"},
     )
     deadline = time.monotonic() + DEADLINE
-
-    # The server prints the bound port once the socket is up.
     port = None
     for line in proc.stdout:
         match = re.search(r"serving on [\w.]+:(\d+)", line)
@@ -63,6 +66,36 @@ def drive(label, extra_args, report_path, replicas=None):
             fail(proc, f"[{label}] server never announced its port")
     if port is None:
         fail(proc, f"[{label}] server exited before announcing its port")
+    return proc, port, deadline
+
+
+def check_report_envelope(proc, label, report, total):
+    """Assert the socket's final report line carries a well-formed
+    serving_report whose counts match the driven total."""
+    envelope = report["report"]
+    if envelope is None or envelope.get("kind") != "serving_report":
+        fail(proc, f"[{label}] malformed report line: {report}")
+    spec = envelope["spec"]
+    if spec["offered"] != total or spec["completed"] != total:
+        fail(proc, f"[{label}] report counts wrong: "
+                   f"{spec['offered']} offered, "
+                   f"{spec['completed']} completed of {total}")
+
+
+def finish(proc, label, report_path):
+    """Wait the server out and return its --json artifact."""
+    if proc.wait(timeout=60) != 0:
+        fail(proc, f"[{label}] server exited with {proc.returncode}")
+    with open(report_path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    os.remove(report_path)
+    return payload
+
+
+def drive(label, extra_args, report_path, replicas=None):
+    """Boot one server, push REQUESTS requests, return the --json
+    payload after asserting the socket-side protocol invariants."""
+    proc, port, deadline = boot(label, report_path, extra_args)
 
     with socket.create_connection(("127.0.0.1", port), timeout=30) as conn:
         conn.settimeout(30)
@@ -114,23 +147,131 @@ def drive(label, extra_args, report_path, replicas=None):
         if sum(row["offered"] for row in slots) != REQUESTS:
             fail(proc, f"[{label}] per-replica offered counts do not sum "
                        f"to {REQUESTS}: {slots}")
-    envelope = report["report"]
-    if envelope is None or envelope.get("kind") != "serving_report":
-        fail(proc, f"[{label}] malformed report line: {report}")
-    spec = envelope["spec"]
-    if spec["offered"] != REQUESTS or spec["completed"] != REQUESTS:
-        fail(proc, f"[{label}] report counts wrong: "
-                   f"{spec['offered']} offered, "
-                   f"{spec['completed']} completed")
-
-    if proc.wait(timeout=60) != 0:
-        fail(proc, f"[{label}] server exited with {proc.returncode}")
-    with open(report_path, encoding="utf-8") as handle:
-        payload = json.load(handle)
-    os.remove(report_path)
+    check_report_envelope(proc, label, report, REQUESTS)
+    payload = finish(proc, label, report_path)
     print(f"[{label}] OK: {REQUESTS} requests served, {completions} "
           f"completions streamed live, well-formed report on shutdown")
     return payload
+
+
+AUTOSCALE_SPEC = ("policy=queue-depth,min=1,max=3,interval=0.2,"
+                  "cooldown=0.6,up=8,down=1")
+
+
+def drive_autoscale(label, report_path):
+    """Phase 3: stepped load against an elastic fleet.
+
+    Bursts of submissions pile up in-flight depth so the queue-depth
+    controller grows the fleet; once the load stops, the depth falls
+    under the scale-down threshold and -- after the cooldown -- the
+    fleet shrinks back to its floor. Runs at a gentle 20x time scale
+    so sim-time control boundaries (0.2 s) land every ~10 wall ms.
+    """
+    proc, port, deadline = boot(label, report_path,
+                                ["--autoscale", AUTOSCALE_SPEC],
+                                time_scale="20")
+
+    counters = {"acks": 0, "completions": 0}
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as conn:
+        conn.settimeout(30)
+        stream = conn.makefile("rwb")
+
+        def poll_stats():
+            """Ask for stats; count acks/completions on the way."""
+            stream.write(b'{"op": "stats"}\n')
+            stream.flush()
+            while True:
+                if time.monotonic() > deadline:
+                    fail(proc, f"[{label}] timed out waiting for stats")
+                line = stream.readline()
+                if not line:
+                    fail(proc, f"[{label}] server closed the "
+                               f"connection early")
+                message = json.loads(line)
+                if message["op"] == "ack":
+                    counters["acks"] += 1
+                elif message["op"] == "completion":
+                    counters["completions"] += 1
+                elif message["op"] == "stats":
+                    return message
+                elif message["op"] == "error":
+                    fail(proc, f"[{label}] server answered an error: "
+                               f"{message}")
+
+        # Step up: bursts of submissions keep the in-flight depth over
+        # the scale-up threshold across control boundaries.
+        total = 0
+        max_replicas = 1
+        grew = False
+        for _ in range(60):
+            for index in range(30):
+                stream.write(json.dumps(
+                    {"op": "submit", "id": f"step-{total}",
+                     "decode_len": 128}).encode() + b"\n")
+                total += 1
+            stream.flush()
+            stats = poll_stats()
+            scale = stats.get("autoscale")
+            if not scale:
+                fail(proc, f"[{label}] stats lacks the autoscale "
+                           f"section: {stats}")
+            max_replicas = max(max_replicas, scale["replicas"])
+            if max_replicas > 1:
+                grew = True
+                break
+            time.sleep(0.03)
+            if time.monotonic() > deadline:
+                break
+        if not grew:
+            fail(proc, f"[{label}] fleet never grew past 1 replica "
+                       f"under the stepped load ({total} submitted)")
+
+        # Step down: stop submitting; after the cooldown the fleet
+        # must shrink back to its floor.
+        shrank = False
+        while time.monotonic() < deadline:
+            time.sleep(0.1)
+            stats = poll_stats()
+            scale = stats["autoscale"]
+            downs = [event for event in scale["events"]
+                     if event["action"] == "down"]
+            if scale["replicas"] == 1 and downs:
+                shrank = True
+                break
+        if not shrank:
+            fail(proc, f"[{label}] fleet never shrank back to the "
+                       f"floor after the load stopped")
+
+        stream.write(b'{"op": "shutdown"}\n')
+        stream.flush()
+        report = None
+        while report is None:
+            if time.monotonic() > deadline:
+                fail(proc, f"[{label}] timed out waiting for the report")
+            line = stream.readline()
+            if not line:
+                fail(proc, f"[{label}] server closed before the report")
+            message = json.loads(line)
+            if message["op"] == "ack":
+                counters["acks"] += 1
+            elif message["op"] == "completion":
+                counters["completions"] += 1
+            elif message["op"] == "report":
+                report = message
+
+    if counters["acks"] != total:
+        fail(proc, f"[{label}] expected {total} acks, got "
+                   f"{counters['acks']}")
+    if counters["completions"] != total:
+        fail(proc, f"[{label}] expected {total} streamed completions, "
+                   f"got {counters['completions']} (requests lost "
+                   f"across scale events?)")
+    check_report_envelope(proc, label, report, total)
+    payload = finish(proc, label, report_path)
+    print(f"[{label}] OK: {total} requests served through an elastic "
+          f"fleet (peaked at {max_replicas} replicas, shrank back "
+          f"to 1)")
+    return payload, total
 
 
 def main() -> int:
@@ -162,8 +303,32 @@ def main() -> int:
         print("FAIL: routing policy missing from the artifact",
               file=sys.stderr)
         return 1
-    print(f"OK: single-engine and 3-replica fleet servers both served "
-          f"{REQUESTS} requests cleanly")
+
+    auto_payload, auto_total = drive_autoscale(
+        "autoscale", "serve_smoke_autoscale_report.json")
+    auto = auto_payload.get("autoscale")
+    config_spec = (auto or {}).get("config", {}).get("spec", {})
+    if config_spec.get("policy") != "queue-depth" \
+            or config_spec.get("min_replicas") != 1 \
+            or config_spec.get("max_replicas") != 3:
+        print(f"FAIL: autoscale section malformed: {auto}",
+              file=sys.stderr)
+        return 1
+    actions = {event["action"] for event in auto["events"]}
+    if actions != {"up", "down"}:
+        print(f"FAIL: expected both up and down scale events, got "
+              f"{auto['events']}", file=sys.stderr)
+        return 1
+    per_replica = auto_payload["fleet"]["per_replica"]
+    completed = sum(row["completed"] for row in per_replica)
+    if completed != auto_total:
+        print(f"FAIL: per-replica completions sum to {completed}, "
+              f"expected {auto_total} (zero-loss invariant broken): "
+              f"{per_replica}", file=sys.stderr)
+        return 1
+
+    print(f"OK: single-engine, 3-replica fleet and autoscaled servers "
+          f"all served their requests cleanly")
     return 0
 
 

@@ -21,10 +21,14 @@ selected schedule under live traffic -- a seeded scenario (poisson /
 bursty / diurnal) or a recorded JSONL trace -- through the
 discrete-event simulator and reports SLO attainment, latency
 percentiles and queueing breakdowns (``--replicas N`` routes the same
-traffic across an N-engine fleet); ``serve`` puts the same engine --
-or, with ``--replicas``, a routed multi-replica fleet -- behind a live
-asyncio JSON-lines socket (requests stream in, per-request completions
-stream out, the observed traffic is recorded as a replayable trace);
+traffic across an N-engine fleet; ``--autoscale policy=...,min=...,
+max=...`` replays through an elastic fleet whose control loop
+grows/shrinks the replica count and prints the scaling timeline);
+``serve`` puts the same engine -- or, with ``--replicas``, a routed
+multi-replica fleet, or, with ``--autoscale``, an elastic one -- behind
+a live asyncio JSON-lines socket (requests stream in, per-request
+completions stream out, the observed traffic is recorded as a
+replayable trace);
 ``trace`` inspects and compares recorded JSONL traces (rate curves,
 burstiness, decode-length stats) before replay.
 """
@@ -49,6 +53,12 @@ from repro.schema.paradigms import (
     case_iii_iterative,
     case_iv_rewriter_reranker,
 )
+from repro.sim.autoscale import (
+    AUTOSCALE_POLICIES,
+    Autoscaler,
+    autoscale_spec,
+    parse_autoscale_spec,
+)
 from repro.sim.policies import (
     ADMISSION_POLICIES,
     DISPATCH_POLICIES,
@@ -70,6 +80,11 @@ _ROUTING_NAMES = frozenset(ROUTING_POLICIES)
 _ADMISSION_HELP = (f"decode admission policy: "
                    f"{'/'.join(sorted(ADMISSION_POLICIES))} or "
                    f"token-budget=<int> (default greedy)")
+#: --autoscale is a key=value spec; its help lists the controllers.
+_AUTOSCALE_HELP = (f"elastic fleet: policy=NAME,min=N,max=N"
+                   f"[,interval=S,cooldown=S,up=X,down=X]; policies: "
+                   f"{'/'.join(sorted(AUTOSCALE_POLICIES))} "
+                   f"(exclusive with --replicas)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -183,6 +198,8 @@ def _build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="fleet request-routing policy "
                              "(default round-robin)")
+    replay.add_argument("--autoscale", default=None, metavar="SPEC",
+                        help=_AUTOSCALE_HELP)
     replay.add_argument("--slo-ttft", type=float, default=None,
                         help="TTFT target in seconds for attainment "
                              "accounting (default: 5x analytical TTFT)")
@@ -244,6 +261,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="fleet request-routing policy "
                             "(default round-robin)")
+    serve.add_argument("--autoscale", default=None, metavar="SPEC",
+                       help=_AUTOSCALE_HELP)
     serve.add_argument("--slo-ttft", type=float, default=None,
                        help="TTFT target in seconds scored per "
                             "completion (default: 5x analytical TTFT)")
@@ -490,6 +509,26 @@ def _command_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_autoscale_timeline(autoscaler) -> None:
+    """The scaling-event table replay and serve both print."""
+    from repro.reporting import format_scaling_timeline
+
+    print()
+    print(format_scaling_timeline(
+        autoscaler.timeline(),
+        replica_seconds=autoscaler.replica_seconds))
+
+
+def _autoscale_payload(autoscaler, autoscale) -> dict:
+    """The --json autoscale section replay and serve both emit."""
+    return {
+        "spec": autoscale_spec(autoscale),
+        "config": config_module.to_config(autoscale),
+        "replica_seconds": autoscaler.replica_seconds,
+        "events": autoscaler.timeline(),
+    }
+
+
 def _command_replay(args: argparse.Namespace) -> int:
     from repro.reporting import format_serving_report
     from repro.sim import SLOTarget
@@ -497,6 +536,13 @@ def _command_replay(args: argparse.Namespace) -> int:
 
     # Policy/fleet knobs must fail before the (expensive) search.
     admission = parse_admission_policy(args.admission)
+    autoscale = None
+    if args.autoscale is not None:
+        if args.replicas is not None:
+            raise ConfigError(
+                "--autoscale manages the fleet size (min/max in the "
+                "spec); drop --replicas")
+        autoscale = parse_autoscale_spec(args.autoscale)
     replicas = 1 if args.replicas is None else args.replicas
     if replicas < 1:
         raise ConfigError("--replicas must be at least 1")
@@ -548,7 +594,19 @@ def _command_replay(args: argparse.Namespace) -> int:
         else (objective.max_tpot or 2.0 * chosen.tpot),
     )
     fleet = None
-    if replicas > 1 or args.routing is not None:
+    autoscaler = None
+    if autoscale is not None:
+        # Elastic replay: start the fleet at the floor and let the
+        # control loop track the trace's rate curve.
+        fleet = session.fleet_engine(chosen.schedule,
+                                     replicas=autoscale.min_replicas,
+                                     routing=args.routing,
+                                     dispatch=args.dispatch,
+                                     admission=admission)
+        autoscaler = Autoscaler.from_config(fleet, autoscale, slo=slo)
+        autoscaler.run_trace(trace)
+        report = fleet.report(trace, slo=slo)
+    elif replicas > 1 or args.routing is not None:
         # Fleet replay: route the trace across N replicas live instead
         # of the single-engine memoized path.
         fleet = session.fleet_engine(chosen.schedule, replicas=replicas,
@@ -571,6 +629,8 @@ def _command_replay(args: argparse.Namespace) -> int:
 
         print()
         print(format_fleet_breakdown(fleet.replica_stats()))
+    if autoscaler is not None:
+        _print_autoscale_timeline(autoscaler)
     if args.json_path:
         # Workload + cluster envelopes (and the policy selections) ride
         # along so the report can be regenerated from this file alone.
@@ -592,6 +652,9 @@ def _command_replay(args: argparse.Namespace) -> int:
                 "routing": fleet.routing.name,
                 "per_replica": fleet.replica_stats(),
             }
+        if autoscaler is not None:
+            payload["autoscale"] = _autoscale_payload(autoscaler,
+                                                     autoscale)
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=1)
         print(f"wrote {args.json_path}")
@@ -623,7 +686,16 @@ def _command_serve(args: argparse.Namespace) -> int:
             ("replicas", args.replicas), ("routing", args.routing),
         ) if value is not None
     }
+    if args.autoscale is not None:
+        overrides["autoscale"] = parse_autoscale_spec(args.autoscale)
     serve_config = dataclasses.replace(base, **overrides)
+    # Checked against the resolved config, not just the flags: an
+    # autoscale envelope inside --serve-config must also refuse an
+    # explicit --replicas rather than silently discarding it.
+    if serve_config.autoscale is not None and args.replicas is not None:
+        raise ConfigError(
+            "--autoscale manages the fleet size (min/max in the "
+            "spec); drop --replicas")
     admission = parse_admission_policy(args.admission)
 
     session = _resolve_session(args)
@@ -651,10 +723,22 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     # An explicit --routing means "serve a fleet" even at one replica,
     # mirroring replay's behavior (the flag must never be silently
-    # ignored).
+    # ignored); an autoscale envelope always means a fleet (the
+    # controller needs the add/remove primitives).
+    autoscale = serve_config.autoscale
     is_fleet = serve_config.replicas > 1 \
-        or serve_config.routing is not None
-    if is_fleet:
+        or serve_config.routing is not None \
+        or autoscale is not None
+    autoscaler = None
+    if autoscale is not None:
+        engine = session.fleet_engine(
+            chosen.schedule, replicas=autoscale.min_replicas,
+            routing=serve_config.routing, dispatch=args.dispatch,
+            admission=admission)
+        autoscaler = Autoscaler.from_config(fleet=engine,
+                                            config=autoscale,
+                                            slo=serve_config.slo)
+    elif is_fleet:
         engine = session.fleet_engine(chosen.schedule,
                                       replicas=serve_config.replicas,
                                       routing=serve_config.routing,
@@ -664,11 +748,18 @@ def _command_serve(args: argparse.Namespace) -> int:
         engine = session.serving_engine(chosen.schedule,
                                         dispatch=args.dispatch,
                                         admission=admission)
-    server = LiveServer(engine, serve_config)
+    server = LiveServer(engine, serve_config, autoscaler=autoscaler)
 
     def ready(host: str, port: int) -> None:
         fleet_note = ""
-        if is_fleet:
+        if autoscale is not None:
+            fleet_note = (f"; autoscaled fleet "
+                          f"{autoscale.min_replicas}.."
+                          f"{autoscale.max_replicas} replica(s) "
+                          f"({autoscale.policy}), "
+                          f"{serve_config.routing or 'round-robin'} "
+                          f"routing")
+        elif is_fleet:
             fleet_note = (f"; fleet of {serve_config.replicas} "
                           f"replica(s), "
                           f"{serve_config.routing or 'round-robin'} "
@@ -701,6 +792,8 @@ def _command_serve(args: argparse.Namespace) -> int:
 
         print()
         print(format_fleet_breakdown(engine.replica_stats()))
+    if autoscaler is not None:
+        _print_autoscale_timeline(autoscaler)
     if args.json_path:
         payload = {
             "report": config_module.to_config(report),
@@ -721,6 +814,9 @@ def _command_serve(args: argparse.Namespace) -> int:
                 "routing": engine.routing.name,
                 "per_replica": engine.replica_stats(),
             }
+        if autoscaler is not None:
+            payload["autoscale"] = _autoscale_payload(autoscaler,
+                                                      autoscale)
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=1)
         print(f"wrote {args.json_path}")

@@ -33,9 +33,12 @@ from repro.rago.search import SearchConfig, SearchResult
 from repro.schema.ragschema import RAGSchema
 from repro.rago.session import SweepResult
 from repro.serve import ServeConfig
+from repro.sim.autoscale import AutoscaleConfig
 from repro.sim.serving import ServingReport
 from repro.workloads.traces import RequestTrace
 from repro.config.serializers import (
+    autoscale_config_from_dict,
+    autoscale_config_to_dict,
     cluster_from_dict,
     cluster_to_dict,
     serve_config_from_dict,
@@ -138,6 +141,8 @@ _KINDS: Dict[str, Tuple[type, Callable[[Any], Dict],
                      sweep_result_from_dict),
     "serve_config": (ServeConfig, serve_config_to_dict,
                      serve_config_from_dict),
+    "autoscale_config": (AutoscaleConfig, autoscale_config_to_dict,
+                         autoscale_config_from_dict),
 }
 
 
@@ -244,4 +249,6 @@ __all__ = [
     "sweep_result_from_dict",
     "serve_config_to_dict",
     "serve_config_from_dict",
+    "autoscale_config_to_dict",
+    "autoscale_config_from_dict",
 ]

@@ -29,6 +29,7 @@ from repro.schema.serialization import (
 )
 from repro.schema.stages import Stage
 from repro.serve import ServeConfig
+from repro.sim.autoscale import AutoscaleConfig
 from repro.sim.serving import ServingReport, SLOTarget
 from repro.workloads.traces import RequestTrace
 
@@ -43,6 +44,7 @@ __all__ = [
     "serving_report_to_dict", "serving_report_from_dict",
     "sweep_result_to_dict", "sweep_result_from_dict",
     "serve_config_to_dict", "serve_config_from_dict",
+    "autoscale_config_to_dict", "autoscale_config_from_dict",
 ]
 
 _XPU_FIELDS = ("name", "peak_flops", "hbm_bytes", "mem_bandwidth",
@@ -337,14 +339,48 @@ def serving_report_from_dict(data: Dict) -> ServingReport:
             f"malformed serving report dict: {error}") from error
 
 
+_AUTOSCALE_CONFIG_FIELDS = ("policy", "min_replicas", "max_replicas",
+                            "interval", "cooldown", "scale_up",
+                            "scale_down")
+
+
+def autoscale_config_to_dict(config: AutoscaleConfig) -> Dict:
+    """Serialize an autoscaling-control-loop envelope."""
+    return {name: getattr(config, name)
+            for name in _AUTOSCALE_CONFIG_FIELDS}
+
+
+def autoscale_config_from_dict(data: Dict) -> AutoscaleConfig:
+    """Reconstruct an AutoscaleConfig serialized by
+    :func:`autoscale_config_to_dict`.
+
+    Unknown keys are rejected; missing keys fall back to the library
+    defaults (the same strictness/terseness trade as the serve
+    config)."""
+    unknown = set(data) - set(_AUTOSCALE_CONFIG_FIELDS)
+    if unknown:
+        raise ConfigError(
+            f"unknown autoscale config fields: {sorted(unknown)}")
+    try:
+        return AutoscaleConfig(**data)
+    except TypeError as error:
+        raise ConfigError(
+            f"malformed autoscale config dict: {error}") from error
+
+
 _SERVE_CONFIG_FIELDS = ("host", "port", "tick", "time_scale",
                         "slo_ttft", "slo_tpot", "default_decode_len",
-                        "replicas", "routing")
+                        "replicas", "routing", "autoscale")
 
 
 def serve_config_to_dict(config: ServeConfig) -> Dict:
-    """Serialize the live server's settings envelope."""
-    return {name: getattr(config, name) for name in _SERVE_CONFIG_FIELDS}
+    """Serialize the live server's settings envelope (the autoscale
+    sub-envelope nests)."""
+    payload = {name: getattr(config, name)
+               for name in _SERVE_CONFIG_FIELDS if name != "autoscale"}
+    payload["autoscale"] = (None if config.autoscale is None
+                            else autoscale_config_to_dict(config.autoscale))
+    return payload
 
 
 def serve_config_from_dict(data: Dict) -> ServeConfig:
@@ -356,8 +392,12 @@ def serve_config_from_dict(data: Dict) -> ServeConfig:
     unknown = set(data) - set(_SERVE_CONFIG_FIELDS)
     if unknown:
         raise ConfigError(f"unknown serve config fields: {sorted(unknown)}")
+    kwargs = dict(data)
+    autoscale = kwargs.get("autoscale")
+    if autoscale is not None:
+        kwargs["autoscale"] = autoscale_config_from_dict(autoscale)
     try:
-        return ServeConfig(**data)
+        return ServeConfig(**kwargs)
     except TypeError as error:
         raise ConfigError(f"malformed serve config dict: {error}") from error
 

@@ -56,6 +56,7 @@ from repro.rago.provisioning import ProvisioningResult, provision
 from repro.rago.search import SearchConfig, SearchResult, search_schedules
 from repro.schema.builder import PipelineBuilder
 from repro.schema.ragschema import RAGSchema
+from repro.sim.autoscale import Autoscaler, AutoscaleConfig
 from repro.sim.engine import ServingEngine
 from repro.sim.fleet import FleetEngine
 from repro.sim.policies import (
@@ -453,6 +454,68 @@ class OptimizerSession:
                            replicas=1 if replicas is None else replicas,
                            routing=routing, max_wait=max_wait, seed=seed,
                            dispatch=dispatch, admission=admission)
+
+    def autoscaled_fleet(self, trough_qps: float, peak_qps: float,
+                         autoscale: Optional[AutoscaleConfig] = None,
+                         routing: Union[None, str, RoutingPolicy] = None,
+                         slo: Optional[SLOTarget] = None,
+                         max_wait: Optional[float] = None, seed: int = 0,
+                         dispatch: Union[None, str, DispatchPolicy] = None,
+                         admission: Union[None, str,
+                                          AdmissionPolicy] = None,
+                         ) -> Autoscaler:
+        """An elastic fleet sized by the provisioning model.
+
+        The autoscaling counterpart of :meth:`fleet_engine`: the
+        replica bounds come from :meth:`provision` -- the peak load
+        fixes the schedule and the ``max_replicas`` ceiling, the
+        trough fixes ``min_replicas`` (the floor a diurnal night
+        shift can shrink to) -- and the fleet is built at the floor,
+        ready for :meth:`~repro.sim.autoscale.Autoscaler.run_trace`
+        or a live :class:`~repro.serve.LiveServer` session.
+
+        Args:
+            trough_qps: The lightest sustained load the fleet must
+                absorb (sizes ``min_replicas``).
+            peak_qps: The heaviest (sizes ``max_replicas`` and picks
+                the per-replica schedule).
+            autoscale: Controller settings; the provisioned bounds
+                **override** its ``min_replicas`` / ``max_replicas``
+                (that is this method's contract); policy, interval,
+                cooldown and thresholds pass through. None uses the
+                config defaults.
+            routing: Fleet request-routing policy (round robin when
+                None).
+            slo: Targets behind the controller's windowed attainment
+                statistic; None derives them from this session's
+                accumulated constraints.
+            max_wait / seed / dispatch / admission: Per-replica
+                engine knobs, as in :meth:`evaluate_trace`.
+
+        Raises:
+            ConfigError: on a non-positive or inverted load band.
+        """
+        if trough_qps <= 0 or peak_qps <= 0:
+            raise ConfigError("trough_qps and peak_qps must be positive")
+        if trough_qps > peak_qps:
+            raise ConfigError(
+                f"trough_qps={trough_qps} must not exceed "
+                f"peak_qps={peak_qps}")
+        peak = self.provision(peak_qps)
+        schedule = peak.perf.schedule
+        min_replicas = min(math.ceil(trough_qps / peak.perf.qps),
+                           peak.replicas)
+        config = autoscale or AutoscaleConfig()
+        config = replace(config, min_replicas=min_replicas,
+                         max_replicas=peak.replicas)
+        fleet = FleetEngine(self._perf_model, schedule,
+                            replicas=min_replicas, routing=routing,
+                            max_wait=max_wait, seed=seed,
+                            dispatch=dispatch, admission=admission)
+        if slo is None:
+            slo = SLOTarget(ttft=self._objective.max_ttft,
+                            tpot=self._objective.max_tpot)
+        return Autoscaler.from_config(fleet, config, slo=slo)
 
     def cache_info(self) -> Dict[str, int]:
         """Memo sizes (searches, schedule evaluations and trace replays

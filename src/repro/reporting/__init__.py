@@ -4,6 +4,7 @@ registry that maps every paper table/figure to a runnable generator."""
 from repro.reporting.tables import (
     format_fleet_breakdown,
     format_live_summary,
+    format_scaling_timeline,
     format_serving_report,
     format_table,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "format_serving_report",
     "format_live_summary",
     "format_fleet_breakdown",
+    "format_scaling_timeline",
     "format_series",
     "format_heatmap",
     "ascii_scatter",

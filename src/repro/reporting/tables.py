@@ -6,7 +6,7 @@ this keeps the harness dependency-free and diff-friendly.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.errors import ConfigError
 
@@ -98,6 +98,37 @@ def format_fleet_breakdown(stats: Sequence[dict]) -> str:
          for row in stats],
     )
     return f"per-replica breakdown\n{table}"
+
+
+def format_scaling_timeline(events: Sequence[dict],
+                            replica_seconds: Optional[float] = None) -> str:
+    """Render an autoscaler's scaling-event timeline as a table.
+
+    Args:
+        events: :meth:`~repro.sim.autoscale.Autoscaler.timeline`
+            rows -- one dict per size-changing decision (time, action,
+            slots, before/after counts, reason).
+        replica_seconds: Optional integrated replica-seconds to
+            append as a cost footer.
+
+    A controller that never scaled is a legitimate outcome, so an
+    empty timeline renders as a one-line note instead of raising.
+    """
+    if not events:
+        lines = ["scaling timeline: no scaling events"]
+    else:
+        table = format_table(
+            ("sim time (s)", "action", "slots", "replicas", "reason"),
+            [[event["time"], event["action"],
+              "+".join(str(slot) for slot in event["slots"]),
+              f"{event['replicas_before']}->{event['replicas_after']}",
+              event["reason"]]
+             for event in events],
+        )
+        lines = [f"scaling timeline ({len(events)} event(s))", table]
+    if replica_seconds is not None:
+        lines.append(f"replica-seconds: {replica_seconds:.1f}")
+    return "\n".join(lines)
 
 
 def format_serving_report(report) -> str:

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ConfigError
+from repro.sim.autoscale import Autoscaler, AutoscaleConfig
 from repro.sim.engine import ServingEngine
 from repro.sim.fleet import FleetEngine
 from repro.sim.metrics import RequestRecord, ServingReport, SLOTarget
@@ -74,6 +75,12 @@ class ServeConfig:
         routing: Fleet request-routing policy name (see
             :data:`~repro.sim.routing.ROUTING_POLICIES`); None means
             round robin. Only meaningful with ``replicas > 1``.
+        autoscale: Optional autoscaling control loop
+            (:class:`~repro.sim.autoscale.AutoscaleConfig`). When
+            set, the session serves an elastic fleet: the fleet
+            starts at ``autoscale.min_replicas`` (``replicas`` is
+            superseded) and the controller runs against the mapped
+            simulated time.
     """
 
     host: str = "127.0.0.1"
@@ -85,8 +92,13 @@ class ServeConfig:
     default_decode_len: Optional[int] = None
     replicas: int = 1
     routing: Optional[str] = None
+    autoscale: Optional[AutoscaleConfig] = None
 
     def __post_init__(self) -> None:
+        if self.autoscale is not None \
+                and not isinstance(self.autoscale, AutoscaleConfig):
+            raise ConfigError("autoscale must be an AutoscaleConfig "
+                              "(or None)")
         if not self.host:
             raise ConfigError("host must be non-empty")
         if not 0 <= self.port <= 65535:
@@ -134,10 +146,15 @@ class LiveServer:
     """
 
     def __init__(self, engine: EngineLike,
-                 config: Optional[ServeConfig] = None) -> None:
+                 config: Optional[ServeConfig] = None,
+                 autoscaler: Optional[Autoscaler] = None) -> None:
         if engine.offered:
             raise ConfigError("LiveServer needs a fresh, unused engine")
+        if autoscaler is not None and autoscaler.fleet is not engine:
+            raise ConfigError("the autoscaler must control the engine "
+                              "being served")
         self._engine = engine
+        self._autoscaler = autoscaler
         self._config = config or ServeConfig()
         self._server: Optional[asyncio.AbstractServer] = None
         self._pump_task: Optional[asyncio.Task] = None
@@ -171,6 +188,11 @@ class LiveServer:
         """The engine's running statistics (see
         :meth:`~repro.sim.ServingEngine.snapshot`)."""
         return self._engine.snapshot()
+
+    @property
+    def autoscaler(self) -> Optional[Autoscaler]:
+        """The autoscaling controller, when one is attached."""
+        return self._autoscaler
 
     @property
     def report(self) -> Optional[ServingReport]:
@@ -262,6 +284,8 @@ class LiveServer:
                     pass
             raise self._pump_failure
         self._engine.drain()
+        if self._autoscaler is not None:
+            self._autoscaler.finalize(self._engine.now)
         await self._flush_completions()
         error: Optional[str] = None
         if self._engine.offered:
@@ -324,6 +348,8 @@ class LiveServer:
             while True:
                 await asyncio.sleep(self._config.tick)
                 self._engine.step(until=self._sim_now())
+                if self._autoscaler is not None:
+                    self._autoscaler.maybe_control(self._engine.now)
                 await self._flush_completions()
         except asyncio.CancelledError:
             raise
@@ -332,7 +358,11 @@ class LiveServer:
             self._shutdown_event.set()
 
     async def _flush_completions(self) -> None:
-        completions, self._completions = self._completions, []
+        # Drain in place: the engine's completion listener is this
+        # list's bound append, so rebinding the attribute would orphan
+        # it and silently stop the stream after the first flush.
+        completions = list(self._completions)
+        del self._completions[:len(completions)]
         for record in completions:
             route = self._routes.pop(record.request_id, None)
             if route is None:
@@ -448,4 +478,13 @@ class LiveServer:
                  "in_flight": stats["in_flight"]}
                 for stats in self._engine.replica_stats()
             ]
+        if self._autoscaler is not None:
+            payload["autoscale"] = {
+                "policy": self._autoscaler.policy.name,
+                "min_replicas": self._autoscaler.min_replicas,
+                "max_replicas": self._autoscaler.max_replicas,
+                "replicas": self._engine.replicas,
+                "replica_seconds": self._autoscaler.replica_seconds,
+                "events": self._autoscaler.timeline(),
+            }
         return payload

@@ -21,6 +21,20 @@ queueing breakdowns, while :mod:`repro.serve` feeds the same engine
 from a live asyncio request stream.
 """
 
+from repro.sim.autoscale import (
+    AUTOSCALE_POLICIES,
+    AutoscaleConfig,
+    AutoscalePolicy,
+    Autoscaler,
+    FleetView,
+    QueueDepthPolicy,
+    ScalingEvent,
+    SLOAttainmentPolicy,
+    TargetUtilizationPolicy,
+    autoscale_spec,
+    parse_autoscale_spec,
+    resolve_autoscale_policy,
+)
 from repro.sim.engine import EventQueue, ServingEngine, Simulation
 from repro.sim.fleet import FleetEngine
 from repro.sim.metrics import (
@@ -46,7 +60,9 @@ from repro.sim.policies import (
 )
 from repro.sim.routing import (
     ROUTING_POLICIES,
+    JoinIdleQueueRouting,
     LeastInFlightRouting,
+    PowerOfTwoChoicesRouting,
     ReplicaView,
     RoundRobinRouting,
     RoutingPolicy,
@@ -83,6 +99,20 @@ __all__ = [
     "RoundRobinRouting",
     "LeastInFlightRouting",
     "WeightedQPSRouting",
+    "PowerOfTwoChoicesRouting",
+    "JoinIdleQueueRouting",
     "ROUTING_POLICIES",
     "resolve_routing_policy",
+    "AutoscalePolicy",
+    "TargetUtilizationPolicy",
+    "QueueDepthPolicy",
+    "SLOAttainmentPolicy",
+    "AUTOSCALE_POLICIES",
+    "resolve_autoscale_policy",
+    "AutoscaleConfig",
+    "parse_autoscale_spec",
+    "autoscale_spec",
+    "ScalingEvent",
+    "FleetView",
+    "Autoscaler",
 ]

@@ -14,7 +14,11 @@ Which replica an arrival lands on is a pluggable
 :class:`~repro.sim.routing.RoutingPolicy` (round robin by default);
 :meth:`FleetEngine.swap_replica` performs a **rolling schedule swap**:
 the old engine keeps draining its in-flight work while new arrivals
-route around it, so a reconfiguration loses zero requests.
+route around it, so a reconfiguration loses zero requests. The same
+drain discipline makes the fleet **elastic**: :meth:`add_replica`
+grows it by a routable slot mid-run and :meth:`remove_replica`
+shrinks it without dropping in-flight work -- the two primitives the
+autoscaling control loop (:mod:`repro.sim.autoscale`) drives.
 
 Merged artifacts (:meth:`snapshot` / :meth:`metrics` /
 :meth:`report`) fold every replica's request records into one
@@ -127,8 +131,16 @@ class FleetEngine:
         self._accumulator = MetricsAccumulator(self._schema)
         self._engines: List[_ReplicaEntry] = []
         self._active: Dict[int, _ReplicaEntry] = {}
-        self._submitted: List[int] = [0] * len(schedules)
+        self._submitted: Dict[int, int] = {slot: 0 for slot
+                                           in range(len(schedules))}
+        self._template = schedules[0]
+        self._next_slot = len(schedules)
         self._now = 0.0
+        # Active-replica-count integral over time; the utilization
+        # denominator once the fleet has been resized (static fleets
+        # keep the exact constant-count division).
+        self._replica_seconds = 0.0
+        self._resized = False
         for slot, replica_schedule in enumerate(schedules):
             self._install(slot, replica_schedule)
 
@@ -161,8 +173,10 @@ class FleetEngine:
 
     @property
     def replicas(self) -> int:
-        """Fleet slot count."""
-        return len(self._submitted)
+        """Active (routable) replica count. Static fleets keep their
+        constructed size; an autoscaled fleet's count moves with
+        :meth:`add_replica` / :meth:`remove_replica`."""
+        return len(self._active)
 
     @property
     def routing(self) -> RoutingPolicy:
@@ -176,6 +190,16 @@ class FleetEngine:
         return [entry.engine for entry in self._engines]
 
     @property
+    def active_slots(self) -> List[int]:
+        """Routable slot indices, ascending."""
+        return sorted(self._active)
+
+    def active_weights(self) -> List[float]:
+        """Analytical-QPS routing weights of the active replicas,
+        slot order (the autoscaler's capacity denominator)."""
+        return [self._active[slot].weight for slot in sorted(self._active)]
+
+    @property
     def schedules(self) -> List[Schedule]:
         """The active replicas' schedules, slot order."""
         return [self._active[slot].engine.schedule
@@ -186,6 +210,13 @@ class FleetEngine:
         """Current simulated time in seconds (the fleet steps every
         replica to the same bound)."""
         return self._now
+
+    @property
+    def replica_seconds(self) -> float:
+        """Integrated active-replica count over simulated time -- the
+        resource cost an elastic fleet is judged on (equals
+        ``replicas * now`` while the size never changes)."""
+        return self._replica_seconds
 
     @property
     def offered(self) -> int:
@@ -261,7 +292,7 @@ class FleetEngine:
                         weight=self._active[slot].weight)
             for slot in sorted(self._active)
         ]
-        slot = self._routing.select(candidates)
+        slot = self._routing.select(candidates, now=arrival)
         entry = self._active.get(slot)
         if entry is None:
             raise ConfigError(
@@ -295,8 +326,12 @@ class FleetEngine:
         if until < self._now:
             raise ConfigError("cannot step backwards in time")
         for entry in self._engines:
-            entry.engine.step(until=max(until, entry.engine.now))
-        self._now = max(until, self._now)
+            # Retired generations hold no in-flight work; walking them
+            # forever would make every tick O(total generations) on a
+            # long-lived autoscaled fleet.
+            if entry.state != _RETIRED:
+                entry.engine.step(until=max(until, entry.engine.now))
+        self._advance_clock(until)
         self._settle()
         return self._now
 
@@ -307,11 +342,20 @@ class FleetEngine:
             The simulated time of the fleet's last event.
         """
         for entry in self._engines:
-            entry.engine.drain()
-        self._now = max([self._now]
-                        + [entry.engine.now for entry in self._engines])
+            if entry.state != _RETIRED:
+                entry.engine.drain()
+        self._advance_clock(max(
+            [self._now] + [entry.engine.now for entry in self._engines]))
         self._settle()
         return self._now
+
+    def _advance_clock(self, until: float) -> None:
+        """Move the fleet clock forward, integrating replica-seconds
+        (the active count is piecewise constant between calls)."""
+        if until > self._now:
+            self._replica_seconds += len(self._active) \
+                * (until - self._now)
+            self._now = until
 
     def swap_replica(self, slot: int, schedule: Schedule) -> ServingEngine:
         """Rolling schedule swap: replace ``slot``'s engine.
@@ -343,6 +387,76 @@ class FleetEngine:
         del self._active[slot]
         return self._install(slot, schedule).engine
 
+    def add_replica(self, schedule: Optional[Schedule] = None) -> int:
+        """Grow the fleet by one replica (the scale-up primitive).
+
+        The new engine occupies a fresh slot and is routable
+        immediately. Its routing counter starts at the **minimum** of
+        the active slots' counters, not zero, so fairness-seeking
+        policies (round robin, weighted) fold it into the rotation
+        instead of flooding it to "catch up" on traffic it never saw.
+
+        Args:
+            schedule: The newcomer's deployment; None replicates the
+                fleet's construction-time schedule.
+
+        Returns:
+            The new replica's slot index (slots are never reused, so
+            the index doubles as a scale-event identifier).
+        """
+        slot = self._next_slot
+        self._next_slot += 1
+        self._resized = True
+        baseline = min((self._submitted[s] for s in self._active),
+                       default=0)
+        self._submitted[slot] = baseline
+        entry = self._install(slot, schedule or self._template)
+        # A replica born mid-run starts its clock at the fleet's now,
+        # not zero -- its busy-time accounting must not invent idle
+        # history (and step() already never moves a clock backwards).
+        entry.engine.step(until=self._now)
+        return slot
+
+    def remove_replica(self, slot: Optional[int] = None) -> ServingEngine:
+        """Shrink the fleet by one replica, losing zero requests.
+
+        The chosen engine stops receiving traffic immediately and
+        keeps draining its in-flight work as the fleet steps --
+        exactly the :meth:`swap_replica` drain, minus the replacement.
+
+        Args:
+            slot: The slot to retire; None picks the active slot with
+                the fewest in-flight requests (ties to the
+                highest-numbered, i.e. youngest, slot) so a scale-down
+                drains as little work as possible.
+
+        Returns:
+            The draining :class:`~repro.sim.engine.ServingEngine`.
+
+        Raises:
+            ConfigError: for an unknown/already-draining slot, or when
+                removal would leave no active replica.
+        """
+        if len(self._active) <= 1:
+            raise ConfigError(
+                "cannot remove the last active replica; a fleet must "
+                "keep at least one")
+        if slot is None:
+            slot = min(self._active,
+                       key=lambda s: (self._active[s].engine.in_flight,
+                                      -s))
+        entry = self._active.get(slot)
+        if entry is None:
+            known = ", ".join(str(s) for s in sorted(self._active))
+            raise ConfigError(
+                f"no active replica at slot {slot}; active slots: "
+                f"{known or 'none'}")
+        entry.state = _RETIRED if entry.engine.in_flight == 0 \
+            else _DRAINING
+        del self._active[slot]
+        self._resized = True
+        return entry.engine
+
     def _settle(self) -> None:
         """Retire draining replicas whose in-flight work finished."""
         for entry in self._engines:
@@ -353,14 +467,20 @@ class FleetEngine:
 
     def busy_times(self) -> Dict[str, float]:
         """Slot-averaged busy seconds per resource name: summed over
-        every engine generation, divided by the slot count, so the
+        every engine generation, divided by the replica count, so the
         derived utilization reads as "the average replica's busy
-        fraction"."""
+        fraction". A fleet that has been resized divides by the
+        **time-weighted** average active count instead -- dividing
+        all generations' busy seconds by whatever size the fleet
+        happens to end at would inflate (or dilute) the fraction."""
         merged: Dict[str, float] = {}
         for entry in self._engines:
             for name, busy in entry.engine.busy_times().items():
                 merged[name] = merged.get(name, 0.0) + busy
-        slots = max(self.replicas, 1)
+        if self._resized and self._now > 0:
+            slots = max(self._replica_seconds / self._now, 1.0)
+        else:
+            slots = max(self.replicas, 1)
         return {name: busy / slots for name, busy in merged.items()}
 
     def snapshot(self) -> LiveSnapshot:

@@ -11,7 +11,8 @@ arguments.
 Policies are pure functions of the candidate replicas' observable
 state (:class:`ReplicaView`): in-flight depth, how many requests the
 slot has ever been routed, and an analytical-QPS weight. The fleet
-owns the counters, so one policy instance can serve many fleets.
+owns the counters, so the static policies are stateless and one
+instance can serve many fleets.
 
 Variants:
 
@@ -24,12 +25,29 @@ Variants:
   each replica receives traffic proportional to its schedule's
   analytical saturation QPS, the right default for heterogeneous
   fleets.
+
+The latency-aware variants model what a *distributed* balancer can
+actually observe -- sampled, possibly stale queue state -- instead of
+the oracle view the static policies enjoy:
+
+* :class:`PowerOfTwoChoicesRouting` -- sample two replicas with a
+  seeded RNG, join the shorter queue; ``stale_after`` serves cached
+  queue depths for that many seconds before refreshing, reproducing
+  the stale-state balancing the mesh literature studies.
+* :class:`JoinIdleQueueRouting` -- route to an idle replica when one
+  exists, fall back to the shortest queue otherwise (the JIQ
+  decoupling of idleness tracking from dispatch).
+
+These two keep per-instance state (an RNG, a state cache), so a fresh
+instance per fleet -- what the registry factories and
+:func:`resolve_routing_policy` hand out -- is the supported usage.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Sequence, Union
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Union
 
 from repro.errors import ConfigError
 
@@ -69,11 +87,14 @@ class RoutingPolicy:
         """Registry name (kebab-case class name by default)."""
         return type(self).__name__.replace("Routing", "").lower()
 
-    def select(self, replicas: Sequence[ReplicaView]) -> int:
+    def select(self, replicas: Sequence[ReplicaView],
+               now: float = 0.0) -> int:
         """The chosen replica's ``index`` among ``replicas``.
 
         Args:
             replicas: Views of every routable replica, slot order.
+            now: Simulated time of the routing decision; only the
+                staleness-aware policies read it.
 
         Raises:
             ConfigError: when no replica is routable.
@@ -101,7 +122,8 @@ class RoundRobinRouting(RoutingPolicy):
     def name(self) -> str:
         return "round-robin"
 
-    def select(self, replicas: Sequence[ReplicaView]) -> int:
+    def select(self, replicas: Sequence[ReplicaView],
+               now: float = 0.0) -> int:
         self._require(replicas)
         return min(replicas, key=lambda r: (r.submitted, r.index)).index
 
@@ -116,7 +138,8 @@ class LeastInFlightRouting(RoutingPolicy):
     def name(self) -> str:
         return "least-in-flight"
 
-    def select(self, replicas: Sequence[ReplicaView]) -> int:
+    def select(self, replicas: Sequence[ReplicaView],
+               now: float = 0.0) -> int:
         self._require(replicas)
         return min(replicas,
                    key=lambda r: (r.in_flight, r.submitted, r.index)).index
@@ -133,7 +156,8 @@ class WeightedQPSRouting(RoutingPolicy):
     def name(self) -> str:
         return "weighted-qps"
 
-    def select(self, replicas: Sequence[ReplicaView]) -> int:
+    def select(self, replicas: Sequence[ReplicaView],
+               now: float = 0.0) -> int:
         self._require(replicas)
         for view in replicas:
             if view.weight <= 0:
@@ -145,12 +169,110 @@ class WeightedQPSRouting(RoutingPolicy):
                                   r.index)).index
 
 
+@dataclass(frozen=True, eq=False)
+class PowerOfTwoChoicesRouting(RoutingPolicy):
+    """Sample two replicas, join the shorter queue -- on possibly
+    stale state.
+
+    The classic power-of-two-choices balancer: two candidates are
+    drawn with a seeded RNG and the one with fewer in-flight requests
+    wins (ties by fewest-ever-submitted, then slot order). With
+    ``stale_after > 0`` the policy consults a cached snapshot of the
+    queue depths and only refreshes it once the snapshot is at least
+    ``stale_after`` seconds old -- the "herd behavior under stale
+    state" regime a real mesh balancer operates in. ``stale_after =
+    0`` refreshes on every decision (perfect information), including
+    decisions at the same instant.
+
+    Runs are deterministic per seed: the same candidate sequence and
+    decision times reproduce the same assignments.
+
+    Attributes:
+        seed: RNG seed for the two-candidate draw.
+        stale_after: Seconds a cached queue-depth snapshot keeps
+            serving decisions before it is refreshed.
+    """
+
+    seed: int = 0
+    stale_after: float = 0.0
+    _state: Dict[str, object] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.stale_after < 0:
+            raise ConfigError("stale_after must be non-negative")
+
+    @property
+    def name(self) -> str:
+        return "power-of-two-choices"
+
+    def _snapshot(self, replicas: Sequence[ReplicaView],
+                  now: float) -> Dict[int, int]:
+        """The in-flight depths the policy is allowed to see at
+        ``now``: live state once the cached snapshot has aged past
+        ``stale_after`` (or a slot appeared/vanished), the cached copy
+        otherwise."""
+        cached = self._state.get("depths")
+        taken = self._state.get("taken_at")
+        live = {view.index: view.in_flight for view in replicas}
+        if (cached is None or taken is None or now < taken
+                or now - taken >= self.stale_after
+                or set(cached) != set(live)):
+            self._state["depths"] = live
+            self._state["taken_at"] = now
+            return live
+        return cached
+
+    def select(self, replicas: Sequence[ReplicaView],
+               now: float = 0.0) -> int:
+        self._require(replicas)
+        rng = self._state.get("rng")
+        if rng is None:
+            rng = random.Random(self.seed)
+            self._state["rng"] = rng
+        depths = self._snapshot(replicas, now)
+        by_index = {view.index: view for view in replicas}
+        indices = sorted(by_index)
+        if len(indices) == 1:
+            return indices[0]
+        first, second = rng.sample(indices, 2)
+        return min(
+            (first, second),
+            key=lambda i: (depths[i], by_index[i].submitted, i))
+
+
+@dataclass(frozen=True)
+class JoinIdleQueueRouting(RoutingPolicy):
+    """Route to an idle replica when one exists; otherwise join the
+    shortest queue.
+
+    The join-idle-queue discipline decouples "who is idle" from the
+    dispatch decision: as long as any replica sits idle an arrival
+    never queues behind busy ones (idle ties break by
+    fewest-ever-submitted so the idle set is drained fairly); only
+    when the whole fleet is busy does it degrade to
+    least-in-flight."""
+
+    @property
+    def name(self) -> str:
+        return "join-idle-queue"
+
+    def select(self, replicas: Sequence[ReplicaView],
+               now: float = 0.0) -> int:
+        self._require(replicas)
+        idle = [view for view in replicas if view.in_flight == 0]
+        candidates = idle or replicas
+        return min(candidates,
+                   key=lambda r: (r.in_flight, r.submitted, r.index)).index
+
+
 #: Named routing policies for the CLI / config front-ends. Values are
 #: zero-argument factories returning the default-configured policy.
 ROUTING_POLICIES: Dict[str, Callable[[], RoutingPolicy]] = {
     "round-robin": RoundRobinRouting,
     "least-in-flight": LeastInFlightRouting,
     "weighted-qps": WeightedQPSRouting,
+    "power-of-two-choices": PowerOfTwoChoicesRouting,
+    "join-idle-queue": JoinIdleQueueRouting,
 }
 
 

@@ -526,3 +526,72 @@ def test_replay_json_payload_is_self_contained(tmp_path):
         pm, config.from_config(payload["schedule"])).run(
         config.from_config(payload["trace"]), slo=slo)
     assert config.to_config(regenerated) == payload["report"]
+
+
+def test_replay_autoscale_emits_timeline_and_json(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "auto.json"
+    assert main(["replay", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--scenario", "bursty",
+                 "--duration", "2", "--load", "2.0",
+                 "--autoscale",
+                 "policy=queue-depth,min=1,max=2,interval=0.25,"
+                 "cooldown=0.5",
+                 "--json", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "scaling timeline" in out
+    assert "replica-seconds" in out
+    payload = json.loads(path.read_text())
+    auto = payload["autoscale"]
+    assert auto["config"]["kind"] == "autoscale_config"
+    assert auto["config"]["spec"]["max_replicas"] == 2
+    assert auto["replica_seconds"] > 0
+    # Zero-loss conservation, counted per engine generation.
+    per_replica = payload["fleet"]["per_replica"]
+    assert sum(row["completed"] for row in per_replica) \
+        == payload["report"]["spec"]["completed"]
+
+
+def test_replay_autoscale_conflicts_with_replicas(capsys):
+    assert main(["replay", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--replicas", "2",
+                 "--autoscale", "policy=queue-depth"]) == 1
+    assert "drop --replicas" in capsys.readouterr().out
+
+
+def test_replay_malformed_autoscale_specs_rejected(capsys):
+    assert main(["replay", "--case", "i", "--llm", "1B",
+                 "--servers", "16",
+                 "--autoscale", "policy=queue-depth,bogus=3"]) == 1
+    assert "unknown autoscale key" in capsys.readouterr().out
+    assert main(["replay", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--autoscale", "min=two"]) == 1
+    assert "malformed autoscale value" in capsys.readouterr().out
+    assert main(["replay", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--autoscale", "no-such-policy"]) == 1
+    assert "unknown autoscale policy" in capsys.readouterr().out
+
+
+def test_serve_autoscale_conflicts_with_replicas(capsys):
+    assert main(["serve", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--replicas", "2",
+                 "--autoscale", "policy=queue-depth"]) == 1
+    assert "drop --replicas" in capsys.readouterr().out
+
+
+def test_serve_config_file_autoscale_still_conflicts_with_replicas(
+        tmp_path, capsys):
+    """An autoscale envelope arriving via --serve-config must refuse an
+    explicit --replicas just as loudly as the flag form does."""
+    from repro import config
+    from repro.serve import ServeConfig
+    from repro.sim import AutoscaleConfig
+
+    path = tmp_path / "serve.json"
+    config.save(str(path), ServeConfig(
+        autoscale=AutoscaleConfig(max_replicas=2)))
+    assert main(["serve", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--serve-config", str(path),
+                 "--replicas", "4"]) == 1
+    assert "drop --replicas" in capsys.readouterr().out

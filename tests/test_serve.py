@@ -370,3 +370,89 @@ def test_live_server_over_fleet_engine(setup):
         replay.submit(arrival, decode_len=decode_len)
     replay.drain()
     assert replay.report(trace, slo=ServeConfig(**_FAST).slo) == report
+
+
+def test_completions_stream_across_pump_windows(setup):
+    """Regression: the flush used to rebind the completion list,
+    orphaning the engine's listener (a bound ``append`` of the old
+    list) -- every completion after the first pump window was
+    silently dropped instead of streaming."""
+    async def scenario():
+        server = LiveServer(_engine(setup), ServeConfig(**_FAST))
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        collected = []
+        for batch in range(3):
+            for index in range(5):
+                writer.write(json.dumps(
+                    {"op": "submit", "id": f"b{batch}-{index}",
+                     "decode_len": 64}).encode() + b"\n")
+            await writer.drain()
+            # Wait this batch's completions out before the next, so
+            # each batch crosses a separate flush cycle.
+            while sum(m["op"] == "completion" for m in collected) \
+                    < 5 * (batch + 1):
+                await _lines_until(reader, "completion", collected)
+        report = await server.shutdown()
+        writer.close()
+        return report, collected
+
+    report, collected = asyncio.run(scenario())
+    assert report.offered == report.completed == 15
+    assert sum(m["op"] == "completion" for m in collected) == 15
+
+
+def test_live_server_with_autoscaler(setup):
+    """An autoscaled fleet behind the live front-end: stats gains the
+    autoscale section and the zero-loss invariant holds through
+    whatever scaling the pump's control loop performed."""
+    from repro.sim import Autoscaler, AutoscaleConfig, FleetEngine
+
+    pm, schedule = setup
+    config = AutoscaleConfig(policy="queue-depth", min_replicas=1,
+                             max_replicas=3, interval=0.1,
+                             cooldown=0.2, scale_up=4.0,
+                             scale_down=1.0)
+
+    async def scenario():
+        fleet = FleetEngine(pm, schedule, replicas=1)
+        autoscaler = Autoscaler.from_config(
+            fleet, config, slo=ServeConfig(**_FAST).slo)
+        server = LiveServer(fleet, ServeConfig(autoscale=config,
+                                               **_FAST),
+                            autoscaler=autoscaler)
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        for index in range(40):
+            writer.write(json.dumps(
+                {"op": "submit", "id": index,
+                 "decode_len": 64}).encode() + b"\n")
+        await writer.drain()
+        writer.write(b'{"op": "stats"}\n')
+        await writer.drain()
+        stats = await _lines_until(reader, "stats")
+        report = await server.shutdown()
+        writer.close()
+        return fleet, autoscaler, stats, report
+
+    fleet, autoscaler, stats, report = asyncio.run(scenario())
+    scale = stats["autoscale"]
+    assert scale["policy"] == "queue-depth"
+    assert scale["min_replicas"] == 1 and scale["max_replicas"] == 3
+    assert 1 <= scale["replicas"] <= 3
+    assert report is not None
+    assert report.offered == report.completed == 40
+    # Zero loss across whatever scale events the pump triggered.
+    assert sum(row["completed"] for row in fleet.replica_stats()) == 40
+    assert autoscaler.replica_seconds > 0.0
+
+
+def test_live_server_rejects_foreign_autoscaler(setup):
+    from repro.sim import Autoscaler, FleetEngine
+
+    pm, schedule = setup
+    fleet = FleetEngine(pm, schedule, replicas=1)
+    other = FleetEngine(pm, schedule, replicas=1)
+    autoscaler = Autoscaler(other)
+    with pytest.raises(ConfigError, match="must control"):
+        LiveServer(fleet, ServeConfig(**_FAST), autoscaler=autoscaler)
