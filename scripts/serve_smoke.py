@@ -5,6 +5,10 @@ Three phases, each booting ``repro serve`` as a real subprocess on a
 loopback ephemeral port and driving requests through the JSON-lines
 socket:
 
+0. a pre-flight ``repro lint`` pass over ``src/repro/sim`` -- the
+   simulator the phases below exercise must be free of the hazards
+   simlint knows about (wall-clock reads, unseeded RNG, the listener
+   rebind bug class) before live traffic is driven through it;
 1. a single-engine server -- asserts a well-formed ``ServingReport``
    comes back (over the socket and in the ``--json`` artifact);
 2. a 3-replica fleet (``--replicas 3 --routing least-in-flight``) --
@@ -274,7 +278,25 @@ def drive_autoscale(label, report_path):
     return payload, total
 
 
+def lint_preflight() -> bool:
+    """Phase 0: the simulator must lint clean before traffic hits it."""
+    sim_tree = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src", "repro", "sim")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", sim_tree],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    if result.returncode != 0:
+        print("FAIL: [preflight] simlint found hazards in the simulator",
+              file=sys.stderr)
+        print(result.stdout, file=sys.stderr)
+        return False
+    print("[preflight] OK: src/repro/sim lints clean")
+    return True
+
+
 def main() -> int:
+    if not lint_preflight():
+        return 1
     payload = drive("single", [], "serve_smoke_report.json")
     for key in ("report", "workload", "cluster", "schedule", "trace",
                 "serve"):

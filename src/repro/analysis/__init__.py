@@ -1,0 +1,79 @@
+"""repro.analysis: an AST-based determinism & drift linter (simlint).
+
+The serving stack's failure modes are statically detectable: wall
+clock and unseeded randomness leaking into the DES (replay
+non-determinism), callbacks orphaned by attribute rebinds (the PR 5
+LiveServer bug), and policy registries drifting away from their CLI
+grammars and config serializers (the PR 4 estimator-drift class).
+This package catches them mechanically, every PR:
+
+* :class:`LintRule` + :data:`LINT_RULES` -- a pluggable rule registry
+  mirroring the :mod:`repro.sim.policies` idiom.
+* :class:`~repro.analysis.index.CodebaseIndex` -- a lightweight
+  symbol/callgraph index good enough for cross-module checks.
+* :class:`Finding` -- rule id, path, line, severity, message, with an
+  exact JSON round-trip.
+* ``# simlint: allow[rule-id]`` -- per-line suppression grammar for
+  audited exceptions.
+* :mod:`~repro.analysis.baseline` -- committed snapshots so CI fails
+  only on *new* findings.
+
+Front-ends: ``repro lint [paths] [--rule ID] [--json FILE]
+[--baseline FILE]`` and the CI ``lint`` job.
+"""
+
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    baseline_payload,
+    diff_against_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.checks import SIM_SCOPES, WALLCLOCK_SCOPES
+from repro.analysis.findings import (
+    SEVERITIES,
+    Finding,
+    finding_from_dict,
+    finding_to_dict,
+)
+from repro.analysis.index import (
+    CodebaseIndex,
+    ModuleIndex,
+    build_index,
+    index_module,
+    iter_python_files,
+)
+from repro.analysis.linter import lint_paths, run_rules
+from repro.analysis.rules import (
+    LINT_RULES,
+    LintRule,
+    iter_rule_table,
+    register_rule,
+    resolve_lint_rules,
+)
+
+__all__ = [
+    "Finding",
+    "SEVERITIES",
+    "finding_to_dict",
+    "finding_from_dict",
+    "LintRule",
+    "LINT_RULES",
+    "register_rule",
+    "resolve_lint_rules",
+    "iter_rule_table",
+    "ModuleIndex",
+    "CodebaseIndex",
+    "index_module",
+    "build_index",
+    "iter_python_files",
+    "lint_paths",
+    "run_rules",
+    "SIM_SCOPES",
+    "WALLCLOCK_SCOPES",
+    "BASELINE_VERSION",
+    "baseline_payload",
+    "write_baseline",
+    "load_baseline",
+    "diff_against_baseline",
+]

@@ -1,0 +1,408 @@
+"""The builtin rule corpus, targeting this codebase's real bug history.
+
+Each rule encodes a hazard class a past PR either shipped or fixed by
+hand:
+
+* ``no-wallclock-in-sim`` -- wall-clock reads inside simulation paths
+  destroy replay determinism (only :mod:`repro.serve`'s wall->sim
+  mapping may touch the clock, explicitly suppressed).
+* ``seeded-rng-required`` -- the module-level ``random`` global (or an
+  unseeded constructor) makes two identical runs disagree.
+* ``listener-rebind`` -- the PR 5 LiveServer bug: an attribute whose
+  bound method escaped as a callback was later rebound, orphaning the
+  callback silently.
+* ``registry-drift`` -- a policy registry key without a reachable
+  ``parse_*``/``resolve_*`` entry point, an unresolvable factory, or
+  a phantom ``__all__`` export (the PR 4 estimator-drift class).
+* ``mutable-default-arg`` -- the classic shared-state trap.
+* ``unsorted-dict-iteration-in-reporting`` -- report/table output fed
+  from unordered dict iteration is diff-unstable across runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.index import CodebaseIndex, ModuleIndex
+from repro.analysis.rules import LintRule, register_rule
+
+#: Simulation paths: everything the DES replays must be deterministic.
+SIM_SCOPES: Tuple[str, ...] = ("repro.sim", "repro.workloads")
+
+#: Wall-clock scope adds the live front-end, whose wall->sim mapping
+#: is the one *audited* legitimate use (suppressed inline).
+WALLCLOCK_SCOPES: Tuple[str, ...] = SIM_SCOPES + ("repro.serve",)
+
+#: Zero-argument (or any) calls to these dotted names read the wall
+#: clock.
+_WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: stdlib ``random`` module-level functions that draw from the global,
+#: process-wide RNG.
+_RANDOM_GLOBAL_FNS = frozenset({
+    "random", "randint", "randrange", "getrandbits", "choice",
+    "choices", "sample", "shuffle", "uniform", "triangular", "gauss",
+    "normalvariate", "lognormvariate", "expovariate", "betavariate",
+    "paretovariate", "vonmisesvariate", "weibullvariate", "seed",
+})
+
+#: ``numpy.random`` legacy module-level functions (global RandomState).
+_NUMPY_GLOBAL_FNS = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "choice",
+    "shuffle", "permutation", "standard_normal", "normal", "uniform",
+    "poisson", "exponential", "seed",
+})
+
+
+def _walk_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+@register_rule
+class NoWallclockInSim(LintRule):
+    """Wall-clock reads are banned inside simulation paths."""
+
+    rule_id = "no-wallclock-in-sim"
+    severity = "error"
+    description = ("time.time()/datetime.now() in repro.sim / "
+                   "repro.workloads / repro.serve breaks replay "
+                   "determinism")
+
+    def check(self, module: ModuleIndex,
+              index: CodebaseIndex) -> Iterable[Finding]:
+        if not module.in_scope(WALLCLOCK_SCOPES):
+            return
+        for call in _walk_calls(module.tree):
+            resolved = module.resolved_name(call.func)
+            if resolved in _WALLCLOCK_CALLS:
+                yield self.finding(
+                    module, call.lineno,
+                    f"wall-clock call {resolved}() in simulation path "
+                    f"{module.name}; derive time from the DES clock "
+                    f"(engine.now) or suppress the audited wall->sim "
+                    f"mapping site")
+
+
+@register_rule
+class SeededRngRequired(LintRule):
+    """Randomness in sim paths must flow from an explicit seed."""
+
+    rule_id = "seeded-rng-required"
+    severity = "error"
+    description = ("module-level random / unseeded RNG constructors in "
+                   "sim paths make identical runs diverge")
+
+    def check(self, module: ModuleIndex,
+              index: CodebaseIndex) -> Iterable[Finding]:
+        if not module.in_scope(SIM_SCOPES):
+            return
+        yield from self._import_findings(module)
+        for call in _walk_calls(module.tree):
+            resolved = module.resolved_name(call.func)
+            if resolved is None:
+                continue
+            seeded = bool(call.args or call.keywords)
+            if resolved == "random.Random" and not seeded:
+                yield self.finding(
+                    module, call.lineno,
+                    "random.Random() without an explicit seed; pass "
+                    "the policy/config seed through")
+            elif resolved.startswith("random.") \
+                    and resolved.partition(".")[2] in _RANDOM_GLOBAL_FNS:
+                yield self.finding(
+                    module, call.lineno,
+                    f"{resolved}() draws from the process-global RNG; "
+                    f"use an injected seeded generator")
+            elif resolved == "numpy.random.default_rng" and not seeded:
+                yield self.finding(
+                    module, call.lineno,
+                    "numpy.random.default_rng() without an explicit "
+                    "seed; pass the workload seed through")
+            elif resolved.startswith("numpy.random.") \
+                    and resolved.rpartition(".")[2] in _NUMPY_GLOBAL_FNS:
+                yield self.finding(
+                    module, call.lineno,
+                    f"{resolved}() uses numpy's global RandomState; "
+                    f"use numpy.random.default_rng(seed)")
+
+    def _import_findings(self,
+                         module: ModuleIndex) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        yield self.finding(
+                            module, node.lineno,
+                            "module-level `import random` in a "
+                            "simulation path; inject a seeded RNG "
+                            "(e.g. repro.sim.rng.DeterministicRNG) "
+                            "instead of keeping the global RNG one "
+                            "keystroke away")
+            elif isinstance(node, ast.ImportFrom) \
+                    and node.module == "random" and not node.level:
+                for alias in node.names:
+                    if alias.name in _RANDOM_GLOBAL_FNS \
+                            or alias.name == "*":
+                        yield self.finding(
+                            module, node.lineno,
+                            f"`from random import {alias.name}` binds "
+                            f"the process-global RNG in a simulation "
+                            f"path; use an injected seeded generator")
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``attr`` when node is ``self.<attr>``, else None."""
+    if isinstance(node, ast.Attribute) \
+            and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        return node.attr
+    return None
+
+
+@register_rule
+class ListenerRebind(LintRule):
+    """An attribute whose bound method escaped as a callback must not
+    be rebound (the exact PR 5 LiveServer completion-drop bug)."""
+
+    rule_id = "listener-rebind"
+    severity = "error"
+    description = ("rebinding self.<attr> after handing out its bound "
+                   "method orphans the registered callback")
+
+    def check(self, module: ModuleIndex,
+              index: CodebaseIndex) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(self, module: ModuleIndex,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        # attr -> (method carrying the escape, line of the escape)
+        escapes: Dict[str, Tuple[str, int]] = {}
+        methods = [stmt for stmt in cls.body
+                   if isinstance(stmt, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef))]
+        for method in methods:
+            for call in _walk_calls(method):
+                called = {id(call.func)}
+                for arg in list(call.args) + \
+                        [kw.value for kw in call.keywords]:
+                    if id(arg) in called:
+                        continue
+                    # self.<attr>.<method> escaping un-called: the
+                    # callee may retain the bound method.
+                    if isinstance(arg, ast.Attribute):
+                        attr = _self_attr(arg.value)
+                        if attr is not None:
+                            escapes.setdefault(
+                                attr, (method.name, arg.lineno))
+        if not escapes:
+            return
+        for method in methods:
+            if method.name == "__init__":
+                continue  # first binding, not a rebind
+            for node in ast.walk(method):
+                targets: List[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, ast.AnnAssign):
+                    targets = [node.target]
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr in escapes:
+                        via, escape_line = escapes[attr]
+                        yield self.finding(
+                            module, node.lineno,
+                            f"{cls.name}.{method.name} rebinds "
+                            f"self.{attr}, but its bound method "
+                            f"escaped as a callback in {via} (line "
+                            f"{escape_line}); mutate in place instead "
+                            f"(the escaped callable still targets the "
+                            f"old object)")
+
+
+#: ``FOO_POLICIES`` -> the ``foo`` stem its entry points must mention.
+_REGISTRY_STEM_RE = re.compile(r"(?P<stem>.+)_POLICIES$")
+
+
+@register_rule
+class RegistryDrift(LintRule):
+    """Policy registries, their parse/resolve entry points, and
+    ``__all__`` exports must stay mutually consistent."""
+
+    rule_id = "registry-drift"
+    severity = "error"
+    description = ("*_POLICIES registries need resolvable factories, a "
+                   "reachable parse_*/resolve_* entry point, and "
+                   "truthful __all__ exports")
+
+    def check(self, module: ModuleIndex,
+              index: CodebaseIndex) -> Iterable[Finding]:
+        yield from self._dunder_all_findings(module)
+        for registry in module.registries:
+            yield from self._registry_findings(module, index, registry)
+
+    def _dunder_all_findings(self,
+                             module: ModuleIndex) -> Iterator[Finding]:
+        if module.dunder_all is None or module.has_star_import:
+            return
+        for name, line in module.dunder_all:
+            if name not in module.bindings:
+                yield self.finding(
+                    module, line,
+                    f"__all__ exports {name!r} but the module never "
+                    f"binds it")
+
+    def _registry_findings(self, module: ModuleIndex,
+                           index: CodebaseIndex,
+                           registry) -> Iterator[Finding]:
+        seen: Set[str] = set()
+        for entry in registry.entries:
+            if entry.key is None:
+                yield self.finding(
+                    module, entry.line,
+                    f"{registry.name} key is not a string literal; "
+                    f"CLI/config front-ends cannot spell it")
+                continue
+            if entry.key in seen:
+                yield self.finding(
+                    module, entry.line,
+                    f"{registry.name} repeats key {entry.key!r}; the "
+                    f"later entry silently wins")
+            seen.add(entry.key)
+            if entry.value_is_callable_literal:
+                continue
+            if entry.value_name is None:
+                yield self.finding(
+                    module, entry.line,
+                    f"{registry.name}[{entry.key!r}] is not a named "
+                    f"factory; registries must map to resolvable "
+                    f"symbols")
+                continue
+            head = entry.value_name.partition(".")[0]
+            if head not in module.bindings:
+                yield self.finding(
+                    module, entry.line,
+                    f"{registry.name}[{entry.key!r}] references "
+                    f"{entry.value_name}, which is not bound in "
+                    f"{module.name}")
+        match = _REGISTRY_STEM_RE.match(registry.name)
+        if match is not None:
+            stem = match.group("stem").lower()
+            pattern = re.compile(
+                rf"(parse|resolve)_{re.escape(stem)}(_|$)")
+            if not index.functions_matching(pattern):
+                yield self.finding(
+                    module, registry.line,
+                    f"{registry.name} has no parse_{stem}_*/"
+                    f"resolve_{stem}_* entry point anywhere in the "
+                    f"linted tree; the CLI cannot reach its keys")
+        if module.dunder_all is not None and not module.has_star_import:
+            exported = {name for name, _ in module.dunder_all}
+            if registry.name not in exported:
+                yield self.finding(
+                    module, registry.line,
+                    f"{registry.name} is not exported in "
+                    f"{module.name}.__all__; front-ends import "
+                    f"registries by name")
+
+
+@register_rule
+class MutableDefaultArg(LintRule):
+    """Mutable default arguments are shared across calls."""
+
+    rule_id = "mutable-default-arg"
+    severity = "error"
+    description = ("a list/dict/set default argument is evaluated once "
+                   "and shared by every call")
+
+    _MUTABLE_CALLS = frozenset({
+        "list", "dict", "set", "bytearray",
+        "collections.defaultdict", "collections.OrderedDict",
+        "collections.deque", "collections.Counter",
+    })
+
+    def check(self, module: ModuleIndex,
+              index: CodebaseIndex) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + \
+                [d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._is_mutable(module, default):
+                    yield self.finding(
+                        module, default.lineno,
+                        f"{node.name}() has a mutable default "
+                        f"argument; default to None and create the "
+                        f"container inside the body")
+
+    def _is_mutable(self, module: ModuleIndex, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            resolved = module.resolved_name(node.func)
+            return resolved in self._MUTABLE_CALLS
+        return False
+
+
+@register_rule
+class UnsortedDictIterationInReporting(LintRule):
+    """Report/table output must not depend on dict insertion order."""
+
+    rule_id = "unsorted-dict-iteration-in-reporting"
+    severity = "warning"
+    description = ("iterating .items()/.keys() into report output "
+                   "without sorted(...) is diff-unstable; sort or "
+                   "suppress where insertion order is the contract")
+
+    _REPORT_SCOPES = ("repro.reporting",)
+    _FN_RE = re.compile(r"^(format_|report)")
+
+    def check(self, module: ModuleIndex,
+              index: CodebaseIndex) -> Iterable[Finding]:
+        if module.in_scope(self._REPORT_SCOPES):
+            yield from self._iter_findings(module, module.tree)
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and self._FN_RE.match(node.name):
+                yield from self._iter_findings(module, node)
+
+    def _iter_findings(self, module: ModuleIndex,
+                       tree: ast.AST) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            iters: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters = [node.iter]
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                iters = [gen.iter for gen in node.generators]
+            for candidate in iters:
+                if self._is_raw_dict_view(candidate):
+                    view = candidate.func.attr  # type: ignore[union-attr]
+                    yield self.finding(
+                        module, candidate.lineno,
+                        f"iteration over .{view}() feeds report output "
+                        f"in insertion order; wrap in sorted(...) for "
+                        f"diff-stable tables")
+
+    @staticmethod
+    def _is_raw_dict_view(node: ast.expr) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("items", "keys")
+                and not node.args and not node.keywords)

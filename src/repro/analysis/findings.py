@@ -1,0 +1,93 @@
+"""The linter's result model.
+
+A :class:`Finding` is one diagnosed hazard: which rule fired, where,
+how severe, and a human-readable message. Findings are plain frozen
+dataclasses with an exact JSON round-trip
+(:func:`finding_to_dict` / :func:`finding_from_dict`) so a lint run
+can be archived as a ``--json`` artifact and compared against a
+committed baseline (see :mod:`repro.analysis.baseline`).
+
+Baseline comparison deliberately keys on ``(rule_id, path, message)``
+-- **not** the line number -- so unrelated edits that shift code down
+a file do not resurrect previously accepted findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+
+#: Severity ladder, mildest first. ``error`` findings are determinism /
+#: correctness hazards; ``warning`` findings are reproducibility smells.
+SEVERITIES: Tuple[str, ...] = ("warning", "error")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnosed hazard at one source location.
+
+    Attributes:
+        path: The offending file, as handed to the linter (kept
+            verbatim so repo-relative invocations produce
+            repo-relative, diff-stable paths).
+        line: 1-based source line of the offending node.
+        rule_id: Registry id of the rule that fired.
+        severity: One of :data:`SEVERITIES`.
+        message: Human-readable diagnosis (stable across line shifts;
+            the baseline differ keys on it).
+    """
+
+    path: str
+    line: int
+    rule_id: str
+    severity: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ConfigError(
+                f"unknown severity {self.severity!r}; known: "
+                f"{', '.join(SEVERITIES)}")
+        if self.line < 1:
+            raise ConfigError("finding line numbers are 1-based")
+        if not self.rule_id:
+            raise ConfigError("finding needs a rule_id")
+
+    @property
+    def location(self) -> str:
+        """``path:line``, the clickable spelling reports print."""
+        return f"{self.path}:{self.line}"
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """The line-insensitive identity used by the baseline differ."""
+        return (self.rule_id, self.path, self.message)
+
+
+def finding_to_dict(finding: Finding) -> Dict:
+    """Serialize a finding to JSON types (exact round-trip)."""
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "rule": finding.rule_id,
+        "severity": finding.severity,
+        "message": finding.message,
+    }
+
+
+def finding_from_dict(data: Dict) -> Finding:
+    """Reconstruct a finding written by :func:`finding_to_dict`."""
+    if not isinstance(data, dict):
+        raise ConfigError("finding payload must be a mapping")
+    unknown = set(data) - {"path", "line", "rule", "severity", "message"}
+    if unknown:
+        raise ConfigError(f"unknown finding fields: {sorted(unknown)}")
+    try:
+        return Finding(path=data["path"], line=data["line"],
+                       rule_id=data["rule"], severity=data["severity"],
+                       message=data["message"])
+    except KeyError as missing:
+        raise ConfigError(
+            f"finding payload is missing {missing}") from missing

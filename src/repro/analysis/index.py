@@ -1,0 +1,296 @@
+"""Source walking and the lightweight symbol index rules run against.
+
+One :class:`ModuleIndex` per parsed file records what every rule needs
+without re-walking the AST from scratch: module-level name bindings,
+an import alias map (``np`` -> ``numpy``, ``monotonic`` ->
+``time.monotonic``), the literal ``__all__`` list, any ``*_POLICIES``
+registry dict literals, and the per-line suppression grammar.
+
+:class:`CodebaseIndex` aggregates the modules of one lint run into a
+callgraph-lite symbol table -- which module-level functions exist
+where -- which is exactly enough for the cross-module checks
+(registry ``parse_*``/``resolve_*`` entry points may live in a
+different file than the registry literal).
+
+Suppression grammar (per physical line)::
+
+    time.monotonic()  # simlint: allow[no-wallclock-in-sim]
+    something_else()  # simlint: allow[rule-a, rule-b]
+    desperate_hack()  # simlint: allow[*]
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigError
+
+#: Matches one suppression comment; group 1 is the rule list.
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*allow\[([^\]]*)\]")
+
+#: Module-level dict literals with names matching this pattern are
+#: treated as policy registries by the registry-drift rule.
+_REGISTRY_RE = re.compile(r".*_POLICIES$")
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One ``key: value`` pair of a registry dict literal."""
+
+    key: Optional[str]  # None when the key is not a string literal
+    value_name: Optional[str]  # dotted name, None for non-name values
+    value_is_callable_literal: bool  # lambda / def reference
+    line: int
+
+
+@dataclass(frozen=True)
+class RegistryLiteral:
+    """A module-level ``*_POLICIES = {...}`` assignment."""
+
+    name: str
+    line: int
+    entries: Tuple[RegistryEntry, ...]
+
+
+@dataclass
+class ModuleIndex:
+    """Everything the rules need to know about one parsed module."""
+
+    path: str
+    name: str  # dotted ("repro.sim.routing"); falls back to the stem
+    tree: ast.Module
+    source: str
+    bindings: Set[str] = field(default_factory=set)
+    imports: Dict[str, str] = field(default_factory=dict)
+    has_star_import: bool = False
+    dunder_all: Optional[Tuple[Tuple[str, int], ...]] = None
+    registries: Tuple[RegistryLiteral, ...] = ()
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    # -- queries -------------------------------------------------------
+
+    def in_scope(self, scopes: Sequence[str]) -> bool:
+        """Whether this module lives under any dotted scope prefix."""
+        return any(self.name == scope or self.name.startswith(scope + ".")
+                   for scope in scopes)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        allowed = self.suppressions.get(line)
+        if not allowed:
+            return False
+        return "*" in allowed or rule_id in allowed
+
+    def resolved_name(self, node: ast.AST) -> Optional[str]:
+        """The dotted origin of a Name/Attribute chain, imports
+        expanded: with ``import numpy as np`` in force,
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng``; with ``from time import
+        monotonic``, a bare ``monotonic`` resolves to
+        ``time.monotonic``."""
+        dotted = _dotted(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        origin = self.imports.get(head)
+        if origin is None:
+            return dotted
+        return f"{origin}.{rest}" if rest else origin
+
+
+class CodebaseIndex:
+    """The modules of one lint run plus a cross-module symbol table."""
+
+    def __init__(self, modules: Sequence[ModuleIndex]) -> None:
+        self.modules: List[ModuleIndex] = list(modules)
+        self.by_name: Dict[str, ModuleIndex] = {
+            module.name: module for module in self.modules}
+        #: function name -> dotted module names defining it at top level
+        self.functions: Dict[str, Set[str]] = {}
+        for module in self.modules:
+            for node in module.tree.body:
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    self.functions.setdefault(node.name,
+                                              set()).add(module.name)
+
+    def functions_matching(self, pattern: "re.Pattern[str]") -> List[str]:
+        """Module-level function names (index-wide) matching a regex."""
+        return sorted(name for name in self.functions
+                      if pattern.match(name))
+
+
+# -- construction ------------------------------------------------------
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _module_name(path: str) -> str:
+    """Dotted module name, anchored at the last ``repro`` ancestor so
+    repo-relative and absolute invocations index identically; files
+    outside a ``repro`` tree fall back to their bare stem."""
+    normalized = os.path.normpath(path).replace(os.sep, "/")
+    parts = normalized.split("/")
+    stem = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    dirs = parts[:-1]
+    if "repro" in dirs:
+        anchor = len(dirs) - 1 - dirs[::-1].index("repro")
+        dotted = dirs[anchor:] + ([] if stem == "__init__" else [stem])
+        return ".".join(dotted)
+    return stem
+
+
+def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    suppressions: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = {token.strip() for token in match.group(1).split(",")
+                 if token.strip()}
+        if rules:
+            suppressions.setdefault(lineno, set()).update(rules)
+    return suppressions
+
+
+def _collect_registry(name: str, node: ast.Dict,
+                      line: int) -> RegistryLiteral:
+    entries: List[RegistryEntry] = []
+    for key_node, value_node in zip(node.keys, node.values):
+        key = key_node.value if (isinstance(key_node, ast.Constant)
+                                 and isinstance(key_node.value, str)) \
+            else None
+        value_name = _dotted(value_node)
+        is_callable_literal = isinstance(value_node, ast.Lambda)
+        entries.append(RegistryEntry(
+            key=key, value_name=value_name,
+            value_is_callable_literal=is_callable_literal,
+            line=getattr(key_node, "lineno", line) or line))
+    return RegistryLiteral(name=name, line=line, entries=tuple(entries))
+
+
+def _index_body(module: ModuleIndex, body: Sequence[ast.stmt]) -> None:
+    """Record top-level bindings, walking into the conditional wrappers
+    (``if``/``try``) that guard imports at module scope."""
+    registries: List[RegistryLiteral] = list(module.registries)
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            module.bindings.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    module.bindings.add(alias.asname)
+                    module.imports[alias.asname] = alias.name
+                else:
+                    head = alias.name.partition(".")[0]
+                    module.bindings.add(head)
+                    module.imports[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                # Relative imports: record bindings, skip origin map.
+                for alias in node.names:
+                    if alias.name != "*":
+                        module.bindings.add(alias.asname or alias.name)
+                    else:
+                        module.has_star_import = True
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    module.has_star_import = True
+                    continue
+                bound = alias.asname or alias.name
+                module.bindings.add(bound)
+                module.imports[bound] = f"{node.module}.{alias.name}"
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                module.bindings.add(target.id)
+                value = node.value
+                if target.id == "__all__" \
+                        and isinstance(value, (ast.List, ast.Tuple)):
+                    module.dunder_all = tuple(
+                        (element.value, element.lineno)
+                        for element in value.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str))
+                if _REGISTRY_RE.match(target.id) \
+                        and isinstance(value, ast.Dict):
+                    registries.append(_collect_registry(
+                        target.id, value, node.lineno))
+        elif isinstance(node, ast.If):
+            _index_body(module, node.body)
+            _index_body(module, node.orelse)
+        elif isinstance(node, ast.Try):
+            _index_body(module, node.body)
+            for handler in node.handlers:
+                _index_body(module, handler.body)
+            _index_body(module, node.orelse)
+            _index_body(module, node.finalbody)
+    module.registries = tuple(registries)
+
+
+def index_module(path: str, source: Optional[str] = None) -> ModuleIndex:
+    """Parse and index one Python file.
+
+    Raises:
+        ConfigError: when the file does not parse (the linted tree
+            must at least be syntactically valid Python).
+    """
+    if source is None:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        raise ConfigError(
+            f"{path}:{error.lineno}: cannot lint unparseable file: "
+            f"{error.msg}") from error
+    module = ModuleIndex(path=path, name=_module_name(path), tree=tree,
+                         source=source,
+                         suppressions=_parse_suppressions(source))
+    _index_body(module, tree.body)
+    return module
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d != "__pycache__"
+                                 and not d.startswith("."))
+                found.extend(os.path.join(root, name)
+                             for name in sorted(files)
+                             if name.endswith(".py"))
+        elif os.path.isfile(path):
+            found.append(path)
+        else:
+            raise ConfigError(f"no such file or directory: {path}")
+    return sorted(dict.fromkeys(found))
+
+
+def build_index(paths: Sequence[str]) -> CodebaseIndex:
+    """Index every Python file reachable from ``paths``."""
+    files = iter_python_files(paths)
+    if not files:
+        raise ConfigError(
+            f"nothing to lint under {', '.join(paths) or '(no paths)'}")
+    return CodebaseIndex([index_module(path) for path in files])

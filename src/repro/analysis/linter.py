@@ -1,0 +1,47 @@
+"""The lint orchestrator: walk, index, run rules, apply suppressions.
+
+:func:`lint_paths` is the one call behind both the ``repro lint`` CLI
+and the test suite: it expands the given files/directories, builds the
+cross-module :class:`~repro.analysis.index.CodebaseIndex`, runs the
+selected rules over every module, drops findings suppressed by the
+inline ``# simlint: allow[rule-id]`` grammar, and returns the
+survivors sorted by (path, line, rule) -- deterministic by
+construction, like everything else in the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.analysis.index import CodebaseIndex, build_index
+from repro.analysis.findings import Finding
+from repro.analysis.rules import LintRule, resolve_lint_rules
+
+# Importing the corpus registers the builtin rules.
+import repro.analysis.checks  # noqa: F401  (registration side effect)
+
+
+def run_rules(index: CodebaseIndex,
+              rules: Sequence[LintRule]) -> List[Finding]:
+    """Run rules over an already-built index (suppressions applied)."""
+    findings: List[Finding] = []
+    for module in index.modules:
+        for rule in rules:
+            for finding in rule.check(module, index):
+                if not module.is_suppressed(finding.line,
+                                            finding.rule_id):
+                    findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+        paths: Sequence[str],
+        rules: Union[None, Sequence[Union[str, LintRule]]] = None,
+) -> List[Finding]:
+    """Lint files/directories with the selected rules (None = all).
+
+    Raises:
+        ConfigError: on unknown rules, missing paths, or a file that
+            does not parse.
+    """
+    return run_rules(build_index(paths), resolve_lint_rules(rules))

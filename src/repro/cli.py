@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands::
+Nine subcommands::
 
     python -m repro list                      # registered experiments
     python -m repro run fig5 [--full]         # regenerate an artifact
@@ -11,6 +11,7 @@ Eight subcommands::
     python -m repro serve --case i --port 8707 [--time-scale 100]
     python -m repro trace recorded.jsonl [other.jsonl ...]
     python -m repro provision --case i --qps 500
+    python -m repro lint src/repro [--baseline .simlint-baseline.json]
 
 ``optimize`` runs RAGO on one of the four paradigm presets or on a
 serialized :mod:`repro.config` file (a schema or a full optimization
@@ -30,7 +31,12 @@ a live asyncio JSON-lines socket (requests stream in, per-request
 completions stream out, the observed traffic is recorded as a
 replayable trace);
 ``trace`` inspects and compares recorded JSONL traces (rate curves,
-burstiness, decode-length stats) before replay.
+burstiness, decode-length stats) before replay;
+``lint`` runs the :mod:`repro.analysis` determinism & drift linter
+(simlint) over the source tree -- wall-clock/unseeded-RNG leaks into
+sim paths, listener rebinds, registry drift -- with per-line
+``# simlint: allow[rule-id]`` suppressions and a committed baseline so
+CI fails only on *new* findings.
 """
 
 from __future__ import annotations
@@ -285,6 +291,28 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "--record output)")
     trace_cmd.add_argument("--bins", type=int, default=24,
                            help="rate-curve resolution (default 24 bins)")
+
+    lint = commands.add_parser(
+        "lint", help="run the determinism & drift linter (simlint)")
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      metavar="PATH",
+                      help="files/directories to lint "
+                           "(default src/repro)")
+    lint.add_argument("--rule", action="append", dest="rules",
+                      metavar="RULE-ID", default=None,
+                      help="run only this rule (repeatable; default: "
+                           "every registered rule)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule table and exit")
+    lint.add_argument("--baseline", dest="baseline_path", default=None,
+                      help="committed baseline JSON; only findings "
+                           "absent from it fail the run")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="snapshot the current findings into "
+                           "--baseline and exit 0 (adopting them)")
+    lint.add_argument("--json", dest="json_path", default=None,
+                      help="dump the findings (and baseline verdict) "
+                           "to a JSON report file")
 
     prov = commands.add_parser(
         "provision", help="size a fleet for a target load")
@@ -898,6 +926,55 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        baseline_payload,
+        diff_against_baseline,
+        finding_to_dict,
+        iter_rule_table,
+        lint_paths,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.reporting import format_findings, format_table
+
+    if args.list_rules:
+        print(format_table(
+            ("rule", "severity", "description"),
+            [[rule.rule_id, rule.severity, rule.description]
+             for rule in iter_rule_table()],
+            title="simlint rules"))
+        return 0
+    findings = lint_paths(args.paths, rules=args.rules)
+    if args.write_baseline:
+        if not args.baseline_path:
+            raise ConfigError("--write-baseline needs --baseline FILE")
+        write_baseline(args.baseline_path, findings)
+        print(f"wrote {len(findings)} finding(s) to "
+              f"{args.baseline_path}")
+        return 0
+    new = findings
+    new_count = None
+    if args.baseline_path:
+        baseline = load_baseline(args.baseline_path)
+        new, _ = diff_against_baseline(findings, baseline)
+        new_count = len(new)
+    print(f"linted {', '.join(args.paths)} with simlint")
+    print()
+    print(format_findings(findings, new_count=new_count))
+    if args.json_path:
+        payload = baseline_payload(findings)
+        payload["paths"] = list(args.paths)
+        if args.baseline_path:
+            payload["baseline"] = args.baseline_path
+            payload["new_findings"] = [finding_to_dict(finding)
+                                       for finding in new]
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+        print(f"wrote {args.json_path}")
+    return 1 if new else 0
+
+
 def _command_provision(args: argparse.Namespace) -> int:
     from repro.pipeline.stage_perf import RAGPerfModel
     from repro.rago.provisioning import provision
@@ -940,6 +1017,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_serve(args)
         if args.command == "trace":
             return _command_trace(args)
+        if args.command == "lint":
+            return _command_lint(args)
         if args.command == "provision":
             return _command_provision(args)
         return _command_optimize(args)

@@ -2,6 +2,7 @@
 registry that maps every paper table/figure to a runnable generator."""
 
 from repro.reporting.tables import (
+    format_findings,
     format_fleet_breakdown,
     format_live_summary,
     format_scaling_timeline,
@@ -18,6 +19,7 @@ __all__ = [
     "format_live_summary",
     "format_fleet_breakdown",
     "format_scaling_timeline",
+    "format_findings",
     "format_series",
     "format_heatmap",
     "ascii_scatter",

@@ -25,7 +25,9 @@ def format_series(name: str, x_label: str, y_label: str,
     if not series:
         raise ConfigError("need at least one series")
     rows = []
-    for label, points in series.items():
+    # Series print in the caller's insertion order: figure legends
+    # follow the paper's series ordering, not the alphabet.
+    for label, points in series.items():  # simlint: allow[unsorted-dict-iteration-in-reporting]
         for x, y in points:
             rows.append((label, x, y))
     return format_table(("series", x_label, y_label), rows, title=name)

@@ -169,7 +169,10 @@ def format_serving_report(report) -> str:
             ("stage", "mean wait (ms)", "p95 wait (ms)", "max wait (ms)"),
             [[stage, stats["mean_wait"] * 1e3, stats["p95_wait"] * 1e3,
               stats["max_wait"] * 1e3]
-             for stage, stats in report.queueing.items()],
+             # Queueing rows follow the report's pipeline-stage order,
+             # which is the deterministic execution order -- sorting
+             # alphabetically would scramble the dataflow story.
+             for stage, stats in report.queueing.items()],  # simlint: allow[unsorted-dict-iteration-in-reporting]
         ))
     if report.utilization:
         busiest = sorted(report.utilization.items(),
@@ -178,3 +181,29 @@ def format_serving_report(report) -> str:
         lines.append("utilization: " + "  ".join(
             f"{name}={100 * value:.0f}%" for name, value in busiest))
     return "\n".join(lines)
+
+
+def format_findings(findings: Sequence[object],
+                    new_count: Optional[int] = None) -> str:
+    """Render simlint findings as an aligned table.
+
+    Args:
+        findings: :class:`~repro.analysis.Finding` records, already
+            sorted by the linter (path, line, rule).
+        new_count: When a baseline was diffed, how many of the
+            findings are *new*; annotates the summary footer.
+
+    A clean tree renders as a one-line note instead of raising -- zero
+    findings is the linter's success state, not a degenerate input.
+    """
+    if not findings:
+        return "simlint: no findings"
+    table = format_table(
+        ("rule", "severity", "location", "message"),
+        [[finding.rule_id, finding.severity, finding.location,
+          finding.message] for finding in findings],
+    )
+    summary = f"{len(findings)} finding(s)"
+    if new_count is not None:
+        summary += f", {new_count} new vs baseline"
+    return f"simlint findings\n{table}\n{summary}"

@@ -215,7 +215,9 @@ class LiveServer:
             raise ConfigError("server is already started")
         self._server = await asyncio.start_server(
             self._handle_client, self._config.host, self._config.port)
-        self._t0 = time.monotonic()
+        # The wall->sim mapping's epoch: the one audited wall-clock
+        # read (everything downstream derives from sim time).
+        self._t0 = time.monotonic()  # simlint: allow[no-wallclock-in-sim]
         self._pump_task = asyncio.get_running_loop().create_task(
             self._pump())
         return self.address
@@ -334,7 +336,10 @@ class LiveServer:
     # -- engine clock --------------------------------------------------
 
     def _sim_now(self) -> float:
-        return (time.monotonic() - self._t0) * self._config.time_scale
+        # Audited wall->sim mapping: live arrivals are *defined* by
+        # wall time; every simulated quantity derives from this point.
+        wall = time.monotonic()  # simlint: allow[no-wallclock-in-sim]
+        return (wall - self._t0) * self._config.time_scale
 
     async def _pump(self) -> None:
         """Advance the engine to wall-now every tick; flush completions.

@@ -32,6 +32,22 @@ from typing import Callable, Dict, Optional, Sequence, Union
 
 from repro.errors import ConfigError
 
+__all__ = [
+    "DispatchPolicy",
+    "DeadlineFlushPolicy",
+    "FullBatchPolicy",
+    "SizeCappedPolicy",
+    "AdmissionPolicy",
+    "GreedyAdmission",
+    "TokenBudgetAdmission",
+    "DISPATCH_POLICIES",
+    "ADMISSION_POLICIES",
+    "resolve_dispatch_policy",
+    "resolve_admission_policy",
+    "parse_admission_policy",
+    "admission_spec",
+]
+
 
 @dataclass(frozen=True)
 class DispatchPolicy:

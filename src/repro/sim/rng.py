@@ -1,0 +1,60 @@
+"""Seeded, dependency-free randomness for simulation policies.
+
+Simulation paths must not touch the process-global RNG (the
+``seeded-rng-required`` lint rule enforces this): every random draw a
+policy makes has to flow from an explicitly injected seed so two runs
+of the same configuration are bit-identical. :class:`DeterministicRNG`
+is the sanctioned source -- a SplitMix64 integer stream, the standard
+seed-expansion generator, small enough to need no imports and stable
+across platforms and Python versions (unlike ``random.Random``'s
+internal state layout, this module owns its whole sequence).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["DeterministicRNG"]
+
+_MASK64 = (1 << 64) - 1
+
+
+class DeterministicRNG:
+    """A seeded SplitMix64 stream with the few draws policies need.
+
+    Deterministic per seed by construction: the same seed always
+    yields the same draw sequence, and nearby seeds diverge after one
+    step (SplitMix64's avalanche constant mixes the counter fully).
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & _MASK64
+
+    def next_u64(self) -> int:
+        """The next 64-bit draw of the stream."""
+        self._state = (self._state + 0x9E3779B97F4A7C15) & _MASK64
+        mixed = self._state
+        mixed = ((mixed ^ (mixed >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        mixed = ((mixed ^ (mixed >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return mixed ^ (mixed >> 31)
+
+    def randrange(self, bound: int) -> int:
+        """A draw in ``[0, bound)`` (rejection-sampled, unbiased)."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        # Reject the tail that would bias small residues.
+        limit = _MASK64 - (_MASK64 + 1) % bound
+        while True:
+            draw = self.next_u64()
+            if draw <= limit:
+                return draw % bound
+
+    def sample_pair(self, count: int) -> Tuple[int, int]:
+        """Two distinct indices from ``range(count)`` (count >= 2)."""
+        if count < 2:
+            raise ValueError("need at least two candidates")
+        first = self.randrange(count)
+        second = self.randrange(count - 1)
+        if second >= first:
+            second += 1
+        return first, second

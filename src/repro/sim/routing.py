@@ -41,15 +41,31 @@ the oracle view the static policies enjoy:
 These two keep per-instance state (an RNG, a state cache), so a fresh
 instance per fleet -- what the registry factories and
 :func:`resolve_routing_policy` hand out -- is the supported usage.
+All randomness flows from the policy's injected ``seed`` through a
+:class:`~repro.sim.rng.DeterministicRNG` -- simulation paths never
+touch the process-global RNG (the ``seeded-rng-required`` lint rule
+pins this).
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence, Union
 
 from repro.errors import ConfigError
+from repro.sim.rng import DeterministicRNG
+
+__all__ = [
+    "ReplicaView",
+    "RoutingPolicy",
+    "RoundRobinRouting",
+    "LeastInFlightRouting",
+    "WeightedQPSRouting",
+    "PowerOfTwoChoicesRouting",
+    "JoinIdleQueueRouting",
+    "ROUTING_POLICIES",
+    "resolve_routing_policy",
+]
 
 
 @dataclass(frozen=True)
@@ -227,14 +243,15 @@ class PowerOfTwoChoicesRouting(RoutingPolicy):
         self._require(replicas)
         rng = self._state.get("rng")
         if rng is None:
-            rng = random.Random(self.seed)
+            rng = DeterministicRNG(self.seed)
             self._state["rng"] = rng
         depths = self._snapshot(replicas, now)
         by_index = {view.index: view for view in replicas}
         indices = sorted(by_index)
         if len(indices) == 1:
             return indices[0]
-        first, second = rng.sample(indices, 2)
+        first, second = (indices[slot]
+                         for slot in rng.sample_pair(len(indices)))
         return min(
             (first, second),
             key=lambda i: (depths[i], by_index[i].submitted, i))

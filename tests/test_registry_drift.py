@@ -1,0 +1,133 @@
+"""Cross-registry consistency: every policy registry key must resolve
+through its entry point, spell itself back through the spec grammar,
+round-trip through the config envelope, and be reachable via its
+module's ``__all__``.
+
+The static ``registry-drift`` lint rule pins the *shape* of each
+registry; these tests pin the runtime contracts a rename or a
+half-registered policy would silently break.
+"""
+
+import importlib
+
+import pytest
+
+from repro.config import from_config, to_config
+from repro.serve import ServeConfig
+from repro.sim.autoscale import (
+    AUTOSCALE_POLICIES,
+    AutoscaleConfig,
+    autoscale_spec,
+    parse_autoscale_spec,
+    resolve_autoscale_policy,
+)
+from repro.sim.policies import (
+    ADMISSION_POLICIES,
+    DISPATCH_POLICIES,
+    admission_spec,
+    parse_admission_policy,
+    resolve_admission_policy,
+    resolve_dispatch_policy,
+)
+from repro.sim.routing import ROUTING_POLICIES, resolve_routing_policy
+
+REGISTRIES = {
+    "dispatch": (DISPATCH_POLICIES, resolve_dispatch_policy),
+    "admission": (ADMISSION_POLICIES, resolve_admission_policy),
+    "routing": (ROUTING_POLICIES, resolve_routing_policy),
+    "autoscale": (AUTOSCALE_POLICIES, resolve_autoscale_policy),
+}
+
+
+@pytest.mark.parametrize("registry_name", sorted(REGISTRIES))
+def test_every_key_resolves_to_a_policy_named_after_it(registry_name):
+    registry, resolve = REGISTRIES[registry_name]
+    assert registry, f"{registry_name} registry is empty"
+    for key in registry:
+        policy = resolve(key)
+        assert policy.name == key, (
+            f"{registry_name} key {key!r} resolved to a policy that "
+            f"spells itself {policy.name!r}; spec strings would not "
+            f"round-trip")
+        # Factories hand out fresh instances, not shared singletons.
+        assert resolve(key) is not policy
+
+
+@pytest.mark.parametrize("registry_name", sorted(REGISTRIES))
+def test_unknown_key_error_lists_known_names(registry_name):
+    registry, resolve = REGISTRIES[registry_name]
+    from repro.errors import ConfigError
+    with pytest.raises(ConfigError) as excinfo:
+        resolve("definitely-not-registered")
+    for key in registry:
+        assert key in str(excinfo.value)
+
+
+def test_admission_spec_round_trips_every_policy():
+    for key in ADMISSION_POLICIES:
+        policy = resolve_admission_policy(key)
+        assert parse_admission_policy(admission_spec(policy)) == policy
+    # The parameterized spelling, which no registry key covers.
+    budgeted = parse_admission_policy("token-budget=4096")
+    assert admission_spec(budgeted) == "token-budget=4096"
+    assert parse_admission_policy(admission_spec(budgeted)) == budgeted
+
+
+@pytest.mark.parametrize("policy", sorted(AUTOSCALE_POLICIES))
+def test_autoscale_spec_round_trips_every_policy(policy):
+    config = parse_autoscale_spec(
+        f"policy={policy},min=1,max=6,interval=0.5,cooldown=2.0")
+    assert config.policy == policy
+    assert parse_autoscale_spec(autoscale_spec(config)) == config
+    # The bare-token shortcut selects the same policy.
+    assert parse_autoscale_spec(policy).policy == policy
+
+
+@pytest.mark.parametrize("policy", sorted(AUTOSCALE_POLICIES))
+def test_autoscale_config_envelope_round_trips_every_policy(policy):
+    config = AutoscaleConfig(policy=policy, min_replicas=1,
+                             max_replicas=4)
+    assert from_config(to_config(config)) == config
+
+
+@pytest.mark.parametrize("routing", sorted(ROUTING_POLICIES))
+def test_serve_config_envelope_round_trips_every_routing_key(routing):
+    config = ServeConfig(replicas=2, routing=routing)
+    assert from_config(to_config(config)) == config
+
+
+@pytest.mark.parametrize("module_name", [
+    "repro.analysis",
+    "repro.config",
+    "repro.reporting",
+    "repro.sim",
+    "repro.sim.autoscale",
+    "repro.sim.policies",
+    "repro.sim.routing",
+    "repro.workloads",
+])
+def test_dunder_all_names_are_real(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    assert exported, f"{module_name} has no __all__"
+    assert len(exported) == len(set(exported))
+    for name in exported:
+        assert hasattr(module, name), (
+            f"{module_name}.__all__ exports {name!r} which the module "
+            f"does not define")
+
+
+@pytest.mark.parametrize("module_name, registry_name", [
+    ("repro.sim.policies", "DISPATCH_POLICIES"),
+    ("repro.sim.policies", "ADMISSION_POLICIES"),
+    ("repro.sim.routing", "ROUTING_POLICIES"),
+    ("repro.sim.autoscale", "AUTOSCALE_POLICIES"),
+    ("repro.analysis", "LINT_RULES"),
+])
+def test_registries_are_exported(module_name, registry_name):
+    module = importlib.import_module(module_name)
+    assert registry_name in module.__all__
+    # Facade: the sim package re-exports every policy registry.
+    if module_name.startswith("repro.sim."):
+        sim = importlib.import_module("repro.sim")
+        assert registry_name in sim.__all__
