@@ -188,8 +188,11 @@ class ListenerRebind(LintRule):
 
     def _check_class(self, module: ModuleIndex,
                      cls: ast.ClassDef) -> Iterator[Finding]:
-        # attr -> (method carrying the escape, line of the escape)
-        escapes: Dict[str, Tuple[str, int]] = {}
+        # attr -> name of the method carrying the escape. The escape
+        # line is deliberately not recorded: it would end up in the
+        # finding message, which the baseline differ keys on, and the
+        # key must stay stable when unrelated edits shift lines.
+        escapes: Dict[str, str] = {}
         methods = [stmt for stmt in cls.body
                    if isinstance(stmt, (ast.FunctionDef,
                                         ast.AsyncFunctionDef))]
@@ -205,8 +208,7 @@ class ListenerRebind(LintRule):
                     if isinstance(arg, ast.Attribute):
                         attr = _self_attr(arg.value)
                         if attr is not None:
-                            escapes.setdefault(
-                                attr, (method.name, arg.lineno))
+                            escapes.setdefault(attr, method.name)
         if not escapes:
             return
         for method in methods:
@@ -221,15 +223,14 @@ class ListenerRebind(LintRule):
                 for target in targets:
                     attr = _self_attr(target)
                     if attr in escapes:
-                        via, escape_line = escapes[attr]
                         yield self.finding(
                             module, node.lineno,
                             f"{cls.name}.{method.name} rebinds "
                             f"self.{attr}, but its bound method "
-                            f"escaped as a callback in {via} (line "
-                            f"{escape_line}); mutate in place instead "
-                            f"(the escaped callable still targets the "
-                            f"old object)")
+                            f"escaped as a callback in "
+                            f"{escapes[attr]}; mutate in place "
+                            f"instead (the escaped callable still "
+                            f"targets the old object)")
 
 
 #: ``FOO_POLICIES`` -> the ``foo`` stem its entry points must mention.

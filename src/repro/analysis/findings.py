@@ -85,7 +85,18 @@ def finding_from_dict(data: Dict) -> Finding:
     if unknown:
         raise ConfigError(f"unknown finding fields: {sorted(unknown)}")
     try:
-        return Finding(path=data["path"], line=data["line"],
+        line = data["line"]
+        # bool is an int subclass; a baseline with "line": true is
+        # corrupt, not line 1.
+        if isinstance(line, bool) or not isinstance(line, int):
+            raise ConfigError(
+                f"finding line must be an integer, got {line!r}")
+        for field in ("path", "rule", "severity", "message"):
+            if not isinstance(data[field], str):
+                raise ConfigError(
+                    f"finding {field} must be a string, got "
+                    f"{data[field]!r}")
+        return Finding(path=data["path"], line=line,
                        rule_id=data["rule"], severity=data["severity"],
                        message=data["message"])
     except KeyError as missing:

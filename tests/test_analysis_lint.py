@@ -389,6 +389,40 @@ def test_finding_round_trips_and_orders():
                 message="m")
 
 
+def test_finding_from_dict_rejects_mistyped_fields():
+    good = finding_to_dict(Finding(path="a.py", line=3, rule_id="r",
+                                   severity="error", message="m"))
+    for corrupt in ({**good, "line": "7"}, {**good, "line": True},
+                    {**good, "line": 3.0}, {**good, "path": 7},
+                    {**good, "message": None}):
+        with pytest.raises(ConfigError):
+            finding_from_dict(corrupt)
+
+
+def test_listener_rebind_message_is_line_insensitive(tmp_path):
+    # Shifting the escape site down a file must not change the finding
+    # message: the baseline differ keys on it.
+    snippet = """\
+        class Server:
+            def __init__(self, engine):
+                self._done = []
+
+            def hook(self, engine):
+                engine.add_listener(self._done.append)
+
+            def flush(self):
+                self._done = []
+    """
+    messages = []
+    for name, prefix in (("plain.py", ""), ("padded.py", "# pad\n\n")):
+        path = write(tmp_path, f"repro/{name}",
+                     prefix + textwrap.dedent(snippet))
+        findings = lint_paths([path], rules=["listener-rebind"])
+        assert rule_ids(findings) == ["listener-rebind"]
+        messages.append(findings[0].message)
+    assert messages[0] == messages[1]
+
+
 def test_rule_registry_resolves_names_and_rejects_unknown():
     assert {rule.rule_id for rule in resolve_lint_rules(None)} \
         == set(LINT_RULES)
