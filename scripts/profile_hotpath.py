@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Profile the DES hot path on the canonical benchmark replay.
+
+Replays the canonical trace (see :mod:`repro.sim.bench`) through the
+slab-backed engine, prints the timed events/sec summary and a cProfile
+top-N table, and -- with ``--oracle`` -- replays the same trace through
+the slow-path oracle and reports the speedup. The CI benchmarks job
+runs this and uploads the table as an artifact alongside the
+pytest-benchmark JSON, so every CI run documents *where* the hot-path
+time goes, not just how much of it there is.
+
+Run:
+    PYTHONPATH=src python scripts/profile_hotpath.py [--requests N]
+        [--top N] [--oracle] [--fast-forward]
+"""
+
+import argparse
+import sys
+
+from repro.sim.bench import (
+    CANONICAL_REQUESTS,
+    canonical_network,
+    canonical_trace,
+    format_result,
+    profile_replay,
+    replay_trace,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int,
+                        default=CANONICAL_REQUESTS,
+                        help="trace size (default: the canonical "
+                             f"{CANONICAL_REQUESTS}-request replay)")
+    parser.add_argument("--top", type=int, default=15,
+                        help="profile table rows (default 15)")
+    parser.add_argument("--oracle", action="store_true",
+                        help="also time the slow-path oracle replay "
+                             "and report the speedup")
+    parser.add_argument("--fast-forward", action="store_true",
+                        help="enable the fluid idle-gap skip")
+    args = parser.parse_args(argv)
+
+    perf_model, schedule = canonical_network()
+    trace = canonical_trace(args.requests)
+    print(f"canonical replay: {trace.num_requests} requests")
+
+    result = replay_trace(perf_model, schedule, trace,
+                          fast_forward=args.fast_forward)
+    print(format_result(result, "fast path"))
+    if args.oracle:
+        oracle = replay_trace(perf_model, schedule, trace, fast=False)
+        print(format_result(oracle, "oracle (slow path)"))
+        print(f"  speedup       : "
+              f"{result.events_per_sec / oracle.events_per_sec:.2f}x "
+              f"events/sec")
+
+    _, table = profile_replay(perf_model, schedule, trace,
+                              top=args.top,
+                              fast_forward=args.fast_forward)
+    print(table)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

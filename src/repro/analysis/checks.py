@@ -17,6 +17,9 @@ hand:
 * ``mutable-default-arg`` -- the classic shared-state trap.
 * ``unsorted-dict-iteration-in-reporting`` -- report/table output fed
   from unordered dict iteration is diff-unstable across runs.
+* ``no-per-event-allocation-in-hot-loop`` -- dict/list literals or
+  lambdas inside a function marked ``# simlint: hotpath`` allocate on
+  every event, exactly the churn the slab-backed DES loop removed.
 """
 
 from __future__ import annotations
@@ -407,3 +410,40 @@ class UnsortedDictIterationInReporting(LintRule):
                 and isinstance(node.func, ast.Attribute)
                 and node.func.attr in ("items", "keys")
                 and not node.args and not node.keywords)
+
+
+@register_rule
+class NoPerEventAllocationInHotLoop(LintRule):
+    """Functions marked ``# simlint: hotpath`` must not allocate
+    per-event containers."""
+
+    rule_id = "no-per-event-allocation-in-hot-loop"
+    severity = "error"
+    description = ("dict/list literals or lambdas inside a "
+                   "# simlint: hotpath function allocate per event; "
+                   "hoist to __init__ or reuse scratch buffers")
+
+    _NAMES = {ast.Dict: "dict literal", ast.List: "list literal",
+              ast.Lambda: "lambda"}
+
+    def check(self, module: ModuleIndex,
+              index: CodebaseIndex) -> Iterable[Finding]:
+        hotpath = module.hotpath_lines
+        if not hotpath:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if node.lineno not in hotpath \
+                    and node.lineno - 1 not in hotpath:
+                continue
+            for inner in ast.walk(node):
+                label = self._NAMES.get(type(inner))
+                if label is not None:
+                    yield self.finding(
+                        module, inner.lineno,
+                        f"{label} in hot-path function "
+                        f"{node.name}() allocates per event; hoist "
+                        f"the container out of the event loop or "
+                        f"reuse a preallocated scratch buffer")

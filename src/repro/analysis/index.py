@@ -17,6 +17,14 @@ Suppression grammar (per physical line)::
     time.monotonic()  # simlint: allow[no-wallclock-in-sim]
     something_else()  # simlint: allow[rule-a, rule-b]
     desperate_hack()  # simlint: allow[*]
+
+Hot-path marker (on a ``def`` line or the line directly above it)::
+
+    # simlint: hotpath
+    def _dispatch(self, sim, take):
+        ...
+
+opts the function into ``no-per-event-allocation-in-hot-loop``.
 """
 
 from __future__ import annotations
@@ -31,6 +39,11 @@ from repro.errors import ConfigError
 
 #: Matches one suppression comment; group 1 is the rule list.
 _SUPPRESS_RE = re.compile(r"#\s*simlint:\s*allow\[([^\]]*)\]")
+
+#: Marks a function as a DES hot-path: ``# simlint: hotpath`` on the
+#: ``def`` line or the line directly above it opts the function into
+#: the per-event allocation rule.
+_HOTPATH_RE = re.compile(r"#\s*simlint:\s*hotpath\b")
 
 #: Module-level dict literals with names matching this pattern are
 #: treated as policy registries by the registry-drift rule.
@@ -70,6 +83,7 @@ class ModuleIndex:
     dunder_all: Optional[Tuple[Tuple[str, int], ...]] = None
     registries: Tuple[RegistryLiteral, ...] = ()
     suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    hotpath_lines: Set[int] = field(default_factory=set)
 
     # -- queries -------------------------------------------------------
 
@@ -150,6 +164,12 @@ def _module_name(path: str) -> str:
         dotted = dirs[anchor:] + ([] if stem == "__init__" else [stem])
         return ".".join(dotted)
     return stem
+
+
+def _parse_hotpath_lines(source: str) -> Set[int]:
+    return {lineno for lineno, line
+            in enumerate(source.splitlines(), start=1)
+            if _HOTPATH_RE.search(line)}
 
 
 def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
@@ -263,7 +283,8 @@ def index_module(path: str, source: Optional[str] = None) -> ModuleIndex:
             f"{error.msg}") from error
     module = ModuleIndex(path=path, name=_module_name(path), tree=tree,
                          source=source,
-                         suppressions=_parse_suppressions(source))
+                         suppressions=_parse_suppressions(source),
+                         hotpath_lines=_parse_hotpath_lines(source))
     _index_body(module, tree.body)
     return module
 

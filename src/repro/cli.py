@@ -314,6 +314,22 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="dump the findings (and baseline verdict) "
                            "to a JSON report file")
 
+    bench = commands.add_parser(
+        "bench", help="profile the DES hot path on the canonical trace")
+    bench.add_argument("--requests", type=int, default=None,
+                       help="trace size (default: the canonical "
+                            "100k-request replay)")
+    bench.add_argument("--top", type=int, default=15,
+                       help="profile table rows (default 15)")
+    bench.add_argument("--oracle", action="store_true",
+                       help="also replay through the slow-path oracle "
+                            "and report the speedup")
+    bench.add_argument("--no-profile", action="store_true",
+                       help="skip cProfile; print only the timed "
+                            "replay numbers")
+    bench.add_argument("--fast-forward", action="store_true",
+                       help="enable the fluid idle-gap skip")
+
     prov = commands.add_parser(
         "provision", help="size a fleet for a target load")
     prov.add_argument("--case", choices=("i", "ii", "iii", "iv"),
@@ -975,6 +991,35 @@ def _command_lint(args: argparse.Namespace) -> int:
     return 1 if new else 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.sim.bench import (
+        canonical_network,
+        canonical_trace,
+        format_result,
+        profile_replay,
+        replay_trace,
+    )
+
+    perf_model, schedule = canonical_network()
+    trace = canonical_trace() if args.requests is None \
+        else canonical_trace(args.requests)
+    print(f"canonical replay: {trace.num_requests} requests")
+    result = replay_trace(perf_model, schedule, trace,
+                          fast_forward=args.fast_forward)
+    print(format_result(result, "fast path"))
+    if args.oracle:
+        oracle = replay_trace(perf_model, schedule, trace, fast=False)
+        print(format_result(oracle, "oracle (slow path)"))
+        speedup = result.events_per_sec / oracle.events_per_sec
+        print(f"  speedup       : {speedup:.2f}x events/sec")
+    if not args.no_profile:
+        _, table = profile_replay(perf_model, schedule, trace,
+                                  top=args.top,
+                                  fast_forward=args.fast_forward)
+        print(table)
+    return 0
+
+
 def _command_provision(args: argparse.Namespace) -> int:
     from repro.pipeline.stage_perf import RAGPerfModel
     from repro.rago.provisioning import provision
@@ -1019,6 +1064,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_trace(args)
         if args.command == "lint":
             return _command_lint(args)
+        if args.command == "bench":
+            return _command_bench(args)
         if args.command == "provision":
             return _command_provision(args)
         return _command_optimize(args)

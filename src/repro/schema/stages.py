@@ -36,6 +36,14 @@ class Stage(enum.Enum):
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
+    # Members are singletons (equality is identity), so the C-level
+    # identity hash is interchangeable with Enum's Python-level
+    # name-based hash for every dict/set use -- and stages key the
+    # serving simulator's hottest dicts. Safe because nothing iterates
+    # a set of stages order-sensitively (sets here are membership-only;
+    # ordered walks use STAGE_ORDER / pipeline_stages).
+    __hash__ = object.__hash__
+
 
 #: Canonical execution order of the full pipeline (Fig. 3).
 STAGE_ORDER = (

@@ -20,6 +20,17 @@ Two layers live here:
 :class:`~repro.sim.serving.ServingSimulator` remains the open-loop
 driver over this engine: it submits a whole trace up front and drains,
 reproducing the pre-refactor replay bit for bit (pinned by tests).
+
+The engine has two wirings of the same network. The default **fast
+path** (``fast=True``) runs on a slab-backed event queue (integer
+event kinds dispatched through a handler table, timestamps drained in
+batches), flat per-stage bookkeeping slabs instead of per-request
+dicts, and a bucketized decode executor that is O(1) amortized per
+step. The original closure-per-event wiring is kept as the **oracle**
+(``fast=False``); parity tests pin the two to bit-identical
+:class:`~repro.sim.metrics.ServingReport`\\ s on every registered
+scenario. ``fast_forward=True`` additionally fluid-skips idle decode
+boundaries (report-equal, not bit-identical, on ties).
 """
 
 from __future__ import annotations
@@ -27,7 +38,19 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+from array import array
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.errors import ConfigError
 from repro.pipeline.assembly import Schedule, derive_retrieval_servers
@@ -44,6 +67,8 @@ from repro.sim.metrics import (
 from repro.sim.policies import (
     AdmissionPolicy,
     DispatchPolicy,
+    GreedyAdmission,
+    TokenBudgetAdmission,
     resolve_admission_policy,
     resolve_dispatch_policy,
 )
@@ -58,26 +83,90 @@ DispatchSelection = Union[None, str, DispatchPolicy,
                           Mapping[Stage, Union[str, DispatchPolicy]]]
 
 
+#: Kind 0 is the generic-callback event: its payload is an
+#: :data:`EventFn` and dispatching it simply calls ``payload(sim)``.
+#: This keeps the original closure API (and the oracle engine path)
+#: running unchanged on the slab-backed queue.
+KIND_CALLBACK = 0
+
+_SLAB_GROW = 512
+
+
 class EventQueue:
-    """Priority queue of (time, sequence, callback) events."""
+    """Slab-backed priority queue of kind-dispatched events.
+
+    The heap itself holds only scalar ``(time, sequence, slot)``
+    triples -- ties break by insertion order, which keeps runs
+    deterministic. Per-event payloads live in preallocated parallel
+    slabs (an integer ``kind`` array and an ``arg`` payload list)
+    indexed by ``slot`` and recycled through a free list, so steady
+    state pushes allocate nothing but the heap tuple.
+
+    :meth:`push` keeps the historical closure API: it files the
+    callback under :data:`KIND_CALLBACK`. Hot paths use
+    :meth:`push_event` with an integer kind registered on the owning
+    :class:`Simulation`, avoiding a closure per event.
+    """
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, EventFn]] = []
+        self._heap: List[Tuple[float, int, int]] = []
         self._counter = itertools.count()
+        self._kinds = array("i")
+        self._args: List[Any] = []
+        self._free: List[int] = []
+
+    def _grow(self) -> None:
+        base = len(self._args)
+        self._kinds.extend([0] * _SLAB_GROW)
+        self._args.extend([None] * _SLAB_GROW)
+        self._free.extend(range(base + _SLAB_GROW - 1, base - 1, -1))
+
+    def push_event(self, time: float, kind: int, arg: Any) -> None:
+        """Schedule a kind-dispatched event at an absolute time."""
+        if time < 0:
+            raise ConfigError("event time must be non-negative")
+        free = self._free
+        if not free:
+            self._grow()
+        slot = free.pop()
+        self._kinds[slot] = kind
+        self._args[slot] = arg
+        heapq.heappush(self._heap, (time, next(self._counter), slot))
 
     def push(self, time: float, callback: EventFn) -> None:
         """Schedule a callback at an absolute time."""
-        if time < 0:
-            raise ConfigError("event time must be non-negative")
-        heapq.heappush(self._heap, (time, next(self._counter), callback))
+        self.push_event(time, KIND_CALLBACK, callback)
 
     def pop(self) -> Tuple[float, EventFn]:
-        """Remove and return the earliest (time, callback)."""
-        time, _, callback = heapq.heappop(self._heap)
-        return time, callback
+        """Remove and return the earliest (time, callback).
+
+        Raises:
+            ConfigError: when the earliest event is kind-dispatched --
+                those carry no standalone callback; they are drained by
+                :meth:`Simulation.run` through its handler table.
+        """
+        time, _, slot = heapq.heappop(self._heap)
+        kind = self._kinds[slot]
+        arg = self._args[slot]
+        self._args[slot] = None
+        self._free.append(slot)
+        if kind != KIND_CALLBACK:
+            raise ConfigError(
+                "kind-dispatched events drain through Simulation.run, "
+                "not EventQueue.pop")
+        return time, arg
 
     def peek_time(self) -> float:
-        """The earliest scheduled time without removing the event."""
+        """The earliest scheduled time without removing the event.
+
+        Raises:
+            ConfigError: when the queue is empty -- there is no earliest
+                event to peek at.
+        """
+        if not self._heap:
+            raise ConfigError(
+                "cannot peek an empty event queue: no events are "
+                "scheduled")
         return self._heap[0][0]
 
     def __len__(self) -> int:
@@ -87,13 +176,27 @@ class EventQueue:
         return bool(self._heap)
 
 
+def _run_callback(sim: "Simulation", callback: EventFn) -> None:
+    """Handler for :data:`KIND_CALLBACK`: the payload is the event."""
+    callback(sim)
+
+
 class Simulation:
-    """Event loop with a monotonically advancing clock."""
+    """Event loop with a monotonically advancing clock.
+
+    Event dispatch goes through an integer-kind handler table: kind 0
+    invokes the payload as a callback (the classic closure API), and
+    components register additional kinds via :meth:`register_handler`
+    so their hot paths schedule ``(kind, payload)`` pairs instead of
+    constructing a closure per event.
+    """
 
     def __init__(self) -> None:
         self._queue = EventQueue()
         self._now = 0.0
         self._events_processed = 0
+        self._handlers: List[Callable[["Simulation", Any], None]] = \
+            [_run_callback]
 
     @property
     def now(self) -> float:
@@ -104,6 +207,12 @@ class Simulation:
     def events_processed(self) -> int:
         """Total events executed so far."""
         return self._events_processed
+
+    def register_handler(
+            self, handler: Callable[["Simulation", Any], None]) -> int:
+        """Register an event handler; returns its integer kind."""
+        self._handlers.append(handler)
+        return len(self._handlers) - 1
 
     def schedule(self, delay: float, callback: EventFn) -> None:
         """Schedule a callback ``delay`` seconds from now."""
@@ -117,9 +226,29 @@ class Simulation:
             raise ConfigError("cannot schedule in the past")
         self._queue.push(time, callback)
 
+    def schedule_event(self, delay: float, kind: int, arg: Any) -> None:
+        """Schedule a kind-dispatched event ``delay`` seconds from now."""
+        if delay < 0:
+            raise ConfigError("delay must be non-negative")
+        self._queue.push_event(self._now + delay, kind, arg)
+
+    def schedule_event_at(self, time: float, kind: int, arg: Any) -> None:
+        """Schedule a kind-dispatched event at an absolute time."""
+        if time < self._now:
+            raise ConfigError("cannot schedule in the past")
+        self._queue.push_event(time, kind, arg)
+
+    # simlint: hotpath
     def run(self, until: Optional[float] = None,
             max_events: int = 10_000_000) -> None:
         """Process events until the queue drains or limits are reached.
+
+        The loop drains in timestamp batches: the clock is pinned once
+        per distinct time and every event sharing it (including
+        zero-delay events a handler pushes mid-batch, which take higher
+        sequence numbers) runs in one inner pass -- same order the
+        per-event loop produced, with one heap inspection per batch
+        instead of per event.
 
         Args:
             until: Stop once the clock would pass this time (remaining
@@ -134,21 +263,33 @@ class Simulation:
                 a modelling bug such as a self-rescheduling zero-delay
                 event).
         """
+        queue = self._queue
+        heap = queue._heap
+        kinds = queue._kinds
+        args = queue._args
+        free = queue._free
+        handlers = self._handlers
+        heappop = heapq.heappop
         processed = 0
-        while self._queue:
-            if processed >= max_events:
-                raise ConfigError(
-                    f"simulation exceeded {max_events} events; likely a "
-                    f"zero-delay event loop"
-                )
-            if until is not None and self._queue.peek_time() > until:
+        while heap:
+            time = heap[0][0]
+            if until is not None and time > until:
                 self._now = until
                 return
-            time, callback = self._queue.pop()
             self._now = time
-            self._events_processed += 1
-            processed += 1
-            callback(self)
+            while heap and heap[0][0] == time:
+                if processed >= max_events:
+                    raise ConfigError(
+                        f"simulation exceeded {max_events} events; "
+                        f"likely a zero-delay event loop")
+                slot = heappop(heap)[2]
+                kind = kinds[slot]
+                arg = args[slot]
+                args[slot] = None
+                free.append(slot)
+                self._events_processed += 1
+                processed += 1
+                handlers[kind](self, arg)
         if until is not None and until > self._now:
             self._now = until
 
@@ -159,7 +300,8 @@ class _Resource:
     def __init__(self, name: str) -> None:
         self.name = name
         self.busy = False
-        self.stations: List["_BatchStation"] = []
+        # _BatchStation or _FastBatchStation; both expose try_dispatch.
+        self.stations: List[Any] = []
         self.busy_time = 0.0
 
     def release(self, sim: Simulation) -> None:
@@ -350,6 +492,429 @@ class _DecodeExecutor:
         sim.schedule(self.step_latency, advance)
 
 
+def _release_resource(sim: Simulation, resource: _Resource) -> None:
+    """Handler for the fast path's resource-free events."""
+    resource.release(sim)
+
+
+def _complete_batch(sim: Simulation, payload: Tuple) -> None:
+    """Handler for the fast path's batch-completion events."""
+    payload[0]._complete(sim, payload[1])
+
+
+def _flush_station(sim: Simulation, station: "_FastBatchStation") -> None:
+    """Handler for the fast path's partial-batch flush events."""
+    station._flush(sim)
+
+
+class _FastBatchStation:
+    """Kind-dispatched twin of :class:`_BatchStation`.
+
+    Makes the same decisions in the same order (pinned by parity
+    tests); the differences are mechanical: free/complete/flush events
+    are scheduled through integer kinds instead of per-dispatch
+    closures, and per-request bookkeeping writes the engine's flat
+    per-stage slabs (NaN = untouched) instead of per-record dicts.
+    """
+
+    __slots__ = ("stage", "batch_size", "perf_fn", "resource", "policy",
+                 "queue", "_oldest_enqueue", "_flush_scheduled", "_eng",
+                 "_si", "_enq", "_comp", "_wait", "_n", "_downstream",
+                 "_sets_first_token")
+
+    def __init__(self, stage: Stage, batch_size: int,
+                 perf_fn: Callable[[int], "object"], resource: _Resource,
+                 engine: "ServingEngine",
+                 downstream: Callable[[Simulation, RequestRecord], None],
+                 policy: DispatchPolicy, sets_first_token: bool) -> None:
+        self.stage = stage
+        self.batch_size = batch_size
+        self.perf_fn = perf_fn
+        self.resource = resource
+        self.policy = policy
+        self.queue: List[RequestRecord] = []
+        self._oldest_enqueue: Optional[float] = None
+        self._flush_scheduled = False
+        self._eng = engine
+        self._si = engine._stage_slot[stage]
+        # The slab lists are extended in place and never reassigned, so
+        # stations can hold direct references (one attribute load per
+        # hot-path touch instead of two).
+        self._enq = engine._slab_enq
+        self._comp = engine._slab_comp
+        self._wait = engine._slab_wait
+        self._n = engine._nstages
+        self._downstream = downstream
+        self._sets_first_token = sets_first_token
+        resource.stations.append(self)
+
+    def accept(self, sim: Simulation, record: RequestRecord) -> None:
+        self.queue.append(record)
+        self._enq[record.slab * self._n + self._si] = sim.now
+        if self._oldest_enqueue is None:
+            self._oldest_enqueue = sim.now
+        self.try_dispatch(sim)
+
+    def try_dispatch(self, sim: Simulation) -> None:
+        if self.resource.busy or not self.queue:
+            return
+        waited = sim.now - self._oldest_enqueue
+        take = self.policy.take(len(self.queue), self.batch_size, waited)
+        if take > 0:
+            self._dispatch(sim, take)
+        elif not self._flush_scheduled:
+            delay = self.policy.flush_delay(waited)
+            if delay is not None:
+                self._flush_scheduled = True
+                sim.schedule_event(max(delay, 0.0), self._eng._k_flush,
+                                   self)
+
+    def _flush(self, sim: Simulation) -> None:
+        # Force-dispatch the partial batch (float rounding must not turn
+        # the staleness check into a zero-delay reschedule loop).
+        self._flush_scheduled = False
+        if not self.resource.busy and self.queue:
+            self._dispatch(sim, self.policy.flush_take(len(self.queue),
+                                                       self.batch_size))
+
+    # simlint: hotpath
+    def _dispatch(self, sim: Simulation, take: int) -> None:
+        batch = self.queue[:take]
+        del self.queue[:take]
+        now = sim.now
+        eng = self._eng
+        n = self._n
+        si = self._si
+        enq = self._enq
+        wait = self._wait
+        for record in batch:
+            i = record.slab * n + si
+            prev = wait[i]
+            delta = now - enq[i]
+            wait[i] = delta if prev != prev else prev + delta
+        self._oldest_enqueue = now if self.queue else None
+        self.resource.busy = True
+        perf = self.perf_fn(take)
+        latency = perf.latency
+        occupancy = take / perf.request_qps
+        if occupancy > latency:
+            occupancy = latency
+        self.resource.busy_time += occupancy
+        sim.schedule_event(occupancy, eng._k_free, self.resource)
+        sim.schedule_event(latency, eng._k_complete, (self, batch))
+
+    # simlint: hotpath
+    def _complete(self, sim: Simulation,
+                  batch: List[RequestRecord]) -> None:
+        now = sim.now
+        n = self._n
+        si = self._si
+        comp = self._comp
+        for record in batch:
+            comp[record.slab * n + si] = now
+        downstream = self._downstream
+        if self._sets_first_token:
+            for record in batch:
+                if record.first_token_time is None:
+                    record.first_token_time = now
+                downstream(sim, record)
+        else:
+            for record in batch:
+                downstream(sim, record)
+
+
+class _FastDecodeExecutor:
+    """Bucketized continuous-batching decode -- the fast path's core.
+
+    Numerically and order-identical to :class:`_DecodeExecutor`
+    (pinned by parity tests) but O(1) amortized per step instead of
+    O(batch):
+
+    * Each live sequence's next interesting step (finish, or departure
+      to iterative retrieval) is computed once at admission and the
+      entry is filed in a per-step *bucket*; the advance event touches
+      only the bucket due at that step instead of walking the whole
+      batch.
+    * Step-boundary times are produced by replaying ``t +=
+      step_latency`` additions one at a time, exactly the float
+      sequence the oracle's event chain produces, so timestamps match
+      bit for bit.
+    * Admission inputs are reconstructed arithmetically
+      (``remaining(s) = target + base - s``; the summed token debt is
+      an O(1) running counter), with closed-form fast paths for the
+      stock greedy / token-budget policies and an exact
+      materialized-list fallback for custom policies.
+
+    ``fast_forward`` adds a fluid skip: with nothing waiting, the next
+    advance jumps straight to the earliest bucket instead of visiting
+    every boundary in between. Timestamps still come from replayed
+    additions; only an arrival landing *exactly* on a skipped boundary
+    can order differently, so its contract is report equality on
+    sparse traces rather than bit identity (covered by test).
+    """
+
+    def __init__(self, capacity: int, step_latency: float,
+                 decode_len: int,
+                 on_complete: Callable[[Simulation, RequestRecord], None],
+                 admission: AdmissionPolicy, engine: "ServingEngine",
+                 retrieval_hook: Optional[
+                     Callable[[Simulation, RequestRecord], None]] = None,
+                 positions_fn: Optional[
+                     Callable[[RequestRecord], List[int]]] = None,
+                 fast_forward: bool = False) -> None:
+        self._q = engine._sim._queue  # direct pushes on the hot path
+        self.capacity = capacity
+        self.step_latency = step_latency
+        self.decode_len = decode_len
+        self.on_complete = on_complete
+        self.admission = admission
+        self.retrieval_hook = retrieval_hook
+        self.positions_fn = positions_fn
+        self.running = False
+        self._eng = engine
+        self._si = engine._stage_slot[Stage.DECODE]
+        self._enq = engine._slab_enq
+        self._wait = engine._slab_wait
+        self._n = engine._nstages
+        self._fast_forward = fast_forward
+        # Progress/position bookkeeping only matters when requests can
+        # leave decode for iterative retrieval and come back; the plain
+        # pipeline skips those dict writes per request.
+        self._track = retrieval_hook is not None or positions_fn is not None
+        self.waiting: Deque[RequestRecord] = deque()
+        self._waiting_lens: Deque[int] = deque()
+        # serial -> [record, target, base, serial, positions]; dict
+        # insertion order == admission order == the oracle's
+        # remaining-list scan order.
+        self._live: Dict[int, list] = {}
+        self._serial = 0
+        self._buckets: Dict[int, list] = {}
+        self._tb_sum = 0  # sum(target + base) over live entries
+        self._step_index = 0  # step boundary the clock last crossed
+        self._boundary_time = 0.0  # sim time of that boundary
+        self._adv_step = 0  # boundary the pending advance targets
+        self._gen = 0  # generation counter invalidating stale advances
+        self._skipping = False
+        self._progress: Dict[int, int] = {}
+        self._positions: Dict[int, List[int]] = {}
+        self._greedy = type(admission) is GreedyAdmission
+        self._budget = admission \
+            if type(admission) is TokenBudgetAdmission else None
+        self._fin: list = []  # reusable per-event scratch buffers
+        self._dep: list = []
+
+    def accept(self, sim: Simulation, record: RequestRecord) -> None:
+        self._enq[record.slab * self._n + self._si] = sim.now
+        self.waiting.append(record)
+        self._waiting_lens.append(record.decode_len or self.decode_len)
+        if not self.running:
+            self.running = True
+            self._gen += 1
+            self._skipping = False
+            sim.schedule_event(0.0, self._eng._k_kick, self._gen)
+        elif self._skipping:
+            # A fluid skip is in flight but new work arrived: invalidate
+            # it (generation bump) and advance at the first boundary at
+            # or after now, replaying the additions the oracle's event
+            # chain would have produced up to that point.
+            self._gen += 1
+            self._skipping = False
+            sl = self.step_latency
+            t = self._boundary_time
+            step = self._step_index
+            now = sim.now
+            while True:
+                t += sl
+                step += 1
+                if t >= now:
+                    break
+            self._adv_step = step
+            sim.schedule_event_at(t, self._eng._k_adv, self._gen)
+
+    def _on_kick(self, sim: Simulation, gen: int) -> None:
+        """Handler for the idle -> running transition event."""
+        if gen != self._gen:
+            return
+        self._boundary_time = sim.now
+        self._boundary(sim)
+
+    # simlint: hotpath
+    def _on_adv(self, sim: Simulation, gen: int) -> None:
+        """Handler for a step-boundary advance event.
+
+        Entries land in their bucket exactly at their precomputed
+        finish-or-depart step, so every bucketed entry leaves the
+        batch here; finishes resolve before departures, matching the
+        oracle's scan order.
+        """
+        if gen != self._gen:
+            return
+        s = self._adv_step
+        self._step_index = s
+        self._boundary_time = sim.now
+        bucket = self._buckets.pop(s, None)
+        if bucket is not None:
+            fin = self._fin
+            dep = self._dep
+            for entry in bucket:
+                if s - entry[2] >= entry[1]:
+                    fin.append(entry)
+                else:
+                    del entry[4][0]
+                    dep.append(entry)
+            if fin:
+                live = self._live
+                progress = self._progress
+                track = self._track
+                now = sim.now
+                on_complete = self.on_complete
+                for entry in fin:
+                    del live[entry[3]]
+                    self._tb_sum -= entry[1] + entry[2]
+                    record = entry[0]
+                    if track:
+                        progress[record.request_id] = s - entry[2]
+                    record.completion_time = now
+                    on_complete(sim, record)
+                del fin[:]
+            if dep:
+                live = self._live
+                progress = self._progress
+                hook = self.retrieval_hook
+                for entry in dep:
+                    del live[entry[3]]
+                    self._tb_sum -= entry[1] + entry[2]
+                    progress[entry[0].request_id] = s - entry[2]
+                    hook(sim, entry[0])
+                del dep[:]
+        if self.waiting:
+            self._boundary(sim)
+            return
+        if not self._live:
+            self.running = False
+            return
+        # Nothing to admit: schedule the next advance inline, pushing
+        # the event straight into the queue slabs (the scheduling-call
+        # chain is pure overhead at one event per decode step).
+        k = 1
+        if self._fast_forward:
+            k = min(self._buckets) - s
+            self._skipping = k > 1
+        sl = self.step_latency
+        t = sim.now
+        target = s + k
+        while k > 0:
+            t += sl
+            k -= 1
+        self._adv_step = target
+        q = self._q
+        free = q._free
+        if not free:
+            q._grow()
+        slot = free.pop()
+        q._kinds[slot] = self._eng._k_adv
+        q._args[slot] = self._gen
+        heapq.heappush(q._heap, (t, next(q._counter), slot))
+
+    def _remaining(self, s: int) -> List[int]:
+        """Materialized remaining-token list, in admission order."""
+        return [entry[1] + entry[2] - s for entry in self._live.values()]
+
+    def _boundary(self, sim: Simulation) -> None:
+        """Admit waiting work at boundary ``s`` and schedule the next
+        advance (replicating the oracle's ``_step``)."""
+        s = self._step_index
+        waiting = self.waiting
+        if waiting:
+            lens = self._waiting_lens
+            capacity = self.capacity
+            live_count = len(self._live)
+            if self._greedy:
+                admitted = capacity - live_count
+                if len(waiting) < admitted:
+                    admitted = len(waiting)
+                if admitted < 0:
+                    admitted = 0
+            elif self._budget is not None:
+                policy = self._budget
+                budget = policy.max_tokens
+                if lens[0] > budget:
+                    # Delegate to the real policy so the head-of-line
+                    # overflow raises its exact ConfigError.
+                    policy.admit(list(lens), self._remaining(s), capacity)
+                slots = capacity - live_count
+                debt = self._tb_sum - live_count * s
+                admitted = 0
+                for length in lens:
+                    if admitted >= slots or debt + length > budget:
+                        break
+                    debt += length
+                    admitted += 1
+            else:
+                admitted = self.admission.admit(
+                    list(lens), self._remaining(s), capacity)
+            now = sim.now
+            for _ in range(admitted):
+                self._admit(now, s, waiting.popleft(), lens.popleft())
+        if not self._live:
+            self.running = False
+            return
+        k = 1
+        if self._fast_forward and not waiting:
+            k = min(self._buckets) - s
+        self._skipping = k > 1
+        sl = self.step_latency
+        t = self._boundary_time
+        target = s + k
+        while k > 0:
+            t += sl
+            k -= 1
+        self._adv_step = target
+        sim.schedule_event_at(t, self._eng._k_adv, self._gen)
+
+    def _admit(self, now: float, s: int, record: RequestRecord,
+               length: int) -> None:
+        if self._track:
+            rid = record.request_id
+            prog = self._progress.get(rid)
+            if prog is None:
+                prog = 0
+                self._progress[rid] = 0
+                if self.positions_fn is not None:
+                    positions = list(self.positions_fn(record))
+                else:
+                    positions = []
+                self._positions[rid] = positions
+            else:
+                positions = self._positions[rid]
+        else:
+            prog = 0
+            positions = ()
+        i = record.slab * self._n + self._si
+        wait = self._wait
+        prev = wait[i]
+        delta = now - self._enq[i]
+        wait[i] = delta if prev != prev else prev + delta
+        base = s - prog
+        k_evt = length - prog
+        if positions:
+            k_dep = positions[0] - prog
+            if k_dep < 1:
+                k_dep = 1
+            if k_dep < k_evt:
+                k_evt = k_dep
+        serial = self._serial
+        self._serial = serial + 1
+        entry = [record, length, base, serial, positions]
+        self._live[serial] = entry
+        self._tb_sum += length + base
+        bucket = self._buckets.get(s + k_evt)
+        if bucket is None:
+            self._buckets[s + k_evt] = [entry]
+        else:
+            bucket.append(entry)
+
+
 #: A completion listener receives each finished request's record.
 CompletionFn = Callable[[RequestRecord], None]
 
@@ -392,13 +957,21 @@ class ServingEngine:
         on_complete: Optional listener invoked synchronously (during
             :meth:`step`/:meth:`drain`) with each finished request's
             :class:`~repro.sim.metrics.RequestRecord`.
+        fast: Use the slab-backed hot path (the default). ``False``
+            selects the original closure-per-event network, kept as the
+            bit-identical oracle the parity tests compare against.
+        fast_forward: Fluid-skip idle decode boundaries (requires
+            ``fast``). Reports stay equal on sparse traces, but exact
+            arrival-on-boundary ties may order differently, so this is
+            off by default.
     """
 
     def __init__(self, perf_model: RAGPerfModel, schedule: Schedule,
                  max_wait: Optional[float] = None, seed: int = 0,
                  dispatch: DispatchSelection = None,
                  admission: Union[None, str, AdmissionPolicy] = None,
-                 on_complete: Optional[CompletionFn] = None) -> None:
+                 on_complete: Optional[CompletionFn] = None,
+                 fast: bool = True, fast_forward: bool = False) -> None:
         self._perf_model = perf_model
         self._schedule = schedule
         self._schema = perf_model.schema
@@ -411,21 +984,49 @@ class ServingEngine:
         self._admission = resolve_admission_policy(admission)
         self._listeners: List[CompletionFn] = \
             [on_complete] if on_complete is not None else []
+        self._fast = bool(fast)
+        self._fast_forward = bool(fast_forward)
+        if self._fast_forward and not self._fast:
+            raise ConfigError(
+                "fast_forward requires the fast engine path (fast=True)")
+        self._drained = False
         self._sim = Simulation()
         self._accumulator = MetricsAccumulator(self._schema)
         self._next_id = 0
-        self._stations: Dict[Stage, _BatchStation] = {}
-        self._decode: Optional[_DecodeExecutor] = None
+        self._stations: Dict[Stage, Any] = {}
+        self._decode: Optional[Any] = None
+        # Per-request, per-stage bookkeeping slabs (fast path): three
+        # flat float lists with stride == number of pipeline stages,
+        # NaN = never touched. Materialized into the record's dicts
+        # once, at completion.
+        stages_all = pipeline_stages(self._schema)
+        self._stage_slot = {stage: i
+                            for i, stage in enumerate(stages_all)}
+        self._stage_items = tuple(self._stage_slot.items())
+        self._nstages = len(stages_all)
+        self._slab_enq: List[float] = []
+        self._slab_comp: List[float] = []
+        self._slab_wait: List[float] = []
+        self._slab_pad = [math.nan] * self._nstages
+        self._slab_n = 0  # requests slabbed so far (the next slab index)
+        self._queue = self._sim._queue  # direct arrival pushes in submit
         self._build()
 
     # -- construction --------------------------------------------------
 
     def _stage_perf_fn(self, stage: Stage, resource_amount: int):
         plan = self._schedule.shard_plans.get(stage)
+        cache: Dict[int, Any] = {}
 
         def perf(batch: int):
-            return self._perf_model.perf(stage, batch, resource_amount,
-                                         plan=plan)
+            # RAGPerfModel.perf is pure; memoizing per (stage, amount)
+            # skips the plan-cache plumbing on the dispatch hot path.
+            result = cache.get(batch)
+            if result is None:
+                result = self._perf_model.perf(stage, batch,
+                                               resource_amount, plan=plan)
+                cache[batch] = result
+            return result
 
         return perf
 
@@ -447,6 +1048,13 @@ class ServingEngine:
 
     def _build(self) -> None:
         schema = self._schema
+        fast = self._fast
+        if fast:
+            sim = self._sim
+            self._k_arrival = sim.register_handler(self._on_arrival)
+            self._k_free = sim.register_handler(_release_resource)
+            self._k_complete = sim.register_handler(_complete_batch)
+            self._k_flush = sim.register_handler(_flush_station)
         stages = [stage for stage in pipeline_stages(schema)
                   if stage is not Stage.DECODE]
         resources: Dict[int, _Resource] = {}
@@ -473,11 +1081,19 @@ class ServingEngine:
                 amount = self._schedule.groups[group_index].num_xpus
             batch = self._schedule.batches[stage]
             perf_fn = self._stage_perf_fn(stage, amount)
-            station = _BatchStation(
-                stage=stage, batch_size=batch, perf_fn=perf_fn,
-                resource=resource,
-                deliver=self._make_deliver(stage, deliver_next),
-                policy=self._station_policy(stage, perf_fn(batch).latency))
+            policy = self._station_policy(stage, perf_fn(batch).latency)
+            if fast:
+                station = _FastBatchStation(
+                    stage=stage, batch_size=batch, perf_fn=perf_fn,
+                    resource=resource, engine=self,
+                    downstream=deliver_next, policy=policy,
+                    sets_first_token=stage is Stage.PREFIX)
+            else:
+                station = _BatchStation(
+                    stage=stage, batch_size=batch, perf_fn=perf_fn,
+                    resource=resource,
+                    deliver=self._make_deliver(stage, deliver_next),
+                    policy=policy)
             self._stations[stage] = station
             deliver_next = station.accept
         self._entry = deliver_next
@@ -504,18 +1120,39 @@ class ServingEngine:
                                                     self._servers)
             prefix_perf_fn = self._stage_perf_fn(
                 Stage.PREFIX, self._schedule.groups[prefix_index].num_xpus)
-            iter_prefix = _BatchStation(
-                stage=Stage.PREFIX, batch_size=iter_batch,
-                perf_fn=prefix_perf_fn, resource=resources[prefix_index],
-                deliver=lambda sim, record: self._decode.accept(sim, record),
-                policy=self._station_policy(
-                    Stage.PREFIX, prefix_perf_fn(iter_batch).latency))
-            iter_retrieval = _BatchStation(
-                stage=Stage.RETRIEVAL, batch_size=iter_batch,
-                perf_fn=retrieval_perf_fn, resource=retrieval_resource,
-                deliver=iter_prefix.accept,
-                policy=self._station_policy(
-                    Stage.RETRIEVAL, retrieval_perf_fn(iter_batch).latency))
+            iter_prefix_policy = self._station_policy(
+                Stage.PREFIX, prefix_perf_fn(iter_batch).latency)
+            iter_retrieval_policy = self._station_policy(
+                Stage.RETRIEVAL, retrieval_perf_fn(iter_batch).latency)
+            if fast:
+                # The re-prefix delivers straight into decode (no
+                # first-token logic), matching the oracle's lambda.
+                iter_prefix = _FastBatchStation(
+                    stage=Stage.PREFIX, batch_size=iter_batch,
+                    perf_fn=prefix_perf_fn,
+                    resource=resources[prefix_index], engine=self,
+                    downstream=self._enter_decode,
+                    policy=iter_prefix_policy, sets_first_token=False)
+                iter_retrieval = _FastBatchStation(
+                    stage=Stage.RETRIEVAL, batch_size=iter_batch,
+                    perf_fn=retrieval_perf_fn,
+                    resource=retrieval_resource, engine=self,
+                    downstream=iter_prefix.accept,
+                    policy=iter_retrieval_policy, sets_first_token=False)
+            else:
+                iter_prefix = _BatchStation(
+                    stage=Stage.PREFIX, batch_size=iter_batch,
+                    perf_fn=prefix_perf_fn,
+                    resource=resources[prefix_index],
+                    deliver=lambda sim, record: self._decode.accept(
+                        sim, record),
+                    policy=iter_prefix_policy)
+                iter_retrieval = _BatchStation(
+                    stage=Stage.RETRIEVAL, batch_size=iter_batch,
+                    perf_fn=retrieval_perf_fn,
+                    resource=retrieval_resource,
+                    deliver=iter_prefix.accept,
+                    policy=iter_retrieval_policy)
             retrieval_hook = iter_retrieval.accept
             retrievals = schema.retrieval_frequency - 1
             base_seed = self._seed
@@ -529,13 +1166,29 @@ class ServingEngine:
                 return sample_retrieval_positions(
                     length, count, seed=base_seed + record.request_id)
 
-        self._decode = _DecodeExecutor(
-            capacity=decode_batch, step_latency=step_latency,
-            decode_len=schema.sequences.decode_len,
-            on_complete=self._request_done,
-            admission=self._admission,
-            retrieval_hook=retrieval_hook,
-            positions_fn=positions_fn)
+        if fast:
+            # The executor's bound methods escape into the handler
+            # table only *after* this final rebind, so the escaped
+            # callables always target the live object.
+            self._decode = _FastDecodeExecutor(  # simlint: allow[listener-rebind]
+                capacity=decode_batch, step_latency=step_latency,
+                decode_len=schema.sequences.decode_len,
+                on_complete=self._request_done,
+                admission=self._admission, engine=self,
+                retrieval_hook=retrieval_hook,
+                positions_fn=positions_fn,
+                fast_forward=self._fast_forward)
+            self._k_kick = self._sim.register_handler(
+                self._decode._on_kick)
+            self._k_adv = self._sim.register_handler(self._decode._on_adv)
+        else:
+            self._decode = _DecodeExecutor(  # simlint: allow[listener-rebind]
+                capacity=decode_batch, step_latency=step_latency,
+                decode_len=schema.sequences.decode_len,
+                on_complete=self._request_done,
+                admission=self._admission,
+                retrieval_hook=retrieval_hook,
+                positions_fn=positions_fn)
 
     def _make_deliver(self, stage: Stage, downstream):
         def deliver(sim: Simulation, record: RequestRecord) -> None:
@@ -548,7 +1201,39 @@ class ServingEngine:
     def _enter_decode(self, sim: Simulation, record: RequestRecord) -> None:
         self._decode.accept(sim, record)
 
+    def _on_arrival(self, sim: Simulation, record: RequestRecord) -> None:
+        self._entry(sim, record)
+
+    def _materialize(self, record: RequestRecord) -> None:
+        """Fill the record's per-stage dicts from the engine slabs.
+
+        Runs once per request, at completion, before the accumulator
+        and listeners observe the record -- the fast path's only
+        per-request dict work. NaN marks a stage never touched
+        (NaN != NaN, so ``v == v`` is the "was set" test).
+        """
+        base = record.slab * self._nstages
+        enq = self._slab_enq
+        comp = self._slab_comp
+        wait = self._slab_wait
+        enqueues = record.stage_enqueues
+        completions = record.stage_completions
+        waits = record.queue_waits
+        for stage, offset in self._stage_items:
+            i = base + offset
+            v = enq[i]
+            if v == v:
+                enqueues[stage] = v
+            v = comp[i]
+            if v == v:
+                completions[stage] = v
+            v = wait[i]
+            if v == v:
+                waits[stage] = v
+
     def _request_done(self, sim: Simulation, record: RequestRecord) -> None:
+        if self._fast:
+            self._materialize(record)
         self._accumulator.finish(record)
         for listener in self._listeners:
             listener(record)
@@ -574,6 +1259,11 @@ class ServingEngine:
     def in_flight(self) -> int:
         """Submitted but unfinished requests."""
         return self.offered - self.completed
+
+    @property
+    def events_processed(self) -> int:
+        """DES events executed so far (the bench harness's numerator)."""
+        return self._sim.events_processed
 
     @property
     def records(self) -> List[RequestRecord]:
@@ -612,9 +1302,14 @@ class ServingEngine:
             in as the simulation advances).
 
         Raises:
-            ConfigError: on a timestamp behind the engine's clock or a
-                non-positive decode length.
+            ConfigError: on a timestamp behind the engine's clock, a
+                non-positive decode length, or an engine that has
+                already been drained (single-use lifecycle).
         """
+        if self._drained:
+            raise ConfigError(
+                "engine already drained; a ServingEngine is single-use "
+                "-- build a new engine for the next run")
         if not isinstance(arrival, (int, float)) \
                 or not math.isfinite(arrival):
             raise ConfigError("arrival must be a finite number")
@@ -632,8 +1327,30 @@ class ServingEngine:
                                decode_len=int(decode_len))
         self._next_id += 1
         self._accumulator.add(record)
-        self._sim.schedule_at(arrival,
-                              lambda s, r=record: self._entry(s, r))
+        if self._fast:
+            # The slab index is engine-local and deliberately separate
+            # from request_id (FleetEngine rewrites request_id to the
+            # fleet-wide arrival index after submission).
+            record.slab = self._slab_n
+            self._slab_n += 1
+            pad = self._slab_pad
+            self._slab_enq.extend(pad)
+            self._slab_comp.extend(pad)
+            self._slab_wait.extend(pad)
+            # Inline schedule_event_at(arrival, ...): arrival >= now was
+            # validated above, and replay-heavy callers submit whole
+            # traces, so the call layers matter.
+            q = self._queue
+            free = q._free
+            if not free:
+                q._grow()
+            slot = free.pop()
+            q._kinds[slot] = self._k_arrival
+            q._args[slot] = record
+            heapq.heappush(q._heap, (arrival, next(q._counter), slot))
+        else:
+            self._sim.schedule_at(arrival,
+                                  lambda s, r=record: self._entry(s, r))
         return record
 
     def step(self, until: float) -> float:
@@ -652,6 +1369,25 @@ class ServingEngine:
 
     def drain(self) -> float:
         """Run the network empty: process every remaining event.
+
+        After a drain the engine is spent: further :meth:`submit` calls
+        raise :class:`~repro.errors.ConfigError` (the documented
+        single-use lifecycle, previously corrupted silently).
+
+        Returns:
+            The simulated time of the last event.
+        """
+        self._sim.run()
+        self._drained = True
+        return self._sim.now
+
+    def _run_to_quiescence(self) -> float:
+        """Run the event queue empty *without* sealing the engine.
+
+        :class:`~repro.sim.fleet.FleetEngine` owns its replicas'
+        lifecycle and reuses them across fleet-level drains (drain to
+        settle retirements, then keep routing traffic), so its drain
+        must not trip the public single-use seal.
 
         Returns:
             The simulated time of the last event.

@@ -107,7 +107,8 @@ class FleetEngine:
                  max_wait: Optional[float] = None, seed: int = 0,
                  dispatch: DispatchSelection = None,
                  admission: Union[None, str, AdmissionPolicy] = None,
-                 on_complete: Optional[CompletionFn] = None) -> None:
+                 on_complete: Optional[CompletionFn] = None,
+                 fast: bool = True, fast_forward: bool = False) -> None:
         if isinstance(schedule, Schedule):
             count = 1 if replicas is None else replicas
             if count < 1:
@@ -125,7 +126,8 @@ class FleetEngine:
         self._schema = perf_model.schema
         self._routing = resolve_routing_policy(routing)
         self._engine_knobs = dict(max_wait=max_wait, seed=seed,
-                                  dispatch=dispatch, admission=admission)
+                                  dispatch=dispatch, admission=admission,
+                                  fast=fast, fast_forward=fast_forward)
         self._listeners: List[CompletionFn] = \
             [on_complete] if on_complete is not None else []
         self._accumulator = MetricsAccumulator(self._schema)
@@ -141,6 +143,13 @@ class FleetEngine:
         # keep the exact constant-count division).
         self._replica_seconds = 0.0
         self._resized = False
+        # Routing-snapshot caches: the sorted active-slot order and one
+        # frozen ReplicaView per slot, reused across submits until the
+        # slot's observable state actually changes (a million-request
+        # replay otherwise allocates a fresh view list per arrival).
+        self._order: List[int] = []
+        self._views: Dict[int, ReplicaView] = {}
+        self._candidates: List[ReplicaView] = []
         for slot, replica_schedule in enumerate(schedules):
             self._install(slot, replica_schedule)
 
@@ -157,7 +166,14 @@ class FleetEngine:
         entry = _ReplicaEntry(slot, engine, weight)
         self._engines.append(entry)
         self._active[slot] = entry
+        self._membership_changed(slot)
         return entry
+
+    def _membership_changed(self, slot: int) -> None:
+        """Invalidate routing caches after ``slot`` joined or left the
+        active set (a swapped slot also changes engine and weight)."""
+        self._views.pop(slot, None)
+        self._order = sorted(self._active)
 
     def _request_done(self, record: RequestRecord) -> None:
         self._accumulator.finish(record)
@@ -285,13 +301,21 @@ class FleetEngine:
                 a slot it was not offered, or the engine rejects the
                 submission.
         """
-        candidates = [
-            ReplicaView(index=slot,
-                        in_flight=self._active[slot].engine.in_flight,
-                        submitted=self._submitted[slot],
-                        weight=self._active[slot].weight)
-            for slot in sorted(self._active)
-        ]
+        views = self._views
+        candidates = self._candidates
+        del candidates[:]
+        for slot in self._order:
+            entry = self._active[slot]
+            in_flight = entry.engine.in_flight
+            submitted = self._submitted[slot]
+            view = views.get(slot)
+            if view is None or view.in_flight != in_flight \
+                    or view.submitted != submitted:
+                view = ReplicaView(index=slot, in_flight=in_flight,
+                                   submitted=submitted,
+                                   weight=entry.weight)
+                views[slot] = view
+            candidates.append(view)
         slot = self._routing.select(candidates, now=arrival)
         entry = self._active.get(slot)
         if entry is None:
@@ -343,7 +367,10 @@ class FleetEngine:
         """
         for entry in self._engines:
             if entry.state != _RETIRED:
-                entry.engine.drain()
+                # The non-sealing drain: the fleet reuses replicas
+                # across fleet-level drains (settle, then keep routing),
+                # so the engine's public single-use seal must not trip.
+                entry.engine._run_to_quiescence()
         self._advance_clock(max(
             [self._now] + [entry.engine.now for entry in self._engines]))
         self._settle()
@@ -385,6 +412,7 @@ class FleetEngine:
         entry.state = _RETIRED if entry.engine.in_flight == 0 \
             else _DRAINING
         del self._active[slot]
+        self._membership_changed(slot)
         return self._install(slot, schedule).engine
 
     def add_replica(self, schedule: Optional[Schedule] = None) -> int:
@@ -454,6 +482,7 @@ class FleetEngine:
         entry.state = _RETIRED if entry.engine.in_flight == 0 \
             else _DRAINING
         del self._active[slot]
+        self._membership_changed(slot)
         self._resized = True
         return entry.engine
 

@@ -44,6 +44,11 @@ class RequestRecord:
             repeatedly, e.g. iterative re-prefix, accumulates).
         first_token_time: When the prefix stage finished (first token).
         completion_time: When the last decode step finished.
+        slab: Engine-local index into the fast path's per-stage
+            bookkeeping slabs (-1 outside the fast path). Deliberately
+            separate from ``request_id``, which a fleet rewrites to the
+            fleet-wide arrival index after submission; excluded from
+            equality so records compare on lifecycle alone.
     """
 
     request_id: int
@@ -54,6 +59,7 @@ class RequestRecord:
     queue_waits: Dict[Stage, float] = field(default_factory=dict)
     first_token_time: Optional[float] = None
     completion_time: Optional[float] = None
+    slab: int = field(default=-1, repr=False, compare=False)
 
     @property
     def ttft(self) -> Optional[float]:
@@ -245,6 +251,14 @@ class MetricsAccumulator:
     :meth:`report` reproduce -- value for value -- the aggregates the
     pre-refactor batch simulator computed, so an open-loop replay
     through the engine stays bit-identical.
+
+    Internally the final artifacts are built from **incremental
+    reservoirs** fed at :meth:`finish` -- latency triples tagged with
+    the submission index and per-stage wait lists -- rather than by
+    re-walking every record's dicts at report time. The reproduced
+    float arithmetic is order-exact: TTFT statistics sum over the
+    sorted sample, while the TPOT mean sums in submission order
+    (unsorted), exactly as the record-walking implementation did.
     """
 
     def __init__(self, schema: "RAGSchema") -> None:
@@ -257,6 +271,15 @@ class MetricsAccumulator:
         self._tpot_sum = 0.0
         self._last_completion = 0.0
         self._utilization_fn = None
+        # id(record) -> submission index (records are held in
+        # _records forever, so ids stay live and unique).
+        self._index: Dict[int, int] = {}
+        # (submission index, ttft, tpot) per completed-with-first-token
+        # request, appended in completion order; submission indices are
+        # unique ints, so sorting never compares the float fields.
+        self._lat: List[tuple] = []
+        # stage -> waits of completed requests, in completion order.
+        self._stage_waits: Dict[Stage, List[float]] = {}
 
     # -- engine feed ---------------------------------------------------
 
@@ -268,20 +291,42 @@ class MetricsAccumulator:
         the earliest arrival is tracked as a running minimum rather
         than assumed to be the first record's.
         """
+        self._index[id(record)] = len(self._records)
         self._records.append(record)
         if self._first_arrival is None \
                 or record.arrival < self._first_arrival:
             self._first_arrival = record.arrival
 
     def finish(self, record: RequestRecord) -> None:
-        """Fold in one completed request (completion_time set)."""
+        """Fold in one completed request (completion_time set).
+
+        The record's latency and queue-wait values are captured into
+        the reservoirs here; later mutation of a finished record does
+        not alter subsequent reports.
+        """
         self._completed += 1
-        self._last_completion = max(self._last_completion,
-                                    record.completion_time)
-        if record.ttft is not None:
-            self._ttft_sum += record.ttft
+        completion = record.completion_time
+        if completion > self._last_completion:
+            self._last_completion = completion
+        first_token = record.first_token_time
+        if first_token is not None:
+            # Same arithmetic as the ttft/tpot properties, inlined:
+            # finish() runs once per completion on the hot path.
+            ttft = first_token - record.arrival
+            decode_len = record.decode_len
+            tpot = (completion - first_token) \
+                / (decode_len if decode_len > 1 else 1)
+            self._ttft_sum += ttft
             self._ttft_count += 1
-            self._tpot_sum += record.tpot
+            self._tpot_sum += tpot
+            self._lat.append((self._index[id(record)], ttft, tpot))
+            stage_waits = self._stage_waits
+            for stage, wait in record.queue_waits.items():
+                bucket = stage_waits.get(stage)
+                if bucket is None:
+                    stage_waits[stage] = [wait]
+                else:
+                    bucket.append(wait)
 
     # -- introspection -------------------------------------------------
 
@@ -328,22 +373,23 @@ class MetricsAccumulator:
             utilization_of: Resource-name -> busy-seconds totals; the
                 accumulator normalizes them by the run duration.
         """
-        done = [r for r in self._records if r.completion_time is not None]
-        ttfts = sorted(r.ttft for r in done if r.ttft is not None)
-        if done and ttfts:
-            last = max(r.completion_time for r in done)
-            # add() maintains the running min(arrival); records exist
-            # here, so it is never None.
-            duration = max(last - self._first_arrival, 1e-12)
-            throughput = len(done) / duration
+        lat = self._lat
+        if self._completed and lat:
+            # finish() maintains the running max(completion) and add()
+            # the running min(arrival); completions exist here, so
+            # neither is stale.
+            duration = max(self._last_completion - self._first_arrival,
+                           1e-12)
+            throughput = self._completed / duration
+            ttfts = sorted(entry[1] for entry in lat)
             mean_ttft = sum(ttfts) / len(ttfts)
             # Same interpolated estimator as report()/latency summaries:
             # the one run must never emit two different p99s.
             p99 = _interpolated_percentile(ttfts, 0.99)
-            tpots = [(r.completion_time - r.first_token_time)
-                     / max(r.decode_len, 1)
-                     for r in done if r.first_token_time is not None]
-            mean_tpot = sum(tpots) / len(tpots)
+            # The TPOT mean sums in submission order, unsorted --
+            # the float-op order the record-walking implementation
+            # used (bit-identity pinned by tests).
+            mean_tpot = sum(entry[2] for entry in sorted(lat)) / len(lat)
         else:
             duration = throughput = mean_ttft = p99 = mean_tpot = 0.0
         utilization = {}
@@ -351,7 +397,7 @@ class MetricsAccumulator:
             utilization = {name: min(busy / duration, 1.0)
                            for name, busy in utilization_of.items()}
         return ServingMetrics(
-            completed=len(done),
+            completed=self._completed,
             offered=len(self._records),
             duration=duration,
             throughput=throughput,
@@ -372,31 +418,34 @@ class MetricsAccumulator:
                 must surface as a configuration error, not bad math.
         """
         metrics = self.metrics(utilization_of)
-        done = [r for r in metrics.records
-                if r.completion_time is not None
-                and r.first_token_time is not None]
-        if not done:
+        # The reservoir holds exactly the completed-with-first-token
+        # requests; sorting by submission index restores the records
+        # order the record-walking implementation iterated in.
+        lat = sorted(self._lat)
+        if not lat:
             raise ConfigError(
                 "zero requests finished the replay; raise the horizon or "
                 "lower the offered load before asking for a report")
-        ttfts = sorted(r.ttft for r in done)
-        tpots = sorted(r.tpot for r in done)
-        met_ttft = [slo.ttft is None or r.ttft <= slo.ttft for r in done]
-        met_tpot = [slo.tpot is None or r.tpot <= slo.tpot for r in done]
+        n = len(lat)
+        ttfts = sorted(entry[1] for entry in lat)
+        tpots = sorted(entry[2] for entry in lat)
+        met_ttft = [slo.ttft is None or entry[1] <= slo.ttft
+                    for entry in lat]
+        met_tpot = [slo.tpot is None or entry[2] <= slo.tpot
+                    for entry in lat]
         attainment = {
-            "ttft": sum(met_ttft) / len(done),
-            "tpot": sum(met_tpot) / len(done),
-            "joint": sum(a and b for a, b in zip(met_ttft, met_tpot))
-            / len(done),
+            "ttft": sum(met_ttft) / n,
+            "tpot": sum(met_tpot) / n,
+            "joint": sum(a and b for a, b in zip(met_ttft, met_tpot)) / n,
         }
         queueing: Dict[str, Dict[str, float]] = {}
         stage_order = [stage for stage in pipeline_stages(self._schema)
                        if stage is not Stage.DECODE] + [Stage.DECODE]
         for stage in stage_order:
-            waits = sorted(r.queue_waits[stage] for r in done
-                           if stage in r.queue_waits)
-            if not waits:
+            bucket = self._stage_waits.get(stage)
+            if not bucket:
                 continue
+            waits = sorted(bucket)
             queueing[stage.value] = {
                 "mean_wait": sum(waits) / len(waits),
                 "p95_wait": _interpolated_percentile(waits, 0.95),

@@ -229,14 +229,19 @@ class PowerOfTwoChoicesRouting(RoutingPolicy):
         otherwise."""
         cached = self._state.get("depths")
         taken = self._state.get("taken_at")
+        # Serve the cached snapshot without materializing the live
+        # depths at all (slot indices are unique, so length plus
+        # subset is set equality) -- stale-state routing would
+        # otherwise allocate a throwaway dict per arrival.
+        if (cached is not None and taken is not None and now >= taken
+                and now - taken < self.stale_after
+                and len(cached) == len(replicas)
+                and all(view.index in cached for view in replicas)):
+            return cached
         live = {view.index: view.in_flight for view in replicas}
-        if (cached is None or taken is None or now < taken
-                or now - taken >= self.stale_after
-                or set(cached) != set(live)):
-            self._state["depths"] = live
-            self._state["taken_at"] = now
-            return live
-        return cached
+        self._state["depths"] = live
+        self._state["taken_at"] = now
+        return live
 
     def select(self, replicas: Sequence[ReplicaView],
                now: float = 0.0) -> int:

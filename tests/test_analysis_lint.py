@@ -330,6 +330,61 @@ def test_format_functions_checked_outside_reporting(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# no-per-event-allocation-in-hot-loop
+# ---------------------------------------------------------------------------
+
+
+def test_hotpath_marker_flags_dict_list_and_lambda(tmp_path):
+    path = write(tmp_path, "repro/sim/loop.py", """\
+        class Station:
+            # simlint: hotpath
+            def dispatch(self, batch):
+                extras = {}
+                order = [batch]
+                key = lambda item: item.slab
+                return extras, order, key
+    """)
+    findings = lint_paths(
+        [path], rules=["no-per-event-allocation-in-hot-loop"])
+    assert rule_ids(findings) == \
+        ["no-per-event-allocation-in-hot-loop"] * 3
+    assert [finding.line for finding in findings] == [4, 5, 6]
+    assert "dispatch()" in findings[0].message
+
+
+def test_hotpath_marker_works_on_the_def_line(tmp_path):
+    path = write(tmp_path, "repro/sim/loop.py", """\
+        def advance(events):  # simlint: hotpath
+            return {event: True for event in events} and []
+    """)
+    findings = lint_paths(
+        [path], rules=["no-per-event-allocation-in-hot-loop"])
+    # The dict comprehension is allowed (no literal); the list is not.
+    assert rule_ids(findings) == ["no-per-event-allocation-in-hot-loop"]
+
+
+def test_unmarked_functions_may_allocate(tmp_path):
+    path = write(tmp_path, "repro/sim/setup.py", """\
+        def build():
+            return {"stations": [], "handlers": [lambda s: s]}
+    """)
+    assert lint_paths(
+        [path], rules=["no-per-event-allocation-in-hot-loop"]) == []
+
+
+def test_hotpath_clean_function_passes(tmp_path):
+    path = write(tmp_path, "repro/sim/loop.py", """\
+        # simlint: hotpath
+        def drain(heap, out):
+            while heap:
+                out.append(heap.pop())
+            return tuple(out)
+    """)
+    assert lint_paths(
+        [path], rules=["no-per-event-allocation-in-hot-loop"]) == []
+
+
+# ---------------------------------------------------------------------------
 # suppression grammar
 # ---------------------------------------------------------------------------
 
@@ -552,8 +607,10 @@ def test_shipped_tree_lints_clean():
 
 def test_shipped_tree_suppressions_are_audited():
     """The tree's inline allowances stay limited to the known audited
-    sites: the serve wall->sim mapping and the two insertion-order
-    reporting tables."""
+    sites: the serve wall->sim mapping, the two insertion-order
+    reporting tables, the bench harness's wall-clock timers, and the
+    engine's build-time decode rebinds (the executor's bound methods
+    escape into the handler table only after the final rebind)."""
     from repro.analysis import build_index
 
     index = build_index([SRC_REPRO])
@@ -573,4 +630,8 @@ def test_shipped_tree_suppressions_are_audited():
             [["unsorted-dict-iteration-in-reporting"]],
         "repro.reporting.tables":
             [["unsorted-dict-iteration-in-reporting"]],
+        "repro.sim.bench": [["no-wallclock-in-sim"],
+                            ["no-wallclock-in-sim"]],
+        "repro.sim.engine": [["listener-rebind"],
+                             ["listener-rebind"]],
     }

@@ -1,0 +1,245 @@
+"""Fast-path / oracle parity for the slab-backed DES hot loop.
+
+The optimized engine (``fast=True``, the default) must be
+**bit-identical** to the pre-change closure-per-event implementation,
+which is kept wired as the ``fast=False`` oracle: same
+:class:`ServingReport`, same per-record lifecycles, same event count,
+on every registered arrival scenario and every admission-policy shape.
+``fast_forward`` has a weaker contract -- report equality on sparse
+traces -- pinned here too, along with the two lifecycle fixes that
+rode along (``peek_time`` on empty, ``submit`` after ``drain``).
+"""
+
+import math
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import ClusterSpec
+from repro.pipeline import PlacementGroup, RAGPerfModel, Schedule
+from repro.schema import Stage, case_i_hyperscale, case_iii_iterative
+from repro.sim.engine import EventQueue, ServingEngine
+from repro.sim.fleet import FleetEngine
+from repro.sim.metrics import MetricsAccumulator, SLOTarget
+from repro.sim.policies import AdmissionPolicy, TokenBudgetAdmission
+from repro.workloads import SCENARIOS, poisson_trace, scenario_trace
+
+
+@pytest.fixture(scope="module")
+def network():
+    cluster = ClusterSpec(num_servers=32)
+    pm = RAGPerfModel(case_i_hyperscale("8B"), cluster)
+    schedule = Schedule(
+        groups=(PlacementGroup((Stage.PREFIX,), 32),
+                PlacementGroup((Stage.DECODE,), 32)),
+        batches={Stage.PREFIX: 32, Stage.DECODE: 512,
+                 Stage.RETRIEVAL: 64},
+    )
+    return pm, schedule
+
+
+@pytest.fixture(scope="module")
+def iterative_network():
+    cluster = ClusterSpec(num_servers=32)
+    pm = RAGPerfModel(case_iii_iterative("8B", retrieval_frequency=4),
+                      cluster)
+    schedule = Schedule(
+        groups=(PlacementGroup((Stage.PREFIX,), 16),
+                PlacementGroup((Stage.DECODE,), 16)),
+        batches={Stage.PREFIX: 8, Stage.DECODE: 64,
+                 Stage.RETRIEVAL: 16},
+        iterative_batch=8,
+    )
+    return pm, schedule
+
+
+def _record_key(record):
+    return (record.request_id, record.arrival, record.first_token_time,
+            record.completion_time, dict(record.stage_completions),
+            dict(record.stage_enqueues), dict(record.queue_waits))
+
+
+def _replay(pm, schedule, trace, **knobs):
+    engine = ServingEngine(pm, schedule, **knobs)
+    for arrival, length in zip(trace.arrivals, trace.decode_lens):
+        engine.submit(arrival, decode_len=length)
+    engine.drain()
+    return engine
+
+
+def _assert_bit_identical(pm, schedule, trace, **knobs):
+    fast = _replay(pm, schedule, trace, fast=True, **knobs)
+    oracle = _replay(pm, schedule, trace, fast=False, **knobs)
+    slo = SLOTarget(ttft=0.5, tpot=0.05)
+    # ServingReport equality is exact field equality (records are
+    # excluded from dataclass comparison, checked separately below).
+    assert fast.report(trace, slo=slo) == oracle.report(trace, slo=slo)
+    assert fast.busy_times() == oracle.busy_times()
+    assert [_record_key(r) for r in fast.records] == \
+        [_record_key(r) for r in oracle.records]
+    # Same event count: the events/sec benchmark ratio is a pure
+    # wall-clock speedup, not an event-count artifact.
+    assert fast.events_processed == oracle.events_processed
+
+
+# ---------------------------------------------------------------------------
+# tentpole: bit-identical replays
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_fast_path_bit_identical_on_registered_scenarios(
+        network, scenario):
+    pm, schedule = network
+    trace = scenario_trace(scenario, rate_qps=120.0, duration=20.0,
+                           seed=7, mean_decode_len=64)
+    _assert_bit_identical(pm, schedule, trace)
+
+
+def test_fast_path_bit_identical_on_iterative_schema(iterative_network):
+    pm, schedule = iterative_network
+    trace = poisson_trace(20.0, 20.0, seed=11, mean_decode_len=64)
+    _assert_bit_identical(pm, schedule, trace, seed=3)
+
+
+def test_fast_path_bit_identical_under_token_budget_admission(network):
+    pm, schedule = network
+    trace = poisson_trace(150.0, 15.0, seed=5, mean_decode_len=64)
+    _assert_bit_identical(
+        pm, schedule, trace,
+        admission=TokenBudgetAdmission(max_tokens=4096))
+
+
+def test_fast_path_bit_identical_under_custom_admission(network):
+    # A policy type the fast executor has no closed form for must go
+    # through the exact materialized-list fallback.
+    @dataclass(frozen=True)
+    class EveryOther(AdmissionPolicy):
+        def admit(self, waiting_lens, running_remaining, capacity):
+            free = max(0, capacity - len(running_remaining))
+            return min(len(waiting_lens), free, 7)
+
+    pm, schedule = network
+    trace = poisson_trace(150.0, 15.0, seed=9, mean_decode_len=64)
+    _assert_bit_identical(pm, schedule, trace, admission=EveryOther())
+
+
+def test_token_budget_head_overflow_raises_identically(network):
+    pm, schedule = network
+    admission = TokenBudgetAdmission(max_tokens=32)
+    for fast in (True, False):
+        engine = ServingEngine(pm, schedule, admission=admission,
+                               fast=fast)
+        engine.submit(0.0, decode_len=64)  # head exceeds the budget
+        with pytest.raises(ConfigError, match="admission token budget"):
+            engine.drain()
+
+
+# ---------------------------------------------------------------------------
+# satellite: fleet report parity across replica counts
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("replicas", [1, 2, 4])
+def test_fleet_round_robin_report_equals_manual_partition_merge(
+        network, replicas):
+    """The fleet's merged accumulator over a round-robin replay must
+    equal solo single-engine accumulators run on the i%n partitions,
+    re-folded in fleet submission order."""
+    pm, schedule = network
+    trace = poisson_trace(120.0, 15.0, seed=13, mean_decode_len=64)
+    slo = SLOTarget(ttft=0.5, tpot=0.05)
+
+    fleet = FleetEngine(pm, schedule, replicas=replicas,
+                        routing="round-robin")
+    for arrival, length in zip(trace.arrivals, trace.decode_lens):
+        fleet.submit(arrival, decode_len=length)
+    fleet.drain()
+    fleet_report = fleet.report(trace, slo=slo)
+
+    # Manual partition: request i rides replica i % n.
+    engines = [ServingEngine(pm, schedule) for _ in range(replicas)]
+    solo_records = []
+    for i, (arrival, length) in enumerate(
+            zip(trace.arrivals, trace.decode_lens)):
+        solo_records.append(
+            engines[i % replicas].submit(arrival, decode_len=length))
+    for engine in engines:
+        engine.drain()
+    merged = MetricsAccumulator(pm.schema)
+    for record in solo_records:  # fleet submission order
+        merged.add(record)
+    for record in solo_records:
+        merged.finish(record)
+    busy = {}
+    for engine in engines:
+        for name, seconds in engine.busy_times().items():
+            busy[name] = busy.get(name, 0.0) + seconds
+    busy = {name: seconds / replicas for name, seconds in busy.items()}
+    manual_report = merged.report(trace, slo, busy)
+
+    assert fleet_report == manual_report
+    assert fleet.completed == trace.num_requests
+
+
+# ---------------------------------------------------------------------------
+# satellite: fast_forward report equality on sparse traces
+# ---------------------------------------------------------------------------
+
+
+def test_fast_forward_matches_normal_reports_on_sparse_trace(network):
+    pm, schedule = network
+    trace = poisson_trace(2.0, 60.0, seed=3, mean_decode_len=96)
+    normal = _replay(pm, schedule, trace, fast=True)
+    skipped = _replay(pm, schedule, trace, fast=True, fast_forward=True)
+    slo = SLOTarget(ttft=0.5, tpot=0.05)
+    assert skipped.report(trace, slo=slo) == normal.report(trace, slo=slo)
+    assert [_record_key(r) for r in skipped.records] == \
+        [_record_key(r) for r in normal.records]
+    # The whole point of the skip: idle boundaries are not visited.
+    assert skipped.events_processed < normal.events_processed
+
+
+def test_fast_forward_requires_the_fast_path(network):
+    pm, schedule = network
+    with pytest.raises(ConfigError, match="fast_forward"):
+        ServingEngine(pm, schedule, fast=False, fast_forward=True)
+
+
+# ---------------------------------------------------------------------------
+# satellite: lifecycle fixes
+# ---------------------------------------------------------------------------
+
+
+def test_peek_time_on_empty_queue_raises_config_error():
+    queue = EventQueue()
+    with pytest.raises(ConfigError,
+                       match="cannot peek an empty event queue"):
+        queue.peek_time()
+    # And still works once an event exists.
+    queue.push(1.5, lambda sim: None)
+    assert queue.peek_time() == 1.5
+
+
+def test_submit_after_drain_raises_config_error(network):
+    pm, schedule = network
+    for fast in (True, False):
+        engine = ServingEngine(pm, schedule, fast=fast)
+        engine.submit(0.0, decode_len=8)
+        engine.drain()
+        with pytest.raises(ConfigError, match="single-use"):
+            engine.submit(engine.now + 1.0, decode_len=8)
+
+
+def test_drained_fleet_keeps_accepting_between_drains(network):
+    """FleetEngine owns its replicas' lifecycle: a fleet-level drain
+    settles the replicas without sealing them."""
+    pm, schedule = network
+    fleet = FleetEngine(pm, schedule, replicas=2, routing="round-robin")
+    fleet.submit(0.0, decode_len=8)
+    fleet.drain()
+    record = fleet.submit(fleet.now + 1.0, decode_len=8)
+    fleet.drain()
+    assert math.isfinite(record.completion_time)
+    assert fleet.completed == 2
