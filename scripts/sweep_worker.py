@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Launch one work-stealing sweep worker against a coordinator.
+
+The ops-facing entry point for scaling a sweep past one machine: start
+``repro`` coordinators with ``--backend sockets`` (or
+:class:`repro.distrib.SocketsBackend` directly), then on each worker
+box run::
+
+    PYTHONPATH=src python scripts/sweep_worker.py --host COORD --port N
+
+One worker per core is the right density -- a worker holds exactly one
+connection and burns CPU on cells. Workers are stateless: killing one
+mid-cell loses nothing (the coordinator requeues), and adding one
+mid-sweep just drains the grid faster.
+
+This is a thin shim over ``python -m repro.distrib.worker`` so the
+entry point survives module moves.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src"))
+
+from repro.distrib.worker import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

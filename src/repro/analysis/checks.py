@@ -20,6 +20,10 @@ hand:
 * ``no-per-event-allocation-in-hot-loop`` -- dict/list literals or
   lambdas inside a function marked ``# simlint: hotpath`` allocate on
   every event, exactly the churn the slab-backed DES loop removed.
+* ``no-blocking-io-in-coordinator`` -- synchronous socket / sleep /
+  select calls inside ``async def`` bodies of the coordinator-side
+  modules stall the event loop that every connected sweep worker
+  shares.
 """
 
 from __future__ import annotations
@@ -447,3 +451,70 @@ class NoPerEventAllocationInHotLoop(LintRule):
                         f"{node.name}() allocates per event; hoist "
                         f"the container out of the event loop or "
                         f"reuse a preallocated scratch buffer")
+
+
+#: Coordinator-side async modules: the sweep coordinator fleet and the
+#: live serving front-end. Worker-side code (repro.distrib.worker) is
+#: deliberately synchronous and contains no ``async def``, so scoping
+#: the whole package is safe.
+COORDINATOR_SCOPES: Tuple[str, ...] = ("repro.distrib", "repro.serve")
+
+#: Dotted calls that block the calling thread outright.
+_BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "select.select", "select.poll", "select.epoll", "select.kqueue",
+})
+
+#: Any ``socket.*`` call inside a coroutine is the sync API; asyncio
+#: streams/transports are the event-loop-safe shape.
+_BLOCKING_PREFIX = "socket."
+
+
+def _own_calls(fn: ast.AST) -> Iterator[ast.Call]:
+    """Calls lexically inside ``fn`` but not inside a nested def
+    (a nested sync helper runs wherever it is *called*, and a nested
+    async def is visited by the outer walk on its own)."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_rule
+class NoBlockingIoInCoordinator(LintRule):
+    """Coroutine bodies in coordinator-side modules must not call
+    blocking socket/sleep/select primitives."""
+
+    rule_id = "no-blocking-io-in-coordinator"
+    severity = "error"
+    description = ("sync socket.* / time.sleep / select.* inside an "
+                   "async def in repro.distrib / repro.serve stalls "
+                   "the shared event loop; use asyncio streams and "
+                   "asyncio.sleep")
+
+    def check(self, module: ModuleIndex,
+              index: CodebaseIndex) -> Iterable[Finding]:
+        if not module.in_scope(COORDINATOR_SCOPES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for call in _own_calls(node):
+                resolved = module.resolved_name(call.func)
+                if resolved is None:
+                    continue
+                if resolved in _BLOCKING_CALLS \
+                        or resolved.startswith(_BLOCKING_PREFIX):
+                    hint = ("asyncio.sleep"
+                            if resolved == "time.sleep"
+                            else "asyncio streams/transports")
+                    yield self.finding(
+                        module, call.lineno,
+                        f"blocking call {resolved}() inside "
+                        f"coroutine {node.name}() stalls the event "
+                        f"loop every connected worker shares; use "
+                        f"{hint}")

@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Nine subcommands::
+Subcommands::
 
     python -m repro list                      # registered experiments
     python -m repro run fig5 [--full]         # regenerate an artifact
     python -m repro optimize --case iv --llm 70B [--max-ttft 0.2]
     python -m repro optimize --config workload.json [--json out.json]
     python -m repro sweep --case i --llms 1B,8B --servers 16,32
+    python -m repro whatif --trace recorded.jsonl --replicas 1,2,4
     python -m repro replay --case i --scenario bursty [--json out.json]
     python -m repro serve --case i --port 8707 [--time-scale 100]
     python -m repro trace recorded.jsonl [other.jsonl ...]
@@ -17,7 +18,14 @@ Nine subcommands::
 serialized :mod:`repro.config` file (a schema or a full optimization
 config) and prints the Pareto frontier plus the schedules selected for
 each objective; ``sweep`` searches a grid of (LLM size, cluster size)
-cells, optionally over a multiprocessing pool; ``replay`` exercises the
+cells over any :mod:`repro.distrib` executor backend (``--backend
+serial/process/sockets``), with a hand-written grid file via
+``--config grid.yaml`` (the :mod:`repro.config.yamlish` subset);
+``whatif`` replays one recorded trace against a policy grid
+(schedules x replicas x routing x autoscale) and prints the
+chip-seconds vs SLO-attainment Pareto table, caching cell outcomes
+content-keyed on disk (``--cache DIR``) so edited grids recompute
+only changed cells; ``replay`` exercises the
 selected schedule under live traffic -- a seeded scenario (poisson /
 bursty / diurnal) or a recorded JSONL trace -- through the
 discrete-event simulator and reports SLO attainment, latency
@@ -148,8 +156,84 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--xpu", choices=("A", "B", "C"), default="C")
     sweep.add_argument("--processes", type=int, default=1,
                        help="worker processes for the sweep executor")
+    sweep.add_argument("--backend", choices=("serial", "process",
+                                             "sockets"), default=None,
+                       help="sweep executor backend (default: process "
+                            "when --processes > 1, else serial); all "
+                            "backends produce identical tables")
+    sweep.add_argument("--config", dest="grid_config_path", default=None,
+                       help="grid file (yamlish subset: scalars, nested "
+                            "maps, lists); keys mirror the flags, and "
+                            "explicit flags override the file")
     sweep.add_argument("--json", dest="json_path", default=None,
                        help="also dump the tidy result table to a JSON file")
+
+    whatif = commands.add_parser(
+        "whatif", help="replay a recorded trace against a policy grid")
+    whatif.add_argument("--case", choices=("i", "ii", "iii", "iv"),
+                        default="i", help="paradigm (Table 3)")
+    whatif.add_argument("--llm", default="8B",
+                        help="generative LLM size label (1B/8B/70B/405B)")
+    whatif.add_argument("--context", type=int, default=1_000_000,
+                        help="context length for case ii")
+    whatif.add_argument("--retrievals", type=int, default=4,
+                        help="retrieval frequency for case iii")
+    whatif.add_argument("--servers", type=int, default=None,
+                        help="cluster host servers (default 32)")
+    whatif.add_argument("--xpu", choices=("A", "B", "C"), default=None,
+                        help="accelerator generation (default C)")
+    whatif.add_argument("--trace", dest="trace_path", default=None,
+                        help="recorded JSONL trace to replay (exclusive "
+                             "with --scenario)")
+    whatif.add_argument("--scenario", choices=sorted(_SCENARIO_NAMES),
+                        default=None,
+                        help="generate this traffic scenario instead of "
+                             "replaying a recording (default poisson)")
+    whatif.add_argument("--rate", type=float, default=None,
+                        help="offered QPS for a generated scenario "
+                             "(default: 0.7x the best schedule's "
+                             "saturation QPS)")
+    whatif.add_argument("--duration", type=float, default=20.0,
+                        help="generated scenario length in seconds "
+                             "(default 20)")
+    whatif.add_argument("--seed", type=int, default=0,
+                        help="scenario RNG seed")
+    whatif.add_argument("--schedules", type=int, default=3,
+                        help="grid over the top-N frontier schedules by "
+                             "QPS/chip (default 3)")
+    whatif.add_argument("--replicas", default="1",
+                        help="comma-separated fixed fleet sizes "
+                             "(default 1)")
+    whatif.add_argument("--routing", default="none",
+                        help="semicolon-separated routing policies; "
+                             "'none' = engine default")
+    whatif.add_argument("--autoscale", default="none",
+                        help="semicolon-separated autoscale specs "
+                             "(policy=NAME,min=N,max=N...); 'none' = "
+                             "fixed fleet (specs contain commas, hence "
+                             "semicolons)")
+    whatif.add_argument("--slo-ttft", type=float, default=None,
+                        help="TTFT target in seconds (default: 5x the "
+                             "best schedule's analytical TTFT)")
+    whatif.add_argument("--slo-tpot", type=float, default=None,
+                        help="TPOT target in seconds (default: 2x "
+                             "analytical TPOT)")
+    whatif.add_argument("--backend", choices=("serial", "process",
+                                              "sockets"), default=None,
+                        help="executor backend (default: process when "
+                             "--workers > 1, else serial)")
+    whatif.add_argument("--workers", type=int, default=1,
+                        help="executor worker count (default 1)")
+    whatif.add_argument("--cache", dest="cache_dir", default=None,
+                        help="content-keyed cell cache directory; "
+                             "edited grids recompute only changed cells")
+    whatif.add_argument("--config", dest="grid_config_path", default=None,
+                        help="grid file (yamlish subset); keys mirror "
+                             "the flags, and explicit flags override "
+                             "the file")
+    whatif.add_argument("--json", dest="json_path", default=None,
+                        help="dump the whatif_result envelope (plus "
+                             "workload/cluster/trace) to a JSON file")
 
     replay = commands.add_parser(
         "replay", help="replay live traffic through a searched schedule")
@@ -909,7 +993,212 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _choice(name: str, *allowed: str):
+    """A config-file coercer enforcing an argparse-style choice list
+    (file values bypass argparse validation)."""
+    def coerce(value):
+        if value not in allowed:
+            raise ConfigError(
+                f"bad {name} {value!r}; expected one of "
+                f"{', '.join(allowed)}")
+        return value
+    return coerce
+
+
+def _axis(separator: str):
+    """A config-file coercer rendering a list axis into the flag's
+    string form (None entries become the 'none' token)."""
+    def coerce(value):
+        if isinstance(value, list):
+            return separator.join(
+                "none" if item is None else str(item) for item in value)
+        return str(value)
+    return coerce
+
+
+#: Grid-file keys per command: key -> (args attribute, the flag's
+#: argparse default, coercer). A file value only lands when the flag
+#: still holds its default, so explicit flags override the file.
+_SWEEP_CONFIG_KEYS = {
+    "case": ("case", "i", _choice("case", "i", "ii", "iii", "iv")),
+    "llms": ("llms", "1B,8B", _axis(",")),
+    "servers": ("servers", "32", _axis(",")),
+    "context": ("context", 1_000_000, int),
+    "retrievals": ("retrievals", 4, int),
+    "xpu": ("xpu", "C", _choice("xpu", "A", "B", "C")),
+    "processes": ("processes", 1, int),
+    "backend": ("backend", None,
+                _choice("backend", "serial", "process", "sockets")),
+}
+
+_WHATIF_CONFIG_KEYS = {
+    "case": ("case", "i", _choice("case", "i", "ii", "iii", "iv")),
+    "llm": ("llm", "8B", str),
+    "context": ("context", 1_000_000, int),
+    "retrievals": ("retrievals", 4, int),
+    "servers": ("servers", None, int),
+    "xpu": ("xpu", None, _choice("xpu", "A", "B", "C")),
+    "trace": ("trace_path", None, str),
+    "scenario": ("scenario", None,
+                 _choice("scenario", *sorted(_SCENARIO_NAMES))),
+    "rate": ("rate", None, float),
+    "duration": ("duration", 20.0, float),
+    "seed": ("seed", 0, int),
+    "schedules": ("schedules", 3, int),
+    "replicas": ("replicas", "1", _axis(",")),
+    "routing": ("routing", "none", _axis(";")),
+    "autoscale": ("autoscale", "none", _axis(";")),
+    "slo_ttft": ("slo_ttft", None, float),
+    "slo_tpot": ("slo_tpot", None, float),
+    "backend": ("backend", None,
+                _choice("backend", "serial", "process", "sockets")),
+    "workers": ("workers", 1, int),
+    "cache": ("cache_dir", None, str),
+}
+
+
+def _apply_grid_config(args: argparse.Namespace, command: str,
+                       spec: dict) -> None:
+    """Fold a ``--config`` grid file (yamlish subset) into ``args``.
+
+    File values fill flags still at their defaults; explicitly-passed
+    flags win. Unknown keys are rejected, so a typo'd axis fails
+    instead of silently sweeping the default.
+    """
+    from repro.config import yamlish
+
+    data = yamlish.load(args.grid_config_path)
+    if data is None:
+        return
+    if not isinstance(data, dict):
+        raise ConfigError(
+            f"{args.grid_config_path}: {command} config must be a "
+            f"mapping of {command} keys")
+    unknown = set(data) - set(spec)
+    if unknown:
+        raise ConfigError(
+            f"{args.grid_config_path}: unknown {command} config "
+            f"key(s) {', '.join(sorted(map(str, unknown)))}; known: "
+            f"{', '.join(sorted(spec))}")
+    for key, value in data.items():
+        attribute, default, coerce = spec[key]
+        if getattr(args, attribute) != default:
+            continue
+        try:
+            setattr(args, attribute, coerce(value))
+        except (TypeError, ValueError) as error:
+            raise ConfigError(
+                f"{args.grid_config_path}: bad value for "
+                f"{key!r}: {error}") from error
+
+
+def _split_tokens(text: str, separator: str):
+    return [token.strip() for token in str(text).split(separator)
+            if token.strip()]
+
+
+def _parse_whatif_axes(args: argparse.Namespace):
+    """The (replicas, routing, autoscale) axis tuples from their flag
+    strings, validated before the (expensive) schedule search."""
+    try:
+        replicas = tuple(int(token)
+                         for token in _split_tokens(args.replicas, ","))
+    except ValueError as error:
+        raise ConfigError(f"bad --replicas axis: {error}") from error
+    routing = tuple(None if token == "none" else token
+                    for token in _split_tokens(args.routing, ";"))
+    for name in routing:
+        if name is not None and name not in _ROUTING_NAMES:
+            raise ConfigError(
+                f"unknown routing policy {name!r}; known: "
+                f"{', '.join(sorted(_ROUTING_NAMES))} (or 'none')")
+    autoscale = tuple(None if token == "none" else token
+                      for token in _split_tokens(args.autoscale, ";"))
+    for spec in autoscale:
+        if spec is not None:
+            parse_autoscale_spec(spec)  # fail fast on a bad spec
+    if not replicas or not routing or not autoscale:
+        raise ConfigError("whatif axes must be non-empty")
+    return replicas, routing, autoscale
+
+
+def _command_whatif(args: argparse.Namespace) -> int:
+    from repro.rago.whatif import WhatIfGrid
+    from repro.reporting import (
+        format_whatif_table,
+        format_worker_utilization,
+    )
+    from repro.sim import SLOTarget
+    from repro.workloads import RequestTrace, scenario_trace
+
+    if args.grid_config_path:
+        _apply_grid_config(args, "whatif", _WHATIF_CONFIG_KEYS)
+    replicas, routing, autoscale = _parse_whatif_axes(args)
+    if args.schedules < 1:
+        raise ConfigError("--schedules must be at least 1")
+    if args.workers < 1:
+        raise ConfigError("--workers must be at least 1")
+    if args.trace_path and args.scenario:
+        raise ConfigError(
+            "--trace replays a recording; drop --scenario")
+    schema = _schema_for(args)
+    cluster = _resolve_cluster(args, None)
+    print(f"workload: {schema.describe()}")
+    print(f"cluster : {cluster.num_servers} servers x "
+          f"{cluster.xpus_per_server} {cluster.xpu.name}")
+    session = OptimizerSession(schema, cluster)
+    optimized = session.optimize()
+    best = optimized.max_qps_per_chip
+    candidates = sorted(optimized.frontier,
+                        key=lambda perf: perf.qps_per_chip,
+                        reverse=True)[:args.schedules]
+    schedules = tuple(perf.schedule for perf in candidates)
+    if args.trace_path:
+        trace = RequestTrace.from_jsonl(args.trace_path)
+    else:
+        rate = args.rate if args.rate is not None else 0.7 * best.qps
+        if rate <= 0:
+            raise ConfigError("offered --rate must be positive")
+        trace = scenario_trace(
+            args.scenario or "poisson", rate_qps=rate,
+            duration=args.duration, seed=args.seed,
+            mean_decode_len=schema.sequences.decode_len)
+    print(f"traffic : {trace.describe()}")
+    slo = SLOTarget(
+        ttft=args.slo_ttft if args.slo_ttft is not None
+        else 5.0 * best.ttft,
+        tpot=args.slo_tpot if args.slo_tpot is not None
+        else 2.0 * best.tpot)
+    grid = WhatIfGrid(schedules=schedules, replicas=replicas,
+                      routing=routing, autoscale=autoscale)
+    print(f"grid    : {len(schedules)} schedule(s) x policies = "
+          f"{grid.num_cells} cell(s)")
+    result = session.whatif(trace, grid, slo=slo, backend=args.backend,
+                            workers=args.workers, cache=args.cache_dir)
+    print()
+    print(format_whatif_table(result))
+    if result.workers:
+        print()
+        print(format_worker_utilization(result.workers))
+    if args.json_path:
+        payload = {
+            "result": config_module.to_config(result),
+            "workload": config_module.to_config(schema),
+            "cluster": config_module.to_config(cluster),
+            "trace": config_module.to_config(trace),
+        }
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+        print(f"wrote {args.json_path}")
+    if result.ok_cells:
+        return 0
+    print("error: every whatif cell was infeasible")
+    return 1
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
+    if args.grid_config_path:
+        _apply_grid_config(args, "sweep", _SWEEP_CONFIG_KEYS)
     try:
         llms = [label.strip() for label in args.llms.split(",")
                 if label.strip()]
@@ -924,11 +1213,18 @@ def _command_sweep(args: argparse.Namespace) -> int:
                 for count in server_counts]
     session = OptimizerSession(schemas[0], clusters[0])
     sweep = session.sweep(schemas=schemas, clusters=clusters,
-                          processes=args.processes)
+                          processes=args.processes,
+                          backend=args.backend)
     print(f"swept {len(sweep)} cells "
           f"({len(llms)} LLMs x {len(server_counts)} cluster sizes, "
-          f"{args.processes} process(es)):")
+          f"{args.backend or 'default'} backend, "
+          f"{args.processes} worker(s)):")
     print(sweep.to_table())
+    if sweep.workers:
+        from repro.reporting import format_worker_utilization
+
+        print()
+        print(format_worker_utilization(sweep.workers))
     failed = [cell for cell in sweep if not cell.ok]
     if failed:
         print(f"{len(failed)} cell(s) infeasible")
@@ -1056,6 +1352,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_run(args)
         if args.command == "sweep":
             return _command_sweep(args)
+        if args.command == "whatif":
+            return _command_whatif(args)
         if args.command == "replay":
             return _command_replay(args)
         if args.command == "serve":

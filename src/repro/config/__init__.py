@@ -32,6 +32,7 @@ from repro.rago.objectives import ServiceObjective
 from repro.rago.search import SearchConfig, SearchResult
 from repro.schema.ragschema import RAGSchema
 from repro.rago.session import SweepResult
+from repro.rago.whatif import WhatIfResult
 from repro.serve import ServeConfig
 from repro.sim.autoscale import AutoscaleConfig
 from repro.sim.serving import ServingReport
@@ -59,6 +60,8 @@ from repro.config.serializers import (
     sweep_result_to_dict,
     trace_from_dict,
     trace_to_dict,
+    whatif_result_from_dict,
+    whatif_result_to_dict,
 )
 
 #: Version stamped into every envelope; bump on incompatible layout
@@ -139,6 +142,8 @@ _KINDS: Dict[str, Tuple[type, Callable[[Any], Dict],
                        serving_report_from_dict),
     "sweep_result": (SweepResult, sweep_result_to_dict,
                      sweep_result_from_dict),
+    "whatif_result": (WhatIfResult, whatif_result_to_dict,
+                      whatif_result_from_dict),
     "serve_config": (ServeConfig, serve_config_to_dict,
                      serve_config_from_dict),
     "autoscale_config": (AutoscaleConfig, autoscale_config_to_dict,
@@ -247,6 +252,8 @@ __all__ = [
     "serving_report_from_dict",
     "sweep_result_to_dict",
     "sweep_result_from_dict",
+    "whatif_result_to_dict",
+    "whatif_result_from_dict",
     "serve_config_to_dict",
     "serve_config_from_dict",
     "autoscale_config_to_dict",

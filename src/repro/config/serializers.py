@@ -43,6 +43,7 @@ __all__ = [
     "trace_to_dict", "trace_from_dict",
     "serving_report_to_dict", "serving_report_from_dict",
     "sweep_result_to_dict", "sweep_result_from_dict",
+    "whatif_result_to_dict", "whatif_result_from_dict",
     "serve_config_to_dict", "serve_config_from_dict",
     "autoscale_config_to_dict", "autoscale_config_from_dict",
 ]
@@ -438,3 +439,49 @@ def sweep_result_from_dict(data: Dict):
         return SweepResult(cells=tuple(cells))
     except (KeyError, TypeError) as error:
         raise ConfigError(f"malformed sweep result dict: {error}") from error
+
+
+def whatif_result_to_dict(result) -> Dict:
+    """Serialize a WhatIfResult cell by cell, so capacity-planning
+    studies are saved, diffed and re-rendered without a replay."""
+    return {
+        "slo": {"ttft": result.slo_ttft, "tpot": result.slo_tpot},
+        "trace_digest": result.trace_digest,
+        "cells": [
+            {
+                "schedule": schedule_to_dict(cell.schedule),
+                "replicas": cell.replicas,
+                "routing": cell.routing,
+                "autoscale": cell.autoscale,
+                "metrics": cell.metrics,
+                "error": cell.error,
+            }
+            for cell in result.cells
+        ],
+    }
+
+
+def whatif_result_from_dict(data: Dict):
+    """Reconstruct a WhatIfResult serialized by
+    :func:`whatif_result_to_dict`."""
+    from repro.rago.whatif import WhatIfCell, WhatIfResult
+
+    try:
+        cells = []
+        for cell in data["cells"]:
+            cells.append(WhatIfCell(
+                schedule=schedule_from_dict(cell["schedule"]),
+                replicas=cell.get("replicas"),
+                routing=cell.get("routing"),
+                autoscale=cell.get("autoscale"),
+                metrics=cell.get("metrics"),
+                error=cell.get("error"),
+            ))
+        slo = data.get("slo") or {}
+        return WhatIfResult(cells=tuple(cells),
+                            slo_ttft=slo.get("ttft"),
+                            slo_tpot=slo.get("tpot"),
+                            trace_digest=data.get("trace_digest", ""))
+    except (KeyError, TypeError) as error:
+        raise ConfigError(
+            f"malformed whatif result dict: {error}") from error

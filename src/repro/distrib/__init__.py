@@ -1,0 +1,50 @@
+"""repro.distrib: pluggable executors for embarrassingly parallel grids.
+
+The cluster-scale layer under :meth:`OptimizerSession.sweep
+<repro.rago.session.OptimizerSession.sweep>` and ``repro whatif``:
+a grid of cells (schema x cluster searches, schedule x policy trace
+replays) is described once as a :class:`~repro.distrib.protocol.TaskSpec`
+plus :class:`~repro.distrib.protocol.SweepJob` list, then executed by
+any registered :class:`~repro.distrib.backends.SweepBackend` --
+in-process (``serial``), a local pool (``process``), or a
+work-stealing socket fleet (``sockets``) whose workers may live on
+other machines. All backends produce bit-identical outcomes; only the
+wall-clock differs.
+"""
+
+from repro.distrib.protocol import (
+    SweepJob,
+    TaskSpec,
+    TASK_RUNNERS,
+    register_task_runner,
+    resolve_task_runner,
+)
+from repro.distrib.cells import memory_from_payload, memory_to_payload
+from repro.distrib.backends import (
+    BackendRun,
+    ProcessBackend,
+    SerialBackend,
+    SocketsBackend,
+    SweepBackend,
+    SWEEP_BACKENDS,
+    resolve_sweep_backend,
+)
+from repro.distrib.coordinator import SweepCoordinator
+
+__all__ = [
+    "TaskSpec",
+    "SweepJob",
+    "TASK_RUNNERS",
+    "register_task_runner",
+    "resolve_task_runner",
+    "memory_to_payload",
+    "memory_from_payload",
+    "BackendRun",
+    "SweepBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "SocketsBackend",
+    "SWEEP_BACKENDS",
+    "resolve_sweep_backend",
+    "SweepCoordinator",
+]

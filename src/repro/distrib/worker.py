@@ -1,0 +1,133 @@
+"""Sweep worker: the synchronous client side of the sockets backend.
+
+Run one per core per machine, pointed at a coordinator::
+
+    python -m repro.distrib.worker --host 10.0.0.5 --port 8717
+
+The worker connects, sends ``hello``, receives the task context once
+(building its runner a single time), then pulls cells in a tight
+``next`` -> ``cell`` -> ``result`` loop until the coordinator answers
+``done``. It holds no grid state: killing a worker mid-cell loses
+nothing (the coordinator requeues), and adding one mid-sweep just
+drains the deque faster.
+
+This module is deliberately synchronous -- a worker has exactly one
+connection and exists to burn CPU on cells, so blocking reads are the
+right shape here. The *coordinator* side is where blocking calls are
+banned (see the ``no-blocking-io-in-coordinator`` simlint rule).
+
+``--die-after N`` is a chaos knob for the fault-tolerance tests and
+the CI smoke: the worker completes N cells, accepts one more, then
+drops the connection without answering it -- a deterministic
+mid-sweep crash.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+from typing import Any, Dict, List, Optional
+
+from repro.errors import DistribError
+# Importing cells registers the task runners in this process.
+from repro.distrib import cells as _cells  # noqa: F401
+from repro.distrib.protocol import (
+    decode_line,
+    encode_line,
+    resolve_task_runner,
+)
+
+__all__ = ["run_worker", "main"]
+
+
+def _send(stream, payload: Dict[str, Any]) -> None:
+    stream.write(encode_line(payload))
+    stream.flush()
+
+
+def _recv(stream) -> Optional[Dict[str, Any]]:
+    line = stream.readline()
+    if not line:
+        return None
+    return decode_line(line)
+
+
+def run_worker(host: str, port: int, worker_id: str = "worker",
+               die_after: Optional[int] = None) -> int:
+    """Serve one coordinator until the grid is done.
+
+    Args:
+        host / port: The coordinator's address.
+        worker_id: Name reported in ``hello`` (keys the coordinator's
+            per-worker stats).
+        die_after: Chaos knob -- complete this many cells, accept one
+            more, then drop the connection without answering.
+
+    Returns:
+        How many cells this worker resolved.
+
+    Raises:
+        DistribError: when the coordinator violates the protocol
+            before any work is exchanged.
+    """
+    completed = 0
+    with socket.create_connection((host, port)) as conn:
+        with conn.makefile("rwb") as stream:
+            _send(stream, {"op": "hello", "worker": worker_id})
+            task = _recv(stream)
+            if task is None or task.get("op") != "task":
+                raise DistribError(
+                    f"coordinator answered hello with {task!r}")
+            runner = resolve_task_runner(task["kind"])(
+                task.get("context") or {})
+            while True:
+                try:
+                    _send(stream, {"op": "next"})
+                    message = _recv(stream)
+                except (OSError, ValueError):
+                    # Coordinator gone (a straggler's duplicate lost
+                    # the race and the sweep already finished).
+                    break
+                if message is None or message.get("op") != "cell":
+                    break
+                if die_after is not None and completed >= die_after:
+                    # Chaos: vanish with this cell unanswered.
+                    return completed
+                outcome = runner(message["payload"])
+                try:
+                    _send(stream, {"op": "result",
+                                   "index": message["index"],
+                                   "outcome": outcome})
+                except (OSError, ValueError):
+                    break
+                completed += 1
+    return completed
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep-worker",
+        description="work-stealing sweep worker (sockets backend)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="coordinator host (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, required=True,
+                        help="coordinator port")
+    parser.add_argument("--worker-id", default="worker",
+                        help="name reported to the coordinator")
+    parser.add_argument("--die-after", type=int, default=None,
+                        help="chaos: crash after N completed cells")
+    args = parser.parse_args(argv)
+    try:
+        completed = run_worker(args.host, args.port,
+                               worker_id=args.worker_id,
+                               die_after=args.die_after)
+    except (OSError, DistribError) as error:
+        print(f"worker error: {error}")
+        return 1
+    print(f"{args.worker_id}: resolved {completed} cell(s)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    raise SystemExit(main())

@@ -32,3 +32,13 @@ class ScheduleError(ReproError):
 
 class CalibrationError(ReproError):
     """A calibration run produced unusable measurements."""
+
+
+class DistribError(ReproError):
+    """A distributed sweep failed at the transport layer.
+
+    Raised by the :mod:`repro.distrib` backends on protocol violations
+    or an unrecoverable executor state (every worker dead with cells
+    outstanding) -- never for a cell whose *search* failed; those are
+    recorded as error cells in the result table instead.
+    """

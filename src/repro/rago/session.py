@@ -10,8 +10,9 @@ with a stateful workflow object:
   keyed by the serialized (schema, cluster, search-config / schedule)
   triple, so interactive exploration never repeats a sweep;
 * **scale** -- :meth:`OptimizerSession.sweep` fans a grid of
-  (schema, cluster) cells out over a multiprocessing pool in chunks
-  and returns a tidy result table.
+  (schema, cluster) cells out over a pluggable executor backend
+  (:mod:`repro.distrib`: in-process, multiprocessing pool, or a
+  work-stealing socket fleet) and returns a tidy result table.
 
 Example::
 
@@ -36,11 +37,16 @@ from __future__ import annotations
 import copy
 import hashlib
 import math
-import multiprocessing
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import ConfigError, ReproError, ScheduleError
+from repro.distrib import (
+    SweepJob,
+    TaskSpec,
+    memory_to_payload,
+    resolve_sweep_backend,
+)
+from repro.errors import ConfigError, ScheduleError
 from repro.hardware.cluster import ClusterSpec
 from repro.inference.memory import MemoryModel
 from repro.pipeline.assembly import PipelinePerf, Schedule, assemble
@@ -529,7 +535,8 @@ class OptimizerSession:
     def sweep(self, schemas: Optional[Sequence[RAGSchema]] = None,
               clusters: Optional[Sequence[ClusterSpec]] = None,
               search: Optional[SearchConfig] = None,
-              processes: int = 1) -> "SweepResult":
+              processes: int = 1,
+              backend: Optional[Any] = None) -> "SweepResult":
         """Search every (schema, cluster) cell of a grid.
 
         Args:
@@ -537,16 +544,25 @@ class OptimizerSession:
             clusters: Hardware axis; defaults to this session's cluster.
             search: Search knobs for every cell (session default when
                 None).
-            processes: Worker processes; 1 runs in-process, >1 fans
-                cells out over a multiprocessing pool in chunks. Either
-                way every successful cell lands in this session's memo,
-                so repeated sweeps (and optimize() calls overlapping
-                the grid) reuse results.
+            processes: Worker count for the executor backend. With the
+                default backend selection, 1 runs in-process and >1
+                fans cells out over a local multiprocessing pool.
+                Either way every successful cell lands in this
+                session's memo, so repeated sweeps (and optimize()
+                calls overlapping the grid) reuse results.
+            backend: Executor override -- a
+                :data:`~repro.distrib.SWEEP_BACKENDS` name
+                (``serial`` / ``process`` / ``sockets``) or a
+                :class:`~repro.distrib.SweepBackend` instance. All
+                backends produce bit-identical tables; None keeps the
+                processes-based default.
 
         Returns:
             A :class:`SweepResult` table; infeasible cells carry an
             error string instead of aborting the sweep.
         """
+        from repro import config as config_module
+
         if processes < 1:
             raise ConfigError("processes must be at least 1")
         schema_axis: List[RAGSchema] = list(schemas) if schemas is not None \
@@ -569,28 +585,28 @@ class OptimizerSession:
         by_key: Dict[str, Tuple[Optional[SearchResult], Optional[str]]] = {
             key: (self._results[key], None) for key in keys
             if key in self._results}
-        if processes == 1 or len(cells) == 1:
-            for (schema, cluster), key in zip(cells, keys):
-                if key in by_key:
-                    continue
-                if schema == self.schema and cluster == self._cluster:
-                    # The session's own cell reuses its perf-model caches.
-                    by_key[key] = _run_cell(schema, cluster, config,
-                                            session=self)
-                else:
-                    by_key[key] = _run_cell(schema, cluster, config,
-                                            memory=self._memory)
-        else:
-            pending = []
-            for index, key in enumerate(keys):
-                if key not in by_key:
-                    by_key[key] = (None, "pending")
-                    pending.append((index, key))
-            pooled = _pooled_sweep([cells[index] for index, _ in pending],
-                                   config, processes,
-                                   memory=self._memory) if pending else []
-            for (_, key), outcome in zip(pending, pooled):
-                by_key[key] = outcome
+        pending: List[Tuple[int, str]] = []
+        for index, key in enumerate(keys):
+            if key not in by_key:
+                by_key[key] = (None, "pending")
+                pending.append((index, key))
+        workers: Tuple[Dict[str, Any], ...] = ()
+        if pending:
+            task = TaskSpec(kind="search", context={
+                "search": config_module.to_config(config),
+                "memory": memory_to_payload(self._memory),
+            })
+            jobs = [SweepJob(index=index, payload={
+                "schema": config_module.to_config(cells[index][0]),
+                "cluster": config_module.to_config(cells[index][1]),
+            }) for index, _ in pending]
+            run = resolve_sweep_backend(backend, workers=processes) \
+                .run(task, jobs)
+            workers = tuple(run.workers)
+            for (_, key), outcome in zip(pending, run.outcomes):
+                result = None if outcome["result"] is None \
+                    else config_module.from_config(outcome["result"])
+                by_key[key] = (result, outcome["error"])
         for key, (result, _) in by_key.items():
             if result is not None:
                 self._results.setdefault(key, result)
@@ -600,12 +616,42 @@ class OptimizerSession:
                       result=None if result is None else _copy_result(result),
                       error=error)
             for (schema, cluster), (result, error) in zip(cells, outcomes)
-        ))
+        ), workers=workers)
+
+    def whatif(self, trace: RequestTrace, grid,
+               slo: Optional[SLOTarget] = None,
+               backend: Optional[Any] = None, workers: int = 1,
+               cache: Optional[Any] = None):
+        """Replay one recorded trace against a policy grid.
+
+        Convenience wrapper over :func:`repro.rago.whatif.run_whatif`
+        bound to this session's schema, cluster and memory override.
+        The SLO defaults to this session's objective ceilings.
+
+        Args:
+            trace: The recorded trace every cell replays.
+            grid: A :class:`~repro.rago.whatif.WhatIfGrid`.
+            slo: Attainment targets; None uses the session objective.
+            backend / workers: Executor selection, as in :meth:`sweep`.
+            cache: A :class:`~repro.rago.whatif.WhatIfCache`, a cache
+                directory path, or None to recompute every cell.
+
+        Returns:
+            A :class:`~repro.rago.whatif.WhatIfResult`.
+        """
+        from repro.rago.whatif import run_whatif
+
+        if slo is None:
+            slo = SLOTarget(ttft=self._objective.max_ttft,
+                            tpot=self._objective.max_tpot)
+        return run_whatif(self.schema, self._cluster, trace, grid,
+                          slo, memory=self._memory, backend=backend,
+                          workers=workers, cache=cache)
 
 
 # ---------------------------------------------------------------------------
-# Sweep execution. Workers rebuild each cell from config JSON, so the
-# jobs pickle cheaply and survive spawn-based multiprocessing too.
+# Sweep results. Execution lives in repro.distrib: cells travel as
+# config JSON, so jobs serialize cheaply over any backend transport.
 # ---------------------------------------------------------------------------
 
 @dataclass(frozen=True)
@@ -632,9 +678,20 @@ class SweepCell:
 
 @dataclass(frozen=True)
 class SweepResult:
-    """Tidy outcome of :meth:`OptimizerSession.sweep`."""
+    """Tidy outcome of :meth:`OptimizerSession.sweep`.
+
+    Attributes:
+        cells: One :class:`SweepCell` per grid cell, grid order.
+        workers: Executor utilization records (worker name, cells
+            resolved, duplicates, requeues) from the backend that ran
+            the non-memoized cells. Excluded from equality -- two
+            sweeps of the same grid are the same result no matter
+            which backend (or how many workers) computed them.
+    """
 
     cells: Tuple[SweepCell, ...]
+    workers: Tuple[Dict[str, Any], ...] = field(
+        default=(), compare=False, repr=False)
 
     def __iter__(self):
         return iter(self.cells)
@@ -694,56 +751,3 @@ class SweepResult:
         return "\n".join(lines)
 
 
-def _run_cell(schema: RAGSchema, cluster: ClusterSpec,
-              config: SearchConfig,
-              memory: Optional[MemoryModel] = None,
-              session: Optional[OptimizerSession] = None,
-              ) -> Tuple[Optional[SearchResult], Optional[str]]:
-    """Search one cell, converting infeasibility into an error record."""
-    try:
-        if session is not None:
-            return session.optimize(config), None
-        perf_model = RAGPerfModel(schema, cluster, memory)
-        return search_schedules(perf_model, config), None
-    except ReproError as error:
-        return None, f"{type(error).__name__}: {error}"
-
-
-def _sweep_worker(payload: Tuple[int, str, Optional[MemoryModel]],
-                  ) -> Tuple[int, Optional[str], Optional[str]]:
-    """Pool worker: (index, jobs-JSON, memory) -> (index, result-JSON,
-    error)."""
-    from repro import config as config_module
-
-    index, job, memory = payload
-    schema_json, cluster_json, search_json = job.split("\x1e")
-    schema = config_module.loads(schema_json)
-    cluster = config_module.loads(cluster_json)
-    search = config_module.loads(search_json)
-    result, error = _run_cell(schema, cluster, search, memory=memory)
-    if result is None:
-        return index, None, error
-    return index, config_module.dumps(result, indent=None), None
-
-
-def _pooled_sweep(cells: Sequence[Tuple[RAGSchema, ClusterSpec]],
-                  config: SearchConfig, processes: int,
-                  memory: Optional[MemoryModel] = None,
-                  ) -> List[Tuple[Optional[SearchResult], Optional[str]]]:
-    """Fan cells out over a process pool in chunks. The MemoryModel
-    override travels by pickle (it is a tiny frozen dataclass)."""
-    from repro import config as config_module
-
-    jobs = [(index, _config_key(schema, cluster, config), memory)
-            for index, (schema, cluster) in enumerate(cells)]
-    workers = min(processes, len(jobs))
-    chunksize = max(1, math.ceil(len(jobs) / (workers * 2)))
-    with multiprocessing.Pool(processes=workers) as pool:
-        raw = pool.map(_sweep_worker, jobs, chunksize=chunksize)
-    outcomes: List[Tuple[Optional[SearchResult], Optional[str]]] = \
-        [(None, "missing")] * len(cells)
-    for index, result_json, error in raw:
-        result = config_module.loads(result_json) \
-            if result_json is not None else None
-        outcomes[index] = (result, error)
-    return outcomes

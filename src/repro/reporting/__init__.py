@@ -8,6 +8,8 @@ from repro.reporting.tables import (
     format_scaling_timeline,
     format_serving_report,
     format_table,
+    format_whatif_table,
+    format_worker_utilization,
 )
 from repro.reporting.figures import format_heatmap, format_series
 from repro.reporting.ascii_plot import ascii_scatter
@@ -20,6 +22,8 @@ __all__ = [
     "format_fleet_breakdown",
     "format_scaling_timeline",
     "format_findings",
+    "format_whatif_table",
+    "format_worker_utilization",
     "format_series",
     "format_heatmap",
     "ascii_scatter",

@@ -183,6 +183,64 @@ def format_serving_report(report) -> str:
     return "\n".join(lines)
 
 
+def format_whatif_table(result) -> str:
+    """Render a :class:`~repro.rago.whatif.WhatIfResult` as the
+    capacity-planning Pareto table.
+
+    One row per grid cell -- policy knobs, SLO attainment, p95 TTFT
+    and the chip-seconds cost axis -- with frontier members starred in
+    the ``pareto`` column and infeasible cells carrying their error in
+    place of metrics. A footer summarizes the frontier and cache hits.
+    """
+    rows = []
+    for row in result.rows:
+        if row["error"] is not None:
+            metric_cells = ["-", "-", "-", "-", row["error"]]
+        else:
+            metric_cells = [row["qps"],
+                            f"{100 * row['attainment']:.1f}%",
+                            row["p95_ttft"] * 1e3,
+                            row["chip_seconds"],
+                            "*" if row["pareto"] else ""]
+        rows.append([
+            row["schedule"],
+            "auto" if row["replicas"] is None else row["replicas"],
+            row["routing"] or "-",
+            row["autoscale"] or "-",
+        ] + metric_cells)
+    table = format_table(
+        ("schedule", "replicas", "routing", "autoscale", "QPS",
+         "attainment", "p95 TTFT (ms)", "chip-seconds", "pareto"),
+        rows, title="what-if policy grid")
+    frontier = result.frontier()
+    footer = (f"{len(result.cells)} cell(s): "
+              f"{len(result.ok_cells)} ok, "
+              f"{len(result.errors)} infeasible, "
+              f"{result.cache_hits} cached; "
+              f"frontier {len(frontier)} cell(s)")
+    return f"{table}\n{footer}"
+
+
+def format_worker_utilization(workers: Sequence[dict]) -> str:
+    """Render a backend's per-worker utilization records as a table.
+
+    Args:
+        workers: ``BackendRun.workers`` records (``worker``, ``cells``,
+            ``duplicates``, ``requeued``).
+
+    A serial or fully-memoized run has no worker records; that renders
+    as a one-line note instead of raising.
+    """
+    if not workers:
+        return "worker utilization: no workers ran"
+    table = format_table(
+        ("worker", "cells", "duplicates", "requeued"),
+        [[row["worker"], row["cells"], row["duplicates"],
+          row["requeued"]] for row in workers],
+    )
+    return f"worker utilization\n{table}"
+
+
 def format_findings(findings: Sequence[object],
                     new_count: Optional[int] = None) -> str:
     """Render simlint findings as an aligned table.

@@ -385,6 +385,79 @@ def test_hotpath_clean_function_passes(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# no-blocking-io-in-coordinator
+# ---------------------------------------------------------------------------
+
+
+def test_blocking_calls_flagged_in_coordinator_coroutines(tmp_path):
+    path = write(tmp_path, "repro/distrib/bad_coord.py", """\
+        import socket
+        import time
+        from select import select
+
+        async def handle(reader):
+            time.sleep(0.1)
+            conn = socket.create_connection(("h", 1))
+            select([conn], [], [])
+            return reader
+    """)
+    findings = lint_paths([path],
+                          rules=["no-blocking-io-in-coordinator"])
+    assert rule_ids(findings) == ["no-blocking-io-in-coordinator"] * 3
+    assert [finding.line for finding in findings] == [6, 7, 8]
+    assert "asyncio.sleep" in findings[0].message
+    assert "handle()" in findings[0].message
+    assert "socket.create_connection" in findings[1].message
+
+
+def test_blocking_calls_allowed_in_sync_functions_and_nested_defs(
+        tmp_path):
+    path = write(tmp_path, "repro/distrib/worker_side.py", """\
+        import socket
+        import time
+
+        def run_worker(host, port):
+            # The sync worker *should* block on its socket.
+            conn = socket.create_connection((host, port))
+            time.sleep(0.01)
+            return conn
+
+        async def spawn(loop):
+            def blocking_probe():
+                # Runs on an executor thread, not the event loop.
+                return socket.create_connection(("h", 1))
+
+            return await loop.run_in_executor(None, blocking_probe)
+    """)
+    assert lint_paths(
+        [path], rules=["no-blocking-io-in-coordinator"]) == []
+
+
+def test_blocking_calls_allowed_outside_coordinator_scopes(tmp_path):
+    path = write(tmp_path, "repro/workloads/loader.py", """\
+        import time
+
+        async def fetch():
+            time.sleep(1.0)
+    """)
+    assert lint_paths(
+        [path], rules=["no-blocking-io-in-coordinator"]) == []
+
+
+def test_serve_scope_is_also_coordinator_side(tmp_path):
+    path = write(tmp_path, "repro/serve.py", """\
+        import time
+
+        async def tick():
+            time.sleep(0.5)
+    """)
+    findings = lint_paths([path],
+                          rules=["no-blocking-io-in-coordinator"])
+    assert rule_ids(findings) == ["no-blocking-io-in-coordinator"]
+    assert "event loop" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
 # suppression grammar
 # ---------------------------------------------------------------------------
 

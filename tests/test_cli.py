@@ -595,3 +595,136 @@ def test_serve_config_file_autoscale_still_conflicts_with_replicas(
                  "--servers", "16", "--serve-config", str(path),
                  "--replicas", "4"]) == 1
     assert "drop --replicas" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# whatif: Pareto replay of one trace against a policy grid.
+# ---------------------------------------------------------------------------
+
+
+def test_whatif_command(capsys):
+    assert main(["whatif", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--duration", "2",
+                 "--schedules", "2", "--replicas", "1,2"]) == 0
+    out = capsys.readouterr().out
+    assert "what-if policy grid" in out
+    assert "4 cell(s)" in out
+    assert "chip-seconds" in out
+    assert "traffic :" in out
+
+
+def test_whatif_json_round_trips_through_config(tmp_path, capsys):
+    import json
+
+    from repro import config
+    from repro.rago.whatif import WhatIfResult
+
+    path = tmp_path / "whatif.json"
+    assert main(["whatif", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--duration", "2",
+                 "--schedules", "1", "--replicas", "1,2",
+                 "--json", str(path)]) == 0
+    payload = json.loads(path.read_text())
+    restored = config.from_config(payload["result"])
+    assert isinstance(restored, WhatIfResult)
+    assert len(restored.cells) == 2
+    assert restored.ok_cells
+    assert payload["result"]["kind"] == "whatif_result"
+    # The companion envelopes are loadable artifacts in their own right.
+    assert config.from_config(payload["trace"]).num_requests > 0
+    config.from_config(payload["workload"])
+    config.from_config(payload["cluster"])
+
+
+def test_whatif_cache_hits_on_second_run(tmp_path, capsys):
+    cache = str(tmp_path / "cells")
+    argv = ["whatif", "--case", "i", "--llm", "1B", "--servers", "16",
+            "--duration", "2", "--rate", "2.0", "--schedules", "1",
+            "--replicas", "1,2", "--cache", cache]
+    assert main(argv) == 0
+    assert "0 cached" in capsys.readouterr().out
+    assert main(argv) == 0
+    assert "2 cached" in capsys.readouterr().out
+
+
+def test_whatif_replays_recorded_trace(tmp_path, capsys):
+    from repro.workloads import poisson_trace
+
+    trace_path = tmp_path / "recorded.jsonl"
+    poisson_trace(2.0, 3.0, seed=5).to_jsonl(str(trace_path))
+    assert main(["whatif", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--schedules", "1",
+                 "--trace", str(trace_path)]) == 0
+    assert "what-if policy grid" in capsys.readouterr().out
+    assert main(["whatif", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--trace", str(trace_path),
+                 "--scenario", "bursty"]) == 1
+    assert "drop --scenario" in capsys.readouterr().out
+
+
+def test_whatif_validates_axes_before_searching(capsys):
+    assert main(["whatif", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--routing", "bogus"]) == 1
+    assert "unknown routing policy" in capsys.readouterr().out
+    assert main(["whatif", "--case", "i", "--llm", "1B",
+                 "--servers", "16",
+                 "--autoscale", "policy=bogus,min=1,max=2"]) == 1
+    assert "unknown autoscale policy" in capsys.readouterr().out
+    assert main(["whatif", "--case", "i", "--llm", "1B",
+                 "--servers", "16", "--replicas", "one"]) == 1
+    assert "bad --replicas axis" in capsys.readouterr().out
+
+
+def test_whatif_config_file_drives_the_grid(tmp_path, capsys):
+    path = tmp_path / "whatif.yaml"
+    path.write_text("""\
+# a provisioning review grid
+llm: 1B
+servers: 16
+duration: 2
+schedules: 1
+replicas: [1, 2]
+routing: [null, round-robin]
+""", encoding="utf-8")
+    assert main(["whatif", "--config", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "4 cell(s)" in out
+    assert "round-robin" in out
+
+
+def test_whatif_explicit_flags_override_config_file(tmp_path, capsys):
+    path = tmp_path / "whatif.yaml"
+    path.write_text("llm: 1B\nservers: 16\nduration: 2\n"
+                    "schedules: 1\nreplicas: [1, 2, 3]\n",
+                    encoding="utf-8")
+    assert main(["whatif", "--config", str(path),
+                 "--replicas", "2"]) == 0
+    assert "1 cell(s)" in capsys.readouterr().out
+
+
+def test_whatif_config_unknown_key_rejected(tmp_path, capsys):
+    path = tmp_path / "whatif.yaml"
+    path.write_text("llm: 1B\nreplica_counts: [1, 2]\n",
+                    encoding="utf-8")
+    assert main(["whatif", "--config", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "unknown whatif config key" in out
+    assert "replica_counts" in out
+
+
+def test_sweep_config_file_selects_backend(tmp_path, capsys):
+    path = tmp_path / "grid.yaml"
+    path.write_text("case: i\nllms: [1B]\nservers: [16]\n"
+                    "backend: serial\n", encoding="utf-8")
+    assert main(["sweep", "--config", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "swept 1 cells" in out
+    assert "serial backend" in out
+    assert "worker utilization" in out
+
+
+def test_sweep_config_bad_backend_rejected(tmp_path, capsys):
+    path = tmp_path / "grid.yaml"
+    path.write_text("backend: smoke-signals\n", encoding="utf-8")
+    assert main(["sweep", "--config", str(path)]) == 1
+    assert "bad backend" in capsys.readouterr().out

@@ -103,3 +103,24 @@ def test_format_live_summary_renders_snapshot():
     assert "offered" in text and "in flight" in text
     assert "132" in text  # TTFT rendered in milliseconds
     assert "40" in text and "30" in text and "10" in text
+
+
+class TestWorkerUtilization:
+    def test_renders_backend_records(self):
+        from repro.reporting import format_worker_utilization
+
+        text = format_worker_utilization((
+            {"worker": "worker-0", "cells": 3, "duplicates": 1,
+             "requeued": 0},
+            {"worker": "worker-1", "cells": 5, "duplicates": 0,
+             "requeued": 1},
+        ))
+        assert "worker utilization" in text
+        assert "worker-0" in text and "worker-1" in text
+        assert "duplicates" in text and "requeued" in text
+
+    def test_empty_renders_note_not_table(self):
+        from repro.reporting import format_worker_utilization
+
+        assert format_worker_utilization(()) \
+            == "worker utilization: no workers ran"
