@@ -29,7 +29,25 @@ from repro.analysis.baseline import (
     load_baseline,
     write_baseline,
 )
-from repro.analysis.checks import SIM_SCOPES, WALLCLOCK_SCOPES
+from repro.analysis.cache import SummaryCache
+from repro.analysis.callgraph import (
+    Callgraph,
+    FunctionNode,
+    ModuleGraph,
+    extract_module_graph,
+)
+from repro.analysis.checks import (
+    EXCEPTION_CONTRACTS,
+    SIM_SCOPES,
+    WALLCLOCK_SCOPES,
+)
+from repro.analysis.effects import (
+    EFFECT_KINDS,
+    EffectIndex,
+    EffectSummary,
+    chain_evidence,
+    chain_text,
+)
 from repro.analysis.findings import (
     SEVERITIES,
     Finding,
@@ -37,13 +55,19 @@ from repro.analysis.findings import (
     finding_to_dict,
 )
 from repro.analysis.index import (
+    REGISTRY_SUFFIXES,
     CodebaseIndex,
     ModuleIndex,
     build_index,
     index_module,
     iter_python_files,
 )
-from repro.analysis.linter import lint_paths, run_rules
+from repro.analysis.linter import (
+    STALE_SUPPRESSION_ID,
+    audit_suppressions,
+    lint_paths,
+    run_rules,
+)
 from repro.analysis.rules import (
     LINT_RULES,
     LintRule,
@@ -69,8 +93,22 @@ __all__ = [
     "iter_python_files",
     "lint_paths",
     "run_rules",
+    "audit_suppressions",
+    "STALE_SUPPRESSION_ID",
     "SIM_SCOPES",
     "WALLCLOCK_SCOPES",
+    "REGISTRY_SUFFIXES",
+    "EXCEPTION_CONTRACTS",
+    "Callgraph",
+    "FunctionNode",
+    "ModuleGraph",
+    "extract_module_graph",
+    "EffectIndex",
+    "EffectSummary",
+    "EFFECT_KINDS",
+    "chain_text",
+    "chain_evidence",
+    "SummaryCache",
     "BASELINE_VERSION",
     "baseline_payload",
     "write_baseline",

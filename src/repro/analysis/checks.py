@@ -24,6 +24,22 @@ hand:
   select calls inside ``async def`` bodies of the coordinator-side
   modules stall the event loop that every connected sweep worker
   shares.
+
+The interprocedural family consumes the effect summaries of
+:mod:`repro.analysis.effects` (built lazily via
+:meth:`CodebaseIndex.effects`):
+
+* ``transitive-wallclock-in-sim`` / ``transitive-unseeded-rng`` --
+  the taint-through-call-chain upgrades of the two syntactic rules
+  above: a sim-path function reaching ``time.time()`` or the global
+  RNG through any depth of helpers is flagged with the full witness
+  chain in the message.
+* ``await-shards-shared-state`` -- the asyncio coordinator race
+  class: shared state captured before an ``await`` and rebound after
+  it without an intervening re-read.
+* ``exception-contract`` -- public ``repro.analysis`` /
+  ``repro.distrib`` entry points may only let their declared error
+  types escape, checked against the transitive raises summaries.
 """
 
 from __future__ import annotations
@@ -32,8 +48,23 @@ import ast
 import re
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+# Effect atoms are shared with the inference layer so the syntactic
+# and transitive rules cannot drift apart on what counts as a hazard.
+from repro.analysis.effects import (
+    BLOCKING_CALLS as _BLOCKING_CALLS,
+    BLOCKING_PREFIXES as _BLOCKING_PREFIXES,
+    NUMPY_GLOBAL_FNS as _NUMPY_GLOBAL_FNS,
+    RANDOM_GLOBAL_FNS as _RANDOM_GLOBAL_FNS,
+    WALLCLOCK_CALLS as _WALLCLOCK_CALLS,
+    chain_evidence,
+    chain_text,
+)
 from repro.analysis.findings import Finding
-from repro.analysis.index import CodebaseIndex, ModuleIndex
+from repro.analysis.index import (
+    REGISTRY_SUFFIXES,
+    CodebaseIndex,
+    ModuleIndex,
+)
 from repro.analysis.rules import LintRule, register_rule
 
 #: Simulation paths: everything the DES replays must be deterministic.
@@ -43,31 +74,6 @@ SIM_SCOPES: Tuple[str, ...] = ("repro.sim", "repro.workloads")
 #: is the one *audited* legitimate use (suppressed inline).
 WALLCLOCK_SCOPES: Tuple[str, ...] = SIM_SCOPES + ("repro.serve",)
 
-#: Zero-argument (or any) calls to these dotted names read the wall
-#: clock.
-_WALLCLOCK_CALLS = frozenset({
-    "time.time", "time.time_ns",
-    "time.monotonic", "time.monotonic_ns",
-    "time.perf_counter", "time.perf_counter_ns",
-    "datetime.datetime.now", "datetime.datetime.utcnow",
-    "datetime.datetime.today", "datetime.date.today",
-})
-
-#: stdlib ``random`` module-level functions that draw from the global,
-#: process-wide RNG.
-_RANDOM_GLOBAL_FNS = frozenset({
-    "random", "randint", "randrange", "getrandbits", "choice",
-    "choices", "sample", "shuffle", "uniform", "triangular", "gauss",
-    "normalvariate", "lognormvariate", "expovariate", "betavariate",
-    "paretovariate", "vonmisesvariate", "weibullvariate", "seed",
-})
-
-#: ``numpy.random`` legacy module-level functions (global RandomState).
-_NUMPY_GLOBAL_FNS = frozenset({
-    "rand", "randn", "randint", "random", "random_sample", "choice",
-    "shuffle", "permutation", "standard_normal", "normal", "uniform",
-    "poisson", "exponential", "seed",
-})
 
 
 def _walk_calls(tree: ast.AST) -> Iterator[ast.Call]:
@@ -240,8 +246,12 @@ class ListenerRebind(LintRule):
                             f"targets the old object)")
 
 
-#: ``FOO_POLICIES`` -> the ``foo`` stem its entry points must mention.
-_REGISTRY_STEM_RE = re.compile(r"(?P<stem>.+)_POLICIES$")
+#: ``FOO_POLICIES`` / ``FOO_BACKENDS`` / ... -> the ``foo`` stem the
+#: registry's entry points must mention. Built from the same suffix
+#: allowlist the indexer uses, so the two layers cannot drift.
+_REGISTRY_STEM_RE = re.compile(
+    r"(?P<stem>.+)(?:%s)$"
+    % "|".join(re.escape(s) for s in REGISTRY_SUFFIXES))
 
 
 @register_rule
@@ -251,9 +261,10 @@ class RegistryDrift(LintRule):
 
     rule_id = "registry-drift"
     severity = "error"
-    description = ("*_POLICIES registries need resolvable factories, a "
-                   "reachable parse_*/resolve_* entry point, and "
-                   "truthful __all__ exports")
+    description = ("*_POLICIES/*_BACKENDS/*_RUNNERS/*_RULES registries "
+                   "need resolvable factories, a reachable "
+                   "parse_*/resolve_* entry point, and truthful "
+                   "__all__ exports")
 
     def check(self, module: ModuleIndex,
               index: CodebaseIndex) -> Iterable[Finding]:
@@ -459,15 +470,6 @@ class NoPerEventAllocationInHotLoop(LintRule):
 #: the whole package is safe.
 COORDINATOR_SCOPES: Tuple[str, ...] = ("repro.distrib", "repro.serve")
 
-#: Dotted calls that block the calling thread outright.
-_BLOCKING_CALLS = frozenset({
-    "time.sleep",
-    "select.select", "select.poll", "select.epoll", "select.kqueue",
-})
-
-#: Any ``socket.*`` call inside a coroutine is the sync API; asyncio
-#: streams/transports are the event-loop-safe shape.
-_BLOCKING_PREFIX = "socket."
 
 
 def _own_calls(fn: ast.AST) -> Iterator[ast.Call]:
@@ -508,7 +510,7 @@ class NoBlockingIoInCoordinator(LintRule):
                 if resolved is None:
                     continue
                 if resolved in _BLOCKING_CALLS \
-                        or resolved.startswith(_BLOCKING_PREFIX):
+                        or resolved.startswith(_BLOCKING_PREFIXES):
                     hint = ("asyncio.sleep"
                             if resolved == "time.sleep"
                             else "asyncio streams/transports")
@@ -518,3 +520,330 @@ class NoBlockingIoInCoordinator(LintRule):
                         f"coroutine {node.name}() stalls the event "
                         f"loop every connected worker shares; use "
                         f"{hint}")
+
+
+# -- interprocedural rules (effect summaries) --------------------------
+
+
+def _name_in_scope(name: str, scopes: Tuple[str, ...]) -> bool:
+    """Dotted-module-name version of :meth:`ModuleIndex.in_scope`."""
+    return any(name == scope or name.startswith(scope + ".")
+               for scope in scopes)
+
+
+class _TransitiveEffectRule(LintRule):
+    """Shared engine for the taint-through-call-chain rules.
+
+    Fires on a function whose effect summary carries the rule's kind
+    through a chain of length >= 2 whose first hop leaves the scoped
+    tree: a chain of length 1 is a direct call-site the syntactic
+    twin already flags, and a first hop *inside* the scope means the
+    callee gets its own (shorter-chained) finding -- reporting every
+    frame of the same chain would bury the boundary crossing in
+    noise. The full witness chain rides in the message and the
+    finding's ``evidence`` (see ``repro lint --explain``).
+    """
+
+    _kind = ""
+    _scopes: Tuple[str, ...] = ()
+    _hint = ""
+
+    def check(self, module: ModuleIndex,
+              index: CodebaseIndex) -> Iterable[Finding]:
+        if not module.in_scope(self._scopes):
+            return
+        effects = index.effects()
+        for fn in effects.functions_in(module.name):
+            summary = effects.summary(fn.qualname)
+            chain = summary.chains.get(self._kind) if summary else None
+            if chain is None or len(chain) < 2:
+                continue
+            first_hop = effects.callgraph.functions.get(chain[0].callee)
+            if first_hop is not None \
+                    and _name_in_scope(first_hop.module, self._scopes):
+                continue
+            atom = chain[-1].callee
+            yield self.finding(
+                module, chain[0].line,
+                f"{fn.qualname}() reaches {atom} through "
+                f"{chain_text(chain)}; {self._hint}",
+                evidence=chain_evidence(chain))
+
+
+@register_rule
+class TransitiveWallclockInSim(_TransitiveEffectRule):
+    """The interprocedural upgrade of ``no-wallclock-in-sim``."""
+
+    rule_id = "transitive-wallclock-in-sim"
+    severity = "error"
+    description = ("sim-path code reaching time.time()/datetime.now() "
+                   "through helper call chains breaks replay "
+                   "determinism just as surely as a direct read")
+
+    _kind = "wallclock"
+    _scopes = WALLCLOCK_SCOPES
+    _hint = ("derive time from the DES clock (engine.now) or pass it "
+             "in; a helper that reads the wall clock poisons every "
+             "sim-path caller")
+
+
+@register_rule
+class TransitiveUnseededRng(_TransitiveEffectRule):
+    """The interprocedural upgrade of ``seeded-rng-required``."""
+
+    rule_id = "transitive-unseeded-rng"
+    severity = "error"
+    description = ("sim-path code reaching the process-global RNG "
+                   "through helper call chains makes identical runs "
+                   "diverge")
+
+    _kind = "unseeded-rng"
+    _scopes = SIM_SCOPES
+    _hint = ("inject a seeded generator (repro.sim.rng."
+             "DeterministicRNG) instead of letting helpers draw from "
+             "hidden global state")
+
+
+def _capture_key(node: ast.expr,
+                 global_names: Set[str]) -> Optional[str]:
+    """The shared-state key an expression reads: ``self.<attr>`` for
+    instance attributes, the bare name for declared module globals."""
+    attr = _self_attr(node)
+    if attr is not None:
+        return f"self.{attr}"
+    if isinstance(node, ast.Name) and node.id in global_names:
+        return node.id
+    return None
+
+
+class _CoroutineEvents:
+    """Linearized shared-state events of one coroutine body.
+
+    Emits ``(kind, key, line)`` tuples in evaluation order, where
+    kind is ``capture`` (a shared value read into a local through an
+    ``Assign`` value or a ``for`` iterable), ``read`` (any other
+    load), ``write`` (a rebind of the shared location), or ``await``.
+    Loop bodies are walked twice so a second iteration's writes land
+    after the first iteration's awaits; nested defs are skipped (they
+    run wherever they are called).
+    """
+
+    def __init__(self, fn: ast.AsyncFunctionDef) -> None:
+        self.events: List[Tuple[str, Optional[str], int]] = []
+        self.global_names: Set[str] = {
+            name for node in ast.walk(fn)
+            if isinstance(node, ast.Global) for name in node.names}
+        for stmt in fn.body:
+            self._visit(stmt, capture=False)
+
+    def _emit(self, kind: str, key: Optional[str], line: int) -> None:
+        self.events.append((kind, key, line))
+
+    def _visit(self, node: ast.AST, capture: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            return
+        if isinstance(node, ast.Await):
+            self._visit(node.value, capture)
+            self._emit("await", None, node.lineno)
+            return
+        if isinstance(node, ast.Assign):
+            binds_local = any(isinstance(t, ast.Name)
+                              for t in node.targets)
+            self._visit(node.value, capture=binds_local)
+            for target in node.targets:
+                self._visit_target(target)
+            return
+        if isinstance(node, ast.AugAssign):
+            # self.x += y reads then rebinds in one step: the re-read
+            # makes it self-guarding under the race model.
+            self._visit(node.value, capture=False)
+            key = _capture_key(node.target, self.global_names)
+            if key is not None:
+                self._emit("read", key, node.lineno)
+                self._emit("write", key, node.lineno)
+            else:
+                self._visit_target(node.target)
+            return
+        if isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._visit(node.value,
+                            capture=isinstance(node.target, ast.Name))
+            self._visit_target(node.target)
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            binds_local = isinstance(node.target,
+                                     (ast.Name, ast.Tuple))
+            self._visit(node.iter, capture=binds_local)
+            for _ in range(2):
+                for stmt in node.body:
+                    self._visit(stmt, capture=False)
+            for stmt in node.orelse:
+                self._visit(stmt, capture=False)
+            return
+        if isinstance(node, ast.While):
+            for _ in range(2):
+                self._visit(node.test, capture=False)
+                for stmt in node.body:
+                    self._visit(stmt, capture=False)
+            for stmt in node.orelse:
+                self._visit(stmt, capture=False)
+            return
+        key = _capture_key(node, self.global_names)
+        if key is not None and isinstance(getattr(node, "ctx", None),
+                                          ast.Load):
+            self._emit("capture" if capture else "read", key,
+                       node.lineno)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, capture)
+
+    def _visit_target(self, target: ast.expr) -> None:
+        key = _capture_key(target, self.global_names)
+        if key is not None:
+            self._emit("write", key, target.lineno)
+            return
+        # Subscript/attribute-of-attribute targets mutate in place
+        # (self.jobs[i] = ..., self.stats.count = ...): the base
+        # object stays the same, so walk for the reads they contain.
+        for child in ast.iter_child_nodes(target):
+            self._visit(child, capture=False)
+
+
+@register_rule
+class AwaitShardsSharedState(LintRule):
+    """The coordinator race class: a coroutine snapshots shared state,
+    suspends at an ``await`` (letting sibling coroutines run), then
+    rebinds the shared location from the stale snapshot."""
+
+    rule_id = "await-shards-shared-state"
+    severity = "error"
+    description = ("capturing self.<attr>/module state before an "
+                   "await and rebinding it after without re-reading "
+                   "races against every coroutine interleaved at the "
+                   "suspension point")
+
+    def check(self, module: ModuleIndex,
+              index: CodebaseIndex) -> Iterable[Finding]:
+        if not module.in_scope(COORDINATOR_SCOPES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(module, node)
+
+    def _check_coroutine(self, module: ModuleIndex,
+                         fn: ast.AsyncFunctionDef) -> Iterator[Finding]:
+        captured: Dict[str, int] = {}
+        awaited: Dict[str, bool] = {}
+        reported: Set[str] = set()
+        for kind, key, line in _CoroutineEvents(fn).events:
+            if kind == "await":
+                for name in awaited:
+                    awaited[name] = True
+            elif kind in ("read", "capture"):
+                if awaited.get(key):
+                    # Re-read after the suspension: the coroutine
+                    # refreshed its view, the capture is not stale.
+                    captured.pop(key, None)
+                    awaited.pop(key, None)
+                if kind == "capture":
+                    captured[key] = line
+                    awaited[key] = False
+            elif kind == "write":
+                if key in captured and awaited.get(key) \
+                        and key not in reported:
+                    reported.add(key)
+                    yield self.finding(
+                        module, line,
+                        f"coroutine {fn.name}() rebinds {key} from a "
+                        f"value captured before an await without "
+                        f"re-reading it; every coroutine interleaved "
+                        f"at the suspension sees its update lost -- "
+                        f"re-read after the await or mutate in place",
+                        evidence=(
+                            f"{module.path}:{captured[key]}: {key} "
+                            f"captured into a local",
+                            f"{module.path}:{line}: {key} rebound "
+                            f"after an await with no intervening "
+                            f"re-read"))
+                captured.pop(key, None)
+                awaited.pop(key, None)
+
+
+#: Public API scopes and the exceptions each may let escape. Scopes
+#: are matched against module names; entries cover whole packages.
+EXCEPTION_CONTRACTS: Dict[str, Tuple[str, ...]] = {
+    "repro.analysis": ("repro.errors.ConfigError",),
+    "repro.distrib": ("repro.errors.ConfigError",
+                      "repro.errors.DistribError"),
+}
+
+#: Escapes every contract tolerates: abstract-method guards and
+#: deliberate interpreter exits.
+_CONTRACT_EXEMPT = ("NotImplementedError", "SystemExit", "KeyboardInterrupt")
+
+
+@register_rule
+class ExceptionContract(LintRule):
+    """Public entry points of contracted packages may only let their
+    declared error types escape (checked against the transitive
+    raises summaries, try/except filtered per call site)."""
+
+    rule_id = "exception-contract"
+    severity = "error"
+    description = ("public repro.analysis / repro.distrib entry "
+                   "points may only let ConfigError / DistribError "
+                   "escape; translate or wrap everything else")
+
+    def check(self, module: ModuleIndex,
+              index: CodebaseIndex) -> Iterable[Finding]:
+        contract = None
+        for scope in sorted(EXCEPTION_CONTRACTS):
+            if _name_in_scope(module.name, (scope,)):
+                contract = (scope, EXCEPTION_CONTRACTS[scope])
+                break
+        if contract is None:
+            return
+        scope, allowed = contract
+        effects = index.effects()
+        callgraph = effects.callgraph
+        for fn in effects.functions_in(module.name):
+            if not self._is_entry_point(fn):
+                continue
+            summary = effects.summary(fn.qualname)
+            if summary is None:
+                continue
+            for exc in sorted(summary.raises):
+                if self._escape_allowed(callgraph, exc, allowed):
+                    continue
+                chain = summary.raises[exc]
+                yield self.finding(
+                    module, chain[0].line,
+                    f"public entry point {fn.qualname}() can let "
+                    f"{exc} escape via {chain_text(chain)}; the "
+                    f"{scope} contract allows only "
+                    f"{', '.join(allowed)}",
+                    evidence=chain_evidence(chain))
+
+    @staticmethod
+    def _is_entry_point(fn) -> bool:
+        if fn.is_nested:
+            return False
+
+        def public(name: str) -> bool:
+            return not name.startswith("_") \
+                or (name.startswith("__") and name.endswith("__"))
+
+        if fn.cls is not None and not public(fn.cls):
+            return False
+        return public(fn.name)
+
+    @staticmethod
+    def _escape_allowed(callgraph, exc: str,
+                        allowed: Tuple[str, ...]) -> bool:
+        simple = exc.rpartition(".")[2]
+        if simple in _CONTRACT_EXEMPT:
+            return True
+        return any(exc == base
+                   or callgraph.is_exception_subclass(exc, base)
+                   for base in allowed)

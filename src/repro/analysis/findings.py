@@ -14,7 +14,7 @@ a file do not resurrect previously accepted findings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
 from repro.errors import ConfigError
@@ -37,6 +37,12 @@ class Finding:
         severity: One of :data:`SEVERITIES`.
         message: Human-readable diagnosis (stable across line shifts;
             the baseline differ keys on it).
+        evidence: Supporting ``path:line: who -> what`` steps -- the
+            witness chain of an interprocedural rule, printed by
+            ``repro lint --explain`` and carried in the JSON report.
+            Excluded from ordering and equality (and therefore from
+            the baseline key): evidence explains a finding, it does
+            not identify one.
     """
 
     path: str
@@ -44,6 +50,7 @@ class Finding:
     rule_id: str
     severity: str
     message: str
+    evidence: Tuple[str, ...] = field(default=(), compare=False)
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -54,6 +61,10 @@ class Finding:
             raise ConfigError("finding line numbers are 1-based")
         if not self.rule_id:
             raise ConfigError("finding needs a rule_id")
+        if not isinstance(self.evidence, tuple):
+            object.__setattr__(self, "evidence", tuple(self.evidence))
+        if not all(isinstance(step, str) for step in self.evidence):
+            raise ConfigError("finding evidence must be strings")
 
     @property
     def location(self) -> str:
@@ -67,21 +78,29 @@ class Finding:
 
 
 def finding_to_dict(finding: Finding) -> Dict:
-    """Serialize a finding to JSON types (exact round-trip)."""
-    return {
+    """Serialize a finding to JSON types (exact round-trip).
+
+    ``evidence`` is emitted only when present, so baselines and
+    reports written before the interprocedural rules stay byte-stable.
+    """
+    payload = {
         "path": finding.path,
         "line": finding.line,
         "rule": finding.rule_id,
         "severity": finding.severity,
         "message": finding.message,
     }
+    if finding.evidence:
+        payload["evidence"] = list(finding.evidence)
+    return payload
 
 
 def finding_from_dict(data: Dict) -> Finding:
     """Reconstruct a finding written by :func:`finding_to_dict`."""
     if not isinstance(data, dict):
         raise ConfigError("finding payload must be a mapping")
-    unknown = set(data) - {"path", "line", "rule", "severity", "message"}
+    unknown = set(data) - {"path", "line", "rule", "severity",
+                           "message", "evidence"}
     if unknown:
         raise ConfigError(f"unknown finding fields: {sorted(unknown)}")
     try:
@@ -91,14 +110,21 @@ def finding_from_dict(data: Dict) -> Finding:
         if isinstance(line, bool) or not isinstance(line, int):
             raise ConfigError(
                 f"finding line must be an integer, got {line!r}")
-        for field in ("path", "rule", "severity", "message"):
-            if not isinstance(data[field], str):
+        for field_name in ("path", "rule", "severity", "message"):
+            if not isinstance(data[field_name], str):
                 raise ConfigError(
-                    f"finding {field} must be a string, got "
-                    f"{data[field]!r}")
+                    f"finding {field_name} must be a string, got "
+                    f"{data[field_name]!r}")
+        evidence = data.get("evidence", [])
+        if not isinstance(evidence, list) \
+                or not all(isinstance(step, str) for step in evidence):
+            raise ConfigError(
+                f"finding evidence must be a list of strings, got "
+                f"{evidence!r}")
         return Finding(path=data["path"], line=line,
                        rule_id=data["rule"], severity=data["severity"],
-                       message=data["message"])
+                       message=data["message"],
+                       evidence=tuple(evidence))
     except KeyError as missing:
         raise ConfigError(
             f"finding payload is missing {missing}") from missing

@@ -3,8 +3,9 @@
 One :class:`ModuleIndex` per parsed file records what every rule needs
 without re-walking the AST from scratch: module-level name bindings,
 an import alias map (``np`` -> ``numpy``, ``monotonic`` ->
-``time.monotonic``), the literal ``__all__`` list, any ``*_POLICIES``
-registry dict literals, and the per-line suppression grammar.
+``time.monotonic``), the literal ``__all__`` list, any registry dict
+literals (names ending in one of :data:`REGISTRY_SUFFIXES`), and the
+per-line suppression grammar.
 
 :class:`CodebaseIndex` aggregates the modules of one lint run into a
 callgraph-lite symbol table -- which module-level functions exist
@@ -30,8 +31,10 @@ opts the function into ``no-per-event-allocation-in-hot-loop``.
 from __future__ import annotations
 
 import ast
+import io
 import os
 import re
+import tokenize
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -45,9 +48,16 @@ _SUPPRESS_RE = re.compile(r"#\s*simlint:\s*allow\[([^\]]*)\]")
 #: the per-event allocation rule.
 _HOTPATH_RE = re.compile(r"#\s*simlint:\s*hotpath\b")
 
-#: Module-level dict literals with names matching this pattern are
-#: treated as policy registries by the registry-drift rule.
-_REGISTRY_RE = re.compile(r".*_POLICIES$")
+#: Module-level dict literals whose names end in one of these suffixes
+#: are treated as named registries by the registry-drift rule. An
+#: explicit allowlist, not ``.*_[A-Z]+$``: ALL_CAPS module constants
+#: that merely happen to be dicts (lookup tables, defaults) must not
+#: acquire entry-point obligations.
+REGISTRY_SUFFIXES: Tuple[str, ...] = (
+    "_POLICIES", "_BACKENDS", "_RUNNERS", "_RULES")
+
+_REGISTRY_RE = re.compile(
+    r".+(?:%s)$" % "|".join(re.escape(s) for s in REGISTRY_SUFFIXES))
 
 
 @dataclass(frozen=True)
@@ -118,8 +128,13 @@ class ModuleIndex:
 class CodebaseIndex:
     """The modules of one lint run plus a cross-module symbol table."""
 
-    def __init__(self, modules: Sequence[ModuleIndex]) -> None:
+    def __init__(self, modules: Sequence[ModuleIndex],
+                 cache_dir: Optional[str] = None) -> None:
         self.modules: List[ModuleIndex] = list(modules)
+        #: Where the interprocedural layer persists per-module
+        #: summaries (None disables the on-disk cache).
+        self.cache_dir: Optional[str] = cache_dir
+        self._effects = None
         self.by_name: Dict[str, ModuleIndex] = {
             module.name: module for module in self.modules}
         #: function name -> dotted module names defining it at top level
@@ -135,6 +150,18 @@ class CodebaseIndex:
         """Module-level function names (index-wide) matching a regex."""
         return sorted(name for name in self.functions
                       if pattern.match(name))
+
+    def effects(self) -> "EffectIndex":
+        """The interprocedural effect summaries for this index.
+
+        Built lazily on first use (only the dataflow rules pay for
+        the fixpoint) and memoized for the run. Imported inside the
+        method: :mod:`repro.analysis.effects` consumes this module.
+        """
+        if self._effects is None:
+            from repro.analysis.effects import EffectIndex
+            self._effects = EffectIndex(self, cache_dir=self.cache_dir)
+        return self._effects
 
 
 # -- construction ------------------------------------------------------
@@ -153,29 +180,55 @@ def _dotted(node: ast.AST) -> Optional[str]:
 
 def _module_name(path: str) -> str:
     """Dotted module name, anchored at the last ``repro`` ancestor so
-    repo-relative and absolute invocations index identically; files
-    outside a ``repro`` tree fall back to their bare stem."""
+    repo-relative and absolute invocations index identically.
+
+    Files outside a ``repro`` tree keep their directory chain dotted
+    (``scripts/sweep_worker.py`` -> ``scripts.sweep_worker``) so two
+    same-stem files in different directories cannot collide in
+    :attr:`CodebaseIndex.by_name` and so scope-gated rules never
+    mistake a bare stem like ``serve.py`` for ``repro.serve``."""
     normalized = os.path.normpath(path).replace(os.sep, "/")
     parts = normalized.split("/")
     stem = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
     dirs = parts[:-1]
     if "repro" in dirs:
         anchor = len(dirs) - 1 - dirs[::-1].index("repro")
-        dotted = dirs[anchor:] + ([] if stem == "__init__" else [stem])
-        return ".".join(dotted)
-    return stem
+        dirs = dirs[anchor:]
+    else:
+        dirs = [d for d in dirs if d not in ("", ".", "..")]
+    dotted = dirs + ([] if stem == "__init__" and dirs else [stem])
+    return ".".join(dotted)
 
 
-def _parse_hotpath_lines(source: str) -> Set[int]:
-    return {lineno for lineno, line
-            in enumerate(source.splitlines(), start=1)
-            if _HOTPATH_RE.search(line)}
+def _comment_tokens(source: str) -> List[Tuple[int, str]]:
+    """``(line, text)`` for every COMMENT token in ``source``.
+
+    Tokenizing instead of regex-scanning raw lines keeps docstrings
+    that *mention* the marker grammar (this module's own, the README
+    excerpts in ``repro.cli``) from registering as live suppressions.
+    Falls back to raw lines only if tokenization fails, which cannot
+    happen for sources that already survived :func:`ast.parse`."""
+    comments: List[Tuple[int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(
+                io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return list(enumerate(source.splitlines(), start=1))
+    return comments
 
 
-def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
+def _parse_hotpath_lines(comments: Sequence[Tuple[int, str]]) -> Set[int]:
+    return {lineno for lineno, text in comments
+            if _HOTPATH_RE.search(text)}
+
+
+def _parse_suppressions(
+        comments: Sequence[Tuple[int, str]]) -> Dict[int, Set[str]]:
     suppressions: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
+    for lineno, text in comments:
+        match = _SUPPRESS_RE.search(text)
         if match is None:
             continue
         rules = {token.strip() for token in match.group(1).split(",")
@@ -281,10 +334,11 @@ def index_module(path: str, source: Optional[str] = None) -> ModuleIndex:
         raise ConfigError(
             f"{path}:{error.lineno}: cannot lint unparseable file: "
             f"{error.msg}") from error
+    comments = _comment_tokens(source)
     module = ModuleIndex(path=path, name=_module_name(path), tree=tree,
                          source=source,
-                         suppressions=_parse_suppressions(source),
-                         hotpath_lines=_parse_hotpath_lines(source))
+                         suppressions=_parse_suppressions(comments),
+                         hotpath_lines=_parse_hotpath_lines(comments))
     _index_body(module, tree.body)
     return module
 
@@ -308,10 +362,12 @@ def iter_python_files(paths: Sequence[str]) -> List[str]:
     return sorted(dict.fromkeys(found))
 
 
-def build_index(paths: Sequence[str]) -> CodebaseIndex:
+def build_index(paths: Sequence[str],
+                cache_dir: Optional[str] = None) -> CodebaseIndex:
     """Index every Python file reachable from ``paths``."""
     files = iter_python_files(paths)
     if not files:
         raise ConfigError(
             f"nothing to lint under {', '.join(paths) or '(no paths)'}")
-    return CodebaseIndex([index_module(path) for path in files])
+    return CodebaseIndex([index_module(path) for path in files],
+                         cache_dir=cache_dir)

@@ -46,11 +46,12 @@ class LintRule:
         """Findings for one module (called once per indexed module)."""
         raise NotImplementedError
 
-    def finding(self, module: ModuleIndex, line: int,
-                message: str) -> Finding:
+    def finding(self, module: ModuleIndex, line: int, message: str,
+                evidence: Sequence[str] = ()) -> Finding:
         """A finding of this rule at ``module:line``."""
         return Finding(path=module.path, line=line, rule_id=self.rule_id,
-                       severity=self.severity, message=message)
+                       severity=self.severity, message=message,
+                       evidence=tuple(evidence))
 
 
 #: Named lint rules. Values are zero-argument factories returning the

@@ -397,6 +397,24 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--json", dest="json_path", default=None,
                       help="dump the findings (and baseline verdict) "
                            "to a JSON report file")
+    lint.add_argument("--explain", dest="explain_rule", default=None,
+                      metavar="RULE-ID",
+                      help="print the evidence chain behind every "
+                           "finding of this rule (the call path an "
+                           "interprocedural rule walked)")
+    lint.add_argument("--audit-suppressions", action="store_true",
+                      help="also report stale # simlint: allow[...] "
+                           "comments that no longer shield a finding")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit 1 on stale suppressions too (with "
+                           "--audit-suppressions)")
+    lint.add_argument("--cache", dest="cache_dir",
+                      default=".simlint-cache", metavar="DIR",
+                      help="content-keyed per-module summary cache "
+                           "for the interprocedural rules (default "
+                           ".simlint-cache)")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="disable the summary cache for this run")
 
     bench = commands.add_parser(
         "bench", help="profile the DES hot path on the canonical trace")
@@ -1240,15 +1258,22 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 def _command_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (
+        audit_suppressions,
         baseline_payload,
+        build_index,
         diff_against_baseline,
         finding_to_dict,
         iter_rule_table,
-        lint_paths,
         load_baseline,
+        resolve_lint_rules,
+        run_rules,
         write_baseline,
     )
-    from repro.reporting import format_findings, format_table
+    from repro.reporting import (
+        format_explanations,
+        format_findings,
+        format_table,
+    )
 
     if args.list_rules:
         print(format_table(
@@ -1257,7 +1282,9 @@ def _command_lint(args: argparse.Namespace) -> int:
              for rule in iter_rule_table()],
             title="simlint rules"))
         return 0
-    findings = lint_paths(args.paths, rules=args.rules)
+    cache_dir = None if args.no_cache else args.cache_dir
+    index = build_index(args.paths, cache_dir=cache_dir)
+    findings = run_rules(index, resolve_lint_rules(args.rules))
     if args.write_baseline:
         if not args.baseline_path:
             raise ConfigError("--write-baseline needs --baseline FILE")
@@ -1271,9 +1298,22 @@ def _command_lint(args: argparse.Namespace) -> int:
         baseline = load_baseline(args.baseline_path)
         new, _ = diff_against_baseline(findings, baseline)
         new_count = len(new)
+    stale = []
+    if args.audit_suppressions:
+        stale = audit_suppressions(index, rules=args.rules)
     print(f"linted {', '.join(args.paths)} with simlint")
     print()
     print(format_findings(findings, new_count=new_count))
+    if args.explain_rule:
+        print()
+        print(format_explanations(findings, args.explain_rule))
+    if args.audit_suppressions:
+        print()
+        if stale:
+            print(format_findings(stale))
+        else:
+            print("suppression audit: every allow[...] comment still "
+                  "shields a finding")
     if args.json_path:
         payload = baseline_payload(findings)
         payload["paths"] = list(args.paths)
@@ -1281,10 +1321,17 @@ def _command_lint(args: argparse.Namespace) -> int:
             payload["baseline"] = args.baseline_path
             payload["new_findings"] = [finding_to_dict(finding)
                                        for finding in new]
+        if args.audit_suppressions:
+            payload["stale_suppressions"] = [finding_to_dict(finding)
+                                             for finding in stale]
         with open(args.json_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=1)
         print(f"wrote {args.json_path}")
-    return 1 if new else 0
+    if new:
+        return 1
+    if stale and args.strict:
+        return 1
+    return 0
 
 
 def _command_bench(args: argparse.Namespace) -> int:

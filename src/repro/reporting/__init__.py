@@ -2,6 +2,7 @@
 registry that maps every paper table/figure to a runnable generator."""
 
 from repro.reporting.tables import (
+    format_explanations,
     format_findings,
     format_fleet_breakdown,
     format_live_summary,
@@ -21,6 +22,7 @@ __all__ = [
     "format_live_summary",
     "format_fleet_breakdown",
     "format_scaling_timeline",
+    "format_explanations",
     "format_findings",
     "format_whatif_table",
     "format_worker_utilization",

@@ -265,3 +265,29 @@ def format_findings(findings: Sequence[object],
     if new_count is not None:
         summary += f", {new_count} new vs baseline"
     return f"simlint findings\n{table}\n{summary}"
+
+
+def format_explanations(findings: Sequence[object],
+                        rule_id: str) -> str:
+    """Render the evidence chains behind one rule's findings
+    (``repro lint --explain <rule>``).
+
+    Each finding prints as its location + message followed by one
+    indented line per witness-chain step (``path:line: who -> what``);
+    rules without recorded evidence render a placeholder note so
+    ``--explain`` is meaningful for the syntactic rules too.
+    """
+    relevant = [finding for finding in findings
+                if finding.rule_id == rule_id]
+    if not relevant:
+        return f"--explain {rule_id}: no findings from this rule"
+    lines = [f"evidence for {rule_id} "
+             f"({len(relevant)} finding(s))"]
+    for finding in relevant:
+        lines.append(f"* {finding.location}: {finding.message}")
+        if finding.evidence:
+            lines.extend(f"    {step}" for step in finding.evidence)
+        else:
+            lines.append("    (single-site finding; the location "
+                         "above is the whole evidence)")
+    return "\n".join(lines)
