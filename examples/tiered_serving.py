@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Tiered closed-loop serving: who keeps their SLO under overload?
+
+Open-loop replays measure a schedule; closed loops measure an
+*economy*: a population of users who think, submit, and wait, split
+into SLO tiers with different priorities. This example builds a
+deliberately decode-starved fleet, drives it with 96 closed-loop
+users at roughly triple the sustainable completion rate, and serves
+the same population two ways:
+
+1. untiered baseline -- everyone equal, first-come-first-served
+   decode admission;
+2. free/paid tiers -- ``PriorityAdmission`` derived from the tier
+   ranks plus ``session-affine`` routing (each session pinned to one
+   replica).
+
+It then asserts the reproduction's headline fairness claim: the paid
+tier's joint SLO attainment holds at or above the untiered baseline
+while the free tier absorbs the overload -- and, closed loops being
+closed, not a single request is lost in either run.
+
+Run:
+    python examples/tiered_serving.py
+"""
+
+from repro.hardware import ClusterSpec
+from repro.pipeline import PlacementGroup, RAGPerfModel, Schedule
+from repro.reporting import format_serving_report
+from repro.schema import Stage, case_i_hyperscale
+from repro.sim import (FleetEngine, PriorityAdmission,
+                       SessionAffineRouting, SLOTarget)
+from repro.workloads import (ClosedLoopDriver, UserPopulation,
+                             resolve_tier_policy)
+
+USERS = 96
+THINK_S = 0.02          # mean think time: aggressive, sustained load
+CONCURRENCY = 2         # requests each user keeps in flight
+HORIZON_S = 6.0
+SLO = SLOTarget(ttft=0.3, tpot=0.008)
+
+
+def build_fleet(admission=None, routing=None) -> FleetEngine:
+    """A 2-replica fleet starved on decode (4 chips, batch 4): decode
+    admission is the queue, which is exactly where priority ranks
+    bite."""
+    cluster = ClusterSpec(num_servers=32)
+    pm = RAGPerfModel(case_i_hyperscale("8B"), cluster)
+    schedule = Schedule(
+        groups=(PlacementGroup((Stage.PREFIX,), 32),
+                PlacementGroup((Stage.DECODE,), 4)),
+        batches={Stage.PREFIX: 32, Stage.DECODE: 4,
+                 Stage.RETRIEVAL: 64},
+    )
+    return FleetEngine(pm, schedule, replicas=2, routing=routing,
+                       admission=admission)
+
+
+def closed_loop(tiers: str, admission=None, routing=None):
+    population = UserPopulation(users=USERS, think_time=THINK_S,
+                                concurrency=CONCURRENCY, session_len=4,
+                                seed=7,
+                                tiers=resolve_tier_policy(tiers))
+    fleet = build_fleet(admission=admission, routing=routing)
+    driver = ClosedLoopDriver(population, fleet, horizon=HORIZON_S)
+    driver.run()
+    trace = fleet.recorded_trace(scenario="sessions")
+    return fleet.report(trace, slo=SLO), driver
+
+
+def main() -> None:
+    print(f"closed loop: {USERS} users x {CONCURRENCY} in flight, "
+          f"think {THINK_S * 1e3:.0f} ms, horizon {HORIZON_S:g}s\n")
+
+    print("=== untiered baseline (greedy admission) ===")
+    baseline, base_driver = closed_loop("single")
+    print(format_serving_report(baseline))
+    print()
+
+    print("=== free/paid tiers (priority + session-affine) ===")
+    tiered, tier_driver = closed_loop(
+        "free-paid", admission=PriorityAdmission(),
+        routing=SessionAffineRouting())
+    print(format_serving_report(tiered))
+    print()
+
+    # Closed loops never lose requests.
+    for driver in (base_driver, tier_driver):
+        assert driver.submitted == driver.completed > 0
+    for bucket in tier_driver.tier_counts().values():
+        assert bucket["submitted"] == bucket["completed"]
+
+    base_joint = baseline.slo_attainment["joint"]
+    paid = tiered.tiers["paid"]["slo_attainment"]["joint"]
+    free = tiered.tiers["free"]["slo_attainment"]["joint"]
+    print(f"joint SLO attainment: baseline {base_joint:.1%}, "
+          f"paid {paid:.1%}, free {free:.1%}")
+    assert base_joint < 0.5, "overload should sink the untiered fleet"
+    assert paid >= base_joint, \
+        "priority admission must shield the paid tier"
+    assert free < base_joint, "the free tier pays for the shield"
+    print("OK: paid tier held its SLO under overload; the free tier "
+          "absorbed it; zero requests lost.")
+
+
+if __name__ == "__main__":
+    main()

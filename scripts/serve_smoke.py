@@ -14,7 +14,12 @@ socket:
 2. a 3-replica fleet (``--replicas 3 --routing least-in-flight``) --
    additionally asserts the artifact's per-replica completion counts
    sum to the request total;
-3. an autoscaled fleet (``--autoscale``) under a stepped load --
+3. a tiered closed loop (``--tiers free-paid``) -- 8 client-side
+   users each drive 5 identity-carrying requests one at a time
+   (every completion triggers the user's next submit), asserting the
+   per-tier completion counts (stats op, report envelope) sum to the
+   driven total and the fairness section covers every user;
+4. an autoscaled fleet (``--autoscale``) under a stepped load --
    asserts the fleet grew during the step, shrank back to the floor
    after the cooldown once the load stopped, and that per-replica
    completions still sum to the request total (the zero-loss
@@ -155,6 +160,90 @@ def drive(label, extra_args, report_path, replicas=None):
     payload = finish(proc, label, report_path)
     print(f"[{label}] OK: {REQUESTS} requests served, {completions} "
           f"completions streamed live, well-formed report on shutdown")
+    return payload
+
+
+TIER_USERS = 8          # client-side closed-loop users
+TIER_TURNS = 5          # requests each user drives, one at a time
+TIER_OF = ["free"] * 6 + ["paid"] * 2  # the free-paid 80/20 split
+
+
+def drive_tiered(label, report_path):
+    """A closed loop over the socket: TIER_USERS users submit one
+    identity-carrying request each, and every completion triggers that
+    user's next submit until each drove TIER_TURNS requests. Asserts
+    the server's per-tier accounting (stats op and report envelope)
+    sums to the driven total."""
+    total = TIER_USERS * TIER_TURNS
+    proc, port, deadline = boot(label, report_path,
+                                ["--tiers", "free-paid"])
+
+    def submit(stream, user, turn):
+        uid = f"u{user:03d}"
+        stream.write(json.dumps(
+            {"op": "submit", "id": f"{uid}-t{turn}",
+             "decode_len": 64, "user_id": uid,
+             "session_id": f"{uid}-s{turn // 4:03d}",
+             "tier": TIER_OF[user]}).encode() + b"\n")
+
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as conn:
+        conn.settimeout(30)
+        stream = conn.makefile("rwb")
+        turns = [1] * TIER_USERS
+        for user in range(TIER_USERS):
+            submit(stream, user, 0)
+        stream.flush()
+
+        completions = 0
+        stats = report = None
+        while report is None:
+            if time.monotonic() > deadline:
+                fail(proc, f"[{label}] timed out in the closed loop")
+            line = stream.readline()
+            if not line:
+                fail(proc, f"[{label}] server closed the connection early")
+            message = json.loads(line)
+            if message["op"] == "completion":
+                completions += 1
+                user = int(message["id"][1:4])
+                if turns[user] < TIER_TURNS:
+                    submit(stream, user, turns[user])
+                    turns[user] += 1
+                    stream.flush()
+                elif completions == total:
+                    stream.write(b'{"op": "stats"}\n')
+                    stream.flush()
+            elif message["op"] == "stats":
+                stats = message
+                stream.write(b'{"op": "shutdown"}\n')
+                stream.flush()
+            elif message["op"] == "report":
+                report = message
+            elif message["op"] == "error":
+                fail(proc, f"[{label}] server answered an error: {message}")
+
+    if completions != total:
+        fail(proc, f"[{label}] expected {total} completions, got "
+                   f"{completions}")
+    tiers = stats.get("tiers")
+    if not tiers or sorted(tiers) != ["free", "paid"]:
+        fail(proc, f"[{label}] stats lacks per-tier counters: {tiers}")
+    tier_completed = sum(row["completed"] for row in tiers.values())
+    if tier_completed != total:
+        fail(proc, f"[{label}] per-tier completions sum to "
+                   f"{tier_completed}, expected {total}: {tiers}")
+    check_report_envelope(proc, label, report, total)
+    spec = report["report"]["spec"]
+    report_tiers = spec.get("tiers")
+    if not report_tiers or sorted(report_tiers) != ["free", "paid"]:
+        fail(proc, f"[{label}] report lacks per-tier sections: "
+                   f"{report_tiers}")
+    if sum(row["completed"] for row in report_tiers.values()) != total:
+        fail(proc, f"[{label}] report per-tier completions do not sum "
+                   f"to {total}: {report_tiers}")
+    payload = finish(proc, label, report_path)
+    print(f"[{label}] OK: {total} closed-loop requests across "
+          f"{TIER_USERS} users, per-tier counts sum to the total")
     return payload
 
 
@@ -326,6 +415,14 @@ def main() -> int:
               file=sys.stderr)
         return 1
 
+    tier_payload = drive_tiered("tiered", "serve_smoke_tiered_report.json")
+    tier_spec = tier_payload["report"]["spec"]
+    fairness = tier_spec.get("fairness")
+    if not fairness or fairness.get("users") != float(TIER_USERS):
+        print(f"FAIL: fairness section malformed: {fairness}",
+              file=sys.stderr)
+        return 1
+
     auto_payload, auto_total = drive_autoscale(
         "autoscale", "serve_smoke_autoscale_report.json")
     auto = auto_payload.get("autoscale")
@@ -349,8 +446,8 @@ def main() -> int:
               f"{per_replica}", file=sys.stderr)
         return 1
 
-    print(f"OK: single-engine, 3-replica fleet and autoscaled servers "
-          f"all served their requests cleanly")
+    print(f"OK: single-engine, 3-replica fleet, tiered closed-loop and "
+          f"autoscaled servers all served their requests cleanly")
     return 0
 
 

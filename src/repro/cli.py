@@ -99,6 +99,24 @@ _AUTOSCALE_HELP = (f"elastic fleet: policy=NAME,min=N,max=N"
                    f"[,interval=S,cooldown=S,up=X,down=X]; policies: "
                    f"{'/'.join(sorted(AUTOSCALE_POLICIES))} "
                    f"(exclusive with --replicas)")
+#: --population / --tiers speak the same key=value spec grammar.
+_POPULATION_HELP = ("closed-loop user population: "
+                    "users=N[,think=S,concurrency=N,session=N,decode=N,"
+                    "seed=N,tiers=NAME]; replaces the open-loop "
+                    "scenario (users submit, think, resubmit until "
+                    "--duration)")
+_TIERS_HELP = ("SLO tier set: a registry name (single/free-paid) or "
+               "custom=<name>:<rank>[:<share>]|...; multi-tier sets "
+               "derive a priority admission policy unless --admission "
+               "overrides it")
+
+
+def _tier_admission(policy):
+    """Priority admission ranking decode admission by the tier set's ranks."""
+    from repro.sim.policies import PriorityAdmission
+
+    return PriorityAdmission(tier_priority=tuple(
+        (tier.name, tier.rank) for tier in policy.tiers))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -275,6 +293,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="scenario length in seconds (default 10)")
     replay.add_argument("--seed", type=int, default=0,
                         help="scenario RNG seed")
+    replay.add_argument("--population", default=None, metavar="SPEC",
+                        help=_POPULATION_HELP)
+    replay.add_argument("--tiers", default=None, metavar="SPEC",
+                        help=_TIERS_HELP)
     replay.add_argument("--dispatch", choices=sorted(_DISPATCH_NAMES),
                         default=None,
                         help="batch-dispatch policy for pre-decode stages "
@@ -344,6 +366,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="batch-dispatch policy for pre-decode stages")
     serve.add_argument("--admission", default=None, metavar="POLICY",
                        help=_ADMISSION_HELP)
+    serve.add_argument("--tiers", default=None, metavar="SPEC",
+                       help=_TIERS_HELP)
     serve.add_argument("--replicas", type=int, default=None,
                        help="serve N engine replicas behind one socket "
                             "(default 1)")
@@ -682,12 +706,34 @@ def _command_replay(args: argparse.Namespace) -> int:
 
     # Policy/fleet knobs must fail before the (expensive) search.
     admission = parse_admission_policy(args.admission)
+    population = None
+    if args.population is not None:
+        import dataclasses
+
+        from repro.workloads import parse_population_spec, parse_tiers_spec
+
+        population = parse_population_spec(args.population)
+        if args.tiers is not None:
+            population = dataclasses.replace(
+                population, tiers=parse_tiers_spec(args.tiers))
+        if args.admission is None and len(population.tiers.tiers) > 1:
+            # A multi-tier population wants tier-aware decode admission
+            # by default; an explicit --admission still wins.
+            admission = _tier_admission(population.tiers)
+    elif args.tiers is not None:
+        raise ConfigError(
+            "--tiers shapes a closed-loop population; pass --population "
+            "too")
     autoscale = None
     if args.autoscale is not None:
         if args.replicas is not None:
             raise ConfigError(
                 "--autoscale manages the fleet size (min/max in the "
                 "spec); drop --replicas")
+        if population is not None:
+            raise ConfigError(
+                "--autoscale replays an open-loop trace; a closed-loop "
+                "--population drives the engine directly -- drop one")
         autoscale = parse_autoscale_spec(args.autoscale)
     replicas = 1 if args.replicas is None else args.replicas
     if replicas < 1:
@@ -706,7 +752,27 @@ def _command_replay(args: argparse.Namespace) -> int:
           f"ttft={chosen.ttft * 1e3:.1f} ms  "
           f"tpot={chosen.tpot * 1e3:.2f} ms")
 
-    if args.trace_path:
+    if population is not None:
+        # Closed-loop traffic: the population self-generates against
+        # the live engine, so open-loop generator knobs (and recorded
+        # traces) cannot mix in. --duration doubles as the submission
+        # horizon.
+        defaults = {"scenario": None, "rate": None, "load": 0.7,
+                    "seed": 0}
+        clashing = [f"--{name}" for name, default in defaults.items()
+                    if getattr(args, name) != default]
+        if args.trace_path:
+            clashing.insert(0, "--trace")
+        if clashing:
+            raise ConfigError(
+                f"--population drives a closed loop; drop "
+                f"{', '.join(clashing)} (they only apply to open-loop "
+                f"traffic)")
+        trace = None
+        print(f"traffic : closed loop, {population.users} user(s), "
+              f"tiers {population.tiers.name}, horizon "
+              f"{args.duration:g}s")
+    elif args.trace_path:
         # A recorded trace fixes the traffic entirely; generator knobs
         # alongside it would be silently dead, so reject the mix.
         defaults = {"scenario": None, "rate": None, "load": 0.7,
@@ -731,7 +797,8 @@ def _command_replay(args: argparse.Namespace) -> int:
             args.scenario or "poisson", rate_qps=rate,
             duration=args.duration, seed=args.seed,
             mean_decode_len=schema.sequences.decode_len)
-    print(f"traffic : {trace.describe()}")
+    if trace is not None:
+        print(f"traffic : {trace.describe()}")
 
     slo = SLOTarget(
         ttft=args.slo_ttft if args.slo_ttft is not None
@@ -741,7 +808,36 @@ def _command_replay(args: argparse.Namespace) -> int:
     )
     fleet = None
     autoscaler = None
-    if autoscale is not None:
+    driver = None
+    if population is not None:
+        # Closed-loop replay: the population submits, thinks, and
+        # resubmits through the engine's completion listeners; the
+        # recorded (identity-carrying) trace becomes the report's
+        # traffic description.
+        from repro.workloads import (ClosedLoopDriver, population_spec,
+                                     tiers_spec)
+
+        if replicas > 1 or args.routing is not None:
+            fleet = session.fleet_engine(chosen.schedule,
+                                         replicas=replicas,
+                                         routing=args.routing,
+                                         dispatch=args.dispatch,
+                                         admission=admission)
+            loop_engine = fleet
+        else:
+            loop_engine = session.serving_engine(chosen.schedule,
+                                                 dispatch=args.dispatch,
+                                                 admission=admission)
+        driver = ClosedLoopDriver(population, loop_engine,
+                                  horizon=args.duration)
+        driver.run()
+        trace = loop_engine.recorded_trace(
+            scenario="sessions",
+            population=population_spec(population),
+            tiers=tiers_spec(population.tiers))
+        print(f"observed: {trace.describe()}")
+        report = loop_engine.report(trace, slo=slo)
+    elif autoscale is not None:
         # Elastic replay: start the fleet at the floor and let the
         # control loop track the trace's rate curve.
         fleet = session.fleet_engine(chosen.schedule,
@@ -798,6 +894,12 @@ def _command_replay(args: argparse.Namespace) -> int:
                 "routing": fleet.routing.name,
                 "per_replica": fleet.replica_stats(),
             }
+        if driver is not None:
+            payload["population"] = {
+                "spec": population_spec(population),
+                "tiers": tiers_spec(population.tiers),
+                "per_tier": driver.tier_counts(),
+            }
         if autoscaler is not None:
             payload["autoscale"] = _autoscale_payload(autoscaler,
                                                      autoscale)
@@ -843,6 +945,16 @@ def _command_serve(args: argparse.Namespace) -> int:
             "--autoscale manages the fleet size (min/max in the "
             "spec); drop --replicas")
     admission = parse_admission_policy(args.admission)
+    if args.tiers is not None:
+        from repro.workloads import parse_tiers_spec
+
+        tier_policy = parse_tiers_spec(args.tiers)
+        if args.admission is not None:
+            raise ConfigError(
+                "--tiers derives a priority admission policy; drop "
+                "--admission or encode the ranks there")
+        if len(tier_policy.tiers) > 1:
+            admission = _tier_admission(tier_policy)
 
     session = _resolve_session(args)
     objective = session.objective
@@ -972,7 +1084,8 @@ def _command_serve(args: argparse.Namespace) -> int:
 def _command_trace(args: argparse.Namespace) -> int:
     from repro.reporting import format_table
     from repro.reporting.ascii_plot import ascii_scatter
-    from repro.workloads import RequestTrace, rate_curve, trace_stats
+    from repro.workloads import (RequestTrace, rate_curve, session_stats,
+                                 tier_stats, trace_stats)
 
     if args.bins < 1:
         raise ConfigError("--bins must be at least 1")
@@ -1005,6 +1118,35 @@ def _command_trace(args: argparse.Namespace) -> int:
         ("scenario", "requests", "duration (s)", "mean QPS", "peak QPS",
          "burstiness CV", "decode mean", "decode p95"),
         rows, title="trace statistics (CV ~1 poisson, >1 bursty)"))
+    # Identity-carrying traces get the multi-user view: per-tier load
+    # shares and the session structure (sorted, so diffs are stable).
+    for path, trace in traces:
+        tiers = tier_stats(trace)
+        if not tiers:
+            continue
+        tier_rows = [
+            [tier,
+             stats["requests"],
+             f"{stats['share'] * 100.0:.1f}%",
+             stats["users"],
+             "-" if stats["decode_mean"] is None
+             else f"{stats['decode_mean']:.1f}",
+             "-" if stats["decode_p95"] is None
+             else f"{stats['decode_p95']:.1f}"]
+            for tier, stats in sorted(tiers.items())
+        ]
+        print()
+        print(format_table(
+            ("tier", "requests", "share", "users", "decode mean",
+             "decode p95"),
+            tier_rows, title=f"tiers: {path}"))
+        sessions = session_stats(trace)
+        if sessions["sessions"]:
+            print(f"sessions: {sessions['users']} user(s), "
+                  f"{sessions['sessions']} session(s), "
+                  f"{sessions['sessions_per_user']:.1f} sessions/user, "
+                  f"{sessions['requests_per_session']:.1f} "
+                  f"requests/session, longest {sessions['max_session_len']}")
     print()
     print(ascii_scatter(series, width=60, height=12,
                         x_label="time (s)", y_label="QPS"))

@@ -66,7 +66,10 @@ from repro.config.serializers import (
 
 #: Version stamped into every envelope; bump on incompatible layout
 #: changes and keep loaders accepting older stamps where possible.
-CONFIG_VERSION = 1
+#: v2: traces serialize per-request records (``requests``) instead of
+#: parallel ``arrivals``/``decode_lens`` arrays; the v1 shape still
+#: loads through the legacy branch of ``trace_from_dict``.
+CONFIG_VERSION = 2
 
 
 @dataclass(frozen=True)

@@ -31,7 +31,7 @@ from repro.schema.stages import Stage
 from repro.serve import ServeConfig
 from repro.sim.autoscale import AutoscaleConfig
 from repro.sim.serving import ServingReport, SLOTarget
-from repro.workloads.traces import RequestTrace
+from repro.workloads.traces import Request, RequestTrace
 
 __all__ = [
     "schema_to_dict", "schema_from_dict",
@@ -256,22 +256,63 @@ def search_result_from_dict(data: Dict) -> SearchResult:
 # Traffic subsystem artifacts: traces, serving reports, sweep results.
 # ---------------------------------------------------------------------------
 
-_TRACE_FIELDS = ("arrivals", "decode_lens", "metadata")
+#: The version-2 trace spec shape (request records with identity).
+_TRACE_FIELDS = ("requests", "metadata")
+#: The pre-identity (config version 1) parallel-tuple shape, still
+#: accepted by :func:`trace_from_dict` so archived envelopes load.
+_LEGACY_TRACE_FIELDS = ("arrivals", "decode_lens", "metadata")
+_REQUEST_FIELDS = ("arrival", "decode_len", "user_id", "session_id",
+                   "tier")
 
 
 def trace_to_dict(trace: RequestTrace) -> Dict:
-    """Serialize a RequestTrace (arrivals, lengths, metadata)."""
-    return {
-        "arrivals": list(trace.arrivals),
-        "decode_lens": (None if trace.decode_lens is None
-                        else list(trace.decode_lens)),
-        "metadata": dict(trace.metadata),
-    }
+    """Serialize a RequestTrace as request records (identity fields
+    only appear when set, keeping anonymous traces compact)."""
+    rows = []
+    for request in trace.requests:
+        row: Dict = {"arrival": request.arrival}
+        for key in ("decode_len", "user_id", "session_id", "tier"):
+            value = getattr(request, key)
+            if value is not None:
+                row[key] = value
+        rows.append(row)
+    return {"requests": rows, "metadata": dict(trace.metadata)}
+
+
+def _request_from_dict(row: Dict) -> Request:
+    unknown = set(row) - set(_REQUEST_FIELDS)
+    if unknown:
+        raise ConfigError(
+            f"unknown trace request fields: {sorted(unknown)}")
+    decode_len = row.get("decode_len")
+    return Request(
+        arrival=float(row["arrival"]),
+        decode_len=None if decode_len is None else int(decode_len),
+        user_id=row.get("user_id"),
+        session_id=row.get("session_id"),
+        tier=row.get("tier"),
+    )
 
 
 def trace_from_dict(data: Dict) -> RequestTrace:
-    """Reconstruct a RequestTrace serialized by :func:`trace_to_dict`."""
-    unknown = set(data) - set(_TRACE_FIELDS)
+    """Reconstruct a RequestTrace serialized by :func:`trace_to_dict`.
+
+    Accepts both the request-record shape and the version-1 parallel
+    ``arrivals`` / ``decode_lens`` tuples, which reconstruct
+    bit-identically (anonymous requests)."""
+    if "requests" in data:
+        unknown = set(data) - set(_TRACE_FIELDS)
+        if unknown:
+            raise ConfigError(f"unknown trace fields: {sorted(unknown)}")
+        try:
+            return RequestTrace(
+                requests=tuple(_request_from_dict(row)
+                               for row in data["requests"]),
+                metadata=dict(data.get("metadata") or {}),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigError(f"malformed trace dict: {error}") from error
+    unknown = set(data) - set(_LEGACY_TRACE_FIELDS)
     if unknown:
         raise ConfigError(f"unknown trace fields: {sorted(unknown)}")
     try:
@@ -288,7 +329,8 @@ def trace_from_dict(data: Dict) -> RequestTrace:
 
 _REPORT_FIELDS = ("scenario", "offered", "completed", "duration",
                   "throughput", "slo", "slo_attainment", "ttft", "tpot",
-                  "queueing", "utilization", "trace_metadata")
+                  "queueing", "utilization", "trace_metadata", "tiers",
+                  "fairness")
 
 
 def serving_report_to_dict(report: ServingReport) -> Dict:
@@ -308,12 +350,17 @@ def serving_report_to_dict(report: ServingReport) -> Dict:
                      for stage, stats in report.queueing.items()},
         "utilization": dict(report.utilization),
         "trace_metadata": dict(report.trace_metadata),
+        "tiers": {tier: dict(stats)
+                  for tier, stats in report.tiers.items()},
+        "fairness": dict(report.fairness),
     }
 
 
 def serving_report_from_dict(data: Dict) -> ServingReport:
     """Reconstruct a ServingReport serialized by
-    :func:`serving_report_to_dict` (records come back empty)."""
+    :func:`serving_report_to_dict` (records come back empty; the
+    per-tier sections default empty so pre-identity envelopes load
+    unchanged)."""
     unknown = set(data) - set(_REPORT_FIELDS)
     if unknown:
         raise ConfigError(f"unknown serving report fields: "
@@ -334,6 +381,9 @@ def serving_report_from_dict(data: Dict) -> ServingReport:
                       for stage, stats in data["queueing"].items()},
             utilization=dict(data["utilization"]),
             trace_metadata=dict(data.get("trace_metadata") or {}),
+            tiers={tier: dict(stats)
+                   for tier, stats in (data.get("tiers") or {}).items()},
+            fairness=dict(data.get("fairness") or {}),
         )
     except (KeyError, TypeError, AttributeError) as error:
         raise ConfigError(

@@ -174,6 +174,24 @@ def format_serving_report(report) -> str:
              # alphabetically would scramble the dataflow story.
              for stage, stats in report.queueing.items()],  # simlint: allow[unsorted-dict-iteration-in-reporting]
         ))
+    if report.tiers:
+        lines.append("")
+        lines.append(format_table(
+            ("tier", "users", "completed", "joint SLO", "p95 TTFT (ms)",
+             "p95 TPOT (ms)", "worst-user p95 TTFT (ms)"),
+            [[tier, stats["users"],
+              f"{stats['completed']}/{stats['offered']}",
+              f"{100 * stats['slo_attainment']['joint']:.1f}%",
+              stats["ttft_p95"] * 1e3, stats["tpot_p95"] * 1e3,
+              stats["worst_user_p95_ttft"] * 1e3]
+             for tier, stats in sorted(report.tiers.items())],
+        ))
+    if report.fairness:
+        lines.append("")
+        lines.append(
+            f"fairness: {report.fairness['users']:.0f} user(s), "
+            f"Jain index over per-user completions "
+            f"{report.fairness['jain_completions']:.3f}")
     if report.utilization:
         busiest = sorted(report.utilization.items(),
                          key=lambda item: item[1], reverse=True)

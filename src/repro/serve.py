@@ -454,9 +454,19 @@ class LiveServer:
         if decode_len is not None and not isinstance(decode_len, int):
             return {"op": "error", "id": client_id,
                     "error": "decode_len must be an integer"}
+        identity = {}
+        for key in ("user_id", "session_id", "tier"):
+            value = message.get(key)
+            if value is None:
+                continue
+            if not isinstance(value, str):
+                return {"op": "error", "id": client_id,
+                        "error": f"{key} must be a string"}
+            identity[key] = value
         arrival = self._sim_now()
         try:
-            record = self._engine.submit(arrival, decode_len=decode_len)
+            record = self._engine.submit(arrival, decode_len=decode_len,
+                                         **identity)
         except ConfigError as error:
             return {"op": "error", "id": client_id, "error": str(error)}
         self._routes[record.request_id] = (writer, client_id)
@@ -475,6 +485,9 @@ class LiveServer:
             "mean_ttft": snap.mean_ttft,
             "mean_tpot": snap.mean_tpot,
         }
+        tiers = self._engine.tier_counts()
+        if tiers:
+            payload["tiers"] = tiers
         if isinstance(self._engine, FleetEngine):
             payload["replicas"] = [
                 {"slot": stats["slot"], "state": stats["state"],

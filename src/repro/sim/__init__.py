@@ -44,6 +44,7 @@ from repro.sim.metrics import (
     ServingMetrics,
     ServingReport,
     SLOTarget,
+    jain_index,
 )
 from repro.sim.policies import (
     ADMISSION_POLICIES,
@@ -53,6 +54,7 @@ from repro.sim.policies import (
     DispatchPolicy,
     FullBatchPolicy,
     GreedyAdmission,
+    PriorityAdmission,
     SizeCappedPolicy,
     TokenBudgetAdmission,
     admission_spec,
@@ -66,6 +68,7 @@ from repro.sim.routing import (
     ReplicaView,
     RoundRobinRouting,
     RoutingPolicy,
+    SessionAffineRouting,
     WeightedQPSRouting,
     resolve_routing_policy,
 )
@@ -83,6 +86,7 @@ __all__ = [
     "RequestRecord",
     "LiveSnapshot",
     "MetricsAccumulator",
+    "jain_index",
     "DispatchPolicy",
     "DeadlineFlushPolicy",
     "FullBatchPolicy",
@@ -90,6 +94,7 @@ __all__ = [
     "AdmissionPolicy",
     "GreedyAdmission",
     "TokenBudgetAdmission",
+    "PriorityAdmission",
     "DISPATCH_POLICIES",
     "ADMISSION_POLICIES",
     "parse_admission_policy",
@@ -101,6 +106,7 @@ __all__ = [
     "WeightedQPSRouting",
     "PowerOfTwoChoicesRouting",
     "JoinIdleQueueRouting",
+    "SessionAffineRouting",
     "ROUTING_POLICIES",
     "resolve_routing_policy",
     "AutoscalePolicy",

@@ -366,32 +366,15 @@ def parse_autoscale_spec(
         return AutoscaleConfig()
     if isinstance(spec, AutoscaleConfig):
         return spec
-    kwargs: Dict[str, Any] = {}
-    tokens = [token.strip() for token in spec.split(",") if token.strip()]
-    if not tokens:
-        raise ConfigError(
-            "empty --autoscale spec; pass key=value pairs such as "
-            "policy=queue-depth,min=1,max=4")
-    for token in tokens:
-        key, equals, value = token.partition("=")
-        key = key.strip()
-        if not equals:
-            # A bare token is a policy-name shortcut; the config's own
-            # validation rejects unknown names with the known list.
-            key, value = "policy", key
-        field_name, convert = _SPEC_KEYS.get(key, (None, None))
-        if field_name is None:
-            known = ", ".join(sorted(_SPEC_KEYS))
-            raise ConfigError(
-                f"unknown autoscale key {key!r}; known: {known}")
-        if field_name in kwargs:
-            raise ConfigError(f"duplicate autoscale key {key!r}")
-        try:
-            kwargs[field_name] = convert(value.strip())
-        except ValueError:
-            raise ConfigError(
-                f"malformed autoscale value {value!r} for key "
-                f"{key!r}; expected {convert.__name__}") from None
+    # Imported here: repro.config pulls in this module for its
+    # envelope serializers, so a top-level import would be circular.
+    from repro.config.specs import parse_kv_spec
+
+    # A bare token is a policy-name shortcut; the config's own
+    # validation rejects unknown names with the known list.
+    kwargs = parse_kv_spec(
+        spec, _SPEC_KEYS, label="autoscale",
+        example="policy=queue-depth,min=1,max=4", bare_key="policy")
     return AutoscaleConfig(**kwargs)
 
 
@@ -402,16 +385,18 @@ def autoscale_spec(config: AutoscaleConfig) -> str:
     parses back to an equal config, which is how a ``--json``
     artifact round-trips the autoscaling selection.
     """
-    parts = [f"policy={config.policy}",
-             f"min={config.min_replicas}",
-             f"max={config.max_replicas}",
-             f"interval={config.interval!r}",
-             f"cooldown={config.cooldown!r}"]
+    from repro.config.specs import format_kv_spec
+
+    pairs = [("policy", config.policy),
+             ("min", config.min_replicas),
+             ("max", config.max_replicas),
+             ("interval", repr(config.interval)),
+             ("cooldown", repr(config.cooldown))]
     if config.scale_up is not None:
-        parts.append(f"up={config.scale_up!r}")
+        pairs.append(("up", repr(config.scale_up)))
     if config.scale_down is not None:
-        parts.append(f"down={config.scale_down!r}")
-    return ",".join(parts)
+        pairs.append(("down", repr(config.scale_down)))
+    return format_kv_spec(pairs)
 
 
 @dataclass(frozen=True)

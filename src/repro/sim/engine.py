@@ -72,7 +72,7 @@ from repro.sim.policies import (
     resolve_admission_policy,
     resolve_dispatch_policy,
 )
-from repro.workloads.traces import RequestTrace
+from repro.workloads.traces import Request, RequestTrace
 
 #: An event callback receives the simulation so it can schedule more.
 EventFn = Callable[["Simulation"], None]
@@ -429,9 +429,24 @@ class _DecodeExecutor:
         self.running = False
         self._progress: Dict[int, int] = {}
         self._positions: Dict[int, List[int]] = {}
+        # Priority-aware policies reorder the waiting queue at accept;
+        # stock policies keep the exact historical append (bit-identity
+        # with pre-priority traces).
+        self._reorders = admission.reorders_waiting
+        self._waiting_prio: List[int] = []
 
     def accept(self, sim: Simulation, record: RequestRecord) -> None:
-        self.waiting.append(record)
+        if self._reorders:
+            # Stable insert: higher rank first, FIFO within a rank.
+            rank = self.admission.priority(record)
+            prio = self._waiting_prio
+            idx = len(prio)
+            while idx > 0 and prio[idx - 1] < rank:
+                idx -= 1
+            self.waiting.insert(idx, record)
+            prio.insert(idx, rank)
+        else:
+            self.waiting.append(record)
         record.stage_enqueues[Stage.DECODE] = sim.now
         if not self.running:
             self.running = True
@@ -460,6 +475,8 @@ class _DecodeExecutor:
                 [entry[1] - self._progress[entry[0].request_id]
                  for entry in self.remaining],
                 self.capacity)
+            if self._reorders:
+                del self._waiting_prio[:admitted]
             for _ in range(admitted):
                 self._admit(sim.now, self.waiting.pop(0))
         if not self.remaining:
@@ -700,13 +717,31 @@ class _FastDecodeExecutor:
         self._greedy = type(admission) is GreedyAdmission
         self._budget = admission \
             if type(admission) is TokenBudgetAdmission else None
+        # Same reordering contract as the oracle executor: only
+        # priority-aware policies pay the insert; stock policies keep
+        # the plain appends on the hot path.
+        self._reorders = admission.reorders_waiting
+        self._waiting_prio: Deque[int] = deque()
         self._fin: list = []  # reusable per-event scratch buffers
         self._dep: list = []
 
     def accept(self, sim: Simulation, record: RequestRecord) -> None:
         self._enq[record.slab * self._n + self._si] = sim.now
-        self.waiting.append(record)
-        self._waiting_lens.append(record.decode_len or self.decode_len)
+        if self._reorders:
+            # Stable insert mirroring _DecodeExecutor.accept: higher
+            # rank first, FIFO within a rank, lens kept parallel.
+            rank = self.admission.priority(record)
+            prio = self._waiting_prio
+            idx = len(prio)
+            while idx > 0 and prio[idx - 1] < rank:
+                idx -= 1
+            self.waiting.insert(idx, record)
+            self._waiting_lens.insert(
+                idx, record.decode_len or self.decode_len)
+            prio.insert(idx, rank)
+        else:
+            self.waiting.append(record)
+            self._waiting_lens.append(record.decode_len or self.decode_len)
         if not self.running:
             self.running = True
             self._gen += 1
@@ -854,6 +889,10 @@ class _FastDecodeExecutor:
                 admitted = self.admission.admit(
                     list(lens), self._remaining(s), capacity)
             now = sim.now
+            if self._reorders:
+                prio = self._waiting_prio
+                for _ in range(admitted):
+                    prio.popleft()
             for _ in range(admitted):
                 self._admit(now, s, waiting.popleft(), lens.popleft())
         if not self._live:
@@ -1260,6 +1299,11 @@ class ServingEngine:
         """Submitted but unfinished requests."""
         return self.offered - self.completed
 
+    def tier_counts(self) -> Dict[str, Dict[str, int]]:
+        """Per-tier offered/completed counts so far (empty when the
+        traffic carries no identity)."""
+        return self._accumulator.tier_counts()
+
     @property
     def events_processed(self) -> int:
         """DES events executed so far (the bench harness's numerator)."""
@@ -1285,7 +1329,9 @@ class ServingEngine:
         self._listeners.append(listener)
 
     def submit(self, arrival: float, decode_len: Optional[int] = None,
-               ) -> RequestRecord:
+               *, user_id: Optional[str] = None,
+               session_id: Optional[str] = None,
+               tier: Optional[str] = None) -> RequestRecord:
         """Inject one request at simulated time ``arrival``.
 
         Args:
@@ -1296,6 +1342,10 @@ class ServingEngine:
                 regardless of submission order).
             decode_len: Tokens this request generates (the workload
                 profile's decode length when None).
+            user_id / session_id / tier: Optional identity carried by
+                multi-user workloads; rides the record into tier-aware
+                admission and per-tier reporting. Anonymous submissions
+                leave all three None.
 
         Returns:
             The request's live :class:`RequestRecord` (its fields fill
@@ -1324,7 +1374,9 @@ class ServingEngine:
         if decode_len <= 0:
             raise ConfigError("decode lengths must be positive")
         record = RequestRecord(request_id=self._next_id, arrival=arrival,
-                               decode_len=int(decode_len))
+                               decode_len=int(decode_len),
+                               user_id=user_id, session_id=session_id,
+                               tier=tier)
         self._next_id += 1
         self._accumulator.add(record)
         if self._fast:
@@ -1366,6 +1418,17 @@ class ServingEngine:
             raise ConfigError("cannot step backwards in time")
         self._sim.run(until=until)
         return self._sim.now
+
+    def next_event_time(self) -> Optional[float]:
+        """The earliest queued event's timestamp, or None when idle.
+
+        Conservative co-simulation hook: a driver interleaving several
+        engines (closed-loop fleets) must never advance one engine past
+        another's earliest pending event, or cross-engine feedback
+        lands in the past.
+        """
+        queue = self._sim._queue
+        return queue.peek_time() if queue else None
 
     def drain(self) -> float:
         """Run the network empty: process every remaining event.
@@ -1446,7 +1509,10 @@ class ServingEngine:
         merged.update(metadata)
         ordered = sorted(records, key=lambda r: r.arrival)
         return RequestTrace(
-            arrivals=tuple(r.arrival for r in ordered),
-            decode_lens=tuple(r.decode_len for r in ordered),
+            requests=tuple(
+                Request(arrival=r.arrival, decode_len=r.decode_len,
+                        user_id=r.user_id, session_id=r.session_id,
+                        tier=r.tier)
+                for r in ordered),
             metadata=merged,
         )

@@ -51,7 +51,7 @@ from repro.sim.routing import (
     RoutingPolicy,
     resolve_routing_policy,
 )
-from repro.workloads.traces import RequestTrace
+from repro.workloads.traces import Request, RequestTrace
 
 __all__ = ["FleetEngine"]
 
@@ -254,6 +254,11 @@ class FleetEngine:
         """All submitted records, fleet submission order."""
         return self._accumulator.records
 
+    def tier_counts(self) -> Dict[str, Dict[str, int]]:
+        """Per-tier offered/completed counts across the fleet (empty
+        when the traffic carries no identity)."""
+        return self._accumulator.tier_counts()
+
     def add_listener(self, listener: CompletionFn) -> None:
         """Subscribe an additional fleet-wide completion listener."""
         self._listeners.append(listener)
@@ -286,12 +291,17 @@ class FleetEngine:
     # -- lifecycle -----------------------------------------------------
 
     def submit(self, arrival: float, decode_len: Optional[int] = None,
-               ) -> RequestRecord:
+               *, user_id: Optional[str] = None,
+               session_id: Optional[str] = None,
+               tier: Optional[str] = None) -> RequestRecord:
         """Route one request to a replica at simulated time ``arrival``.
 
         The routing policy sees every **active** slot (draining and
         retired replicas are never offered); validation of the arrival
-        and decode length is the chosen engine's.
+        and decode length is the chosen engine's. Identity kwargs ride
+        the record through to per-tier metrics, and ``session_id`` is
+        offered to the routing policy as its sticky key (session-affine
+        policies pin a session to one replica).
 
         Returns:
             The request's live :class:`RequestRecord`.
@@ -316,13 +326,16 @@ class FleetEngine:
                                    weight=entry.weight)
                 views[slot] = view
             candidates.append(view)
-        slot = self._routing.select(candidates, now=arrival)
+        slot = self._routing.select(candidates, now=arrival,
+                                    session_key=session_id)
         entry = self._active.get(slot)
         if entry is None:
             raise ConfigError(
                 f"routing policy {self._routing.name!r} chose slot "
                 f"{slot}, which is not routable")
-        record = entry.engine.submit(arrival, decode_len=decode_len)
+        record = entry.engine.submit(arrival, decode_len=decode_len,
+                                     user_id=user_id,
+                                     session_id=session_id, tier=tier)
         # Re-key to a fleet-global id: every engine numbers its own
         # submissions from zero, and downstream consumers (completion
         # routing in repro.serve) key on request_id, so per-replica ids
@@ -358,6 +371,19 @@ class FleetEngine:
         self._advance_clock(until)
         self._settle()
         return self._now
+
+    def next_event_time(self) -> Optional[float]:
+        """The fleet-wide earliest queued event's timestamp, or None.
+
+        The lockstep bound for closed-loop drivers: stepping the fleet
+        past this time would let one replica's completion feedback
+        target another replica's past.
+        """
+        times = [time for entry in self._engines
+                 if entry.state != _RETIRED
+                 for time in (entry.engine.next_event_time(),)
+                 if time is not None]
+        return min(times) if times else None
 
     def drain(self) -> float:
         """Run every replica's network empty.
@@ -548,7 +574,10 @@ class FleetEngine:
         merged.update(metadata)
         ordered = sorted(records, key=lambda r: r.arrival)
         return RequestTrace(
-            arrivals=tuple(r.arrival for r in ordered),
-            decode_lens=tuple(r.decode_len for r in ordered),
+            requests=tuple(
+                Request(arrival=r.arrival, decode_len=r.decode_len,
+                        user_id=r.user_id, session_id=r.session_id,
+                        tier=r.tier)
+                for r in ordered),
             metadata=merged,
         )

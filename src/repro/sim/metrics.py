@@ -44,6 +44,15 @@ class RequestRecord:
             repeatedly, e.g. iterative re-prefix, accumulates).
         first_token_time: When the prefix stage finished (first token).
         completion_time: When the last decode step finished.
+        user_id: Issuing user, when the workload carries identity
+            (closed-loop populations); None for anonymous open-loop
+            arrivals.
+        session_id: Session the request belongs to (requests within a
+            session are correlated and route sticky under
+            session-affine policies); None when anonymous.
+        tier: SLO tier label (e.g. ``"free"``/``"paid"``) used by
+            tier-aware admission and per-tier reporting; None when
+            anonymous.
         slab: Engine-local index into the fast path's per-stage
             bookkeeping slabs (-1 outside the fast path). Deliberately
             separate from ``request_id``, which a fleet rewrites to the
@@ -54,6 +63,9 @@ class RequestRecord:
     request_id: int
     arrival: float
     decode_len: int = 0
+    user_id: Optional[str] = None
+    session_id: Optional[str] = None
+    tier: Optional[str] = None
     stage_completions: Dict[Stage, float] = field(default_factory=dict)
     stage_enqueues: Dict[Stage, float] = field(default_factory=dict)
     queue_waits: Dict[Stage, float] = field(default_factory=dict)
@@ -159,6 +171,20 @@ def _interpolated_percentile(sorted_values: Sequence[float],
         + sorted_values[high] * weight
 
 
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 when every user got the same allocation, approaching ``1/n``
+    as one user monopolizes it. An empty or all-zero sample scores
+    0.0 (no allocation to be fair about).
+    """
+    total = float(sum(values))
+    square_sum = float(sum(value * value for value in values))
+    if not values or square_sum == 0.0:
+        return 0.0
+    return (total * total) / (len(values) * square_sum)
+
+
 def _latency_summary(sorted_values: Sequence[float]) -> Dict[str, float]:
     return {
         "mean": sum(sorted_values) / len(sorted_values),
@@ -191,6 +217,15 @@ class ServingReport:
             mean/p95/max wait in seconds) over completed requests.
         utilization: Busy-time fraction per pre-decode resource.
         trace_metadata: The replayed trace's metadata, for provenance.
+        tiers: Per-SLO-tier breakdown (tier name -> offered/completed
+            counts, per-tier SLO attainment, p95 latencies, and the
+            worst per-user TTFT p95 within the tier). Empty when the
+            workload carried no identity, so anonymous runs compare
+            equal to pre-identity reports.
+        fairness: Cross-user fairness summary -- ``users`` and a
+            Jain index over per-user completion counts
+            (``jain_completions``, 1.0 = perfectly even). Empty when
+            anonymous.
         records: Per-request lifecycles (not serialized, not compared).
     """
 
@@ -206,6 +241,8 @@ class ServingReport:
     queueing: Dict[str, Dict[str, float]]
     utilization: Dict[str, float]
     trace_metadata: Dict[str, Any] = field(default_factory=dict)
+    tiers: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    fairness: Dict[str, float] = field(default_factory=dict)
     records: List[RequestRecord] = field(default_factory=list,
                                          repr=False, compare=False)
 
@@ -280,6 +317,25 @@ class MetricsAccumulator:
         self._lat: List[tuple] = []
         # stage -> waits of completed requests, in completion order.
         self._stage_waits: Dict[Stage, List[float]] = {}
+        # Identity reservoirs, fed only for records that carry
+        # user/session/tier identity; all stay empty on anonymous
+        # workloads so the anonymous report shape is untouched.
+        self._tier_offered: Dict[str, int] = {}
+        self._tier_completed: Dict[str, int] = {}
+        # tier -> (submission index, ttft, tpot), completion order.
+        self._tier_lat: Dict[str, List[tuple]] = {}
+        self._user_ttfts: Dict[str, List[float]] = {}
+        self._user_completed: Dict[str, int] = {}
+        self._user_tier: Dict[str, str] = {}
+
+    @staticmethod
+    def _identity_tier(record: RequestRecord) -> Optional[str]:
+        """The tier bucket a record reports under (None = anonymous)."""
+        if record.tier is not None:
+            return record.tier
+        if record.user_id is not None or record.session_id is not None:
+            return "(untiered)"
+        return None
 
     # -- engine feed ---------------------------------------------------
 
@@ -296,6 +352,9 @@ class MetricsAccumulator:
         if self._first_arrival is None \
                 or record.arrival < self._first_arrival:
             self._first_arrival = record.arrival
+        tier = self._identity_tier(record)
+        if tier is not None:
+            self._tier_offered[tier] = self._tier_offered.get(tier, 0) + 1
 
     def finish(self, record: RequestRecord) -> None:
         """Fold in one completed request (completion_time set).
@@ -308,6 +367,15 @@ class MetricsAccumulator:
         completion = record.completion_time
         if completion > self._last_completion:
             self._last_completion = completion
+        tier = self._identity_tier(record)
+        if tier is not None:
+            self._tier_completed[tier] = \
+                self._tier_completed.get(tier, 0) + 1
+            user = record.user_id
+            if user is not None:
+                self._user_completed[user] = \
+                    self._user_completed.get(user, 0) + 1
+                self._user_tier[user] = tier
         first_token = record.first_token_time
         if first_token is not None:
             # Same arithmetic as the ttft/tpot properties, inlined:
@@ -320,6 +388,19 @@ class MetricsAccumulator:
             self._ttft_count += 1
             self._tpot_sum += tpot
             self._lat.append((self._index[id(record)], ttft, tpot))
+            if tier is not None:
+                entry = (self._index[id(record)], ttft, tpot)
+                bucket = self._tier_lat.get(tier)
+                if bucket is None:
+                    self._tier_lat[tier] = [entry]
+                else:
+                    bucket.append(entry)
+                if record.user_id is not None:
+                    sample = self._user_ttfts.get(record.user_id)
+                    if sample is None:
+                        self._user_ttfts[record.user_id] = [ttft]
+                    else:
+                        sample.append(ttft)
             stage_waits = self._stage_waits
             for stage, wait in record.queue_waits.items():
                 bucket = stage_waits.get(stage)
@@ -344,6 +425,13 @@ class MetricsAccumulator:
     def records(self) -> List[RequestRecord]:
         """All registered records, in submission order."""
         return self._records
+
+    def tier_counts(self) -> Dict[str, Dict[str, int]]:
+        """Per-tier offered/completed counts so far, sorted by tier
+        name (empty when the workload carries no identity)."""
+        return {tier: {"offered": self._tier_offered.get(tier, 0),
+                       "completed": self._tier_completed.get(tier, 0)}
+                for tier in sorted(self._tier_offered)}
 
     def snapshot(self, now: float) -> LiveSnapshot:
         """Running statistics at simulated time ``now`` (O(1))."""
@@ -438,6 +526,15 @@ class MetricsAccumulator:
             "tpot": sum(met_tpot) / n,
             "joint": sum(a and b for a, b in zip(met_ttft, met_tpot)) / n,
         }
+        tiers = self._tier_sections(slo)
+        fairness: Dict[str, float] = {}
+        if self._user_completed:
+            counts = [self._user_completed[user]
+                      for user in sorted(self._user_completed)]
+            fairness = {
+                "users": float(len(counts)),
+                "jain_completions": jain_index(counts),
+            }
         queueing: Dict[str, Dict[str, float]] = {}
         stage_order = [stage for stage in pipeline_stages(self._schema)
                        if stage is not Stage.DECODE] + [Stage.DECODE]
@@ -464,5 +561,50 @@ class MetricsAccumulator:
             queueing=queueing,
             utilization=dict(metrics.utilization),
             trace_metadata=dict(trace.metadata),
+            tiers=tiers,
+            fairness=fairness,
             records=metrics.records,
         )
+
+    def _tier_sections(self, slo: SLOTarget) -> Dict[str, Dict[str, Any]]:
+        """Per-tier report sections, sorted by tier name.
+
+        Empty when no completed request carried identity. A tier's
+        attainment/percentiles cover its completed-with-first-token
+        requests; ``worst_user_p95_ttft`` is the maximum per-user TTFT
+        p95 inside the tier (the user the tier is failing hardest).
+        """
+        sections: Dict[str, Dict[str, Any]] = {}
+        for tier in sorted(self._tier_lat):
+            entries = self._tier_lat[tier]
+            count = len(entries)
+            ttfts = sorted(entry[1] for entry in entries)
+            tpots = sorted(entry[2] for entry in entries)
+            met_ttft = [slo.ttft is None or entry[1] <= slo.ttft
+                        for entry in entries]
+            met_tpot = [slo.tpot is None or entry[2] <= slo.tpot
+                        for entry in entries]
+            users = sorted(user for user, user_tier
+                           in self._user_tier.items() if user_tier == tier)
+            worst_user_p95 = 0.0
+            for user in users:
+                sample = self._user_ttfts.get(user)
+                if sample:
+                    worst_user_p95 = max(
+                        worst_user_p95,
+                        _interpolated_percentile(sorted(sample), 0.95))
+            sections[tier] = {
+                "offered": self._tier_offered.get(tier, 0),
+                "completed": self._tier_completed.get(tier, 0),
+                "users": len(users),
+                "slo_attainment": {
+                    "ttft": sum(met_ttft) / count,
+                    "tpot": sum(met_tpot) / count,
+                    "joint": sum(a and b for a, b
+                                 in zip(met_ttft, met_tpot)) / count,
+                },
+                "ttft_p95": _interpolated_percentile(ttfts, 0.95),
+                "tpot_p95": _interpolated_percentile(tpots, 0.95),
+                "worst_user_p95_ttft": worst_user_p95,
+            }
+        return sections

@@ -28,7 +28,16 @@ through a ``--json`` artifact.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import ConfigError
 
@@ -40,6 +49,7 @@ __all__ = [
     "AdmissionPolicy",
     "GreedyAdmission",
     "TokenBudgetAdmission",
+    "PriorityAdmission",
     "DISPATCH_POLICIES",
     "ADMISSION_POLICIES",
     "resolve_dispatch_policy",
@@ -183,6 +193,11 @@ class AdmissionPolicy:
     """Decides how many waiting sequences decode admits at a step
     boundary."""
 
+    #: Policies that rank waiting sequences set this True so the
+    #: decode executors consult :meth:`priority` on every enqueue;
+    #: the stock FIFO policies skip that work entirely.
+    reorders_waiting: ClassVar[bool] = False
+
     @property
     def name(self) -> str:
         return type(self).__name__.replace("Admission", "").lower()
@@ -199,6 +214,15 @@ class AdmissionPolicy:
             capacity: The schedule's decode batch size.
         """
         raise NotImplementedError
+
+    def priority(self, record: Any) -> int:
+        """Rank a request for the decode waiting queue (higher first).
+
+        Only consulted when :attr:`reorders_waiting` is True. Requests
+        keep FIFO order within a rank, so the default constant rank is
+        exactly the historical FIFO queue.
+        """
+        return 0
 
 
 @dataclass(frozen=True)
@@ -256,6 +280,50 @@ class TokenBudgetAdmission(AdmissionPolicy):
         return count
 
 
+@dataclass(frozen=True)
+class PriorityAdmission(AdmissionPolicy):
+    """Tier-ranked admission: high-priority tiers jump the decode queue.
+
+    Slot accounting is greedy, but the waiting queue itself is kept in
+    tier-priority order (FIFO within a tier), so under overload the
+    contended decode slots go to ``paid`` sequences first and ``free``
+    traffic absorbs the queueing delay. Nothing is dropped -- shedding
+    is deferral, which is what keeps the zero-loss serving contract.
+
+    Attributes:
+        tier_priority: ``(tier name, rank)`` pairs; higher ranks admit
+            first. Requests with no tier (or an unlisted one) rank 0,
+            sharing the queue with the lowest default tier.
+    """
+
+    tier_priority: Tuple[Tuple[str, int], ...] = (("free", 0), ("paid", 1))
+
+    reorders_waiting: ClassVar[bool] = True
+
+    def __post_init__(self) -> None:
+        names = [name for name, _ in self.tier_priority]
+        if len(names) != len(set(names)):
+            raise ConfigError(
+                f"duplicate tier in priority admission: {names}")
+
+    @property
+    def name(self) -> str:
+        return "priority"
+
+    def priority(self, record: Any) -> int:
+        tier = getattr(record, "tier", None)
+        if tier is not None:
+            for name, rank in self.tier_priority:
+                if name == tier:
+                    return rank
+        return 0
+
+    def admit(self, waiting_lens: Sequence[int],
+              running_remaining: Sequence[int], capacity: int) -> int:
+        return max(0, min(len(waiting_lens),
+                          capacity - len(running_remaining)))
+
+
 #: Named dispatch policies for the CLI / config front-ends. Values are
 #: zero-argument factories returning the default-configured policy.
 DISPATCH_POLICIES: Dict[str, Callable[[], DispatchPolicy]] = {
@@ -267,6 +335,7 @@ DISPATCH_POLICIES: Dict[str, Callable[[], DispatchPolicy]] = {
 #: Named admission policies for the CLI / config front-ends.
 ADMISSION_POLICIES: Dict[str, Callable[[], AdmissionPolicy]] = {
     "greedy": GreedyAdmission,
+    "priority": PriorityAdmission,
 }
 
 
@@ -304,13 +373,30 @@ def resolve_admission_policy(
         ) from None
 
 
+def _tier_priority_value(value: str) -> Tuple[Tuple[str, int], ...]:
+    """Convert ``free:0|paid:1`` into ``tier_priority`` pairs.
+
+    Raises ``ValueError`` (not :class:`ConfigError`) so it plugs into
+    the shared spec-value converter, which owns the diagnostic shape.
+    """
+    pairs = []
+    for part in value.split("|"):
+        name, colon, rank = part.partition(":")
+        name = name.strip()
+        if not colon or not name:
+            raise ValueError(part)
+        pairs.append((name, int(rank.strip())))
+    return tuple(pairs)
+
+
 def parse_admission_policy(
         spec: Union[None, str, AdmissionPolicy]) -> AdmissionPolicy:
     """Parse a CLI/config admission selection, values included.
 
     Accepts everything :func:`resolve_admission_policy` does, plus the
-    parameterized ``name=value`` syntax -- today only
-    ``token-budget=<int>``, the decode-KV ceiling.
+    parameterized ``name=value`` syntax: ``token-budget=<int>`` (the
+    decode-KV ceiling) and ``priority=<tier>:<rank>|...`` (an explicit
+    tier ranking overriding the default free/paid pair).
 
     Raises:
         ConfigError: on an unknown name, a value on a policy that
@@ -319,6 +405,10 @@ def parse_admission_policy(
     """
     if spec is None or isinstance(spec, AdmissionPolicy):
         return resolve_admission_policy(spec)
+    # Imported here: repro.config pulls in the sim package for its
+    # envelope serializers, so a top-level import would be circular.
+    from repro.config.specs import convert_spec_value
+
     name, equals, value = spec.partition("=")
     name = name.strip()
     if not equals:
@@ -327,19 +417,21 @@ def parse_admission_policy(
                 "token-budget admission needs a budget: pass "
                 "token-budget=<int> (e.g. token-budget=4096)")
         return resolve_admission_policy(name)
-    if name != "token-budget":
-        if name in ADMISSION_POLICIES:
-            raise ConfigError(
-                f"admission policy {name!r} takes no value; drop "
-                f"'={value}'")
-        return resolve_admission_policy(name)  # uniform unknown-name error
-    try:
-        max_tokens = int(value.strip())
-    except ValueError:
+    if name == "token-budget":
+        max_tokens = convert_spec_value(
+            value, int, label="admission", key="token-budget",
+            expected="token-budget=<int>")
+        return TokenBudgetAdmission(max_tokens=max_tokens)
+    if name == "priority":
+        tier_priority = convert_spec_value(
+            value, _tier_priority_value, label="admission",
+            key="priority", expected="priority=<tier>:<rank>|...")
+        return PriorityAdmission(tier_priority=tier_priority)
+    if name in ADMISSION_POLICIES:
         raise ConfigError(
-            f"malformed admission token budget {value!r}; expected "
-            f"token-budget=<int>") from None
-    return TokenBudgetAdmission(max_tokens=max_tokens)
+            f"admission policy {name!r} takes no value; drop "
+            f"'={value}'")
+    return resolve_admission_policy(name)  # uniform unknown-name error
 
 
 def admission_spec(policy: AdmissionPolicy) -> str:
@@ -351,4 +443,9 @@ def admission_spec(policy: AdmissionPolicy) -> str:
     """
     if isinstance(policy, TokenBudgetAdmission):
         return f"token-budget={policy.max_tokens}"
+    if isinstance(policy, PriorityAdmission) \
+            and policy.tier_priority != PriorityAdmission().tier_priority:
+        ranking = "|".join(f"{name}:{rank}"
+                           for name, rank in policy.tier_priority)
+        return f"priority={ranking}"
     return policy.name

@@ -37,6 +37,11 @@ the oracle view the static policies enjoy:
 * :class:`JoinIdleQueueRouting` -- route to an idle replica when one
   exists, fall back to the shortest queue otherwise (the JIQ
   decoupling of idleness tracking from dispatch).
+* :class:`SessionAffineRouting` -- sticky sessions: the first request
+  of a session lands on the least-loaded replica and every later
+  request of that session follows it (re-pinning only when the sticky
+  replica leaves the routable set), modeling KV-cache / prefix-cache
+  affinity for multi-turn users.
 
 These two keep per-instance state (an RNG, a state cache), so a fresh
 instance per fleet -- what the registry factories and
@@ -63,6 +68,7 @@ __all__ = [
     "WeightedQPSRouting",
     "PowerOfTwoChoicesRouting",
     "JoinIdleQueueRouting",
+    "SessionAffineRouting",
     "ROUTING_POLICIES",
     "resolve_routing_policy",
 ]
@@ -104,13 +110,17 @@ class RoutingPolicy:
         return type(self).__name__.replace("Routing", "").lower()
 
     def select(self, replicas: Sequence[ReplicaView],
-               now: float = 0.0) -> int:
+               now: float = 0.0, *,
+               session_key: Optional[str] = None) -> int:
         """The chosen replica's ``index`` among ``replicas``.
 
         Args:
             replicas: Views of every routable replica, slot order.
             now: Simulated time of the routing decision; only the
                 staleness-aware policies read it.
+            session_key: Sticky-routing key of the arrival (its
+                session id), when the workload carries one; only
+                affinity-aware policies read it.
 
         Raises:
             ConfigError: when no replica is routable.
@@ -139,7 +149,8 @@ class RoundRobinRouting(RoutingPolicy):
         return "round-robin"
 
     def select(self, replicas: Sequence[ReplicaView],
-               now: float = 0.0) -> int:
+               now: float = 0.0, *,
+               session_key: Optional[str] = None) -> int:
         self._require(replicas)
         return min(replicas, key=lambda r: (r.submitted, r.index)).index
 
@@ -155,7 +166,8 @@ class LeastInFlightRouting(RoutingPolicy):
         return "least-in-flight"
 
     def select(self, replicas: Sequence[ReplicaView],
-               now: float = 0.0) -> int:
+               now: float = 0.0, *,
+               session_key: Optional[str] = None) -> int:
         self._require(replicas)
         return min(replicas,
                    key=lambda r: (r.in_flight, r.submitted, r.index)).index
@@ -173,7 +185,8 @@ class WeightedQPSRouting(RoutingPolicy):
         return "weighted-qps"
 
     def select(self, replicas: Sequence[ReplicaView],
-               now: float = 0.0) -> int:
+               now: float = 0.0, *,
+               session_key: Optional[str] = None) -> int:
         self._require(replicas)
         for view in replicas:
             if view.weight <= 0:
@@ -244,7 +257,8 @@ class PowerOfTwoChoicesRouting(RoutingPolicy):
         return live
 
     def select(self, replicas: Sequence[ReplicaView],
-               now: float = 0.0) -> int:
+               now: float = 0.0, *,
+               session_key: Optional[str] = None) -> int:
         self._require(replicas)
         rng = self._state.get("rng")
         if rng is None:
@@ -279,12 +293,61 @@ class JoinIdleQueueRouting(RoutingPolicy):
         return "join-idle-queue"
 
     def select(self, replicas: Sequence[ReplicaView],
-               now: float = 0.0) -> int:
+               now: float = 0.0, *,
+               session_key: Optional[str] = None) -> int:
         self._require(replicas)
         idle = [view for view in replicas if view.in_flight == 0]
         candidates = idle or replicas
         return min(candidates,
                    key=lambda r: (r.in_flight, r.submitted, r.index)).index
+
+
+@dataclass(frozen=True, eq=False)
+class SessionAffineRouting(RoutingPolicy):
+    """Sticky sessions with a least-in-flight fallback.
+
+    The first request of a session joins the shortest queue (the
+    least-in-flight discipline, ties by fewest-ever-submitted then
+    slot order) and the session is **pinned** there: every later
+    request carrying the same ``session_key`` follows, regardless of
+    load, modeling the KV-cache / prefix-cache affinity a multi-turn
+    deployment wants. Only when the pinned replica leaves the
+    routable set (drained or retired) is the session re-pinned, again
+    to the shortest queue. Keyless arrivals fall back to plain
+    least-in-flight.
+
+    The pin table is explicit per-instance state -- not a hash of the
+    key, which Python randomizes per process -- so runs are
+    deterministic and a fresh instance per fleet (what the registry
+    factory hands out) is the supported usage.
+    """
+
+    _state: Dict[str, object] = field(default_factory=dict, repr=False)
+
+    @property
+    def name(self) -> str:
+        return "session-affine"
+
+    def select(self, replicas: Sequence[ReplicaView],
+               now: float = 0.0, *,
+               session_key: Optional[str] = None) -> int:
+        self._require(replicas)
+        if session_key is None:
+            return min(replicas, key=lambda r: (r.in_flight, r.submitted,
+                                                r.index)).index
+        sticky = self._state.get("sticky")
+        if sticky is None:
+            sticky = {}
+            self._state["sticky"] = sticky
+        pinned = sticky.get(session_key)
+        if pinned is not None:
+            for view in replicas:
+                if view.index == pinned:
+                    return pinned
+        choice = min(replicas, key=lambda r: (r.in_flight, r.submitted,
+                                              r.index)).index
+        sticky[session_key] = choice
+        return choice
 
 
 #: Named routing policies for the CLI / config front-ends. Values are
@@ -295,6 +358,7 @@ ROUTING_POLICIES: Dict[str, Callable[[], RoutingPolicy]] = {
     "weighted-qps": WeightedQPSRouting,
     "power-of-two-choices": PowerOfTwoChoicesRouting,
     "join-idle-queue": JoinIdleQueueRouting,
+    "session-affine": SessionAffineRouting,
 }
 
 

@@ -146,7 +146,10 @@ class ServingSimulator:
                     "decode_lengths travel inside the trace; do not pass "
                     "both")
             engine = self._replay(list(workload.arrivals), horizon,
-                                  workload.decode_lens)
+                                  workload.decode_lens,
+                                  requests=(workload.requests
+                                            if workload.has_identity
+                                            else None))
             return engine.report(workload, slo or SLOTarget())
         if slo is not None:
             raise ConfigError(
@@ -154,8 +157,14 @@ class ServingSimulator:
         return self._replay(workload, horizon, decode_lengths).metrics()
 
     def _replay(self, arrivals: Sequence[float], horizon: Optional[float],
-                decode_lengths: Optional[Sequence[int]]) -> ServingEngine:
-        """Open-loop drive: submit the whole workload, then run."""
+                decode_lengths: Optional[Sequence[int]],
+                requests: Optional[Sequence] = None) -> ServingEngine:
+        """Open-loop drive: submit the whole workload, then run.
+
+        ``requests`` carries the trace's identity-bearing records when
+        the workload has them; anonymous replays leave it None and pay
+        no per-submission identity lookups.
+        """
         if not arrivals:
             raise ConfigError("need at least one arrival")
         if any(b < a for a, b in zip(arrivals, arrivals[1:])):
@@ -167,10 +176,18 @@ class ServingSimulator:
             if any(length <= 0 for length in decode_lengths):
                 raise ConfigError("decode lengths must be positive")
         engine = self._take_engine()
-        for index, time in enumerate(arrivals):
-            engine.submit(time,
-                          decode_len=None if decode_lengths is None
-                          else int(decode_lengths[index]))
+        if requests is not None:
+            for request in requests:
+                engine.submit(request.arrival,
+                              decode_len=request.decode_len,
+                              user_id=request.user_id,
+                              session_id=request.session_id,
+                              tier=request.tier)
+        else:
+            for index, time in enumerate(arrivals):
+                engine.submit(time,
+                              decode_len=None if decode_lengths is None
+                              else int(decode_lengths[index]))
         if horizon is not None:
             engine.step(until=horizon)
         else:

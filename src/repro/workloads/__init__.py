@@ -11,15 +11,33 @@ from repro.workloads.sequences import (
 )
 from repro.workloads.traces import (
     SCENARIOS,
+    Request,
     RequestTrace,
     bursty_trace,
     burstiness_cv,
     diurnal_trace,
     poisson_trace,
     rate_curve,
+    requests_from_arrays,
     scenario_trace,
+    session_stats,
+    tier_stats,
     trace_from_arrivals,
     trace_stats,
+)
+
+# Imported after traces/sequences: sessions builds on the trace types.
+from repro.workloads.sessions import (
+    TIER_POLICIES,
+    ClosedLoopDriver,
+    Tier,
+    TierPolicy,
+    UserPopulation,
+    parse_population_spec,
+    parse_tiers_spec,
+    population_spec,
+    resolve_tier_policy,
+    tiers_spec,
 )
 from repro.workloads.vectors import clustered_vectors, gaussian_vectors
 
@@ -27,6 +45,7 @@ __all__ = [
     "SequenceProfile",
     "poisson_arrivals",
     "burst_arrivals",
+    "Request",
     "RequestTrace",
     "SCENARIOS",
     "poisson_trace",
@@ -34,9 +53,22 @@ __all__ = [
     "diurnal_trace",
     "scenario_trace",
     "trace_from_arrivals",
+    "requests_from_arrays",
     "rate_curve",
     "burstiness_cv",
     "trace_stats",
+    "tier_stats",
+    "session_stats",
+    "Tier",
+    "TierPolicy",
+    "TIER_POLICIES",
+    "resolve_tier_policy",
+    "parse_tiers_spec",
+    "tiers_spec",
+    "UserPopulation",
+    "parse_population_spec",
+    "population_spec",
+    "ClosedLoopDriver",
     "sample_question_lengths",
     "sample_decode_lengths",
     "sample_retrieval_positions",

@@ -1,14 +1,18 @@
 """Request traces: first-class workloads for the serving simulator.
 
-A :class:`RequestTrace` bundles what the discrete-event experiments
-previously passed around as loose ``List[float]`` arrivals: arrival
-timestamps, optional per-request decode lengths, and metadata recording
+A :class:`RequestTrace` is a tuple of :class:`Request` records -- each
+an arrival timestamp, an optional decode length, and optional identity
+(``user_id`` / ``session_id`` / ``tier``) -- plus metadata recording
 how the trace was generated (scenario name, rate, seed). Traces are the
 currency of the traffic subsystem -- every scenario is a seeded
 generator returning one, :meth:`ServingSimulator.run
 <repro.sim.ServingSimulator.run>` consumes one, and
 :mod:`repro.config` round-trips one, so an experiment's exact traffic
-is a reproducible artifact.
+is a reproducible artifact. The historical parallel-tuple views
+(``trace.arrivals`` / ``trace.decode_lens``) remain as cached
+read-only properties, and ``RequestTrace(arrivals=...,
+decode_lens=...)`` still constructs (the compat spelling wraps each
+pair in an anonymous :class:`Request`).
 
 Built-in scenario generators (all seeded):
 
@@ -28,7 +32,7 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,45 +41,145 @@ from repro.workloads.sequences import sample_decode_lengths
 
 
 @dataclass(frozen=True)
-class RequestTrace:
-    """One stream of requests: arrival times plus per-request shape.
+class Request:
+    """One request of a trace: arrival, shape, and optional identity.
 
     Attributes:
-        arrivals: Sorted, non-negative arrival timestamps in seconds.
-        decode_lens: Optional per-request generation lengths (same
-            order as ``arrivals``); None means every request uses the
-            workload profile's decode length.
+        arrival: Non-negative arrival timestamp in seconds.
+        decode_len: Optional generation length; None means the
+            workload profile's default decode length.
+        user_id: Originating user, when the trace models a population.
+        session_id: Conversation the request belongs to (correlated
+            requests share one), when known.
+        tier: The user's SLO tier name (``free`` / ``paid`` / ...),
+            when known.
+    """
+
+    arrival: float
+    decode_len: Optional[int] = None
+    user_id: Optional[str] = None
+    session_id: Optional[str] = None
+    tier: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.arrival) or self.arrival < 0:
+            raise ConfigError("arrival times must be finite and "
+                              "non-negative")
+        if self.decode_len is not None and self.decode_len <= 0:
+            raise ConfigError("decode lengths must be positive")
+
+    @property
+    def has_identity(self) -> bool:
+        """Whether any identity field travels with the request."""
+        return (self.user_id is not None or self.session_id is not None
+                or self.tier is not None)
+
+
+def requests_from_arrays(
+        arrivals: Iterable[float],
+        decode_lens: Optional[Sequence[int]] = None,
+) -> Tuple[Request, ...]:
+    """Zip parallel arrival/length arrays into anonymous requests.
+
+    The bulk-construction path behind the compat
+    ``RequestTrace(arrivals=..., decode_lens=...)`` spelling and the
+    scenario generators.
+    """
+    times = [float(t) for t in arrivals]
+    if decode_lens is None:
+        return tuple(Request(arrival=t) for t in times)
+    lens = [int(n) for n in decode_lens]
+    if len(lens) != len(times):
+        raise ConfigError("decode_lens must match arrivals in length")
+    return tuple(Request(arrival=t, decode_len=n)
+                 for t, n in zip(times, lens))
+
+
+@dataclass(frozen=True, init=False)
+class RequestTrace:
+    """One stream of requests plus how it was produced.
+
+    Attributes:
+        requests: The :class:`Request` records, sorted by arrival.
         metadata: How the trace was produced (scenario name, rate,
             seed, source file ...). JSON-scalar values only, so traces
             serialize exactly.
+
+    The compat keyword spelling ``RequestTrace(arrivals=...,
+    decode_lens=...)`` wraps the parallel tuples in anonymous
+    requests; ``trace.arrivals`` and ``trace.decode_lens`` remain as
+    cached read-only tuple views for every consumer of the old shape.
     """
 
-    arrivals: Tuple[float, ...]
-    decode_lens: Optional[Tuple[int, ...]] = None
+    requests: Tuple[Request, ...]
     metadata: Dict[str, Any] = field(default_factory=dict)
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "arrivals", tuple(self.arrivals))
-        if not self.arrivals:
+    def __init__(self, requests: Optional[Iterable[Request]] = None,
+                 metadata: Optional[Dict[str, Any]] = None,
+                 arrivals: Optional[Iterable[float]] = None,
+                 decode_lens: Optional[Sequence[int]] = None) -> None:
+        if requests is not None and arrivals is not None:
+            raise ConfigError(
+                "pass either requests or the compat arrivals/"
+                "decode_lens tuples, not both")
+        if requests is None:
+            if arrivals is None:
+                raise ConfigError("a trace needs at least one request")
+            records = requests_from_arrays(arrivals, decode_lens)
+        else:
+            if decode_lens is not None:
+                raise ConfigError(
+                    "decode_lens only combines with arrivals; requests "
+                    "carry their own lengths")
+            records = tuple(requests)
+            for record in records:
+                if not isinstance(record, Request):
+                    raise ConfigError(
+                        f"requests must be Request records, got "
+                        f"{type(record).__name__}")
+        if not records:
             raise ConfigError("a trace needs at least one request")
         previous = 0.0
-        for time in self.arrivals:
-            if not math.isfinite(time) or time < 0:
-                raise ConfigError("arrival times must be finite and "
-                                  "non-negative")
-            if time < previous:
+        for record in records:
+            if record.arrival < previous:
                 raise ConfigError("arrivals must be sorted")
-            previous = time
-        if self.decode_lens is not None:
-            object.__setattr__(self, "decode_lens",
-                               tuple(int(n) for n in self.decode_lens))
-            if len(self.decode_lens) != len(self.arrivals):
-                raise ConfigError(
-                    "decode_lens must match arrivals in length")
-            if any(length <= 0 for length in self.decode_lens):
-                raise ConfigError("decode lengths must be positive")
+            previous = record.arrival
+        with_lens = sum(1 for record in records
+                        if record.decode_len is not None)
+        if with_lens not in (0, len(records)):
+            raise ConfigError(
+                f"either every request carries decode_len or none does "
+                f"({with_lens} of {len(records)} do)")
+        object.__setattr__(self, "requests", records)
+        object.__setattr__(self, "metadata",
+                           {} if metadata is None else metadata)
+        # Cached parallel-tuple views (the pre-record API): computed
+        # once here so replay loops iterating trace.arrivals pay no
+        # per-access rebuild.
+        object.__setattr__(self, "_arrivals",
+                           tuple(record.arrival for record in records))
+        object.__setattr__(
+            self, "_decode_lens",
+            tuple(record.decode_len for record in records)
+            if with_lens else None)
 
     # -- introspection -------------------------------------------------
+
+    @property
+    def arrivals(self) -> Tuple[float, ...]:
+        """Sorted arrival timestamps (the historical tuple view)."""
+        return self._arrivals
+
+    @property
+    def decode_lens(self) -> Optional[Tuple[int, ...]]:
+        """Per-request decode lengths, or None when unset (the
+        historical tuple view)."""
+        return self._decode_lens
+
+    @property
+    def has_identity(self) -> bool:
+        """Whether any request carries user/session/tier identity."""
+        return any(record.has_identity for record in self.requests)
 
     @property
     def num_requests(self) -> int:
@@ -117,30 +221,35 @@ class RequestTrace:
         """Write the trace as JSON Lines.
 
         The first line carries the metadata; every following line is
-        one request (``{"arrival": t}`` plus ``"decode_len"`` when
-        per-request lengths are set). The format is append-friendly, so
+        one request (``{"arrival": t}`` plus ``"decode_len"`` and the
+        identity fields when set). The format is append-friendly, so
         recorded production logs convert line by line.
         """
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(json.dumps({"metadata": self.metadata}) + "\n")
-            for index, arrival in enumerate(self.arrivals):
-                row: Dict[str, Any] = {"arrival": arrival}
-                if self.decode_lens is not None:
-                    row["decode_len"] = self.decode_lens[index]
+            for request in self.requests:
+                row: Dict[str, Any] = {"arrival": request.arrival}
+                if request.decode_len is not None:
+                    row["decode_len"] = request.decode_len
+                for key in ("user_id", "session_id", "tier"):
+                    value = getattr(request, key)
+                    if value is not None:
+                        row[key] = value
                 handle.write(json.dumps(row) + "\n")
 
     @classmethod
     def from_jsonl(cls, path: str) -> "RequestTrace":
         """Load a trace written by :meth:`to_jsonl` (or recorded in the
-        same shape).
+        same shape). Pre-identity files -- bare ``arrival`` /
+        ``decode_len`` rows -- load bit-identically.
 
         Raises:
             ConfigError: on malformed lines, unsorted arrivals, or a
                 mix of requests with and without ``decode_len``.
         """
         metadata: Dict[str, Any] = {}
-        arrivals = []
-        lengths = []
+        records = []
+        lengths = 0
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 lines = handle.readlines()
@@ -166,20 +275,29 @@ class RequestTrace:
             if "arrival" not in row:
                 raise ConfigError(
                     f"{path}:{number}: request line needs an 'arrival'")
-            arrivals.append(float(row["arrival"]))
+            decode_len = None
             if "decode_len" in row:
-                lengths.append(int(row["decode_len"]))
-        if lengths and len(lengths) != len(arrivals):
+                decode_len = int(row["decode_len"])
+                lengths += 1
+            records.append(Request(
+                arrival=float(row["arrival"]),
+                decode_len=decode_len,
+                user_id=None if row.get("user_id") is None
+                else str(row["user_id"]),
+                session_id=None if row.get("session_id") is None
+                else str(row["session_id"]),
+                tier=None if row.get("tier") is None
+                else str(row["tier"]),
+            ))
+        if lengths and lengths != len(records):
             raise ConfigError(
                 f"{path}: either every request line carries decode_len "
-                f"or none does ({len(lengths)} of {len(arrivals)} do)")
-        if not arrivals:
+                f"or none does ({lengths} of {len(records)} do)")
+        if not records:
             raise ConfigError(f"{path}: trace file holds no requests")
         metadata.setdefault("scenario", "replay")
         metadata.setdefault("source", path)
-        return cls(arrivals=tuple(arrivals),
-                   decode_lens=tuple(lengths) if lengths else None,
-                   metadata=metadata)
+        return cls(requests=tuple(records), metadata=metadata)
 
 
 # ---------------------------------------------------------------------------
@@ -238,8 +356,9 @@ def poisson_trace(rate_qps: float, duration: float, seed: int = 0,
             f"poisson scenario produced no arrivals (rate {rate_qps} over "
             f"{duration}s with seed {seed}); raise rate or duration")
     return RequestTrace(
-        arrivals=tuple(arrivals),
-        decode_lens=_decode_lens_for(len(arrivals), mean_decode_len, seed),
+        requests=requests_from_arrays(
+            arrivals, _decode_lens_for(len(arrivals), mean_decode_len,
+                                       seed)),
         metadata={"scenario": "poisson", "rate_qps": rate_qps,
                   "duration": duration, "seed": seed,
                   "mean_decode_len": mean_decode_len},
@@ -306,8 +425,9 @@ def bursty_trace(rate_qps: float, duration: float, seed: int = 0,
             f"bursty scenario produced no arrivals (rate {rate_qps} over "
             f"{duration}s with seed {seed}); raise rate or duration")
     return RequestTrace(
-        arrivals=tuple(arrivals),
-        decode_lens=_decode_lens_for(len(arrivals), mean_decode_len, seed),
+        requests=requests_from_arrays(
+            arrivals, _decode_lens_for(len(arrivals), mean_decode_len,
+                                       seed)),
         metadata={"scenario": "bursty", "rate_qps": rate_qps,
                   "duration": duration, "seed": seed,
                   "mean_decode_len": mean_decode_len,
@@ -360,8 +480,9 @@ def diurnal_trace(rate_qps: float, duration: float, seed: int = 0,
             f"diurnal scenario produced no arrivals (rate {rate_qps} over "
             f"{duration}s with seed {seed}); raise rate or duration")
     return RequestTrace(
-        arrivals=tuple(arrivals),
-        decode_lens=_decode_lens_for(len(arrivals), mean_decode_len, seed),
+        requests=requests_from_arrays(
+            arrivals, _decode_lens_for(len(arrivals), mean_decode_len,
+                                       seed)),
         metadata={"scenario": "diurnal", "rate_qps": rate_qps,
                   "duration": duration, "seed": seed,
                   "mean_decode_len": mean_decode_len,
@@ -411,9 +532,7 @@ def trace_from_arrivals(arrivals: Iterable[float],
                         **metadata: Any) -> RequestTrace:
     """Wrap loose arrival lists (the pre-trace API) into a trace."""
     return RequestTrace(
-        arrivals=tuple(float(t) for t in arrivals),
-        decode_lens=None if decode_lens is None
-        else tuple(int(n) for n in decode_lens),
+        requests=requests_from_arrays(arrivals, decode_lens),
         metadata=metadata,
     )
 
@@ -508,3 +627,74 @@ def trace_stats(trace: RequestTrace, bins: int = 24) -> Dict[str, Any]:
             decode_max=float(lens.max()),
         )
     return stats
+
+
+def tier_stats(trace: RequestTrace) -> Dict[str, Dict[str, Any]]:
+    """Per-tier request shape, keyed by tier name in sorted order.
+
+    Each entry reports the attainment-relevant load the tier offers:
+    request count, share of the trace, distinct users, and the decode
+    length mean/p95 (None when lengths do not travel with the trace).
+    Requests without a tier are grouped under ``(untiered)``. Empty
+    when the trace carries no identity at all.
+    """
+    grouped: Dict[str, List[Request]] = {}
+    if trace.has_identity:
+        for request in trace.requests:
+            tier = request.tier if request.tier is not None \
+                else "(untiered)"
+            grouped.setdefault(tier, []).append(request)
+    stats: Dict[str, Dict[str, Any]] = {}
+    total = trace.num_requests
+    for tier in sorted(grouped):
+        requests = grouped[tier]
+        users = {request.user_id for request in requests
+                 if request.user_id is not None}
+        lens = [request.decode_len for request in requests
+                if request.decode_len is not None]
+        arr = np.asarray(lens, dtype=float) if lens else None
+        stats[tier] = {
+            "requests": len(requests),
+            "share": len(requests) / total,
+            "users": len(users),
+            "decode_mean": None if arr is None else float(arr.mean()),
+            "decode_p95": None if arr is None
+            else float(np.percentile(arr, 95)),
+        }
+    return stats
+
+
+def session_stats(trace: RequestTrace) -> Dict[str, Any]:
+    """Session-structure summary of an identity-carrying trace.
+
+    Keys: ``users``, ``sessions``, ``sessions_per_user`` (mean over
+    users with at least one session), ``requests_per_session`` (mean),
+    and ``max_session_len``. Zeroed when no request carries a
+    ``session_id``.
+    """
+    sessions: Dict[str, int] = {}
+    user_sessions: Dict[str, set] = {}
+    for request in trace.requests:
+        if request.session_id is None:
+            continue
+        sessions[request.session_id] = \
+            sessions.get(request.session_id, 0) + 1
+        if request.user_id is not None:
+            user_sessions.setdefault(request.user_id, set()).add(
+                request.session_id)
+    users = {request.user_id for request in trace.requests
+             if request.user_id is not None}
+    if not sessions:
+        return {"users": len(users), "sessions": 0,
+                "sessions_per_user": 0.0, "requests_per_session": 0.0,
+                "max_session_len": 0}
+    per_user = [len(owned) for owned in user_sessions.values()]
+    return {
+        "users": len(users),
+        "sessions": len(sessions),
+        "sessions_per_user": (sum(per_user) / len(per_user))
+        if per_user else 0.0,
+        "requests_per_session":
+            sum(sessions.values()) / len(sessions),
+        "max_session_len": max(sessions.values()),
+    }

@@ -30,12 +30,14 @@ from repro.sim.policies import (
     resolve_dispatch_policy,
 )
 from repro.sim.routing import ROUTING_POLICIES, resolve_routing_policy
+from repro.workloads.sessions import TIER_POLICIES, resolve_tier_policy
 
 REGISTRIES = {
     "dispatch": (DISPATCH_POLICIES, resolve_dispatch_policy),
     "admission": (ADMISSION_POLICIES, resolve_admission_policy),
     "routing": (ROUTING_POLICIES, resolve_routing_policy),
     "autoscale": (AUTOSCALE_POLICIES, resolve_autoscale_policy),
+    "tiers": (TIER_POLICIES, resolve_tier_policy),
 }
 
 
@@ -122,6 +124,7 @@ def test_dunder_all_names_are_real(module_name):
     ("repro.sim.policies", "ADMISSION_POLICIES"),
     ("repro.sim.routing", "ROUTING_POLICIES"),
     ("repro.sim.autoscale", "AUTOSCALE_POLICIES"),
+    ("repro.workloads.sessions", "TIER_POLICIES"),
     ("repro.analysis", "LINT_RULES"),
 ])
 def test_registries_are_exported(module_name, registry_name):

@@ -243,3 +243,47 @@ def test_drained_fleet_keeps_accepting_between_drains(network):
     fleet.drain()
     assert math.isfinite(record.completion_time)
     assert fleet.completed == 2
+
+
+# ---------------------------------------------------------------------------
+# satellite: closed-loop (multi-user sessions) parity
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("admission", [None, "priority"])
+def test_closed_loop_fast_path_bit_identical(network, admission):
+    """The closed loop replays identically on the fast path and the
+    oracle: the driver's think-time draws depend only on completion
+    times, so bit-identical engines must produce bit-identical
+    submission streams, reports, and recorded traces -- with and
+    without the waiting-queue reordering of priority admission."""
+    from repro.sim.policies import PriorityAdmission
+    from repro.workloads import (ClosedLoopDriver, UserPopulation,
+                                 resolve_tier_policy)
+
+    pm, schedule = network
+    population = UserPopulation(users=8, think_time=0.05,
+                                concurrency=2, session_len=3, seed=13,
+                                tiers=resolve_tier_policy("free-paid"))
+
+    def closed_loop(fast):
+        knobs = {}
+        if admission == "priority":
+            knobs["admission"] = PriorityAdmission()
+        engine = ServingEngine(pm, schedule, fast=fast, **knobs)
+        driver = ClosedLoopDriver(population, engine, horizon=4.0)
+        driver.run()
+        return engine, driver
+
+    fast_engine, fast_driver = closed_loop(True)
+    oracle_engine, oracle_driver = closed_loop(False)
+    slo = SLOTarget(ttft=0.5, tpot=0.05)
+    fast_trace = fast_engine.recorded_trace(scenario="sessions")
+    oracle_trace = oracle_engine.recorded_trace(scenario="sessions")
+    assert fast_trace == oracle_trace
+    assert fast_engine.report(fast_trace, slo=slo) == \
+        oracle_engine.report(oracle_trace, slo=slo)
+    assert [_record_key(r) for r in fast_engine.records] == \
+        [_record_key(r) for r in oracle_engine.records]
+    assert fast_driver.tier_counts() == oracle_driver.tier_counts()
+    assert fast_driver.submitted == fast_driver.completed > 0

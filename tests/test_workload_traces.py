@@ -272,3 +272,107 @@ def test_trace_stats_survives_undefined_cv():
     stats = trace_stats(trace_from_arrivals([1.0]))
     assert stats["burstiness_cv"] is None
     assert stats["requests"] == 1
+
+
+# -- identity-carrying requests and legacy tuple compat -----------------
+
+
+def test_compat_tuple_construction_is_bit_identical():
+    from repro.workloads import Request, requests_from_arrays
+
+    legacy = RequestTrace(arrivals=(0.0, 1.0, 2.5),
+                          decode_lens=(8, 16, 32),
+                          metadata={"scenario": "custom"})
+    modern = RequestTrace(
+        requests=requests_from_arrays((0.0, 1.0, 2.5), (8, 16, 32)),
+        metadata={"scenario": "custom"})
+    assert legacy == modern
+    assert legacy.arrivals == (0.0, 1.0, 2.5)
+    assert legacy.decode_lens == (8, 16, 32)
+    assert not legacy.has_identity
+    assert all(isinstance(r, Request) for r in legacy.requests)
+
+
+def test_requests_and_tuples_are_mutually_exclusive():
+    from repro.workloads import requests_from_arrays
+
+    records = requests_from_arrays((0.0,), (8,))
+    with pytest.raises(ConfigError):
+        RequestTrace(requests=records, arrivals=(0.0,))
+    with pytest.raises(ConfigError):
+        RequestTrace(requests=records, decode_lens=(8,))
+    with pytest.raises(ConfigError):
+        RequestTrace(requests=(0.0,))  # not Request records
+
+
+def test_mixed_decode_len_records_rejected():
+    from repro.workloads import Request
+
+    with pytest.raises(ConfigError):
+        RequestTrace(requests=(Request(arrival=0.0, decode_len=8),
+                               Request(arrival=1.0)))
+
+
+def test_identity_jsonl_round_trip(tmp_path):
+    from repro.workloads import Request
+
+    trace = RequestTrace(
+        requests=(
+            Request(arrival=0.0, decode_len=8, user_id="u000",
+                    session_id="u000-s000", tier="paid"),
+            Request(arrival=0.5, decode_len=16, user_id="u001",
+                    session_id="u001-s000", tier="free"),
+        ),
+        metadata={"scenario": "sessions"})
+    path = tmp_path / "sessions.jsonl"
+    trace.to_jsonl(str(path))
+    back = RequestTrace.from_jsonl(str(path))
+    assert back.requests == trace.requests
+    assert back.metadata["scenario"] == "sessions"
+    assert back.metadata["source"] == str(path)
+    assert back.has_identity
+
+
+def test_pre_identity_jsonl_loads_bit_identically(tmp_path):
+    # A file written before requests carried identity: bare
+    # arrival/decode_len rows.
+    path = tmp_path / "old.jsonl"
+    path.write_text(
+        '{"metadata": {"scenario": "poisson"}}\n'
+        '{"arrival": 0.0, "decode_len": 8}\n'
+        '{"arrival": 1.5, "decode_len": 32}\n')
+    trace = RequestTrace.from_jsonl(str(path))
+    legacy = RequestTrace(arrivals=(0.0, 1.5), decode_lens=(8, 32))
+    assert trace.requests == legacy.requests
+    assert trace.metadata["scenario"] == "poisson"
+    assert not trace.has_identity
+
+
+def test_tier_and_session_stats():
+    from repro.workloads import (Request, session_stats, tier_stats,
+                                 trace_from_arrivals)
+
+    trace = RequestTrace(
+        requests=(
+            Request(arrival=0.0, user_id="a", session_id="a-0",
+                    tier="free"),
+            Request(arrival=0.1, user_id="a", session_id="a-0",
+                    tier="free"),
+            Request(arrival=0.2, user_id="b", session_id="b-0",
+                    tier="paid"),
+            Request(arrival=0.3, user_id="a", session_id="a-1",
+                    tier="free"),
+        ))
+    tiers = tier_stats(trace)
+    assert list(tiers) == ["free", "paid"]  # sorted iteration
+    assert tiers["free"]["requests"] == 3
+    assert tiers["free"]["users"] == 1
+    assert tiers["paid"]["share"] == pytest.approx(0.25)
+    sessions = session_stats(trace)
+    assert sessions["users"] == 2
+    assert sessions["sessions"] == 3
+    assert sessions["max_session_len"] == 2
+    # Anonymous traces: empty tier map, zeroed session summary.
+    anonymous = trace_from_arrivals([0.0, 1.0])
+    assert tier_stats(anonymous) == {}
+    assert session_stats(anonymous)["sessions"] == 0
